@@ -1,0 +1,155 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+
+namespace harmony::bench {
+
+PreparedModel Prepare(const std::string& name, const hw::MachineSpec& machine) {
+  model::LayerGraph graph;
+  model::Optimizer opt = model::Optimizer::kAdam;
+  if (name == "BERT-Large") {
+    graph = model::BertLarge();
+  } else if (name == "BERT96") {
+    graph = model::Bert96();
+  } else if (name == "GPT2") {
+    graph = model::Gpt2();
+  } else if (name == "GPT2-Medium") {
+    graph = model::Gpt2Medium();
+  } else if (name == "VGG416") {
+    graph = model::Vgg416();
+    opt = model::Optimizer::kSgdMomentum;
+  } else if (name == "ResNet1K") {
+    graph = model::ResNet1K();
+    opt = model::Optimizer::kSgdMomentum;
+  } else if (name.rfind("GPT2-", 0) == 0 && name.back() == 'B') {
+    const double billions = std::stod(name.substr(5, name.size() - 6));
+    graph = model::Gpt2Custom(billions);
+  } else {
+    HARMONY_LOG(Fatal) << "unknown model " << name;
+  }
+  model::SequentialModel seq = model::Sequentialize(graph);
+  const profile::Profiler profiler(machine.gpu, profile::ProfilerOptions{});
+  profile::ProfileDb db = profiler.Profile(seq);
+  return PreparedModel{name, std::move(seq), std::move(db), opt};
+}
+
+const char* SchemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kDpSwap: return "DP Swap";
+    case Scheme::kGpSwap: return "GP Swap";
+    case Scheme::kGpSwapR: return "GP Swap (R)";
+    case Scheme::k2bwSwap: return "2BW Swap";
+    case Scheme::k2bwSwapR: return "2BW Swap (R)";
+    case Scheme::kHarmonyDp: return "Harmony DP";
+    case Scheme::kHarmonyPp: return "Harmony PP";
+    case Scheme::kZeroInfinity: return "ZeRO-Infinity";
+  }
+  return "?";
+}
+
+SchemeResult RunScheme(Scheme scheme, const PreparedModel& pm,
+                       const hw::MachineSpec& machine, int minibatch,
+                       const RunSchemeOptions& options) {
+  SchemeResult result;
+  result.scheme = SchemeName(scheme);
+  const int n = machine.num_gpus;
+
+  core::TaskGraph graph;
+  runtime::RuntimeOptions run_opts;
+  run_opts.optimizer = pm.optimizer;
+
+  switch (scheme) {
+    case Scheme::kDpSwap: {
+      const int u = baselines::MaxFeasibleMicrobatch(
+          pm.profiles, machine, /*recompute=*/false, /*replicas=*/n,
+          options.baseline_u_cap);
+      graph = baselines::DpSwap(pm.profiles, n, minibatch, u);
+      break;
+    }
+    case Scheme::kGpSwap:
+    case Scheme::kGpSwapR: {
+      const bool r = scheme == Scheme::kGpSwapR;
+      const int u = baselines::MaxFeasibleMicrobatch(pm.profiles, machine, r, 1,
+                                                     options.baseline_u_cap);
+      graph = baselines::GpipeSwap(pm.profiles, n, minibatch, u, r);
+      break;
+    }
+    case Scheme::k2bwSwap:
+    case Scheme::k2bwSwapR: {
+      const bool r = scheme == Scheme::k2bwSwapR;
+      const int u = baselines::MaxFeasibleMicrobatch(pm.profiles, machine, r, 1,
+                                                     options.baseline_u_cap);
+      graph = baselines::PipeDream2bwSwap(pm.profiles, n, minibatch, u, r);
+      break;
+    }
+    case Scheme::kHarmonyDp:
+    case Scheme::kHarmonyPp: {
+      const auto mode = scheme == Scheme::kHarmonyDp
+                            ? core::HarmonyMode::kDataParallel
+                            : core::HarmonyMode::kPipelineParallel;
+      if (options.fixed_config) {
+        result.config = *options.fixed_config;
+        graph = core::GenerateHarmonyTaskGraph(result.config, mode, n, minibatch,
+                                               options.flags, pm.profiles);
+      } else {
+        core::SearchOptions search;
+        search.u_fwd_max = options.u_max;
+        search.u_bwd_max = options.u_max;
+        auto found = core::SearchConfiguration(pm.profiles, machine, mode,
+                                               minibatch, options.flags, search);
+        if (!found.ok()) {
+          result.error = found.status().ToString();
+          return result;
+        }
+        result.search = found.value();
+        result.config = found.value().best;
+        graph = core::GenerateHarmonyTaskGraph(result.config, mode, n, minibatch,
+                                               options.flags, pm.profiles);
+      }
+      break;
+    }
+    case Scheme::kZeroInfinity: {
+      core::Configuration config;
+      if (options.fixed_config) {
+        config = *options.fixed_config;
+      } else {
+        // Share Harmony DP's configuration (Sec 5.3).
+        core::SearchOptions search;
+        search.u_fwd_max = options.u_max;
+        search.u_bwd_max = options.u_max;
+        auto found = core::SearchConfiguration(
+            pm.profiles, machine, core::HarmonyMode::kDataParallel, minibatch,
+            core::OptimizationFlags{}, search);
+        if (!found.ok()) {
+          result.error = found.status().ToString();
+          return result;
+        }
+        config = found.value().best;
+      }
+      result.config = config;
+      graph = baselines::ZeroInfinity(pm.profiles, config, n, minibatch);
+      run_opts.host_static_overhead =
+          baselines::ZeroInfinityHostOverhead(pm.model);
+      break;
+    }
+  }
+
+  const runtime::Runtime rt(machine, pm.model);
+  auto metrics = rt.Execute(graph, run_opts);
+  if (!metrics.ok()) {
+    result.error = metrics.status().ToString();
+    return result;
+  }
+  result.ok = true;
+  result.metrics = std::move(metrics).value();
+  result.iteration_time = result.metrics.iteration_time;
+  result.throughput = result.metrics.Throughput(minibatch);
+  return result;
+}
+
+void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << "Reproduces: " << paper_ref << "\n\n";
+}
+
+}  // namespace harmony::bench

@@ -1,0 +1,77 @@
+#ifndef HARMONY_BENCH_BENCH_COMMON_H_
+#define HARMONY_BENCH_BENCH_COMMON_H_
+
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "core/scheduler.h"
+#include "model/memory.h"
+#include "model/models.h"
+#include "profile/profiler.h"
+#include "runtime/runtime.h"
+
+namespace harmony::bench {
+
+/// A model prepared for experiments: sequentialized graph, profile database
+/// for the given GPU, and the optimizer the paper trains it with (Sec 5.1).
+struct PreparedModel {
+  std::string name;
+  model::SequentialModel model;
+  profile::ProfileDb profiles;
+  model::Optimizer optimizer;
+};
+
+/// Builds one of the paper's evaluation models by name: "BERT-Large",
+/// "BERT96", "GPT2", "GPT2-Medium", "VGG416", "ResNet1K", or "GPT2-<N>B".
+PreparedModel Prepare(const std::string& name, const hw::MachineSpec& machine);
+
+/// The result of running one scheme once.
+struct SchemeResult {
+  std::string scheme;
+  bool ok = false;
+  std::string error;
+  TimeSec iteration_time = 0;
+  double throughput = 0;  // samples/s
+  runtime::RunMetrics metrics;
+  core::Configuration config;        // Harmony/ZeRO configs
+  core::SearchResult search;         // populated for Harmony schemes
+};
+
+/// All schemes of Fig 9 plus ZeRO-Infinity.
+enum class Scheme {
+  kDpSwap,
+  kGpSwap,
+  kGpSwapR,
+  k2bwSwap,
+  k2bwSwapR,
+  kHarmonyDp,
+  kHarmonyPp,
+  kZeroInfinity,
+};
+
+const char* SchemeName(Scheme scheme);
+
+struct RunSchemeOptions {
+  int u_max = 16;                      // Harmony search U_FMAX/U_BMAX
+  int baseline_u_cap = 16;             // cap for MaxFeasibleMicrobatch
+  core::OptimizationFlags flags;       // Harmony optimization toggles
+  /// Reuse a previously found Harmony configuration (e.g. ZeRO sharing
+  /// Harmony's config per Sec 5.3, or the expert-config ablation).
+  std::optional<core::Configuration> fixed_config;
+};
+
+/// Schedules (if applicable) and executes one scheme for one iteration on
+/// the machine; OOMs and scheduling failures are reported, not fatal.
+SchemeResult RunScheme(Scheme scheme, const PreparedModel& pm,
+                       const hw::MachineSpec& machine, int minibatch,
+                       const RunSchemeOptions& options = {});
+
+/// Prints a standard header for a figure/table reproduction.
+void PrintHeader(const std::string& title, const std::string& paper_ref);
+
+}  // namespace harmony::bench
+
+#endif  // HARMONY_BENCH_BENCH_COMMON_H_

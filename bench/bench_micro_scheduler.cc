@@ -1,0 +1,106 @@
+// Microbenchmarks (google-benchmark) for the Scheduler's hot paths: balanced
+// time packing, task graph generation, runtime estimation and the full
+// configuration search. These back Table 1's claim that end-to-end
+// scheduling stays in seconds even for 1000-layer CNNs.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/packing.h"
+#include "core/search.h"
+
+namespace harmony::bench {
+namespace {
+
+const PreparedModel& Gpt2Model() {
+  static const PreparedModel* pm =
+      new PreparedModel(Prepare("GPT2", hw::MachineSpec::Commodity4Gpu()));
+  return *pm;
+}
+
+const PreparedModel& ResnetModel() {
+  static const PreparedModel* pm =
+      new PreparedModel(Prepare("ResNet1K", hw::MachineSpec::Commodity4Gpu()));
+  return *pm;
+}
+
+core::PackingOptions Packing() {
+  core::PackingOptions opts;
+  opts.capacity = static_cast<Bytes>(
+      hw::MachineSpec::Commodity4Gpu().gpu.usable_memory() * 0.85);
+  return opts;
+}
+
+void BM_BalancedTimePacking_Gpt2(benchmark::State& state) {
+  const auto& pm = Gpt2Model();
+  for (auto _ : state) {
+    auto packs = core::BackwardPacks(static_cast<int>(state.range(0)),
+                                     pm.profiles, Packing());
+    benchmark::DoNotOptimize(packs);
+  }
+}
+BENCHMARK(BM_BalancedTimePacking_Gpt2)->Arg(1)->Arg(4);
+
+void BM_BalancedTimePacking_ResNet1K(benchmark::State& state) {
+  const auto& pm = ResnetModel();
+  for (auto _ : state) {
+    auto packs = core::BackwardPacks(16, pm.profiles, Packing());
+    benchmark::DoNotOptimize(packs);
+  }
+}
+BENCHMARK(BM_BalancedTimePacking_ResNet1K);
+
+void BM_TaskGraphGeneration(benchmark::State& state) {
+  const auto& pm = Gpt2Model();
+  core::Configuration config;
+  config.u_fwd = config.u_bwd = 4;
+  config.bwd_packs = core::BackwardPacks(4, pm.profiles, Packing()).value();
+  config.fwd_packs =
+      core::ForwardPacks(4, config.bwd_packs, pm.profiles, Packing()).value();
+  for (auto _ : state) {
+    auto g = core::GenerateHarmonyTaskGraph(
+        config, core::HarmonyMode::kPipelineParallel, 4, 64,
+        core::OptimizationFlags{}, pm.profiles);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_TaskGraphGeneration);
+
+void BM_RuntimeEstimation(benchmark::State& state) {
+  const auto& pm = Gpt2Model();
+  const hw::MachineSpec machine = hw::MachineSpec::Commodity4Gpu();
+  core::Configuration config;
+  config.u_fwd = config.u_bwd = 4;
+  config.bwd_packs = core::BackwardPacks(4, pm.profiles, Packing()).value();
+  config.fwd_packs =
+      core::ForwardPacks(4, config.bwd_packs, pm.profiles, Packing()).value();
+  const auto g = core::GenerateHarmonyTaskGraph(
+      config, core::HarmonyMode::kPipelineParallel, 4, 64,
+      core::OptimizationFlags{}, pm.profiles);
+  const core::RuntimeEstimator est(pm.profiles, machine);
+  for (auto _ : state) {
+    auto e = est.EstimateIteration(g);
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_RuntimeEstimation);
+
+void BM_FullConfigurationSearch_Gpt2(benchmark::State& state) {
+  const auto& pm = Gpt2Model();
+  const hw::MachineSpec machine = hw::MachineSpec::Commodity4Gpu();
+  core::SearchOptions opts;
+  opts.u_fwd_max = static_cast<int>(state.range(0));
+  opts.u_bwd_max = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = core::SearchConfiguration(pm.profiles, machine,
+                                       core::HarmonyMode::kPipelineParallel, 64,
+                                       core::OptimizationFlags{}, opts);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_FullConfigurationSearch_Gpt2)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace harmony::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Fine-tuning correctness demo (the Sec 5.4 experiment, runnable):
+// train a real (small) transformer with actual FP32 arithmetic under five
+// execution schemes — vanilla baseline, Harmony's reordered execution
+// (input-batch grouping + layer packs + recomputation + jit updates), the
+// wrap-around pipeline order, and the two data-parallel variants — and show
+// that per-minibatch losses match bit-for-bit where the paper says they do.
+//
+// Build & run:  cmake --build build && ./build/examples/finetune_correctness
+
+#include <cstdio>
+#include <iostream>
+
+#include "tensor/train.h"
+
+int main() {
+  using namespace harmony;
+  using tensor::ExecutionScheme;
+
+  tensor::TinyModelConfig model;
+  model.blocks = 3;  // Embedding + 3x(Attention, MLP) + Classifier = 8 layers
+
+  tensor::TrainOptions opts;
+  opts.iterations = 15;
+  opts.minibatch = 16;
+  opts.microbatch = 4;      // U_B: gradient-accumulation granularity
+  opts.fwd_microbatch = 8;  // U_F != U_B, like a real Harmony configuration
+  opts.packs = {core::Pack{0, 2}, core::Pack{3, 5}, core::Pack{6, 7}};
+
+  std::cout << "Training an 8-layer transformer under five execution schemes\n"
+            << "(minibatch 16, U_F=8, U_B=4, packs {0-2, 3-5, 6-7})\n\n";
+
+  const ExecutionScheme schemes[] = {
+      ExecutionScheme::kBaseline1Gpu, ExecutionScheme::kHarmony1Gpu,
+      ExecutionScheme::kHarmonyPp, ExecutionScheme::kBaselineDp,
+      ExecutionScheme::kHarmonyDp};
+  std::vector<tensor::TrainResult> results;
+  for (auto s : schemes) results.push_back(Train(model, s, opts));
+
+  std::printf("%-5s %-14s %-14s %-14s %-14s %-14s\n", "iter", "baseline",
+              "harmony", "harmony-pp", "baseline-dp", "harmony-dp");
+  for (int i = 0; i < opts.iterations; ++i) {
+    std::printf("%-5d", i);
+    for (const auto& r : results) std::printf(" %.9f ", r.losses[i]);
+    std::printf("\n");
+  }
+
+  const bool exact_1gpu = results[0].losses == results[1].losses &&
+                          results[0].losses == results[2].losses;
+  const bool exact_dp = results[3].losses == results[4].losses;
+  std::cout << "\nHarmony / Harmony PP match the baseline bit-for-bit: "
+            << (exact_1gpu ? "yes" : "NO — BUG") << "\n";
+  std::cout << "Harmony DP matches baseline DP bit-for-bit:          "
+            << (exact_dp ? "yes" : "NO — BUG") << "\n";
+  std::cout << "(The DP pair differs from the 1-GPU runs in the last digits,\n"
+            << " because reduction changes float summation nesting — the same\n"
+            << " effect behind Table 3's 88.0% vs 87.3% columns.)\n";
+  return exact_1gpu && exact_dp ? 0 : 1;
+}

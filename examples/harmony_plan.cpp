@@ -1,0 +1,116 @@
+// harmony_plan: a command-line planner — the front door a practitioner would
+// use. Give it a model, a parallelism mode and a minibatch size; it profiles
+// the model, searches the configuration space, prints the chosen schedule,
+// and (optionally) executes one iteration on the simulated deployment.
+//
+//   ./build/examples/harmony_plan GPT2 pp 64
+//   ./build/examples/harmony_plan ResNet1K dp 32 --gpus=8 --run
+//   ./build/examples/harmony_plan GPT2-20B pp 32 --gpus=8 --run
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+#include "core/scheduler.h"
+#include "runtime/runtime.h"
+
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage: harmony_plan <model> <dp|pp> <minibatch> [--gpus=N] [--run]\n"
+         "  model: BERT-Large | BERT96 | GPT2 | GPT2-Medium | VGG416 |\n"
+         "         ResNet1K | GPT2-<n>B\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace harmony;
+  if (argc < 4) return Usage();
+  const std::string model_name = argv[1];
+  const std::string mode_str = argv[2];
+  const int minibatch = std::atoi(argv[3]);
+  int gpus = 4;
+  bool run = false;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--gpus=", 7) == 0) {
+      gpus = std::atoi(argv[i] + 7);
+    } else if (std::strcmp(argv[i], "--run") == 0) {
+      run = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (minibatch < 1 || (mode_str != "dp" && mode_str != "pp")) return Usage();
+  const auto mode = mode_str == "pp" ? core::HarmonyMode::kPipelineParallel
+                                     : core::HarmonyMode::kDataParallel;
+  const hw::MachineSpec machine =
+      (gpus > 4 ? hw::MachineSpec::Commodity8Gpu()
+                : hw::MachineSpec::Commodity4Gpu())
+          .WithNumGpus(gpus);
+
+  const bench::PreparedModel pm = bench::Prepare(model_name, machine);
+  std::cout << "Model " << pm.name << ": " << pm.model.num_layers()
+            << " layers, " << FormatBytes(pm.model.total_param_bytes())
+            << " of weights\n"
+            << "Deployment: " << gpus << "x " << machine.gpu.name << " ("
+            << FormatBytes(machine.gpu.memory_capacity) << " each), "
+            << FormatBytes(machine.host_memory) << " host\n\n";
+
+  const auto found = core::SearchConfiguration(pm.profiles, machine, mode,
+                                               minibatch, {}, {});
+  if (!found.ok()) {
+    std::cerr << "no feasible schedule: " << found.status() << "\n";
+    return 1;
+  }
+  const auto& r = found.value();
+  std::cout << core::HarmonyModeName(mode) << " configuration "
+            << r.best.ToString() << "  (searched " << r.configs_explored
+            << " configs in " << Table::Cell(r.search_wall_seconds) << "s)\n"
+            << "  P_F: " << core::PackListToString(r.best.fwd_packs) << "\n"
+            << "  P_B: " << core::PackListToString(r.best.bwd_packs) << "\n"
+            << "  estimated iteration: "
+            << FormatTime(r.best_estimate.iteration_time) << ", swap "
+            << FormatBytes(r.best_estimate.swap_bytes) << ", p2p "
+            << FormatBytes(r.best_estimate.p2p_bytes) << "\n";
+
+  // Show the wrap-around binding of the final task graph.
+  const auto graph = core::GenerateHarmonyTaskGraph(
+      r.best, mode, machine.num_gpus, minibatch, {}, pm.profiles);
+  std::cout << "\nTask graph (" << graph.num_tasks() << " tasks):\n";
+  for (const auto& t : graph.tasks) {
+    if (t.id >= 24) {
+      std::cout << "  ... (" << graph.num_tasks() - t.id << " more)\n";
+      break;
+    }
+    std::cout << "  task " << t.id << ": " << core::TaskTypeName(t.type)
+              << " L" << t.pack.lo << "-" << t.pack.hi << " -> "
+              << (t.on_cpu ? "CPU#" : "GPU#") << t.device
+              << (t.fused_forward ? "  (jit-compute fused)" : "") << "\n";
+  }
+
+  if (!run) return 0;
+  std::cout << "\nExecuting one iteration on the simulated deployment...\n";
+  const runtime::Runtime rt(machine, pm.model);
+  runtime::RuntimeOptions ro;
+  ro.optimizer = pm.optimizer;
+  const auto metrics = rt.Execute(graph, ro);
+  if (!metrics.ok()) {
+    std::cerr << "execution failed: " << metrics.status() << "\n";
+    return 1;
+  }
+  const auto& mm = metrics.value();
+  std::cout << "  iteration " << FormatTime(mm.iteration_time) << " ("
+            << Table::Cell(mm.Throughput(minibatch)) << " samples/s), swap "
+            << FormatBytes(mm.total_swap()) << ", estimator error "
+            << Table::Cell(100.0 * (r.best_estimate.iteration_time -
+                                    mm.iteration_time) /
+                               mm.iteration_time,
+                           1)
+            << "%\n";
+  return 0;
+}

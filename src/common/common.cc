@@ -1,0 +1,293 @@
+#include "common/logging.h"
+#include "common/regression.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/table.h"
+#include "common/units.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <numeric>
+#include <sstream>
+
+namespace harmony {
+
+// ---------------------------------------------------------------------------
+// units
+// ---------------------------------------------------------------------------
+
+std::string FormatBytes(Bytes bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (std::llabs(bytes) >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", b / static_cast<double>(kGiB));
+  } else if (std::llabs(bytes) >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", b / static_cast<double>(kMiB));
+  } else if (std::llabs(bytes) >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB", b / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(bytes));
+  }
+  return buf;
+}
+
+std::string FormatTime(TimeSec seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// logging
+// ---------------------------------------------------------------------------
+
+namespace internal_logging {
+namespace {
+Severity g_min_severity = Severity::kWarning;
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "INFO";
+    case Severity::kWarning: return "WARNING";
+    case Severity::kError: return "ERROR";
+    case Severity::kFatal: return "FATAL";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetMinLogSeverity(Severity severity) { g_min_severity = severity; }
+Severity MinLogSeverity() { return g_min_severity; }
+
+LogMessage::LogMessage(Severity severity, const char* file, int line)
+    : severity_(severity) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << SeverityName(severity) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= g_min_severity || severity_ == Severity::kFatal) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (severity_ == Severity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+
+// ---------------------------------------------------------------------------
+// status
+// ---------------------------------------------------------------------------
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kOutOfMemory: return "OUT_OF_MEMORY";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// rng
+// ---------------------------------------------------------------------------
+
+namespace {
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  HARMONY_CHECK_GT(bound, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  HARMONY_CHECK_LE(lo, hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(span == 0 ? NextU64() : NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+Rng Rng::Split(uint64_t tag) {
+  return Rng(NextU64() ^ (tag * 0x9e3779b97f4a7c15ULL));
+}
+
+// ---------------------------------------------------------------------------
+// regression
+// ---------------------------------------------------------------------------
+
+LinearRegression LinearRegression::Fit(const std::vector<double>& x,
+                                       const std::vector<double>& y) {
+  HARMONY_CHECK_EQ(x.size(), y.size());
+  HARMONY_CHECK(!x.empty());
+  LinearRegression fit;
+  const double n = static_cast<double>(x.size());
+  const double mean_x = std::accumulate(x.begin(), x.end(), 0.0) / n;
+  const double mean_y = std::accumulate(y.begin(), y.end(), 0.0) / n;
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) {
+    fit.slope_ = 0.0;
+    fit.intercept_ = mean_y;
+    fit.r_squared_ = 1.0;
+    return fit;
+  }
+  fit.slope_ = sxy / sxx;
+  fit.intercept_ = mean_y - fit.slope_ * mean_x;
+  if (syy <= 0.0) {
+    fit.r_squared_ = 1.0;
+  } else {
+    double ss_res = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      const double e = y[i] - (fit.intercept_ + fit.slope_ * x[i]);
+      ss_res += e * e;
+    }
+    fit.r_squared_ = 1.0 - ss_res / syy;
+  }
+  return fit;
+}
+
+double LinearRegression::Predict(double x) const {
+  return std::max(0.0, intercept_ + slope_ * x);
+}
+
+// ---------------------------------------------------------------------------
+// table
+// ---------------------------------------------------------------------------
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  HARMONY_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::Cell(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::Cell(int64_t v) { return std::to_string(v); }
+
+void Table::PrintAscii(std::ostream* os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      *os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(widths[c]))
+          << std::left << row[c];
+    }
+    *os << " |\n";
+  };
+  print_row(header_);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    *os << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  *os << "-|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::PrintCsv(std::ostream* os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) *os << ",";
+      *os << row[c];
+    }
+    *os << "\n";
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace harmony

@@ -1,0 +1,66 @@
+#ifndef HARMONY_COMMON_LOGGING_H_
+#define HARMONY_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace harmony {
+namespace internal_logging {
+
+enum class Severity { kInfo, kWarning, kError, kFatal };
+
+/// Stream-style log sink. Fatal messages abort the process on destruction.
+/// Used through the HARMONY_LOG / HARMONY_CHECK macros below; not part of the
+/// public API surface.
+class LogMessage {
+ public:
+  LogMessage(Severity severity, const char* file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Severity severity_;
+  std::ostringstream stream_;
+};
+
+/// Controls the minimum severity printed to stderr (default: kWarning, so tests
+/// and benches stay quiet). Fatal always prints and aborts.
+void SetMinLogSeverity(Severity severity);
+Severity MinLogSeverity();
+
+}  // namespace internal_logging
+}  // namespace harmony
+
+#define HARMONY_LOG(severity)                                               \
+  ::harmony::internal_logging::LogMessage(                                  \
+      ::harmony::internal_logging::Severity::k##severity, __FILE__, __LINE__)
+
+/// CHECK-style invariant assertion: always on, aborts with a message on failure.
+/// Use for programmer errors / broken invariants (this codebase does not use
+/// exceptions); recoverable conditions use Status instead.
+#define HARMONY_CHECK(condition)                                   \
+  if (!(condition))                                                \
+  HARMONY_LOG(Fatal) << "Check failed: " #condition " "
+
+#define HARMONY_CHECK_OP(lhs, op, rhs)                                      \
+  if (!((lhs)op(rhs)))                                                      \
+  HARMONY_LOG(Fatal) << "Check failed: " #lhs " " #op " " #rhs " (" << (lhs) \
+                     << " vs " << (rhs) << ") "
+
+#define HARMONY_CHECK_EQ(lhs, rhs) HARMONY_CHECK_OP(lhs, ==, rhs)
+#define HARMONY_CHECK_NE(lhs, rhs) HARMONY_CHECK_OP(lhs, !=, rhs)
+#define HARMONY_CHECK_LT(lhs, rhs) HARMONY_CHECK_OP(lhs, <, rhs)
+#define HARMONY_CHECK_LE(lhs, rhs) HARMONY_CHECK_OP(lhs, <=, rhs)
+#define HARMONY_CHECK_GT(lhs, rhs) HARMONY_CHECK_OP(lhs, >, rhs)
+#define HARMONY_CHECK_GE(lhs, rhs) HARMONY_CHECK_OP(lhs, >=, rhs)
+
+#endif  // HARMONY_COMMON_LOGGING_H_

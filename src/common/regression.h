@@ -1,0 +1,42 @@
+#ifndef HARMONY_COMMON_REGRESSION_H_
+#define HARMONY_COMMON_REGRESSION_H_
+
+#include <vector>
+
+namespace harmony {
+
+/// Ordinary-least-squares fit of y = intercept + slope * x.
+///
+/// The Harmony Profiler (paper Sec 4.2) samples each layer at a handful of
+/// microbatch sizes and interpolates the rest with "a simple regression
+/// model"; this is that model. Extrapolation clamps predictions at >= 0 since
+/// times/bytes are non-negative.
+class LinearRegression {
+ public:
+  LinearRegression() = default;
+
+  /// Fits from paired samples. Requires at least one point; with a single
+  /// point the fit is the constant y0. Duplicate x values are handled (falls
+  /// back to mean when x has zero variance).
+  static LinearRegression Fit(const std::vector<double>& x,
+                              const std::vector<double>& y);
+
+  double Predict(double x) const;
+
+  double slope() const { return slope_; }
+  double intercept() const { return intercept_; }
+
+  /// Coefficient of determination of the fit on its training points
+  /// (1.0 = perfect). Used by tests to validate the paper's claim that the
+  /// interpolation is "strikingly accurate" on near-linear layer costs.
+  double r_squared() const { return r_squared_; }
+
+ private:
+  double slope_ = 0.0;
+  double intercept_ = 0.0;
+  double r_squared_ = 1.0;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_COMMON_REGRESSION_H_

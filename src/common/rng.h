@@ -1,0 +1,43 @@
+#ifndef HARMONY_COMMON_RNG_H_
+#define HARMONY_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace harmony {
+
+/// Deterministic, splittable PRNG (xoshiro256** core with SplitMix64 seeding).
+/// Every stochastic component in the repo (workload generation, tensor init,
+/// property-test case generation) draws from an explicitly seeded Rng so runs
+/// are bit-reproducible — a prerequisite for the Fig 12/19 correctness match.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform over [0, 2^64).
+  uint64_t NextU64();
+
+  /// Uniform over [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform int in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform float in [0, 1).
+  double NextDouble();
+
+  /// Standard normal via Box-Muller (deterministic pairing).
+  double NextGaussian();
+
+  /// Derives an independent child stream; children with distinct tags are
+  /// statistically independent of the parent and of each other.
+  Rng Split(uint64_t tag);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_COMMON_RNG_H_

@@ -1,0 +1,102 @@
+#ifndef HARMONY_COMMON_STATUS_H_
+#define HARMONY_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace harmony {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfMemory,      // e.g. a model whose working set exceeds host memory (Fig 15)
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Error-or-success result for recoverable conditions (no exceptions in this
+/// codebase, per the Google style guide). Cheap to copy on the OK path.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Value-or-error. `value()` CHECK-fails on an error status, so call sites that
+/// have already validated inputs stay terse; defensive callers test `ok()` first.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}            // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {      // NOLINT(runtime/explicit)
+    HARMONY_CHECK(!std::get<Status>(data_).ok()) << "Result given OK status but no value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    HARMONY_CHECK(ok()) << status().ToString();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    HARMONY_CHECK(ok()) << status().ToString();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    HARMONY_CHECK(ok()) << status().ToString();
+    return std::get<T>(std::move(data_));
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace harmony
+
+#define HARMONY_RETURN_IF_ERROR(expr)          \
+  do {                                         \
+    ::harmony::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#endif  // HARMONY_COMMON_STATUS_H_

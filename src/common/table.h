@@ -1,0 +1,38 @@
+#ifndef HARMONY_COMMON_TABLE_H_
+#define HARMONY_COMMON_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace harmony {
+
+/// Accumulates rows of strings and renders them as an aligned ASCII table or
+/// as CSV. Every bench binary prints its figure/table through this so the
+/// output mirrors the paper's rows/series and is machine-parseable.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats each cell with the right printf-style rendering.
+  static std::string Cell(double v, int precision = 2);
+  static std::string Cell(int64_t v);
+  static std::string Cell(int v) { return Cell(static_cast<int64_t>(v)); }
+
+  void PrintAscii(std::ostream* os) const;
+  void PrintCsv(std::ostream* os) const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_COMMON_TABLE_H_

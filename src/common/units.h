@@ -1,0 +1,40 @@
+#ifndef HARMONY_COMMON_UNITS_H_
+#define HARMONY_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace harmony {
+
+/// Simulated wall-clock time, in seconds.
+using TimeSec = double;
+
+/// Byte counts. Signed per style guide; large models reach tens of GB so 64-bit.
+using Bytes = int64_t;
+
+/// Floating point operation counts (can exceed 2^63 for full iterations).
+using Flops = double;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+/// Convenience constructors so call sites read like the paper ("11 GB", "16 GB/s").
+constexpr Bytes GiB(double n) { return static_cast<Bytes>(n * static_cast<double>(kGiB)); }
+constexpr Bytes MiB(double n) { return static_cast<Bytes>(n * static_cast<double>(kMiB)); }
+constexpr Bytes KiB(double n) { return static_cast<Bytes>(n * static_cast<double>(kKiB)); }
+
+/// Bandwidths are expressed in bytes per simulated second.
+using BytesPerSec = double;
+
+constexpr BytesPerSec GiBps(double n) { return n * static_cast<double>(kGiB); }
+
+/// Formats a byte count with a human-readable suffix, e.g. "11.0 GiB".
+std::string FormatBytes(Bytes bytes);
+
+/// Formats seconds adaptively (us/ms/s), e.g. "12.3 ms".
+std::string FormatTime(TimeSec seconds);
+
+}  // namespace harmony
+
+#endif  // HARMONY_COMMON_UNITS_H_

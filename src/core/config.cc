@@ -1,0 +1,31 @@
+#include "core/config.h"
+
+#include <sstream>
+
+namespace harmony::core {
+
+const char* HarmonyModeName(HarmonyMode mode) {
+  switch (mode) {
+    case HarmonyMode::kDataParallel: return "Harmony DP";
+    case HarmonyMode::kPipelineParallel: return "Harmony PP";
+  }
+  return "?";
+}
+
+std::string PackListToString(const PackList& packs) {
+  std::ostringstream os;
+  for (size_t i = 0; i < packs.size(); ++i) {
+    if (i) os << ", ";
+    os << "L" << packs[i].lo << "-" << packs[i].hi;
+  }
+  return os.str();
+}
+
+std::string Configuration::ToString() const {
+  std::ostringstream os;
+  os << "(U_F=" << u_fwd << ", |P_F|=" << fwd_packs.size() << ", U_B=" << u_bwd
+     << ", |P_B|=" << bwd_packs.size() << ")";
+  return os.str();
+}
+
+}  // namespace harmony::core

@@ -1,0 +1,232 @@
+#include "core/estimator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace harmony::core {
+namespace {
+
+struct Unit {
+  int task = -1;
+  int piece = -1;          // -1 for update tasks (no group)
+  TimeSec start = -1.0;    // -1 = not yet scheduled
+  TimeSec end = -1.0;
+};
+
+}  // namespace
+
+RuntimeEstimator::RuntimeEstimator(const profile::ProfileDb& profiles,
+                                   const hw::MachineSpec& machine)
+    : profiles_(profiles), machine_(machine) {}
+
+Estimate RuntimeEstimator::EstimateIteration(const TaskGraph& graph) const {
+  const DepResolver deps(graph);
+  const int N = graph.num_devices;
+  // Effective per-GPU swap bandwidth: the host link is shared by all GPUs
+  // (the estimator's static approximation of contention).
+  const double swap_bw =
+      std::min(machine_.pcie_bw, machine_.host_mem_bw / std::max(1, N));
+  const double p2p_bw = machine_.pcie_bw;
+
+  Bytes swap_bytes = 0, p2p_bytes = 0;
+
+  auto pack_params = [&](const Pack& p) {
+    return profiles_.PackParamBytes(p.lo, p.hi);
+  };
+  auto boundary_in_bytes = [&](int b) -> Bytes {
+    if (b <= 0 || b >= graph.num_layers) return 0;
+    return profiles_.layer(b).input_bytes_per_sample;
+  };
+
+  // Build sequential unit lists: per GPU compute lane + per process CPU lane.
+  std::vector<std::vector<Unit>> lanes(2 * N);
+  // (task, piece) -> (lane, unit index) for dependency lookups.
+  std::vector<std::vector<std::pair<int, int>>> locate(graph.num_tasks());
+  for (int d = 0; d < N; ++d) {
+    for (int id : graph.device_order[d]) {
+      const Task& t = graph.task(id);
+      if (t.type == TaskType::kUpdate) {
+        locate[id].assign(1, {d, static_cast<int>(lanes[d].size())});
+        lanes[d].push_back(Unit{id, -1, -1.0, -1.0});
+        continue;
+      }
+      locate[id].resize(t.group.size());
+      for (int k = 0; k < static_cast<int>(t.group.size()); ++k) {
+        locate[id][k] = {d, static_cast<int>(lanes[d].size())};
+        lanes[d].push_back(Unit{id, k, -1.0, -1.0});
+      }
+    }
+    if (static_cast<size_t>(d) < graph.cpu_order.size()) {
+      for (int id : graph.cpu_order[d]) {
+        locate[id].assign(1, {N + d, static_cast<int>(lanes[N + d].size())});
+        lanes[N + d].push_back(Unit{id, -1, -1.0, -1.0});
+      }
+    }
+  }
+
+  auto unit_end = [&](int task, int piece) -> TimeSec {
+    const auto& locs = locate[task];
+    HARMONY_CHECK(!locs.empty());
+    const int idx = piece >= 0 && piece < static_cast<int>(locs.size()) ? piece : 0;
+    const auto& [lane, pos] = locs[idx];
+    return lanes[lane][pos].end;
+  };
+
+  // Fixpoint sweep: advance each lane's next unscheduled unit when its
+  // dependencies have end times. Valid schedules have no cyclic waits.
+  std::vector<int> cursor(2 * N, 0);
+  int64_t scheduled = 0, total_units = 0;
+  for (const auto& lane : lanes) total_units += static_cast<int64_t>(lane.size());
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int lane_id = 0; lane_id < 2 * N; ++lane_id) {
+      auto& lane = lanes[lane_id];
+      while (cursor[lane_id] < static_cast<int>(lane.size())) {
+        Unit& u = lane[cursor[lane_id]];
+        const Task& t = graph.task(u.task);
+        const TimeSec lane_free =
+            cursor[lane_id] == 0 ? 0.0 : lane[cursor[lane_id] - 1].end;
+
+        TimeSec ready = lane_free;
+        TimeSec duration = 0.0;
+        bool deps_known = true;
+
+        if (t.type == TaskType::kUpdate) {
+          const Bytes params = pack_params(t.pack);
+          const auto producers = deps.BackwardTasksForPack(t.pack, t.replica);
+          const int nrep = static_cast<int>(producers.size());
+          TimeSec grads_ready = 0.0;
+          for (int pid : producers) {
+            const Task& p = graph.task(pid);
+            const TimeSec done =
+                unit_end(pid, static_cast<int>(p.group.size()) - 1);
+            if (done < 0) { deps_known = false; break; }
+            grads_ready = std::max(grads_ready, done);
+          }
+          if (deps_known && !graph.flags.jit_update) {
+            // Rigid scheduling: updates wait for the entire backward pass.
+            for (int r = 0; r < graph.num_replicas && deps_known; ++r) {
+              if (t.replica >= 0 && r != t.replica) continue;
+              for (int pid : deps.AllBackwardTasks(r)) {
+                const Task& p = graph.task(pid);
+                const TimeSec done =
+                    unit_end(pid, static_cast<int>(p.group.size()) - 1);
+                if (done < 0) { deps_known = false; break; }
+                grads_ready = std::max(grads_ready, done);
+              }
+            }
+          }
+          if (!deps_known) break;
+          if (t.on_cpu) {
+            // Gradient swap-out from each producing GPU, then CPU reduce +
+            // Adam update on host-resident master state.
+            grads_ready += static_cast<double>(params) / swap_bw;
+            swap_bytes += params * nrep;
+            duration = static_cast<double>(params) * (2.0 + nrep) /
+                       machine_.cpu_update_bw;
+          } else {
+            // On-GPU update: W in+out, optimizer state in+out, compute.
+            const Bytes traffic = 2 * params + 4 * params;
+            swap_bytes += traffic + (graph.grad_reduce_via_host ? 2 * params : 0);
+            TimeSec compute = 0;
+            for (int l = t.pack.lo; l <= t.pack.hi; ++l) {
+              compute += profiles_.layer(l).gpu_update_time;
+            }
+            duration = static_cast<double>(traffic) / swap_bw + compute;
+          }
+          ready = std::max(ready, grads_ready);
+        } else {
+          const MbPiece piece = t.group[u.piece];
+          const int usize = piece.size;
+          if (t.type == TaskType::kForward) {
+            duration = profiles_.PackFwdTime(t.pack.lo, t.pack.hi, usize);
+          } else {
+            duration = profiles_.PackBwdTime(t.pack.lo, t.pack.hi, usize);
+            if (t.recompute || t.fused_forward) {
+              duration += profiles_.PackFwdTime(t.pack.lo, t.pack.hi, usize);
+            }
+          }
+
+          // Streaming input: activations (forward / fused) or boundary
+          // gradient (backward).
+          const bool wants_act = t.type == TaskType::kForward || t.fused_forward;
+          const int in_boundary = wants_act ? t.pack.lo : t.pack.hi + 1;
+          const auto producers =
+              wants_act ? deps.ActivationProducers(in_boundary, piece, t.replica)
+                        : deps.GradientProducers(in_boundary, piece, t.replica);
+          for (const auto& [pid, pk] : producers) {
+            const TimeSec done = unit_end(pid, pk);
+            if (done < 0) { deps_known = false; break; }
+            const Task& p = graph.task(pid);
+            const Bytes bytes =
+                static_cast<Bytes>(usize) * boundary_in_bytes(in_boundary);
+            TimeSec xfer = 0.0;
+            if (p.device != t.device && bytes > 0) {
+              if (graph.flags.p2p_transfers) {
+                xfer = static_cast<double>(bytes) / p2p_bw;
+                p2p_bytes += bytes;
+              } else {
+                xfer = 2.0 * static_cast<double>(bytes) / swap_bw;
+                swap_bytes += 2 * bytes;
+              }
+            }
+            ready = std::max(ready, done + xfer);
+          }
+          if (!deps_known) break;
+
+          // Checkpoint read for backward tasks (message passing via host).
+          if (t.type == TaskType::kBackward && t.reads_checkpoint) {
+            const Bytes ck =
+                static_cast<Bytes>(usize) * boundary_in_bytes(t.pack.lo);
+            duration += static_cast<double>(ck) / swap_bw;
+            swap_bytes += ck;
+          }
+          // Checkpoint writes (forward): overlapped on the swap-out stream;
+          // count volume only.
+          for (int b : t.checkpoint_boundaries) {
+            swap_bytes += static_cast<Bytes>(usize) * boundary_in_bytes(b);
+          }
+
+          // Weight fetch at the first piece of a task; prefetch overlaps it
+          // with the previous task on the device.
+          if (u.piece == 0) {
+            const Bytes params = pack_params(t.pack);
+            const TimeSec fetch = static_cast<double>(params) / swap_bw;
+            swap_bytes += params;
+            if (graph.flags.prefetch && cursor[lane_id] > 0) {
+              const Unit& prev = lane[cursor[lane_id] - 1];
+              const TimeSec prev_span = prev.end - prev.start;
+              ready = std::max(ready, lane_free + std::max(0.0, fetch - prev_span));
+            } else {
+              ready = std::max(ready, lane_free + fetch);
+            }
+          }
+        }
+
+        u.start = ready;
+        u.end = ready + duration;
+        ++cursor[lane_id];
+        ++scheduled;
+        progress = true;
+      }
+    }
+  }
+  HARMONY_CHECK_EQ(scheduled, total_units)
+      << "estimator deadlock: schedule has cyclic waits in graph '"
+      << graph.name << "'";
+
+  Estimate e;
+  for (const auto& lane : lanes) {
+    for (const Unit& u : lane) {
+      e.iteration_time = std::max(e.iteration_time, u.end);
+    }
+  }
+  e.swap_bytes = swap_bytes;
+  e.p2p_bytes = p2p_bytes;
+  return e;
+}
+
+}  // namespace harmony::core

@@ -1,0 +1,44 @@
+#ifndef HARMONY_CORE_ESTIMATOR_H_
+#define HARMONY_CORE_ESTIMATOR_H_
+
+#include "core/task_graph.h"
+#include "hw/machine.h"
+#include "profile/profiler.h"
+
+namespace harmony::core {
+
+/// Result of estimating one training iteration.
+struct Estimate {
+  TimeSec iteration_time = 0;
+  /// Aggregate CPU<->GPU traffic the estimate assumed (diagnostics).
+  Bytes swap_bytes = 0;
+  /// Aggregate GPU<->GPU traffic assumed.
+  Bytes p2p_bytes = 0;
+};
+
+/// The Scheduler's Runtime Estimator (Algorithm 1 line 11): an event-driven
+/// simulation of a single iteration over the profiled per-layer costs,
+/// capturing compute, swap and transfer times and their overlap — but *not*
+/// the full runtime machinery (memory-manager eviction, time-varying link
+/// contention), which is what Fig 14 compares it against.
+///
+/// Works at (task, microbatch piece) granularity: each device executes its
+/// order list sequentially; a piece starts when the device is free, its
+/// producers' pieces have arrived (plus transfer time), and the task's
+/// weights are fetched (overlapped with the previous task when prefetch is
+/// on).
+class RuntimeEstimator {
+ public:
+  RuntimeEstimator(const profile::ProfileDb& profiles,
+                   const hw::MachineSpec& machine);
+
+  Estimate EstimateIteration(const TaskGraph& graph) const;
+
+ private:
+  const profile::ProfileDb& profiles_;
+  hw::MachineSpec machine_;
+};
+
+}  // namespace harmony::core
+
+#endif  // HARMONY_CORE_ESTIMATOR_H_

@@ -1,0 +1,153 @@
+#include "core/packing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace harmony::core {
+namespace {
+
+/// Additive (per-layer summable) memory contribution used only to derive
+/// S_min, the smallest pack count worth trying; the actual feasibility check
+/// below uses the precise pack-level model.
+Bytes AdditiveLayerBytes(PassType pass, int layer, int u,
+                         const profile::ProfileDb& profiles) {
+  const profile::LayerProfile& p = profiles.layer(layer);
+  if (pass == PassType::kForward) {
+    return p.param_bytes;
+  }
+  return 2 * p.param_bytes + static_cast<Bytes>(u) * p.stash_bytes_per_sample;
+}
+
+}  // namespace
+
+Bytes PackTaskBytes(PassType pass, const Pack& p, int u,
+                    const profile::ProfileDb& profiles) {
+  return pass == PassType::kForward ? profiles.FwdTaskBytes(p.lo, p.hi, u)
+                                    : profiles.BwdTaskBytes(p.lo, p.hi, u);
+}
+
+TimeSec PackTaskTime(PassType pass, const Pack& p, int u,
+                     const profile::ProfileDb& profiles) {
+  if (pass == PassType::kForward) {
+    return profiles.PackFwdTime(p.lo, p.hi, u);
+  }
+  // Backward tasks first rematerialize the pack interior from the checkpoint
+  // (Harmony always recomputes, Sec 4.3.1), then run the backward compute.
+  // The fused jit-compute task has the same cost: its forward is real rather
+  // than re-computed.
+  return profiles.PackFwdTime(p.lo, p.hi, u) + profiles.PackBwdTime(p.lo, p.hi, u);
+}
+
+Result<PackList> BalancedTimePacking(PassType pass, int microbatch_size,
+                                     int num_layers,
+                                     const profile::ProfileDb& profiles,
+                                     const PackingOptions& options) {
+  HARMONY_CHECK_GE(microbatch_size, 1);
+  HARMONY_CHECK_GE(num_layers, 1);
+  HARMONY_CHECK_LE(num_layers, profiles.num_layers());
+  HARMONY_CHECK_GT(options.capacity, 0);
+  const int R = num_layers;
+  const int u = microbatch_size;
+
+  // Quick infeasibility check: every single-layer pack must fit.
+  for (int l = 0; l < R; ++l) {
+    if (PackTaskBytes(pass, Pack{l, l}, u, profiles) > options.capacity) {
+      return Status::InvalidArgument(
+          "layer " + std::to_string(l) + " alone exceeds GPU capacity at u=" +
+          std::to_string(u));
+    }
+  }
+
+  // Per-layer times and prefix sums.
+  std::vector<double> t(R);
+  for (int l = 0; l < R; ++l) {
+    t[l] = PackTaskTime(pass, Pack{l, l}, u, profiles);
+  }
+  std::vector<double> prefix(R + 1, 0.0);
+  for (int l = 0; l < R; ++l) prefix[l + 1] = prefix[l] + t[l];
+  const double total_time = prefix[R];
+
+  Bytes additive_sum = 0;
+  for (int l = 0; l < R; ++l) {
+    additive_sum += AdditiveLayerBytes(pass, l, u, profiles);
+  }
+  int s_min = static_cast<int>(
+      std::ceil(static_cast<double>(additive_sum) /
+                static_cast<double>(options.capacity)));
+  s_min = std::max(s_min, options.min_packs);
+  s_min = std::max(1, std::min(s_min, R));
+
+  for (int S = s_min; S <= R; ++S) {
+    // Target cumulative times c' = [c, 2c, ..., (S-1)c] and split the prefix
+    // sums at their insertion points (Algorithm 2 lines 7-11).
+    const double c = total_time / S;
+    std::vector<int> boundaries;  // exclusive end index of each pack but last
+    boundaries.reserve(S - 1);
+    int prev = 0;
+    bool degenerate = false;
+    for (int k = 1; k < S; ++k) {
+      const double target = c * k;
+      int idx = static_cast<int>(
+          std::lower_bound(prefix.begin(), prefix.end(), target) -
+          prefix.begin());
+      // Round to the nearer boundary of the two straddling the target.
+      if (idx > 0 && idx <= R &&
+          std::abs(prefix[idx - 1] - target) < std::abs(prefix[idx] - target)) {
+        --idx;
+      }
+      // Keep packs non-empty: strictly after the previous boundary, and leave
+      // room for the remaining S-k packs.
+      idx = std::max(idx, prev + 1);
+      idx = std::min(idx, R - (S - k));
+      if (idx <= prev || idx >= R) {
+        degenerate = true;
+        break;
+      }
+      boundaries.push_back(idx);
+      prev = idx;
+    }
+    if (degenerate) continue;
+
+    PackList packs;
+    packs.reserve(S);
+    int lo = 0;
+    for (int b : boundaries) {
+      packs.push_back(Pack{lo, b - 1});
+      lo = b;
+    }
+    packs.push_back(Pack{lo, R - 1});
+
+    bool fits = true;
+    for (const Pack& p : packs) {
+      if (PackTaskBytes(pass, p, u, profiles) > options.capacity) {
+        fits = false;
+        break;
+      }
+    }
+    if (fits) return packs;  // balanced times with the largest pack sizes
+  }
+  return Status::InvalidArgument("no feasible packing found (capacity too small)");
+}
+
+Result<PackList> BackwardPacks(int u_bwd, const profile::ProfileDb& profiles,
+                               const PackingOptions& options) {
+  return BalancedTimePacking(PassType::kBackward, u_bwd, profiles.num_layers(),
+                             profiles, options);
+}
+
+Result<PackList> ForwardPacks(int u_fwd, const PackList& bwd_packs,
+                              const profile::ProfileDb& profiles,
+                              const PackingOptions& options) {
+  HARMONY_CHECK(!bwd_packs.empty());
+  // jit-compute: the last backward pack's forward runs inside the backward
+  // task, so forward packs only cover the preceding layers (Alg 2 line 2).
+  const int fwd_layers = bwd_packs.back().lo;
+  if (fwd_layers == 0) return PackList{};  // single fused pack covers everything
+  return BalancedTimePacking(PassType::kForward, u_fwd, fwd_layers, profiles,
+                             options);
+}
+
+}  // namespace harmony::core

@@ -1,0 +1,65 @@
+#ifndef HARMONY_CORE_PACKING_H_
+#define HARMONY_CORE_PACKING_H_
+
+#include "common/status.h"
+#include "core/config.h"
+#include "profile/profiler.h"
+
+namespace harmony::core {
+
+/// Which pass a pack list is being computed for.
+enum class PassType { kForward, kBackward };
+
+struct PackingOptions {
+  /// Memory budget per pack (GPU capacity alpha in Algorithm 2). Tasks also
+  /// need headroom for double-buffered prefetch; callers pass the usable
+  /// budget directly.
+  Bytes capacity = 0;
+  /// Lower bound on the number of packs. Algorithm 2 alone maximizes pack
+  /// size subject to memory, but in pipeline mode coarser packs than the GPU
+  /// count starve the wrap-around pipeline (Fig 7); the Configuration Search
+  /// sweeps this knob and lets the Runtime Estimator arbitrate.
+  int min_packs = 1;
+};
+
+/// Algorithm 2: Balanced Time Packing.
+///
+/// Splits layers [0, R) into contiguous packs such that per-pack times are
+/// close to equal while the number of packs is minimized (largest average
+/// pack size), subject to each pack's task memory fitting `capacity`.
+///
+/// For the backward pass, pass `num_layers` = R and PassType::kBackward; the
+/// pack memory model includes the gradient buffer and the rematerialized
+/// stash. For the forward pass (PassType::kForward) the caller passes the
+/// number of layers *excluding* the last backward pack (jit-compute,
+/// Algorithm 2 line 2); use ForwardPacks() below for the full recipe.
+///
+/// Returns InvalidArgument when even single-layer packs exceed capacity.
+Result<PackList> BalancedTimePacking(PassType pass, int microbatch_size,
+                                     int num_layers,
+                                     const profile::ProfileDb& profiles,
+                                     const PackingOptions& options);
+
+/// Algorithm 1 lines 6-9 helper: backward packs over all R layers.
+Result<PackList> BackwardPacks(int u_bwd, const profile::ProfileDb& profiles,
+                               const PackingOptions& options);
+
+/// Forward packs given the backward packs: covers layers
+/// [0, R - |last bwd pack|) so the last pack's forward is fused with its
+/// backward task (jit-compute).
+Result<PackList> ForwardPacks(int u_fwd, const PackList& bwd_packs,
+                              const profile::ProfileDb& profiles,
+                              const PackingOptions& options);
+
+/// Memory footprint of the task executing pack `p` for the given pass at
+/// microbatch `u` (used for the capacity check and exposed for tests).
+Bytes PackTaskBytes(PassType pass, const Pack& p, int u,
+                    const profile::ProfileDb& profiles);
+
+/// Sum of per-layer compute times for the pack at microbatch `u`.
+TimeSec PackTaskTime(PassType pass, const Pack& p, int u,
+                     const profile::ProfileDb& profiles);
+
+}  // namespace harmony::core
+
+#endif  // HARMONY_CORE_PACKING_H_

@@ -1,0 +1,31 @@
+#include "core/scheduler.h"
+
+namespace harmony::core {
+
+Scheduler::Scheduler(hw::MachineSpec machine) : machine_(std::move(machine)) {}
+
+Result<ScheduleOutcome> Scheduler::Schedule(const model::SequentialModel& model,
+                                            HarmonyMode mode, int minibatch,
+                                            const OptimizationFlags& flags,
+                                            const SearchOptions& search) const {
+  const profile::Profiler profiler(machine_.gpu, profile::ProfilerOptions{});
+  profile::ProfileDb profiles = profiler.Profile(model);
+  Result<SearchResult> found =
+      SearchConfiguration(profiles, machine_, mode, minibatch, flags, search);
+  if (!found.ok()) return found.status();
+  TaskGraph graph = GenerateHarmonyTaskGraph(found.value().best, mode,
+                                             machine_.num_gpus, minibatch, flags,
+                                             profiles);
+  return ScheduleOutcome{std::move(profiles), std::move(found).value(),
+                         std::move(graph)};
+}
+
+TaskGraph Scheduler::BuildGraph(const profile::ProfileDb& profiles,
+                                const Configuration& config, HarmonyMode mode,
+                                int minibatch,
+                                const OptimizationFlags& flags) const {
+  return GenerateHarmonyTaskGraph(config, mode, machine_.num_gpus, minibatch,
+                                  flags, profiles);
+}
+
+}  // namespace harmony::core

@@ -1,0 +1,49 @@
+#ifndef HARMONY_CORE_SCHEDULER_H_
+#define HARMONY_CORE_SCHEDULER_H_
+
+#include "common/status.h"
+#include "core/search.h"
+#include "core/task_graph.h"
+#include "hw/machine.h"
+#include "model/layer.h"
+#include "profile/profiler.h"
+
+namespace harmony::core {
+
+/// Everything the Scheduler produced for a model + deployment: the profile
+/// database, the search result, and the final task graph the Runtime
+/// executes (Fig 3's Profiler -> Scheduler -> Runtime flow).
+struct ScheduleOutcome {
+  profile::ProfileDb profiles;
+  SearchResult search;
+  TaskGraph graph;
+};
+
+/// End-to-end Harmony Scheduler facade: profiles the model on one deployment
+/// GPU, searches the configuration space (Algorithm 1), and emits the final
+/// task graph for the chosen configuration.
+class Scheduler {
+ public:
+  explicit Scheduler(hw::MachineSpec machine);
+
+  /// Profiles and schedules `model` for `mode` at the given minibatch size.
+  Result<ScheduleOutcome> Schedule(const model::SequentialModel& model,
+                                   HarmonyMode mode, int minibatch,
+                                   const OptimizationFlags& flags = {},
+                                   const SearchOptions& search = {}) const;
+
+  /// Builds a task graph for an explicitly chosen configuration (used by the
+  /// "expert-picked config" ablation and by tests).
+  TaskGraph BuildGraph(const profile::ProfileDb& profiles,
+                       const Configuration& config, HarmonyMode mode,
+                       int minibatch, const OptimizationFlags& flags = {}) const;
+
+  const hw::MachineSpec& machine() const { return machine_; }
+
+ private:
+  hw::MachineSpec machine_;
+};
+
+}  // namespace harmony::core
+
+#endif  // HARMONY_CORE_SCHEDULER_H_

@@ -1,0 +1,118 @@
+#include "core/search.h"
+
+#include <chrono>
+#include <map>
+#include <tuple>
+
+#include "common/logging.h"
+#include "core/packing.h"
+
+namespace harmony::core {
+
+Result<SearchResult> SearchConfiguration(const profile::ProfileDb& profiles,
+                                         const hw::MachineSpec& machine,
+                                         HarmonyMode mode, int minibatch,
+                                         const OptimizationFlags& flags,
+                                         const SearchOptions& options) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  HARMONY_CHECK_GE(minibatch, 1);
+
+  // Effective maximal microbatch sizes (Algorithm 1 lines 1-3).
+  int d = minibatch;
+  if (mode == HarmonyMode::kDataParallel) {
+    d = std::max(1, minibatch / machine.num_gpus);
+  }
+  const int u_fwd_max = std::min(options.u_fwd_max, d);
+  const int u_bwd_max = std::min(options.u_bwd_max, d);
+
+  PackingOptions packing;
+  packing.capacity = static_cast<Bytes>(
+      static_cast<double>(machine.gpu.usable_memory()) * options.capacity_fraction);
+
+  const RuntimeEstimator estimator(profiles, machine);
+  const int n = machine.num_gpus;
+
+  // Pack-count floors explored per pass. Memory alone often permits very
+  // coarse packs, but the wrap-around pipeline needs enough tasks to balance
+  // GPUs (Fig 7); the estimator arbitrates.
+  std::vector<int> fwd_floors = {1};
+  std::vector<int> bwd_floors = {1};
+  if (mode == HarmonyMode::kPipelineParallel && n > 1) {
+    fwd_floors = {1, n, 2 * n, 4 * n};
+    bwd_floors = {1, n};
+  }
+
+  SearchResult result;
+  double best_time = -1.0;
+  // Forward packs depend only on (U_F, floor, #forward layers).
+  std::map<std::tuple<int, int, int>, Result<PackList>> fwd_cache;
+
+  for (int u_bwd = 1; u_bwd <= u_bwd_max; ++u_bwd) {
+    for (int bwd_floor : bwd_floors) {
+      PackingOptions bwd_packing = packing;
+      bwd_packing.min_packs = bwd_floor;
+      Result<PackList> bwd = BackwardPacks(u_bwd, profiles, bwd_packing);
+      if (!bwd.ok()) continue;  // this U_B cannot fit even single-layer packs
+      if (bwd_floor > 1 &&
+          static_cast<int>(bwd.value().size()) <= bwd_floor / 2) {
+        continue;  // floor had no effect; same packs as a smaller floor
+      }
+
+      const int fwd_layers = bwd.value().back().lo;
+      for (int u_fwd = 1; u_fwd <= u_fwd_max; ++u_fwd) {
+        for (int fwd_floor : fwd_floors) {
+          ++result.configs_explored;
+          Configuration config;
+          config.u_bwd = u_bwd;
+          config.bwd_packs = bwd.value();
+
+          if (options.equi_fb) {
+            // Equi-FB (Table 4): reuse the backward packs and microbatch size
+            // for the forward pass (dropping the fused last pack).
+            if (u_fwd != u_bwd || fwd_floor != fwd_floors.front()) continue;
+            config.u_fwd = u_bwd;
+            config.fwd_packs.assign(bwd.value().begin(), bwd.value().end() - 1);
+          } else {
+            config.u_fwd = u_fwd;
+            PackingOptions fwd_packing = packing;
+            fwd_packing.min_packs = std::min(fwd_floor, fwd_layers);
+            auto key = std::make_tuple(u_fwd, fwd_packing.min_packs, fwd_layers);
+            auto it = fwd_cache.find(key);
+            if (it == fwd_cache.end()) {
+              it = fwd_cache
+                       .emplace(key, ForwardPacks(u_fwd, bwd.value(), profiles,
+                                                  fwd_packing))
+                       .first;
+            }
+            if (!it->second.ok()) continue;
+            config.fwd_packs = it->second.value();
+          }
+
+          TaskGraph graph = GenerateHarmonyTaskGraph(config, mode,
+                                                     machine.num_gpus, minibatch,
+                                                     flags, profiles);
+          const Estimate est = estimator.EstimateIteration(graph);
+          ++result.configs_feasible;
+          result.explored.push_back(ExploredConfig{config, est});
+          if (best_time < 0 || est.iteration_time < best_time) {
+            best_time = est.iteration_time;
+            result.best = config;
+            result.best_estimate = est;
+          }
+        }
+      }
+    }
+  }
+
+  result.search_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+  if (best_time < 0) {
+    return Status::InvalidArgument(
+        "no feasible configuration: model layers too large for GPU memory "
+        "at every microbatch size");
+  }
+  return result;
+}
+
+}  // namespace harmony::core

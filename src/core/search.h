@@ -1,0 +1,54 @@
+#ifndef HARMONY_CORE_SEARCH_H_
+#define HARMONY_CORE_SEARCH_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/estimator.h"
+#include "core/task_graph.h"
+
+namespace harmony::core {
+
+struct SearchOptions {
+  /// Maximal microbatch sizes U_FMAX / U_BMAX (Algorithm 1 inputs); further
+  /// capped by the per-replica minibatch.
+  int u_fwd_max = 32;
+  int u_bwd_max = 32;
+  /// Fraction of the GPU's usable memory handed to packing as capacity alpha
+  /// (the rest is headroom for double-buffered prefetch, Sec 4.4).
+  double capacity_fraction = 0.85;
+  /// Table 4 ablation: force the forward configuration to equal the backward
+  /// one (Equi-FB) instead of searching a distinct four-tuple (Distinct-FB).
+  bool equi_fb = false;
+};
+
+/// One explored configuration and its estimated iteration time (kept for
+/// the Fig 14 estimator-accuracy experiment).
+struct ExploredConfig {
+  Configuration config;
+  Estimate estimate;
+};
+
+struct SearchResult {
+  Configuration best;
+  Estimate best_estimate;
+  int configs_explored = 0;
+  int configs_feasible = 0;
+  /// Real wall-clock seconds the search took (Table 1's "Time (s)").
+  double search_wall_seconds = 0;
+  std::vector<ExploredConfig> explored;
+};
+
+/// Algorithm 1: Harmony Configuration Search. Sweeps (U_B, U_F), derives
+/// balanced-time packs for each, generates the task graph, estimates its
+/// iteration time, and returns the fastest configuration.
+Result<SearchResult> SearchConfiguration(const profile::ProfileDb& profiles,
+                                         const hw::MachineSpec& machine,
+                                         HarmonyMode mode, int minibatch,
+                                         const OptimizationFlags& flags,
+                                         const SearchOptions& options);
+
+}  // namespace harmony::core
+
+#endif  // HARMONY_CORE_SEARCH_H_

@@ -1,0 +1,159 @@
+#ifndef HARMONY_CORE_TASK_GRAPH_H_
+#define HARMONY_CORE_TASK_GRAPH_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+#include "profile/profiler.h"
+
+namespace harmony::core {
+
+/// The three task types of Sec 4.3.2 (Figure 4).
+enum class TaskType { kForward, kBackward, kUpdate };
+
+const char* TaskTypeName(TaskType type);
+
+/// A contiguous range of samples forming one microbatch of a task's group.
+/// Sample indices are replica-local (each DP replica owns samples
+/// [0, replica_minibatch)).
+struct MbPiece {
+  int begin = 0;  // first sample index
+  int size = 0;   // number of samples
+
+  int end() const { return begin + size; }
+  bool Overlaps(const MbPiece& o) const {
+    return begin < o.end() && o.begin < end();
+  }
+};
+
+/// Splits [0, total) into pieces of `u` samples (last may be smaller).
+std::vector<MbPiece> SplitMicrobatches(int total, int u);
+
+/// The unit of execution (Sec 4.3.2). A task runs a layer pack for a group
+/// of microbatches back-to-back on one execution backend. The Runtime
+/// interprets tasks layer-by-layer, so a task whose working set exceeds GPU
+/// memory still executes — it just swaps (which is exactly how the per-GPU
+/// virtualization baselines behave).
+struct Task {
+  int id = -1;
+  TaskType type = TaskType::kForward;
+  Pack pack;
+  int device = 0;       // GPU index (kUpdate with on_cpu: the owning process)
+  bool on_cpu = false;  // weight update offloaded to CPU
+  std::vector<MbPiece> group;
+
+  /// DP replica owning this task; 0 in pipeline mode (single replica).
+  int replica = 0;
+
+  /// Backward-task modifiers.
+  bool fused_forward = false;  // jit-compute: runs the pack's forward too
+  bool recompute = true;       // rematerialize interior stash from checkpoint
+
+  /// Forward-task modifier: keep every layer's stash resident for the
+  /// backward pass (baselines without recomputation).
+  bool save_full_stash = false;
+
+  /// Forward tasks: boundary layers b such that the input of layer b (the
+  /// output of layer b-1, which this task computes) must be checkpointed to
+  /// host for a later backward task.
+  std::vector<int> checkpoint_boundaries;
+
+  /// Backward tasks: reads its pack-input checkpoint from host before
+  /// recomputing (false for the fused task, whose input streams in).
+  bool reads_checkpoint = false;
+
+  bool IsBackwardLike() const { return type == TaskType::kBackward; }
+};
+
+/// A complete one-iteration schedule: tasks plus the per-device execution
+/// order ("unrolled loop of a single iteration", Sec 4.3.1). Both Harmony
+/// modes and all baselines lower to this IR; the Runtime and the Estimator
+/// consume it uniformly. Dependencies are structural: producers/consumers
+/// match on layer boundaries, sample overlap and replica (DepResolver).
+struct TaskGraph {
+  std::string name;
+  OptimizationFlags flags;
+  int num_devices = 1;
+  int num_replicas = 1;  // DP replicas (1 for pipeline graphs)
+  int num_layers = 0;
+  int minibatch = 0;     // global minibatch D
+  int u_fwd = 1;
+  int u_bwd = 1;
+
+  std::vector<Task> tasks;
+  /// Per-GPU compute-stream execution order (task ids).
+  std::vector<std::vector<int>> device_order;
+  /// Per-process CPU execution order (offloaded update tasks).
+  std::vector<std::vector<int>> cpu_order;
+
+  /// Gradients bounce through host for cross-replica reduction (DP modes
+  /// with more than one replica).
+  bool grad_reduce_via_host = false;
+
+  /// Bytes permanently reserved per device (e.g. PipeDream-2BW's second
+  /// weight version), shrinking the memory available to the manager.
+  std::vector<Bytes> device_reserved_bytes;
+
+  const Task& task(int id) const { return tasks.at(id); }
+  int num_tasks() const { return static_cast<int>(tasks.size()); }
+};
+
+/// Resolves structural dependencies between tasks.
+/// Boundary b denotes the tensor between layers b-1 and b: "activation at b"
+/// is layer b-1's output (b=0: the data loader), "gradient at b" is the
+/// gradient flowing from layer b to b-1.
+class DepResolver {
+ public:
+  explicit DepResolver(const TaskGraph& graph);
+
+  /// (task id, piece index) pairs producing the activation at `boundary`
+  /// whose sample ranges overlap `piece`, in `replica`. Empty for b == 0.
+  std::vector<std::pair<int, int>> ActivationProducers(int boundary,
+                                                       const MbPiece& piece,
+                                                       int replica) const;
+
+  /// Same for the gradient flowing into `boundary` (produced by the backward
+  /// task whose pack starts at `boundary`).
+  std::vector<std::pair<int, int>> GradientProducers(int boundary,
+                                                     const MbPiece& piece,
+                                                     int replica) const;
+
+  /// All backward tasks computing gradients for layers of `pack` in
+  /// `replica` (update-task inputs); `replica` == -1 matches all replicas.
+  std::vector<int> BackwardTasksForPack(const Pack& pack, int replica) const;
+
+  /// All backward tasks of a replica (used by the no-jit-update ablation:
+  /// updates wait for the full backward pass).
+  const std::vector<int>& AllBackwardTasks(int replica) const;
+
+ private:
+  const TaskGraph& graph_;
+  // [replica][boundary] -> tasks producing that activation / gradient.
+  std::vector<std::vector<std::vector<int>>> act_producers_;
+  std::vector<std::vector<std::vector<int>>> grad_producers_;
+  std::vector<std::vector<int>> backward_tasks_;  // per replica
+};
+
+/// Generates the Harmony task graph for a configuration (Algorithm 3):
+/// forward tasks for P_F, the fused jit-compute backward task, remaining
+/// backward tasks in reverse pack order, and a weight-update task per
+/// backward pack — bound to devices with the wrap-around rule
+/// Task(P_FB[i]) -> GPU[i mod N] for PP, or replicated per GPU for DP.
+/// Optimization flags reshape the graph (grouping off splits groups and
+/// interleaves microbatch-major; jit-compute off un-fuses the last pack;
+/// jit-update off defers updates to iteration end; ...).
+TaskGraph GenerateHarmonyTaskGraph(const Configuration& config, HarmonyMode mode,
+                                   int num_devices, int minibatch,
+                                   const OptimizationFlags& flags,
+                                   const profile::ProfileDb& profiles);
+
+/// Validates structural invariants (layer coverage per pass and replica,
+/// wrap-around binding, piece partitioning, order consistency). CHECK-fails
+/// on violation; called by the generator and exercised directly in tests.
+void ValidateTaskGraph(const TaskGraph& graph);
+
+}  // namespace harmony::core
+
+#endif  // HARMONY_CORE_TASK_GRAPH_H_

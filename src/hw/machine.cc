@@ -1,0 +1,49 @@
+#include "hw/machine.h"
+
+#include "common/logging.h"
+
+namespace harmony::hw {
+
+MachineSpec MachineSpec::Commodity4Gpu() {
+  MachineSpec m;
+  m.name = "4x GTX-1080Ti commodity server";
+  m.num_gpus = 4;
+  m.num_switches = 2;
+  m.gpu_to_switch = {0, 0, 1, 1};
+  m.host_memory = GiB(374.0);
+  return m;
+}
+
+MachineSpec MachineSpec::Commodity8Gpu() {
+  MachineSpec m;
+  m.name = "8x GTX-1080Ti commodity server";
+  m.num_gpus = 8;
+  m.num_switches = 2;
+  m.gpu_to_switch = {0, 0, 0, 0, 1, 1, 1, 1};
+  m.host_memory = GiB(750.0);
+  // Dual-socket box: twice the DMA-visible DRAM bandwidth and CPU update rate.
+  m.host_mem_bw = GiBps(32.0);
+  m.cpu_update_bw = GiBps(40.0);
+  return m;
+}
+
+MachineSpec MachineSpec::WithNumGpus(int n) const {
+  HARMONY_CHECK_GE(n, 1);
+  HARMONY_CHECK_LE(n, num_gpus);
+  MachineSpec m = *this;
+  m.num_gpus = n;
+  m.gpu_to_switch.assign(gpu_to_switch.begin(), gpu_to_switch.begin() + n);
+  int max_switch = 0;
+  for (int s : m.gpu_to_switch) max_switch = std::max(max_switch, s);
+  m.num_switches = max_switch + 1;
+  return m;
+}
+
+MachineSpec MachineSpec::WithNvlink(BytesPerSec bandwidth) const {
+  HARMONY_CHECK_GT(bandwidth, 0.0);
+  MachineSpec m = *this;
+  m.nvlink_bw = bandwidth;
+  return m;
+}
+
+}  // namespace harmony::hw

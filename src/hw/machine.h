@@ -1,0 +1,106 @@
+#ifndef HARMONY_HW_MACHINE_H_
+#define HARMONY_HW_MACHINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace harmony::hw {
+
+/// A single accelerator. Defaults approximate an NVIDIA GTX-1080Ti, the GPU
+/// used throughout the paper's evaluation (Sec 5.1).
+struct GpuSpec {
+  std::string name = "GTX-1080Ti";
+  Bytes memory_capacity = GiB(11.0);
+  /// Peak FP32 throughput.
+  Flops peak_flops = 11.34e12;
+  /// Fraction of `memory_capacity` usable for tensors (the rest is framework
+  /// workspace / CUDA context, which the paper counts separately in Fig 8).
+  double usable_fraction = 0.92;
+
+  Bytes usable_memory() const {
+    return static_cast<Bytes>(static_cast<double>(memory_capacity) * usable_fraction);
+  }
+};
+
+/// Identifies an endpoint in the PCIe tree.
+struct DeviceId {
+  enum class Kind { kHost, kGpu };
+  Kind kind = Kind::kHost;
+  int index = 0;  // GPU ordinal; 0 for host.
+
+  static DeviceId Host() { return {Kind::kHost, 0}; }
+  static DeviceId Gpu(int i) { return {Kind::kGpu, i}; }
+
+  bool is_gpu() const { return kind == Kind::kGpu; }
+  bool operator==(const DeviceId& o) const { return kind == o.kind && index == o.index; }
+};
+
+/// Directed link in the interconnect. Links come in pairs (one per PCIe
+/// direction); contention is modeled per direction, matching the paper's
+/// "16GB/s per direction" characterization.
+struct LinkId {
+  int id = -1;
+  bool operator==(const LinkId& o) const { return id == o.id; }
+};
+
+/// A commodity multi-GPU server: GPUs hang off PCIe switches which share
+/// uplinks into the host root complex (Fig 2a). `gpu_to_switch[g]` gives the
+/// switch for GPU g; each switch has one uplink. When every GPU swaps
+/// simultaneously the shared uplinks become the bottleneck — the 4:1 / 8:1
+/// oversubscription the paper calls out in Sec 2.
+struct MachineSpec {
+  std::string name;
+  GpuSpec gpu;
+  int num_gpus = 4;
+  std::vector<int> gpu_to_switch;  // size num_gpus
+  int num_switches = 2;
+
+  /// Effective per-direction bandwidth of one PCIe 3.0 x16 hop (16 GB/s raw,
+  /// ~85% achievable after protocol overhead).
+  BytesPerSec pcie_bw = GiBps(13.6);
+  /// Per-direction bandwidth of each switch->host uplink.
+  BytesPerSec uplink_bw = GiBps(13.6);
+  /// Aggregate host DRAM bandwidth available to DMA traffic (all GPUs
+  /// share): bounded by the root complex and pinned-buffer copies, well
+  /// below raw DDR4 bandwidth.
+  BytesPerSec host_mem_bw = GiBps(16.0);
+
+  /// Per-direction bandwidth of a dedicated GPU<->GPU NVLink port (0 = the
+  /// machine has no NVLink; the paper's commodity boxes do not, and footnote
+  /// 3 notes NVLink "will only enhance Harmony's advantages due to p2p
+  /// transfers" — WithNvlink() lets experiments test exactly that).
+  BytesPerSec nvlink_bw = 0;
+
+  Bytes host_memory = GiB(374.0);
+  /// Effective rate at which the CPU applies optimizer updates (bytes of
+  /// parameter state touched per second); models CPU-offloaded Adam.
+  BytesPerSec cpu_update_bw = GiBps(20.0);
+
+  /// True if p2p between two GPUs stays under a single switch (full-bandwidth
+  /// path that does not consume host uplinks).
+  bool SameSwitch(int gpu_a, int gpu_b) const {
+    return gpu_to_switch[gpu_a] == gpu_to_switch[gpu_b];
+  }
+
+  /// The 4-GPU GTX-1080Ti server of Sec 5.1 (two switches, two GPUs each,
+  /// 374 GB host RAM).
+  static MachineSpec Commodity4Gpu();
+
+  /// The 8-GPU server of Sec 5.7 (two switches, four GPUs each — 4:1
+  /// oversubscription — 750 GB host RAM).
+  static MachineSpec Commodity8Gpu();
+
+  /// A copy of this machine restricted to the first `n` GPUs (used by the
+  /// Fig 16 scalability sweep).
+  MachineSpec WithNumGpus(int n) const;
+
+  /// A copy of this machine with NVLink p2p ports of the given per-direction
+  /// bandwidth (e.g. GiBps(22) for NVLink 1.0 as on a DGX-1).
+  MachineSpec WithNvlink(BytesPerSec bandwidth) const;
+};
+
+}  // namespace harmony::hw
+
+#endif  // HARMONY_HW_MACHINE_H_

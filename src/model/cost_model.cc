@@ -1,0 +1,61 @@
+#include "model/cost_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace harmony::model {
+
+CostModel::CostModel(const hw::GpuSpec& gpu) : gpu_(gpu) {}
+
+TimeSec CostModel::ComputeTime(const LayerSpec& layer, int u,
+                               Flops flops_per_sample,
+                               double bytes_multiplier) const {
+  HARMONY_CHECK_GE(u, 1);
+  const double eff = layer.efficiency_at_saturation *
+                     (static_cast<double>(u) / (u + layer.efficiency_half_u));
+  const double flop_time =
+      eff > 0.0 ? (u * flops_per_sample) / (gpu_.peak_flops * eff) : 0.0;
+  const double bytes_touched =
+      bytes_multiplier *
+          static_cast<double>(u) *
+          static_cast<double>(layer.input_bytes_per_sample +
+                              layer.output_bytes_per_sample +
+                              layer.stash_bytes_per_sample) +
+      static_cast<double>(layer.param_bytes);
+  const double mem_time = bytes_touched / gpu_mem_bw_;
+  return std::max(flop_time, mem_time);
+}
+
+TimeSec CostModel::FwdTime(const LayerSpec& layer, int u) const {
+  return fwd_launch_overhead_ +
+         ComputeTime(layer, u, layer.fwd_flops_per_sample, 1.0);
+}
+
+TimeSec CostModel::BwdTime(const LayerSpec& layer, int u) const {
+  // Backward touches activations and their gradients: ~2x the bytes.
+  return bwd_launch_overhead_ +
+         ComputeTime(layer, u, layer.bwd_flops_per_sample, 2.0);
+}
+
+TimeSec CostModel::GpuUpdateTime(const LayerSpec& layer) const {
+  // Adam: read W, G, m, v; write W, m, v  => ~7x param bytes, memory bound.
+  return 10e-6 + 7.0 * static_cast<double>(layer.param_bytes) / gpu_mem_bw_;
+}
+
+Bytes CostModel::FwdWorkingBytes(const LayerSpec& layer, int u) const {
+  return static_cast<Bytes>(u) * (layer.input_bytes_per_sample +
+                                  layer.output_bytes_per_sample +
+                                  layer.stash_bytes_per_sample) +
+         layer.workspace_bytes;
+}
+
+Bytes CostModel::BwdWorkingBytes(const LayerSpec& layer, int u) const {
+  // Adds gradient buffers for input/output activations.
+  return static_cast<Bytes>(u) * (2 * layer.input_bytes_per_sample +
+                                  2 * layer.output_bytes_per_sample +
+                                  layer.stash_bytes_per_sample) +
+         layer.workspace_bytes;
+}
+
+}  // namespace harmony::model

@@ -1,0 +1,50 @@
+#ifndef HARMONY_MODEL_COST_MODEL_H_
+#define HARMONY_MODEL_COST_MODEL_H_
+
+#include "hw/machine.h"
+#include "model/layer.h"
+
+namespace harmony::model {
+
+/// Ground-truth execution model of a layer on a GPU: the stand-in for real
+/// kernel execution (see DESIGN.md). Compute time is the max of a FLOP term
+/// (with a saturating efficiency curve in the microbatch size) and a memory-
+/// bandwidth term, plus per-layer kernel launch overhead. The curve is mildly
+/// non-linear in u, so the Profiler's linear interpolation (Sec 4.2) has
+/// realistic, small error.
+class CostModel {
+ public:
+  explicit CostModel(const hw::GpuSpec& gpu);
+
+  /// Time to run the forward pass of `layer` on one microbatch of `u` samples.
+  TimeSec FwdTime(const LayerSpec& layer, int u) const;
+
+  /// Same for the backward pass (compute of dX and dW).
+  TimeSec BwdTime(const LayerSpec& layer, int u) const;
+
+  /// Time for the weight-update (optimizer step) of this layer on the GPU.
+  TimeSec GpuUpdateTime(const LayerSpec& layer) const;
+
+  /// Peak resident bytes while executing the layer's forward at microbatch u
+  /// (inputs + outputs + stash + workspace; weights accounted separately).
+  Bytes FwdWorkingBytes(const LayerSpec& layer, int u) const;
+
+  /// Peak resident bytes for backward at microbatch u (adds gradient
+  /// activations and the weight-gradient buffer is accounted separately).
+  Bytes BwdWorkingBytes(const LayerSpec& layer, int u) const;
+
+  const hw::GpuSpec& gpu() const { return gpu_; }
+
+ private:
+  TimeSec ComputeTime(const LayerSpec& layer, int u, Flops flops_per_sample,
+                      double bytes_multiplier) const;
+
+  hw::GpuSpec gpu_;
+  BytesPerSec gpu_mem_bw_ = GiBps(420.0);  // GDDR5X effective bandwidth
+  TimeSec fwd_launch_overhead_ = 25e-6;
+  TimeSec bwd_launch_overhead_ = 55e-6;
+};
+
+}  // namespace harmony::model
+
+#endif  // HARMONY_MODEL_COST_MODEL_H_

@@ -1,0 +1,70 @@
+#include "model/layer.h"
+
+#include "common/logging.h"
+
+namespace harmony::model {
+
+const char* LayerKindName(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kEmbedding: return "embedding";
+    case LayerKind::kTransformerBlock: return "transformer";
+    case LayerKind::kLayerNorm: return "layernorm";
+    case LayerKind::kLinear: return "linear";
+    case LayerKind::kLmHead: return "lm_head";
+    case LayerKind::kConv: return "conv";
+    case LayerKind::kPool: return "pool";
+    case LayerKind::kFlatten: return "flatten";
+    case LayerKind::kClassifier: return "classifier";
+    case LayerKind::kPooler: return "pooler";
+    case LayerKind::kLoss: return "loss";
+    case LayerKind::kIdentityRelay: return "identity";
+  }
+  return "?";
+}
+
+Bytes LayerGraph::total_param_bytes() const {
+  Bytes total = 0;
+  for (const auto& l : layers) total += l.param_bytes;
+  return total;
+}
+
+Bytes SequentialModel::total_param_bytes() const {
+  Bytes total = 0;
+  for (const auto& l : layers) total += l.spec.param_bytes;
+  return total;
+}
+
+Flops SequentialModel::total_fwd_flops_per_sample() const {
+  Flops total = 0;
+  for (const auto& l : layers) total += l.spec.fwd_flops_per_sample;
+  return total;
+}
+
+SequentialModel Sequentialize(const LayerGraph& graph) {
+  SequentialModel seq;
+  seq.model_name = graph.model_name;
+  seq.sample_input_bytes = graph.sample_input_bytes;
+  seq.layers.reserve(graph.layers.size());
+  for (const auto& spec : graph.layers) {
+    seq.layers.push_back(SeqLayer{spec, 0});
+  }
+  // A branch (src -> dst) means src's output must reach dst even though the
+  // chain only hands tensors to the next layer. The chain edge (src, src+1)
+  // already carries it; layers src+1 .. dst-1 must additionally relay it on
+  // their output side (identity pass-through appended to the activation
+  // payload), so boundaries (src+1, src+2) .. (dst-1, dst) carry the extra
+  // bytes.
+  for (const auto& edge : graph.branches) {
+    HARMONY_CHECK_GE(edge.src, 0);
+    HARMONY_CHECK_LT(edge.dst, graph.num_layers());
+    HARMONY_CHECK_LT(edge.src + 1, edge.dst)
+        << "branch (" << edge.src << "->" << edge.dst
+        << ") is the implicit chain edge or malformed";
+    for (int pos = edge.src + 1; pos <= edge.dst - 1; ++pos) {
+      seq.layers[pos].relay_bytes_per_sample += edge.bytes_per_sample;
+    }
+  }
+  return seq;
+}
+
+}  // namespace harmony::model

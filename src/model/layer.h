@@ -1,0 +1,115 @@
+#ifndef HARMONY_MODEL_LAYER_H_
+#define HARMONY_MODEL_LAYER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace harmony::model {
+
+/// Coarse layer taxonomy at the granularity Harmony's Decomposer extracts
+/// (Sec 4.1: "linear layer, transformer, residual block, etc." rather than
+/// individual operators).
+enum class LayerKind {
+  kEmbedding,
+  kTransformerBlock,
+  kLayerNorm,
+  kLinear,
+  kLmHead,
+  kConv,
+  kPool,
+  kFlatten,
+  kClassifier,   // final linear + loss
+  kPooler,       // BERT [CLS] pooler
+  kLoss,
+  kIdentityRelay,  // inserted by sequentialization (Fig 6)
+};
+
+const char* LayerKindName(LayerKind kind);
+
+/// One layer of the fine-grained layer graph, with the analytical cost model
+/// parameters that stand in for real kernel execution (see DESIGN.md Sec 1).
+/// All per-sample quantities scale linearly with microbatch size; compute
+/// *time* additionally depends on an efficiency curve (CostModel).
+struct LayerSpec {
+  std::string name;
+  LayerKind kind = LayerKind::kLinear;
+
+  Bytes param_bytes = 0;              // FP32 weights
+  Flops fwd_flops_per_sample = 0;
+  Flops bwd_flops_per_sample = 0;     // typically 2-3x forward (Sec 4.3.1)
+
+  Bytes input_bytes_per_sample = 0;   // X
+  Bytes output_bytes_per_sample = 0;  // Y
+  /// Intermediate activations that must be stashed for the backward pass when
+  /// recomputation is off; with recomputation only the pack input is kept.
+  Bytes stash_bytes_per_sample = 0;
+  /// Fixed scratch (cuDNN workspace etc.), occupied only while computing.
+  Bytes workspace_bytes = 0;
+
+  /// Peak-FLOPs fraction this layer reaches at large microbatch sizes.
+  double efficiency_at_saturation = 0.5;
+  /// Microbatch size at which efficiency reaches half of saturation: encodes
+  /// how much arithmetic intensity improves with batching (drives the
+  /// input-batch-grouping benefit).
+  double efficiency_half_u = 0.5;
+};
+
+/// Branch edge in the layer graph: `dst` additionally consumes `src`'s output
+/// (e.g. a residual skip connection). Main-chain edges (i -> i+1) are
+/// implicit. Requires src < dst - 1 (otherwise it is just the chain edge).
+struct BranchEdge {
+  int src = 0;
+  int dst = 0;
+  Bytes bytes_per_sample = 0;
+};
+
+/// Layer-granularity model graph as produced by the Decomposer's Graph
+/// Creator: a chain of layers plus branch edges.
+struct LayerGraph {
+  std::string model_name;
+  std::vector<LayerSpec> layers;
+  std::vector<BranchEdge> branches;
+  /// Per-sample input payload (tokens or image) fed to layer 0.
+  Bytes sample_input_bytes = 0;
+
+  int num_layers() const { return static_cast<int>(layers.size()); }
+  Bytes total_param_bytes() const;
+};
+
+/// A sequentialized layer: the LayerSpec plus the bytes of live branch
+/// tensors that must be relayed through this position (Fig 6's identity
+/// nodes). Relay bytes ride along with the layer's activations — they add
+/// transfer volume and resident footprint but no compute.
+struct SeqLayer {
+  LayerSpec spec;
+  Bytes relay_bytes_per_sample = 0;
+
+  /// Total activation payload flowing OUT of this layer per sample
+  /// (own output + relayed branch tensors).
+  Bytes boundary_out_bytes() const {
+    return spec.output_bytes_per_sample + relay_bytes_per_sample;
+  }
+};
+
+/// Fully sequential model: every tensor flows only to the next layer, which
+/// is the invariant the Harmony Scheduler and Runtime rely on (Sec 4.1).
+struct SequentialModel {
+  std::string model_name;
+  std::vector<SeqLayer> layers;
+  Bytes sample_input_bytes = 0;
+
+  int num_layers() const { return static_cast<int>(layers.size()); }
+  Bytes total_param_bytes() const;
+  Flops total_fwd_flops_per_sample() const;
+};
+
+/// Sequentializes a layer graph by relaying branch tensors across the
+/// downstream layers until their destination consumes them (the paper's
+/// preferred p2p-relaying scheme, Sec 4.1 / Fig 6).
+SequentialModel Sequentialize(const LayerGraph& graph);
+
+}  // namespace harmony::model
+
+#endif  // HARMONY_MODEL_LAYER_H_

@@ -1,0 +1,368 @@
+#include "model/models.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace harmony::model {
+namespace {
+
+constexpr Bytes kF32 = 4;
+
+LayerSpec TransformerBlock(const std::string& name, int hidden, int seq, int heads) {
+  const double h = hidden, s = seq;
+  LayerSpec l;
+  l.name = name;
+  l.kind = LayerKind::kTransformerBlock;
+  l.param_bytes = static_cast<Bytes>((12.0 * h * h + 13.0 * h) * kF32);
+  // QKV + output projections (8sh^2), attention score/context (4s^2h),
+  // 4x-expansion MLP (16sh^2).
+  l.fwd_flops_per_sample = 24.0 * s * h * h + 4.0 * s * s * h;
+  l.bwd_flops_per_sample = 2.0 * l.fwd_flops_per_sample;
+  l.input_bytes_per_sample = static_cast<Bytes>(s * h * kF32);
+  l.output_bytes_per_sample = l.input_bytes_per_sample;
+  // Per-sample backward stash: GELU/attention intermediates (~10 s h floats)
+  // plus one copy of the attention probabilities (heads s^2).
+  l.stash_bytes_per_sample =
+      static_cast<Bytes>((10.0 * s * h + 1.0 * heads * s * s) * kF32);
+  l.workspace_bytes = MiB(64);
+  l.efficiency_at_saturation = 0.42;
+  l.efficiency_half_u = 0.25;
+  return l;
+}
+
+LayerSpec Embedding(const std::string& name, int vocab, int hidden, int seq,
+                    int max_pos) {
+  const double h = hidden, s = seq;
+  LayerSpec l;
+  l.name = name;
+  l.kind = LayerKind::kEmbedding;
+  l.param_bytes = static_cast<Bytes>((static_cast<double>(vocab) + max_pos) * h * kF32);
+  l.fwd_flops_per_sample = 2.0 * s * h;  // gather + add position
+  l.bwd_flops_per_sample = 2.0 * l.fwd_flops_per_sample;
+  l.input_bytes_per_sample = static_cast<Bytes>(s * kF32);  // token ids
+  l.output_bytes_per_sample = static_cast<Bytes>(s * h * kF32);
+  l.stash_bytes_per_sample = static_cast<Bytes>(s * kF32);  // ids for scatter-add
+  l.efficiency_at_saturation = 0.05;  // memory-bound gather
+  l.efficiency_half_u = 0.5;
+  return l;
+}
+
+LayerSpec FinalLayerNorm(int hidden, int seq) {
+  const double h = hidden, s = seq;
+  LayerSpec l;
+  l.name = "final_ln";
+  l.kind = LayerKind::kLayerNorm;
+  l.param_bytes = static_cast<Bytes>(2.0 * h * kF32);
+  l.fwd_flops_per_sample = 10.0 * s * h;
+  l.bwd_flops_per_sample = 2.0 * l.fwd_flops_per_sample;
+  l.input_bytes_per_sample = static_cast<Bytes>(s * h * kF32);
+  l.output_bytes_per_sample = l.input_bytes_per_sample;
+  l.stash_bytes_per_sample = l.input_bytes_per_sample;
+  l.efficiency_at_saturation = 0.03;  // memory bound
+  l.efficiency_half_u = 0.5;
+  return l;
+}
+
+LayerSpec LmHead(int vocab, int hidden, int seq) {
+  const double h = hidden, s = seq, v = vocab;
+  LayerSpec l;
+  l.name = "lm_head";
+  l.kind = LayerKind::kLmHead;
+  // Weight tied with the input embedding (GPT-2 convention): no extra params,
+  // but the projection compute is real and large.
+  l.param_bytes = 0;
+  l.fwd_flops_per_sample = 2.0 * s * h * v;
+  l.bwd_flops_per_sample = 2.0 * l.fwd_flops_per_sample;
+  l.input_bytes_per_sample = static_cast<Bytes>(s * h * kF32);
+  l.output_bytes_per_sample = static_cast<Bytes>(s * kF32);  // per-token loss
+  l.stash_bytes_per_sample = static_cast<Bytes>(s * h * kF32);
+  l.workspace_bytes = MiB(256);  // chunked logits scratch
+  l.efficiency_at_saturation = 0.42;
+  l.efficiency_half_u = 0.25;
+  return l;
+}
+
+LayerSpec Pooler(int hidden, int seq) {
+  const double h = hidden;
+  LayerSpec l;
+  l.name = "pooler";
+  l.kind = LayerKind::kPooler;
+  l.param_bytes = static_cast<Bytes>((h * h + h) * kF32);
+  l.fwd_flops_per_sample = 2.0 * h * h;
+  l.bwd_flops_per_sample = 2.0 * l.fwd_flops_per_sample;
+  l.input_bytes_per_sample = static_cast<Bytes>(static_cast<double>(seq) * h * kF32);
+  l.output_bytes_per_sample = static_cast<Bytes>(h * kF32);
+  l.stash_bytes_per_sample = static_cast<Bytes>(h * kF32);
+  l.efficiency_at_saturation = 0.2;
+  l.efficiency_half_u = 8.0;
+  return l;
+}
+
+LayerSpec Classifier(const std::string& name, int in_features, int classes) {
+  const double in = in_features, c = classes;
+  LayerSpec l;
+  l.name = name;
+  l.kind = LayerKind::kClassifier;
+  l.param_bytes = static_cast<Bytes>((in * c + c) * kF32);
+  l.fwd_flops_per_sample = 2.0 * in * c;
+  l.bwd_flops_per_sample = 2.0 * l.fwd_flops_per_sample;
+  l.input_bytes_per_sample = static_cast<Bytes>(in * kF32);
+  l.output_bytes_per_sample = static_cast<Bytes>(c * kF32);
+  l.stash_bytes_per_sample = static_cast<Bytes>(c * kF32);
+  l.efficiency_at_saturation = 0.2;
+  l.efficiency_half_u = 8.0;
+  return l;
+}
+
+LayerSpec Loss(int classes) {
+  LayerSpec l;
+  l.name = "loss";
+  l.kind = LayerKind::kLoss;
+  l.fwd_flops_per_sample = 5.0 * classes;
+  l.bwd_flops_per_sample = 5.0 * classes;
+  l.input_bytes_per_sample = static_cast<Bytes>(classes) * kF32;
+  l.output_bytes_per_sample = kF32;
+  l.stash_bytes_per_sample = static_cast<Bytes>(classes) * kF32;
+  l.efficiency_at_saturation = 0.01;
+  l.efficiency_half_u = 1.0;
+  return l;
+}
+
+LayerSpec Conv(const std::string& name, int in_ch, int out_ch, int out_hw,
+               int kernel = 3) {
+  const double cin = in_ch, cout = out_ch, hw = out_hw, k = kernel;
+  LayerSpec l;
+  l.name = name;
+  l.kind = LayerKind::kConv;
+  l.param_bytes = static_cast<Bytes>((k * k * cin * cout + cout) * kF32);
+  l.fwd_flops_per_sample = 2.0 * hw * hw * k * k * cin * cout;
+  l.bwd_flops_per_sample = 2.0 * l.fwd_flops_per_sample;
+  // Input spatial size: out_hw for stride 1 (the builders pass the output
+  // resolution; stride-2 convs slightly underestimate input bytes, fine for
+  // a cost model).
+  l.input_bytes_per_sample = static_cast<Bytes>(hw * hw * cin * kF32);
+  l.output_bytes_per_sample = static_cast<Bytes>(hw * hw * cout * kF32);
+  l.stash_bytes_per_sample = l.output_bytes_per_sample;  // post-ReLU stash
+  l.workspace_bytes = MiB(96);  // cuDNN algo scratch
+  l.efficiency_at_saturation = 0.38;
+  l.efficiency_half_u = 2.0;
+  return l;
+}
+
+LayerSpec Pool(const std::string& name, int channels, int out_hw) {
+  const double c = channels, hw = out_hw;
+  LayerSpec l;
+  l.name = name;
+  l.kind = LayerKind::kPool;
+  l.fwd_flops_per_sample = 4.0 * hw * hw * c;
+  l.bwd_flops_per_sample = l.fwd_flops_per_sample;
+  l.input_bytes_per_sample = static_cast<Bytes>(4.0 * hw * hw * c * kF32);
+  l.output_bytes_per_sample = static_cast<Bytes>(hw * hw * c * kF32);
+  l.stash_bytes_per_sample = l.output_bytes_per_sample;  // argmax indices
+  l.efficiency_at_saturation = 0.02;
+  l.efficiency_half_u = 1.0;
+  return l;
+}
+
+LayerSpec Linear(const std::string& name, int in_features, int out_features) {
+  const double in = in_features, out = out_features;
+  LayerSpec l;
+  l.name = name;
+  l.kind = LayerKind::kLinear;
+  l.param_bytes = static_cast<Bytes>((in * out + out) * kF32);
+  l.fwd_flops_per_sample = 2.0 * in * out;
+  l.bwd_flops_per_sample = 2.0 * l.fwd_flops_per_sample;
+  l.input_bytes_per_sample = static_cast<Bytes>(in * kF32);
+  l.output_bytes_per_sample = static_cast<Bytes>(out * kF32);
+  l.stash_bytes_per_sample = l.output_bytes_per_sample;
+  l.efficiency_at_saturation = 0.5;
+  l.efficiency_half_u = 8.0;  // GEMV until batched
+  return l;
+}
+
+}  // namespace
+
+LayerGraph BuildTransformer(const TransformerConfig& c) {
+  LayerGraph g;
+  g.model_name = c.name;
+  g.sample_input_bytes = static_cast<Bytes>(c.seq_len) * kF32;
+  g.layers.push_back(Embedding("embedding", c.vocab, c.hidden, c.seq_len,
+                               /*max_pos=*/c.seq_len));
+  for (int i = 0; i < c.num_blocks; ++i) {
+    g.layers.push_back(
+        TransformerBlock("block" + std::to_string(i), c.hidden, c.seq_len, c.heads));
+  }
+  if (c.is_bert) {
+    g.layers.push_back(Pooler(c.hidden, c.seq_len));
+    g.layers.push_back(Classifier("classifier", c.hidden, /*classes=*/2));
+    g.layers.push_back(Loss(/*classes=*/2));
+  } else {
+    g.layers.push_back(FinalLayerNorm(c.hidden, c.seq_len));
+    g.layers.push_back(LmHead(c.vocab, c.hidden, c.seq_len));
+    g.layers.push_back(Loss(/*classes=*/c.vocab));
+  }
+  return g;
+}
+
+LayerGraph BertLarge() {
+  TransformerConfig c;
+  c.name = "BERT-Large";
+  c.num_blocks = 24;
+  c.hidden = 1024;
+  c.seq_len = 512;
+  c.heads = 16;
+  c.vocab = 30522;
+  c.is_bert = true;
+  return BuildTransformer(c);
+}
+
+LayerGraph Bert96() {
+  TransformerConfig c;
+  c.name = "BERT96";
+  c.num_blocks = 96;  // 100 layers total: emb + 96 blocks + pooler + cls + loss
+  c.hidden = 1024;
+  c.seq_len = 512;
+  c.heads = 16;
+  c.vocab = 30522;
+  c.is_bert = true;
+  return BuildTransformer(c);
+}
+
+LayerGraph Gpt2() {
+  TransformerConfig c;
+  c.name = "GPT2";
+  c.num_blocks = 48;  // 52 layers total: emb + 48 blocks + ln + head + loss
+  c.hidden = 1600;
+  c.seq_len = 1024;
+  c.heads = 25;
+  c.vocab = 50257;
+  c.is_bert = false;
+  return BuildTransformer(c);
+}
+
+LayerGraph Gpt2Medium() {
+  TransformerConfig c;
+  c.name = "GPT2-Medium";
+  c.num_blocks = 24;
+  c.hidden = 1024;
+  c.seq_len = 1024;
+  c.heads = 16;
+  c.vocab = 50257;
+  c.is_bert = false;
+  return BuildTransformer(c);
+}
+
+LayerGraph Gpt2Custom(double billions) {
+  HARMONY_CHECK_GT(billions, 0.0);
+  TransformerConfig c;
+  c.num_blocks = 48;
+  // params ~= 12 * h^2 * blocks  =>  h = sqrt(B * 1e9 / (12 * blocks)),
+  // rounded to a multiple of 64.
+  const double h_exact = std::sqrt(billions * 1e9 / (12.0 * c.num_blocks));
+  c.hidden = static_cast<int>(std::round(h_exact / 64.0)) * 64;
+  c.heads = c.hidden / 64;
+  c.seq_len = 1024;
+  c.vocab = 50257;
+  c.is_bert = false;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "GPT2-%.0fB", billions);
+  c.name = buf;
+  return BuildTransformer(c);
+}
+
+LayerGraph TinyTransformer(int blocks, int hidden, int seq) {
+  TransformerConfig c;
+  c.name = "TinyTransformer-" + std::to_string(blocks);
+  c.num_blocks = blocks;
+  c.hidden = hidden;
+  c.seq_len = seq;
+  c.heads = std::max(1, hidden / 64);
+  c.vocab = 1000;
+  c.is_bert = false;
+  return BuildTransformer(c);
+}
+
+LayerGraph Vgg416() {
+  LayerGraph g;
+  g.model_name = "VGG416";
+  g.sample_input_bytes = static_cast<Bytes>(3) * 224 * 224 * kF32;
+  // 407 convs over 5 stages + 5 pools + flatten + 3 FC + loss = 417 layers
+  // (L0..L416, matching Table 5).
+  const int stage_convs[5] = {40, 40, 81, 123, 123};
+  const int stage_ch[5] = {64, 128, 256, 512, 512};
+  const int stage_hw[5] = {224, 112, 56, 28, 14};
+  int in_ch = 3;
+  for (int s = 0; s < 5; ++s) {
+    for (int i = 0; i < stage_convs[s]; ++i) {
+      g.layers.push_back(Conv("s" + std::to_string(s) + ".conv" + std::to_string(i),
+                              in_ch, stage_ch[s], stage_hw[s]));
+      in_ch = stage_ch[s];
+    }
+    g.layers.push_back(Pool("s" + std::to_string(s) + ".pool", stage_ch[s],
+                            stage_hw[s] / 2));
+  }
+  // Flatten 512 x 7 x 7 -> 25088.
+  LayerSpec flatten;
+  flatten.name = "flatten";
+  flatten.kind = LayerKind::kFlatten;
+  flatten.fwd_flops_per_sample = 0;
+  flatten.bwd_flops_per_sample = 0;
+  flatten.input_bytes_per_sample = static_cast<Bytes>(25088) * kF32;
+  flatten.output_bytes_per_sample = flatten.input_bytes_per_sample;
+  flatten.stash_bytes_per_sample = 0;
+  flatten.efficiency_at_saturation = 0.01;
+  flatten.efficiency_half_u = 1.0;
+  g.layers.push_back(flatten);
+  g.layers.push_back(Linear("fc6", 25088, 4096));
+  g.layers.push_back(Linear("fc7", 4096, 4096));
+  g.layers.push_back(Classifier("fc8", 4096, 1000));
+  g.layers.push_back(Loss(1000));
+  HARMONY_CHECK_EQ(g.num_layers(), 417);
+  return g;
+}
+
+LayerGraph ResNet1K() {
+  LayerGraph g;
+  g.model_name = "ResNet1K";
+  g.sample_input_bytes = static_cast<Bytes>(3) * 224 * 224 * kF32;
+  // Stem (conv7x7 + pool) + 342 bottleneck blocks x 3 convs + (global pool +
+  // classifier/loss) = 1030 layers (L0..L1029, matching Table 5).
+  g.layers.push_back(Conv("stem.conv", 3, 64, 112, /*kernel=*/7));
+  g.layers.push_back(Pool("stem.pool", 64, 56));
+  const int stage_blocks[4] = {34, 68, 170, 70};
+  const int stage_width[4] = {64, 128, 256, 512};   // bottleneck width
+  const int stage_hw[4] = {56, 28, 14, 7};
+  int in_ch = 64;
+  for (int s = 0; s < 4; ++s) {
+    const int w = stage_width[s];
+    const int out_ch = 4 * w;
+    for (int b = 0; b < stage_blocks[s]; ++b) {
+      const std::string pfx =
+          "s" + std::to_string(s) + ".b" + std::to_string(b) + ".";
+      const int block_input_layer = g.num_layers() - 1;
+      g.layers.push_back(Conv(pfx + "conv1", in_ch, w, stage_hw[s], 1));
+      g.layers.push_back(Conv(pfx + "conv2", w, w, stage_hw[s], 3));
+      LayerSpec c3 = Conv(pfx + "conv3", w, out_ch, stage_hw[s], 1);
+      if (b == 0 && in_ch != out_ch) {
+        // Projection shortcut params folded into the block's last conv.
+        c3.param_bytes += static_cast<Bytes>(in_ch) * out_ch * kF32;
+        c3.fwd_flops_per_sample +=
+            2.0 * stage_hw[s] * stage_hw[s] * in_ch * out_ch;
+        c3.bwd_flops_per_sample = 2.0 * c3.fwd_flops_per_sample;
+      }
+      g.layers.push_back(c3);
+      // Skip connection: block input consumed by the add at conv3.
+      g.branches.push_back(BranchEdge{
+          block_input_layer, g.num_layers() - 1,
+          static_cast<Bytes>(stage_hw[s]) * stage_hw[s] * in_ch * kF32});
+      in_ch = out_ch;
+    }
+  }
+  g.layers.push_back(Pool("head.gap", in_ch, 1));
+  g.layers.push_back(Classifier("head.fc", in_ch, 1000));
+  HARMONY_CHECK_EQ(g.num_layers(), 1030);
+  return g;
+}
+
+}  // namespace harmony::model

@@ -1,0 +1,58 @@
+#ifndef HARMONY_MODEL_MODELS_H_
+#define HARMONY_MODEL_MODELS_H_
+
+#include "model/layer.h"
+
+namespace harmony::model {
+
+/// Builders for the evaluation models of Sec 5.1. Parameter counts, depths
+/// and sample sizes follow the paper: BERT variants use sequence length 512,
+/// GPT2 variants 1024, CNNs use 224x224 ImageNet samples.
+
+/// BERT-Large: 24 transformer layers, hidden 1024, ~340M params.
+LayerGraph BertLarge();
+
+/// BERT96: 96 transformer layers (PipeDream-2BW's deep BERT), ~1.2B params.
+/// 100 layers total (L0..L99), matching Table 5's pack indices.
+LayerGraph Bert96();
+
+/// GPT2 (the default 1.5B model): 48 blocks, hidden 1600, seq 1024.
+/// 52 layers total (L0..L51), matching Table 5.
+LayerGraph Gpt2();
+
+/// GPT2-Medium (0.3B): 24 blocks, hidden 1024.
+LayerGraph Gpt2Medium();
+
+/// Customized GPT2 scaled to roughly `billions` of parameters at 48 blocks
+/// (the 10B..40B models of Sec 5.7).
+LayerGraph Gpt2Custom(double billions);
+
+/// VGG416: the classic VGG scaled to 416 layer indices (L0..L416 as in
+/// Table 5): 407 convs + 5 pools + flatten + 3 FC + loss.
+LayerGraph Vgg416();
+
+/// ResNet1K: pre-activation bottleneck ResNet with 342 blocks
+/// (L0..L1029 as in Table 5). Skip connections appear as branch edges and
+/// exercise the Decomposer's sequentialization.
+LayerGraph ResNet1K();
+
+/// Small uniform transformer for tests (L transformer blocks + embedding +
+/// head); keeps unit tests fast while exercising every scheduler path.
+LayerGraph TinyTransformer(int blocks, int hidden = 256, int seq = 64);
+
+/// Builds a transformer-family language model; shared implementation behind
+/// the GPT/BERT builders (exposed for tests and custom experiments).
+struct TransformerConfig {
+  std::string name;
+  int num_blocks = 24;
+  int hidden = 1024;
+  int seq_len = 512;
+  int heads = 16;
+  int vocab = 30522;
+  bool is_bert = false;  // BERT: pooler+classifier head; GPT: LN + LM head
+};
+LayerGraph BuildTransformer(const TransformerConfig& config);
+
+}  // namespace harmony::model
+
+#endif  // HARMONY_MODEL_MODELS_H_

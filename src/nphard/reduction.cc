@@ -1,0 +1,123 @@
+#include "nphard/reduction.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace harmony::nphard {
+
+using core::Pack;
+using core::PackList;
+
+bool Feasible(const SchedulingInstance& instance, const PackList& packs) {
+  for (const Pack& p : packs) {
+    int64_t size = 0;
+    for (int l = p.lo; l <= p.hi; ++l) size += instance.sizes[l];
+    if (size > instance.memory) return false;
+  }
+  return true;
+}
+
+double Makespan(const SchedulingInstance& instance, const PackList& packs) {
+  HARMONY_CHECK(!packs.empty());
+  HARMONY_CHECK_EQ(packs.front().lo, 0);
+  HARMONY_CHECK_EQ(packs.back().hi, instance.num_layers() - 1);
+  const int B = instance.num_microbatches;
+  const int G = instance.num_gpus;
+  std::vector<double> gpu_free(G, 0.0);
+  // prev_done[b] = completion time of microbatch b on the previous pack.
+  std::vector<double> prev_done(B, 0.0);
+  for (size_t j = 0; j < packs.size(); ++j) {
+    double duration = 0.0;
+    for (int l = packs[j].lo; l <= packs[j].hi; ++l) {
+      duration += instance.times[l];
+    }
+    const int gpu = static_cast<int>(j) % G;
+    std::vector<double> done(B);
+    for (int b = 0; b < B; ++b) {
+      const double ready = j == 0 ? 0.0 : prev_done[b];
+      const double start = std::max(gpu_free[gpu], ready);
+      done[b] = start + duration;
+      gpu_free[gpu] = done[b];
+    }
+    prev_done = std::move(done);
+  }
+  double makespan = 0.0;
+  for (double t : gpu_free) makespan = std::max(makespan, t);
+  return makespan;
+}
+
+SchedulingInstance ReduceFromPartition(const std::vector<int64_t>& a) {
+  SchedulingInstance inst;
+  inst.num_microbatches = 3;
+  inst.num_gpus = 2;
+  inst.memory = 7;
+  const int64_t sum = std::accumulate(a.begin(), a.end(), int64_t{0});
+  const double big = 6.0 * static_cast<double>(sum);  // A
+  auto add = [&inst](double p, int64_t m) {
+    inst.times.push_back(p);
+    inst.sizes.push_back(m);
+  };
+  add(8 * big, 6);
+  add(8 * big, 6);
+  for (int64_t ai : a) {
+    add(5 * big, 4);
+    add(static_cast<double>(ai), 2);
+    add(5 * big, 4);
+  }
+  add(8 * big, 6);
+  add(8 * big, 6);
+  return inst;
+}
+
+double TargetMakespan(const SchedulingInstance& instance) {
+  const double total =
+      std::accumulate(instance.times.begin(), instance.times.end(), 0.0);
+  return (instance.num_microbatches * total + instance.times.front() +
+          instance.times.back()) /
+         instance.num_gpus;
+}
+
+double BruteForceOptimalMakespan(const SchedulingInstance& instance,
+                                 PackList* best) {
+  const int R = instance.num_layers();
+  HARMONY_CHECK_LE(R, 24) << "brute force limited to small instances";
+  double best_makespan = std::numeric_limits<double>::infinity();
+  // Enumerate all 2^(R-1) contiguous partitions via boundary bitmasks.
+  for (uint32_t mask = 0; mask < (1u << (R - 1)); ++mask) {
+    PackList packs;
+    int lo = 0;
+    for (int l = 0; l < R - 1; ++l) {
+      if (mask & (1u << l)) {
+        packs.push_back(Pack{lo, l});
+        lo = l + 1;
+      }
+    }
+    packs.push_back(Pack{lo, R - 1});
+    if (!Feasible(instance, packs)) continue;
+    const double m = Makespan(instance, packs);
+    if (m < best_makespan) {
+      best_makespan = m;
+      if (best) *best = packs;
+    }
+  }
+  return best_makespan;
+}
+
+bool PartitionFeasible(const std::vector<int64_t>& a) {
+  const int64_t sum = std::accumulate(a.begin(), a.end(), int64_t{0});
+  if (sum % 2 != 0) return false;
+  const int64_t target = sum / 2;
+  std::vector<bool> reachable(target + 1, false);
+  reachable[0] = true;
+  for (int64_t ai : a) {
+    for (int64_t s = target; s >= ai; --s) {
+      if (reachable[s - ai]) reachable[s] = true;
+    }
+  }
+  return reachable[target];
+}
+
+}  // namespace harmony::nphard

@@ -1,0 +1,52 @@
+#ifndef HARMONY_NPHARD_REDUCTION_H_
+#define HARMONY_NPHARD_REDUCTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "core/config.h"
+
+namespace harmony::nphard {
+
+/// The simplified Harmony scheduling problem of Appendix A (Definition A.1):
+/// contiguous layer packs, round-robin GPU assignment, per-pack memory
+/// constraint, pipelined execution over B microbatches.
+struct SchedulingInstance {
+  int num_microbatches = 3;  // B
+  int num_gpus = 2;          // G
+  int64_t memory = 7;        // M
+  std::vector<double> times;   // p_i
+  std::vector<int64_t> sizes;  // m_i
+
+  int num_layers() const { return static_cast<int>(times.size()); }
+};
+
+/// True iff every pack's weights fit in GPU memory.
+bool Feasible(const SchedulingInstance& instance, const core::PackList& packs);
+
+/// Exact makespan of executing `packs` round-robin over the instance's
+/// microbatches (Definition A.1's cost): pack j runs on GPU (j mod G);
+/// microbatch b of pack j starts when that GPU is idle and microbatch b of
+/// pack j-1 finished.
+double Makespan(const SchedulingInstance& instance, const core::PackList& packs);
+
+/// The Appendix A reduction: produces the scheduling instance for a
+/// Partition input a_1..a_n (Table 2), with A = 6 * sum(a).
+SchedulingInstance ReduceFromPartition(const std::vector<int64_t>& a);
+
+/// The target makespan T = (B * sum(p) + p_first + p_last) / G of the proof.
+double TargetMakespan(const SchedulingInstance& instance);
+
+/// Exhaustive search over all feasible contiguous packings (exponential in
+/// the layer count; for tests). Returns the optimal makespan and, if
+/// `best` != nullptr, an optimal packing.
+double BruteForceOptimalMakespan(const SchedulingInstance& instance,
+                                 core::PackList* best = nullptr);
+
+/// Direct exponential/DP solver for the Partition problem (test oracle).
+bool PartitionFeasible(const std::vector<int64_t>& a);
+
+}  // namespace harmony::nphard
+
+#endif  // HARMONY_NPHARD_REDUCTION_H_

@@ -1,0 +1,118 @@
+#include "profile/profiler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace harmony::profile {
+
+ProfileDb::ProfileDb(std::string model_name, std::vector<LayerProfile> layers)
+    : model_name_(std::move(model_name)), layers_(std::move(layers)) {}
+
+TimeSec ProfileDb::FwdTime(int layer, int u) const {
+  return layers_.at(layer).fwd_time.Predict(u);
+}
+
+TimeSec ProfileDb::BwdTime(int layer, int u) const {
+  return layers_.at(layer).bwd_time.Predict(u);
+}
+
+TimeSec ProfileDb::PackFwdTime(int lo, int hi, int u) const {
+  TimeSec t = 0;
+  for (int l = lo; l <= hi; ++l) t += FwdTime(l, u);
+  return t;
+}
+
+TimeSec ProfileDb::PackBwdTime(int lo, int hi, int u) const {
+  TimeSec t = 0;
+  for (int l = lo; l <= hi; ++l) t += BwdTime(l, u);
+  return t;
+}
+
+Bytes ProfileDb::PackParamBytes(int lo, int hi) const {
+  Bytes b = 0;
+  for (int l = lo; l <= hi; ++l) b += layers_.at(l).param_bytes;
+  return b;
+}
+
+Bytes ProfileDb::FwdTaskBytes(int lo, int hi, int u) const {
+  Bytes params = 0, max_boundary = 0, max_ws = 0;
+  for (int l = lo; l <= hi; ++l) {
+    const LayerProfile& p = layers_.at(l);
+    params += p.param_bytes;
+    max_boundary = std::max(
+        max_boundary, p.input_bytes_per_sample + p.output_bytes_per_sample);
+    max_ws = std::max(max_ws, p.workspace_bytes);
+  }
+  const Bytes checkpoint = layers_.at(lo).input_bytes_per_sample;
+  return params + static_cast<Bytes>(u) * (checkpoint + max_boundary) + max_ws;
+}
+
+Bytes ProfileDb::BwdTaskBytes(int lo, int hi, int u) const {
+  Bytes params = 0, stash_sum = 0, max_boundary = 0, max_ws = 0;
+  for (int l = lo; l <= hi; ++l) {
+    const LayerProfile& p = layers_.at(l);
+    params += p.param_bytes;
+    stash_sum += p.stash_bytes_per_sample;
+    max_boundary = std::max(
+        max_boundary, 2 * (p.input_bytes_per_sample + p.output_bytes_per_sample));
+    max_ws = std::max(max_ws, p.workspace_bytes);
+  }
+  // Weights + gradient buffer + rematerialized pack stash + activation
+  // gradients + workspace.
+  return 2 * params + static_cast<Bytes>(u) * (stash_sum + max_boundary) + max_ws;
+}
+
+Profiler::Profiler(const hw::GpuSpec& gpu, ProfilerOptions options)
+    : gpu_(gpu), options_(std::move(options)) {
+  HARMONY_CHECK(!options_.sample_sizes.empty());
+}
+
+ProfileDb Profiler::Profile(const model::SequentialModel& m) const {
+  const model::CostModel cost(gpu_);
+  Rng rng(options_.seed);
+  std::vector<LayerProfile> out;
+  out.reserve(m.layers.size());
+  for (int i = 0; i < m.num_layers(); ++i) {
+    const model::SeqLayer& layer = m.layers[i];
+    Rng layer_rng = rng.Split(out.size() + 1);
+    std::vector<double> us, fwd, bwd;
+    for (int u : options_.sample_sizes) {
+      // "Measure" the layer: ground-truth cost model + measurement noise.
+      const double noise_f = 1.0 + options_.noise_frac * layer_rng.NextGaussian();
+      const double noise_b = 1.0 + options_.noise_frac * layer_rng.NextGaussian();
+      us.push_back(u);
+      fwd.push_back(cost.FwdTime(layer.spec, u) * std::max(0.5, noise_f));
+      bwd.push_back(cost.BwdTime(layer.spec, u) * std::max(0.5, noise_b));
+    }
+    LayerProfile p;
+    p.fwd_time = LinearRegression::Fit(us, fwd);
+    p.bwd_time = LinearRegression::Fit(us, bwd);
+    p.param_bytes = layer.spec.param_bytes;
+    // Incoming payload = the previous boundary's relay load rides along with
+    // the layer's own input tensor (Fig 6).
+    const Bytes relay_in = i > 0 ? m.layers[i - 1].relay_bytes_per_sample : 0;
+    p.input_bytes_per_sample = layer.spec.input_bytes_per_sample + relay_in;
+    p.output_bytes_per_sample = layer.boundary_out_bytes();
+    p.stash_bytes_per_sample =
+        layer.spec.stash_bytes_per_sample + layer.relay_bytes_per_sample;
+    p.workspace_bytes = layer.spec.workspace_bytes;
+    p.gpu_update_time = cost.GpuUpdateTime(layer.spec);
+    out.push_back(p);
+  }
+  return ProfileDb(m.model_name, std::move(out));
+}
+
+TimeSec Profiler::ProfilingCost(const model::SequentialModel& m) const {
+  const model::CostModel cost(gpu_);
+  TimeSec total = 0;
+  for (const auto& layer : m.layers) {
+    for (int u : options_.sample_sizes) {
+      total += cost.FwdTime(layer.spec, u) + cost.BwdTime(layer.spec, u);
+    }
+  }
+  return total;
+}
+
+}  // namespace harmony::profile

@@ -1,0 +1,92 @@
+#ifndef HARMONY_PROFILE_PROFILER_H_
+#define HARMONY_PROFILE_PROFILER_H_
+
+#include <vector>
+
+#include "common/regression.h"
+#include "common/units.h"
+#include "hw/machine.h"
+#include "model/cost_model.h"
+#include "model/layer.h"
+
+namespace harmony::profile {
+
+/// Per-layer profile record (Sec 4.2): compute time, memory footprint and
+/// tensor sizes, with time-vs-microbatch interpolated by linear regression
+/// from the sampled microbatch sizes.
+struct LayerProfile {
+  LinearRegression fwd_time;  // seconds vs microbatch size
+  LinearRegression bwd_time;
+
+  Bytes param_bytes = 0;
+  Bytes input_bytes_per_sample = 0;   // includes relayed branch payloads
+  Bytes output_bytes_per_sample = 0;  // includes relayed branch payloads
+  Bytes stash_bytes_per_sample = 0;
+  Bytes workspace_bytes = 0;
+  TimeSec gpu_update_time = 0;
+};
+
+/// The profile database handed to the Scheduler: per-layer profiles plus
+/// derived pack-level queries.
+class ProfileDb {
+ public:
+  ProfileDb(std::string model_name, std::vector<LayerProfile> layers);
+
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  const LayerProfile& layer(int i) const { return layers_.at(i); }
+  const std::string& model_name() const { return model_name_; }
+
+  TimeSec FwdTime(int layer, int u) const;
+  TimeSec BwdTime(int layer, int u) const;
+
+  /// Sum of per-layer forward (resp. backward) times over pack [lo, hi].
+  TimeSec PackFwdTime(int lo, int hi, int u) const;
+  TimeSec PackBwdTime(int lo, int hi, int u) const;
+
+  Bytes PackParamBytes(int lo, int hi) const;
+
+  /// Peak resident bytes of a forward task over pack [lo, hi] at microbatch u
+  /// under Harmony's always-recompute policy: weights + pack-input checkpoint
+  /// + the largest live layer boundary + workspace.
+  Bytes FwdTaskBytes(int lo, int hi, int u) const;
+
+  /// Peak resident bytes of a backward task: weights + gradient buffer +
+  /// rematerialized intermediate stash of the whole pack + gradient
+  /// activations + workspace.
+  Bytes BwdTaskBytes(int lo, int hi, int u) const;
+
+ private:
+  std::string model_name_;
+  std::vector<LayerProfile> layers_;
+};
+
+struct ProfilerOptions {
+  /// Microbatch sizes to measure (others are interpolated); mirrors the
+  /// paper's sampled-profiling design.
+  std::vector<int> sample_sizes = {1, 2, 4, 8, 16, 32};
+  /// Relative measurement noise (std dev) applied to timings; deterministic
+  /// given `seed`.
+  double noise_frac = 0.01;
+  uint64_t seed = 0x5eedf00d;
+};
+
+/// Runs each layer of the sequentialized model at the sampled microbatch
+/// sizes on (a model of) a single deployment GPU and fits the regressions.
+/// Also returns the simulated wall time profiling took (layers x samples).
+class Profiler {
+ public:
+  Profiler(const hw::GpuSpec& gpu, ProfilerOptions options);
+
+  ProfileDb Profile(const model::SequentialModel& model) const;
+
+  /// Simulated wall-clock seconds the profiling runs themselves take.
+  TimeSec ProfilingCost(const model::SequentialModel& model) const;
+
+ private:
+  hw::GpuSpec gpu_;
+  ProfilerOptions options_;
+};
+
+}  // namespace harmony::profile
+
+#endif  // HARMONY_PROFILE_PROFILER_H_

@@ -1,0 +1,103 @@
+#include "runtime/memory_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace harmony::runtime {
+
+const char* TensorKindName(TensorKind kind) {
+  switch (kind) {
+    case TensorKind::kWeight: return "W";
+    case TensorKind::kGrad: return "G";
+    case TensorKind::kOptState: return "O";
+    case TensorKind::kActivation: return "A";
+    case TensorKind::kGradAct: return "dA";
+    case TensorKind::kStash: return "S";
+  }
+  return "?";
+}
+
+std::string TensorKey::ToString() const {
+  std::string s = TensorKindName(kind);
+  s += "[L" + std::to_string(layer);
+  if (begin >= 0) s += ",b" + std::to_string(begin);
+  s += ",o" + std::to_string(owner) + "]";
+  return s;
+}
+
+DeviceMemory::DeviceMemory(Bytes capacity) : capacity_(capacity) {
+  HARMONY_CHECK_GT(capacity, 0);
+}
+
+void DeviceMemory::AddResident(const TensorKey& key, Bytes bytes) {
+  HARMONY_CHECK_GE(bytes, 0);
+  HARMONY_CHECK(!resident_.count(key)) << key.ToString() << " already resident";
+  HARMONY_CHECK_LE(bytes, free_bytes()) << "allocation without space for "
+                                        << key.ToString();
+  resident_[key] = Entry{bytes, 0, ++clock_};
+  used_ += bytes;
+  peak_used_ = std::max(peak_used_, used_);
+}
+
+void DeviceMemory::RemoveResident(const TensorKey& key) {
+  auto it = resident_.find(key);
+  HARMONY_CHECK(it != resident_.end()) << key.ToString() << " not resident";
+  used_ -= it->second.bytes;
+  resident_.erase(it);
+}
+
+Bytes DeviceMemory::ResidentBytes(const TensorKey& key) const {
+  auto it = resident_.find(key);
+  return it == resident_.end() ? 0 : it->second.bytes;
+}
+
+void DeviceMemory::Touch(const TensorKey& key) {
+  auto it = resident_.find(key);
+  HARMONY_CHECK(it != resident_.end()) << "touch of non-resident " << key.ToString();
+  it->second.lru = ++clock_;
+}
+
+void DeviceMemory::Pin(const TensorKey& key) {
+  auto it = resident_.find(key);
+  HARMONY_CHECK(it != resident_.end()) << "pin of non-resident " << key.ToString();
+  ++it->second.pins;
+}
+
+void DeviceMemory::Unpin(const TensorKey& key) {
+  auto it = resident_.find(key);
+  HARMONY_CHECK(it != resident_.end()) << "unpin of non-resident " << key.ToString();
+  HARMONY_CHECK_GT(it->second.pins, 0) << "unpin of unpinned " << key.ToString();
+  --it->second.pins;
+}
+
+bool DeviceMemory::IsPinned(const TensorKey& key) const {
+  auto it = resident_.find(key);
+  return it != resident_.end() && it->second.pins > 0;
+}
+
+std::vector<TensorKey> DeviceMemory::PickVictims(Bytes needed) const {
+  std::vector<std::pair<int64_t, const TensorKey*>> candidates;
+  for (const auto& [key, entry] : resident_) {
+    if (entry.pins == 0) candidates.emplace_back(entry.lru, &key);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  std::vector<TensorKey> victims;
+  Bytes reclaimed = 0;
+  for (const auto& [lru, key] : candidates) {
+    if (reclaimed >= needed) break;
+    victims.push_back(*key);
+    reclaimed += resident_.at(*key).bytes;
+  }
+  return victims;
+}
+
+Bytes DeviceMemory::EvictableBytes() const {
+  Bytes total = 0;
+  for (const auto& [key, entry] : resident_) {
+    if (entry.pins == 0) total += entry.bytes;
+  }
+  return total;
+}
+
+}  // namespace harmony::runtime

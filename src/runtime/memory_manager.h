@@ -1,0 +1,68 @@
+#ifndef HARMONY_RUNTIME_MEMORY_MANAGER_H_
+#define HARMONY_RUNTIME_MEMORY_MANAGER_H_
+
+#include <functional>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "common/units.h"
+#include "runtime/tensor.h"
+
+namespace harmony::runtime {
+
+/// Per-GPU memory accounting with LRU selection of eviction victims: the
+/// bookkeeping half of the Runtime's central memory manager (Sec 4.4). The
+/// executor owns the transfer side (issuing swap-out flows for victims).
+class DeviceMemory {
+ public:
+  explicit DeviceMemory(Bytes capacity);
+
+  Bytes capacity() const { return capacity_; }
+  Bytes used() const { return used_; }
+  Bytes free_bytes() const { return capacity_ - used_; }
+  Bytes peak_used() const { return peak_used_; }
+
+  /// Marks `key` resident, consuming `bytes`. Requires free_bytes() >= bytes.
+  void AddResident(const TensorKey& key, Bytes bytes);
+
+  /// Removes a resident tensor, releasing its bytes.
+  void RemoveResident(const TensorKey& key);
+
+  bool IsResident(const TensorKey& key) const { return resident_.count(key) > 0; }
+  Bytes ResidentBytes(const TensorKey& key) const;
+
+  /// LRU bump.
+  void Touch(const TensorKey& key);
+
+  void Pin(const TensorKey& key);
+  void Unpin(const TensorKey& key);
+  bool IsPinned(const TensorKey& key) const;
+
+  /// Least-recently-used unpinned victims whose combined size reaches
+  /// `needed` bytes (may return fewer if not enough are evictable). Does not
+  /// remove them — the executor removes each once its swap-out completes.
+  std::vector<TensorKey> PickVictims(Bytes needed) const;
+
+  /// Sum of evictable (unpinned resident) bytes.
+  Bytes EvictableBytes() const;
+
+  int num_resident() const { return static_cast<int>(resident_.size()); }
+
+ private:
+  struct Entry {
+    Bytes bytes = 0;
+    int pins = 0;
+    int64_t lru = 0;
+  };
+
+  Bytes capacity_;
+  Bytes used_ = 0;
+  Bytes peak_used_ = 0;
+  int64_t clock_ = 0;
+  std::map<TensorKey, Entry> resident_;
+};
+
+}  // namespace harmony::runtime
+
+#endif  // HARMONY_RUNTIME_MEMORY_MANAGER_H_

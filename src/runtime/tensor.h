@@ -1,0 +1,92 @@
+#ifndef HARMONY_RUNTIME_TENSOR_H_
+#define HARMONY_RUNTIME_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/units.h"
+
+namespace harmony::runtime {
+
+/// The tensor classes the Runtime's state machine tracks (Fig 5a).
+enum class TensorKind : uint8_t {
+  kWeight,      // per-device cached copy of a layer's weights (host master)
+  kGrad,        // weight-gradient accumulation buffer, per replica
+  kOptState,    // optimizer state (momentum / Adam moments), per device copy
+  kActivation,  // boundary activation tensor, keyed by boundary layer + piece
+  kGradAct,     // boundary activation gradient
+  kStash,       // per-layer stashed intermediate activations
+};
+
+const char* TensorKindName(TensorKind kind);
+
+/// Identity of a tensor instance. `layer` is a layer index (kWeight, kGrad,
+/// kOptState, kStash) or a boundary index (kActivation, kGradAct: the tensor
+/// between layers `layer-1` and `layer`). `begin` is the piece's first sample
+/// (-1 for state tensors). `owner` is the caching device (kWeight, kOptState)
+/// or the replica (everything else).
+struct TensorKey {
+  TensorKind kind = TensorKind::kWeight;
+  int layer = 0;
+  int begin = -1;
+  int owner = 0;
+
+  auto Tie() const { return std::tie(kind, layer, begin, owner); }
+  bool operator<(const TensorKey& o) const { return Tie() < o.Tie(); }
+  bool operator==(const TensorKey& o) const { return Tie() == o.Tie(); }
+
+  std::string ToString() const;
+};
+
+/// Where a tensor's bytes live and how they may move. A tensor has at most
+/// one GPU-resident copy; `on_host` records whether a valid host copy exists,
+/// so a clean eviction can drop the GPU copy without a transfer — the
+/// tensor-lifetime state machine of Harmony's memory manager (Sec 4.4).
+struct TensorState {
+  Bytes bytes = 0;
+  bool exists = false;        // has been produced (or auto-created host state)
+  bool on_host = false;       // valid copy in host memory
+  std::set<int> resident_gpus;  // GPUs holding a copy
+  std::set<int> evicting_gpus;  // copies with an eviction/move in progress
+  bool gpu_dirty = false;     // newest data is on a GPU (host copy stale/absent)
+  bool fetch_in_flight = false;
+  int inflight_dst = -1;
+  int refs_remaining = 0;     // consumers yet to use it (data tensors)
+
+  bool UsableOn(int d) const {
+    return resident_gpus.count(d) > 0 && evicting_gpus.count(d) == 0;
+  }
+  /// A GPU that currently holds a stable copy (-1 if none).
+  int StableGpu() const {
+    for (int d : resident_gpus) {
+      if (evicting_gpus.count(d) == 0) return d;
+    }
+    return -1;
+  }
+
+  /// Continuations: fired (and cleared) on production, on GPU arrival, and on
+  /// host-copy availability, respectively.
+  std::vector<std::function<void()>> creation_waiters;
+  std::vector<std::function<void()>> arrival_waiters;
+  std::vector<std::function<void()>> host_waiters;
+};
+
+/// Registry of all tensor instances in a run.
+class TensorTable {
+ public:
+  TensorState& Get(const TensorKey& key) { return states_[key]; }
+  bool Contains(const TensorKey& key) const { return states_.count(key) > 0; }
+  const std::map<TensorKey, TensorState>& all() const { return states_; }
+
+ private:
+  std::map<TensorKey, TensorState> states_;
+};
+
+}  // namespace harmony::runtime
+
+#endif  // HARMONY_RUNTIME_TENSOR_H_

@@ -1,0 +1,59 @@
+#include "sim/engine.h"
+
+namespace harmony::sim {
+
+void Engine::At(TimeSec t, std::function<void()> fn) {
+  HARMONY_CHECK_GE(t, now_);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+TimeSec Engine::Run() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++events_processed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+void Condition::Fire() {
+  HARMONY_CHECK(!fired_) << "Condition fired twice";
+  fired_ = true;
+  std::vector<std::function<void()>> waiters = std::move(waiters_);
+  waiters_.clear();
+  for (auto& w : waiters) w();
+}
+
+void Condition::OnFire(std::function<void()> fn) {
+  if (fired_) {
+    fn();
+  } else {
+    waiters_.push_back(std::move(fn));
+  }
+}
+
+void WhenAll(const std::vector<Condition*>& deps, std::function<void()> done) {
+  struct Barrier {
+    int remaining;
+    std::function<void()> done;
+  };
+  auto* barrier = new Barrier{1, std::move(done)};
+  for (Condition* c : deps) {
+    if (c == nullptr || c->fired()) continue;
+    ++barrier->remaining;
+    c->OnFire([barrier]() {
+      if (--barrier->remaining == 0) {
+        barrier->done();
+        delete barrier;
+      }
+    });
+  }
+  if (--barrier->remaining == 0) {
+    barrier->done();
+    delete barrier;
+  }
+}
+
+}  // namespace harmony::sim

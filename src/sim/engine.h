@@ -1,0 +1,87 @@
+#ifndef HARMONY_SIM_ENGINE_H_
+#define HARMONY_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace harmony::sim {
+
+/// Discrete-event simulation engine. Deterministic: events at equal timestamps
+/// run in insertion order (FIFO tie-break by sequence number).
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  TimeSec now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `t` (>= now).
+  void At(TimeSec t, std::function<void()> fn);
+
+  /// Schedules `fn` to run `dt` seconds from now.
+  void After(TimeSec dt, std::function<void()> fn) { At(now_ + dt, std::move(fn)); }
+
+  /// Runs until the event queue drains. Returns the final simulated time.
+  TimeSec Run();
+
+  /// Number of events processed so far (diagnostics / loop guards in tests).
+  int64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    TimeSec time;
+    int64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimeSec now_ = 0.0;
+  int64_t next_seq_ = 0;
+  int64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// One-shot synchronization flag, analogous to a CUDA event: consumers
+/// register callbacks that run when (or immediately if) the condition fires.
+class Condition {
+ public:
+  Condition() = default;
+  Condition(const Condition&) = delete;
+  Condition& operator=(const Condition&) = delete;
+
+  bool fired() const { return fired_; }
+
+  /// Fires the condition; runs pending callbacks synchronously (they execute
+  /// within the current event, at the current simulated time). Firing twice
+  /// is a programming error.
+  void Fire();
+
+  /// Runs `fn` when the condition fires; immediately if already fired.
+  void OnFire(std::function<void()> fn);
+
+ private:
+  bool fired_ = false;
+  std::vector<std::function<void()>> waiters_;
+};
+
+/// Fires `done` once every condition in `deps` has fired (all may already be
+/// fired, in which case `done` runs immediately). `deps` may contain nulls,
+/// which are ignored. The returned guard must stay alive until completion;
+/// ownership is internal (self-deleting), callers just call the function.
+void WhenAll(const std::vector<Condition*>& deps, std::function<void()> done);
+
+}  // namespace harmony::sim
+
+#endif  // HARMONY_SIM_ENGINE_H_

@@ -1,0 +1,177 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace harmony::sim {
+
+FlowNetwork::FlowNetwork(Engine* engine, std::vector<BytesPerSec> link_capacities)
+    : engine_(engine),
+      capacities_(std::move(link_capacities)),
+      link_bytes_(capacities_.size(), 0.0) {
+  for (BytesPerSec c : capacities_) HARMONY_CHECK_GT(c, 0.0);
+}
+
+int64_t FlowNetwork::StartFlow(const std::vector<int>& path, Bytes bytes,
+                               std::function<void()> done) {
+  HARMONY_CHECK_GE(bytes, 0);
+  const int64_t id = next_flow_id_++;
+  if (bytes == 0 || path.empty()) {
+    // Completes "immediately" but asynchronously, preserving callback order.
+    engine_->After(0.0, std::move(done));
+    return id;
+  }
+  for (int link : path) {
+    HARMONY_CHECK_GE(link, 0);
+    HARMONY_CHECK_LT(link, static_cast<int>(capacities_.size()));
+  }
+  AdvanceToNow();
+  flows_.emplace(id, Flow{path, static_cast<double>(bytes), 0.0, std::move(done)});
+  RecomputeRates();
+  return id;
+}
+
+void FlowNetwork::AdvanceToNow() {
+  const TimeSec now = engine_->now();
+  const double dt = now - last_update_;
+  last_update_ = now;
+  if (dt <= 0.0) return;
+  for (auto& [id, flow] : flows_) {
+    const double moved = flow.rate * dt;
+    flow.remaining = std::max(0.0, flow.remaining - moved);
+    for (int link : flow.path) link_bytes_[link] += moved;
+  }
+}
+
+void FlowNetwork::RecomputeRates() {
+  // Progressive filling (max-min fairness): repeatedly saturate the most
+  // constrained link, freezing the rates of the flows that traverse it.
+  std::vector<double> residual = capacities_;
+  std::vector<int> flows_on_link(capacities_.size(), 0);
+  std::map<int64_t, bool> frozen;
+  for (auto& [id, flow] : flows_) {
+    frozen[id] = false;
+    for (int link : flow.path) ++flows_on_link[link];
+  }
+  int unfrozen = static_cast<int>(flows_.size());
+  while (unfrozen > 0) {
+    // The binding link is the one offering the least residual share per flow.
+    double best_share = std::numeric_limits<double>::infinity();
+    int best_link = -1;
+    for (size_t l = 0; l < residual.size(); ++l) {
+      if (flows_on_link[l] == 0) continue;
+      const double share = residual[l] / flows_on_link[l];
+      if (share < best_share) {
+        best_share = share;
+        best_link = static_cast<int>(l);
+      }
+    }
+    HARMONY_CHECK_GE(best_link, 0);
+    for (auto& [id, flow] : flows_) {
+      if (frozen[id]) continue;
+      if (std::find(flow.path.begin(), flow.path.end(), best_link) ==
+          flow.path.end()) {
+        continue;
+      }
+      flow.rate = best_share;
+      frozen[id] = true;
+      --unfrozen;
+      for (int link : flow.path) {
+        residual[link] -= best_share;
+        --flows_on_link[link];
+      }
+    }
+    // Numerical safety: residual can go slightly negative from fp error.
+    for (double& r : residual) r = std::max(r, 0.0);
+  }
+  ScheduleNextCompletion();
+}
+
+void FlowNetwork::ScheduleNextCompletion() {
+  const int64_t epoch = ++completion_epoch_;
+  if (flows_.empty()) return;
+  double min_dt = std::numeric_limits<double>::infinity();
+  for (const auto& [id, flow] : flows_) {
+    HARMONY_CHECK_GT(flow.rate, 0.0);
+    min_dt = std::min(min_dt, flow.remaining / flow.rate);
+  }
+  engine_->After(min_dt, [this, epoch]() {
+    if (epoch != completion_epoch_) return;  // stale: rates changed since
+    AdvanceToNow();
+    // Collect and complete all flows that have drained (fp tolerance).
+    std::vector<std::function<void()>> done_fns;
+    for (auto it = flows_.begin(); it != flows_.end();) {
+      // Sub-byte residue is floating-point error, not payload: a GB-scale
+      // flow integrates with ~1e-7 relative error, so an absolute epsilon
+      // below one byte would spin the engine on infinitesimal completions.
+      if (it->second.remaining <= 1.0) {
+        done_fns.push_back(std::move(it->second.done));
+        it = flows_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    RecomputeRates();
+    for (auto& fn : done_fns) fn();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Interconnect
+// ---------------------------------------------------------------------------
+
+Interconnect::Interconnect(const hw::MachineSpec& machine) : machine_(machine) {
+  auto add_link = [&](BytesPerSec cap, std::string name) {
+    capacities_.push_back(cap);
+    names_.push_back(std::move(name));
+    return static_cast<int>(capacities_.size()) - 1;
+  };
+  for (int g = 0; g < machine.num_gpus; ++g) {
+    gpu_up_.push_back(add_link(machine.pcie_bw, "gpu" + std::to_string(g) + ".up"));
+    gpu_down_.push_back(add_link(machine.pcie_bw, "gpu" + std::to_string(g) + ".down"));
+  }
+  for (int s = 0; s < machine.num_switches; ++s) {
+    uplink_up_.push_back(add_link(machine.uplink_bw, "sw" + std::to_string(s) + ".up"));
+    uplink_down_.push_back(
+        add_link(machine.uplink_bw, "sw" + std::to_string(s) + ".down"));
+  }
+  hostmem_write_ = add_link(machine.host_mem_bw, "hostmem.write");
+  hostmem_read_ = add_link(machine.host_mem_bw, "hostmem.read");
+  if (machine.nvlink_bw > 0) {
+    for (int g = 0; g < machine.num_gpus; ++g) {
+      nvlink_out_.push_back(
+          add_link(machine.nvlink_bw, "gpu" + std::to_string(g) + ".nvl.out"));
+      nvlink_in_.push_back(
+          add_link(machine.nvlink_bw, "gpu" + std::to_string(g) + ".nvl.in"));
+    }
+  }
+}
+
+std::vector<int> Interconnect::SwapInPath(int gpu) const {
+  const int s = machine_.gpu_to_switch[gpu];
+  return {hostmem_read_, uplink_down_[s], gpu_down_[gpu]};
+}
+
+std::vector<int> Interconnect::SwapOutPath(int gpu) const {
+  const int s = machine_.gpu_to_switch[gpu];
+  return {gpu_up_[gpu], uplink_up_[s], hostmem_write_};
+}
+
+std::vector<int> Interconnect::P2pPath(int src_gpu, int dst_gpu) const {
+  HARMONY_CHECK_NE(src_gpu, dst_gpu);
+  if (!nvlink_out_.empty()) {
+    // Dedicated NVLink ports: p2p bypasses the PCIe tree entirely.
+    return {nvlink_out_[src_gpu], nvlink_in_[dst_gpu]};
+  }
+  const int ss = machine_.gpu_to_switch[src_gpu];
+  const int ds = machine_.gpu_to_switch[dst_gpu];
+  if (ss == ds) {
+    return {gpu_up_[src_gpu], gpu_down_[dst_gpu]};
+  }
+  // Cross-switch p2p bounces through the root complex (no DRAM hop).
+  return {gpu_up_[src_gpu], uplink_up_[ss], uplink_down_[ds], gpu_down_[dst_gpu]};
+}
+
+std::string Interconnect::LinkName(int link) const { return names_.at(link); }
+
+}  // namespace harmony::sim

@@ -1,0 +1,93 @@
+#ifndef HARMONY_SIM_NETWORK_H_
+#define HARMONY_SIM_NETWORK_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "hw/machine.h"
+#include "sim/engine.h"
+
+namespace harmony::sim {
+
+/// Fluid-flow model of a set of directed links with max-min fair bandwidth
+/// sharing. Concurrent flows traversing a common link split its capacity
+/// fairly (progressive filling); rates are recomputed whenever a flow starts
+/// or finishes. This is what turns the paper's "bottleneck PCIe link" and
+/// "4:1 oversubscription" into emergent slowdowns (Fig 2).
+class FlowNetwork {
+ public:
+  FlowNetwork(Engine* engine, std::vector<BytesPerSec> link_capacities);
+
+  /// Starts a flow of `bytes` over the directed links in `path`; invokes
+  /// `done` when the last byte arrives. Zero-byte flows complete immediately.
+  /// Returns a flow id (diagnostics only).
+  int64_t StartFlow(const std::vector<int>& path, Bytes bytes,
+                    std::function<void()> done);
+
+  /// Total bytes moved over a link since construction.
+  double link_bytes(int link) const { return link_bytes_.at(link); }
+
+  int num_active_flows() const { return static_cast<int>(flows_.size()); }
+
+ private:
+  struct Flow {
+    std::vector<int> path;
+    double remaining;             // bytes
+    double rate = 0.0;            // bytes/sec, set by Recompute()
+    std::function<void()> done;
+  };
+
+  /// Integrates flow progress from `last_update_` to now.
+  void AdvanceToNow();
+  /// Max-min fair rate assignment + schedules the next completion event.
+  void RecomputeRates();
+  void ScheduleNextCompletion();
+
+  Engine* engine_;
+  std::vector<BytesPerSec> capacities_;
+  std::vector<double> link_bytes_;
+  std::map<int64_t, Flow> flows_;
+  int64_t next_flow_id_ = 0;
+  TimeSec last_update_ = 0.0;
+  int64_t completion_epoch_ = 0;  // lazy cancellation of stale completion events
+};
+
+/// Maps a MachineSpec's PCIe tree onto FlowNetwork link ids and provides the
+/// canonical paths used by the runtime: host<->GPU swaps (which traverse the
+/// shared switch uplinks and host DRAM) and GPU<->GPU p2p (which bypasses host
+/// DRAM, and bypasses the uplinks entirely when both GPUs share a switch).
+class Interconnect {
+ public:
+  explicit Interconnect(const hw::MachineSpec& machine);
+
+  int num_links() const { return static_cast<int>(capacities_.size()); }
+  const std::vector<BytesPerSec>& capacities() const { return capacities_; }
+
+  std::vector<int> SwapInPath(int gpu) const;   // host -> gpu
+  std::vector<int> SwapOutPath(int gpu) const;  // gpu -> host
+  std::vector<int> P2pPath(int src_gpu, int dst_gpu) const;
+
+  /// Human-readable link name (tests / diagnostics).
+  std::string LinkName(int link) const;
+
+ private:
+  hw::MachineSpec machine_;
+  std::vector<BytesPerSec> capacities_;
+  std::vector<std::string> names_;
+  // Link id layout
+  std::vector<int> gpu_up_;      // gpu -> switch direction
+  std::vector<int> gpu_down_;    // switch -> gpu direction
+  std::vector<int> uplink_up_;   // switch -> host root
+  std::vector<int> uplink_down_; // host root -> switch
+  std::vector<int> nvlink_out_;  // dedicated NVLink ports (when present)
+  std::vector<int> nvlink_in_;
+  int hostmem_write_ = -1;       // DMA into host DRAM
+  int hostmem_read_ = -1;        // DMA out of host DRAM
+};
+
+}  // namespace harmony::sim
+
+#endif  // HARMONY_SIM_NETWORK_H_

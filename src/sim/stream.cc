@@ -1,0 +1,31 @@
+#include "sim/stream.h"
+
+namespace harmony::sim {
+
+Stream::Stream(Engine* engine, std::string name)
+    : engine_(engine), name_(std::move(name)) {}
+
+Condition* Stream::Push(std::vector<Condition*> deps, Body body) {
+  conditions_.push_back(std::make_unique<Condition>());
+  Condition* done = conditions_.back().get();
+  deps.push_back(last_done_);  // in-order with the previous op (null for first)
+  last_done_ = done;
+  WhenAll(deps, [this, done, body = std::move(body)]() {
+    const TimeSec start = engine_->now();
+    body([this, done, start]() {
+      busy_time_ += engine_->now() - start;
+      ++ops_completed_;
+      done->Fire();
+    });
+  });
+  return done;
+}
+
+Condition* Stream::PushDelay(std::vector<Condition*> deps, TimeSec duration) {
+  HARMONY_CHECK_GE(duration, 0.0);
+  return Push(std::move(deps), [this, duration](std::function<void()> done) {
+    engine_->After(duration, std::move(done));
+  });
+}
+
+}  // namespace harmony::sim

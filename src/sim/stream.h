@@ -1,0 +1,55 @@
+#ifndef HARMONY_SIM_STREAM_H_
+#define HARMONY_SIM_STREAM_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/engine.h"
+
+namespace harmony::sim {
+
+/// An in-order execution queue, analogous to a CUDA stream. Each GPU in the
+/// Harmony runtime owns five of these (compute, swap-in, swap-out, p2p-in,
+/// p2p-out — Sec 4.4); cross-stream dependencies are expressed with
+/// Conditions, analogous to CUDA events.
+///
+/// An op starts when (a) the op ahead of it in the stream has finished, and
+/// (b) all of its dependency conditions have fired. The op's body receives a
+/// completion callback to invoke when its work is done (a compute delay or a
+/// FlowNetwork transfer).
+class Stream {
+ public:
+  using Body = std::function<void(std::function<void()> done)>;
+
+  Stream(Engine* engine, std::string name);
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  /// Enqueues an op; returns the condition fired on its completion. The
+  /// returned pointer stays valid for the stream's lifetime.
+  Condition* Push(std::vector<Condition*> deps, Body body);
+
+  /// Convenience: an op that just occupies the stream for `duration`.
+  Condition* PushDelay(std::vector<Condition*> deps, TimeSec duration);
+
+  /// Total time the stream spent executing op bodies.
+  TimeSec busy_time() const { return busy_time_; }
+  const std::string& name() const { return name_; }
+  int64_t ops_completed() const { return ops_completed_; }
+
+ private:
+  Engine* engine_;
+  std::string name_;
+  Condition* last_done_ = nullptr;
+  std::deque<std::unique_ptr<Condition>> conditions_;
+  TimeSec busy_time_ = 0.0;
+  int64_t ops_completed_ = 0;
+};
+
+}  // namespace harmony::sim
+
+#endif  // HARMONY_SIM_STREAM_H_

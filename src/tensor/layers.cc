@@ -1,0 +1,428 @@
+#include "tensor/layers.h"
+
+#include <cmath>
+
+namespace harmony::tensor {
+
+void Layer::EnsureGradBuffers(std::vector<Tensor>* grads) const {
+  const auto params = Params();
+  if (grads->size() == params.size()) return;
+  HARMONY_CHECK(grads->empty()) << "grad buffer size mismatch";
+  for (const Tensor* p : params) grads->push_back(Tensor::Zeros(p->shape()));
+}
+
+// ---------------------------------------------------------------------------
+// Shared math
+// ---------------------------------------------------------------------------
+
+float Gelu(float x) {
+  // tanh approximation (GPT-2 convention); fully deterministic.
+  const float c = 0.7978845608028654f;  // sqrt(2/pi)
+  const float t = std::tanh(c * (x + 0.044715f * x * x * x));
+  return 0.5f * x * (1.0f + t);
+}
+
+float GeluGrad(float x) {
+  const float c = 0.7978845608028654f;
+  const float u = c * (x + 0.044715f * x * x * x);
+  const float t = std::tanh(u);
+  const float du = c * (1.0f + 3.0f * 0.044715f * x * x);
+  return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+}
+
+Tensor LayerNormForward(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                        Tensor* mean, Tensor* rstd) {
+  const int rows = x.dim(0), cols = x.dim(1);
+  *mean = Tensor({rows});
+  *rstd = Tensor({rows});
+  Tensor y({rows, cols});
+  for (int r = 0; r < rows; ++r) {
+    float m = 0.0f;
+    for (int c = 0; c < cols; ++c) m += x.at2(r, c);
+    m /= cols;
+    float v = 0.0f;
+    for (int c = 0; c < cols; ++c) {
+      const float d = x.at2(r, c) - m;
+      v += d * d;
+    }
+    v /= cols;
+    const float rs = 1.0f / std::sqrt(v + 1e-5f);
+    mean->at(r) = m;
+    rstd->at(r) = rs;
+    for (int c = 0; c < cols; ++c) {
+      y.at2(r, c) = (x.at2(r, c) - m) * rs * gamma.at(c) + beta.at(c);
+    }
+  }
+  return y;
+}
+
+Tensor LayerNormBackward(const Tensor& x, const Tensor& gamma,
+                         const Tensor& mean, const Tensor& rstd,
+                         const Tensor& dy, Tensor* dgamma, Tensor* dbeta) {
+  const int rows = x.dim(0), cols = x.dim(1);
+  Tensor dx({rows, cols});
+  for (int r = 0; r < rows; ++r) {
+    const float m = mean.at(r), rs = rstd.at(r);
+    float sum_dyg = 0.0f, sum_dyg_xhat = 0.0f;
+    for (int c = 0; c < cols; ++c) {
+      const float xhat = (x.at2(r, c) - m) * rs;
+      const float dyg = dy.at2(r, c) * gamma.at(c);
+      sum_dyg += dyg;
+      sum_dyg_xhat += dyg * xhat;
+      dgamma->at(c) += dy.at2(r, c) * xhat;
+      dbeta->at(c) += dy.at2(r, c);
+    }
+    for (int c = 0; c < cols; ++c) {
+      const float xhat = (x.at2(r, c) - m) * rs;
+      const float dyg = dy.at2(r, c) * gamma.at(c);
+      dx.at2(r, c) =
+          rs * (dyg - sum_dyg / cols - xhat * sum_dyg_xhat / cols);
+    }
+  }
+  return dx;
+}
+
+std::pair<float, Tensor> SoftmaxCrossEntropySum(const Tensor& logits,
+                                                const std::vector<int>& labels) {
+  const int rows = logits.dim(0), cols = logits.dim(1);
+  HARMONY_CHECK_EQ(rows, static_cast<int>(labels.size()));
+  Tensor dlogits({rows, cols});
+  float loss = 0.0f;
+  for (int r = 0; r < rows; ++r) {
+    float mx = logits.at2(r, 0);
+    for (int c = 1; c < cols; ++c) mx = std::max(mx, logits.at2(r, c));
+    float z = 0.0f;
+    for (int c = 0; c < cols; ++c) z += std::exp(logits.at2(r, c) - mx);
+    const float logz = std::log(z) + mx;
+    loss += logz - logits.at2(r, labels[r]);
+    for (int c = 0; c < cols; ++c) {
+      const float p = std::exp(logits.at2(r, c) - logz);
+      dlogits.at2(r, c) = p - (c == labels[r] ? 1.0f : 0.0f);
+    }
+  }
+  return {loss, dlogits};
+}
+
+namespace {
+/// out-of-line column-sum into a bias gradient.
+void AccumulateBiasGrad(const Tensor& dy, Tensor* db) {
+  for (int r = 0; r < dy.dim(0); ++r) {
+    for (int c = 0; c < dy.dim(1); ++c) db->at(c) += dy.at2(r, c);
+  }
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Embedding
+// ---------------------------------------------------------------------------
+
+Embedding::Embedding(int vocab, int hidden, int seq, Rng* rng)
+    : vocab_(vocab),
+      hidden_(hidden),
+      seq_(seq),
+      tok_(Tensor::Randn({vocab, hidden}, rng, 0.02f)),
+      pos_(Tensor::Randn({seq, hidden}, rng, 0.02f)) {}
+
+Tensor Embedding::Forward(const Tensor& x, Stash* stash) const {
+  const int batch = x.dim(0);
+  HARMONY_CHECK_EQ(x.dim(1), seq_);
+  Tensor y({batch * seq_, hidden_});
+  for (int b = 0; b < batch; ++b) {
+    for (int s = 0; s < seq_; ++s) {
+      const int token = static_cast<int>(x.at2(b, s));
+      HARMONY_CHECK_GE(token, 0);
+      HARMONY_CHECK_LT(token, vocab_);
+      for (int h = 0; h < hidden_; ++h) {
+        y.at2(b * seq_ + s, h) = tok_.at2(token, h) + pos_.at2(s, h);
+      }
+    }
+  }
+  if (stash) stash->t = {x};
+  return y;
+}
+
+Tensor Embedding::Backward(const Stash& stash, const Tensor& dy,
+                           std::vector<Tensor>* grads) const {
+  EnsureGradBuffers(grads);
+  const Tensor& x = stash.t[0];
+  const int batch = x.dim(0);
+  Tensor& dtok = (*grads)[0];
+  Tensor& dpos = (*grads)[1];
+  for (int b = 0; b < batch; ++b) {
+    for (int s = 0; s < seq_; ++s) {
+      const int token = static_cast<int>(x.at2(b, s));
+      for (int h = 0; h < hidden_; ++h) {
+        const float g = dy.at2(b * seq_ + s, h);
+        dtok.at2(token, h) += g;
+        dpos.at2(s, h) += g;
+      }
+    }
+  }
+  return Tensor::Zeros(x.shape());  // no gradient for integer tokens
+}
+
+// ---------------------------------------------------------------------------
+// AttentionBlock
+// ---------------------------------------------------------------------------
+
+AttentionBlock::AttentionBlock(int hidden, int heads, int seq, bool causal,
+                               Rng* rng)
+    : hidden_(hidden),
+      heads_(heads),
+      seq_(seq),
+      dk_(hidden / heads),
+      causal_(causal),
+      ln_g_(Tensor::Zeros({hidden})),
+      ln_b_(Tensor::Zeros({hidden})),
+      w_qkv_(Tensor::Randn({hidden, 3 * hidden}, rng, 0.02f)),
+      b_qkv_(Tensor::Zeros({3 * hidden})),
+      w_o_(Tensor::Randn({hidden, hidden}, rng, 0.02f)),
+      b_o_(Tensor::Zeros({hidden})) {
+  HARMONY_CHECK_EQ(hidden % heads, 0);
+  for (int h = 0; h < hidden; ++h) ln_g_.at(h) = 1.0f;
+}
+
+Tensor AttentionBlock::Forward(const Tensor& x, Stash* stash) const {
+  const int rows = x.dim(0);
+  HARMONY_CHECK_EQ(rows % seq_, 0);
+  const int batch = rows / seq_;
+  Tensor mean, rstd;
+  const Tensor ln = LayerNormForward(x, ln_g_, ln_b_, &mean, &rstd);
+  const Tensor qkv = AddBias(MatMul(ln, w_qkv_), b_qkv_);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dk_));
+
+  Tensor ctx({rows, hidden_});
+  Tensor probs_all({batch * heads_, seq_ * seq_});
+  for (int b = 0; b < batch; ++b) {
+    for (int hd = 0; hd < heads_; ++hd) {
+      // scores[i][j] = q_i . k_j * scale  (+ causal mask)
+      for (int i = 0; i < seq_; ++i) {
+        float mx = -1e30f;
+        std::vector<float> row(seq_);
+        for (int j = 0; j < seq_; ++j) {
+          if (causal_ && j > i) {
+            row[j] = -1e30f;
+            continue;
+          }
+          float acc = 0.0f;
+          for (int d = 0; d < dk_; ++d) {
+            acc += qkv.at2(b * seq_ + i, hd * dk_ + d) *
+                   qkv.at2(b * seq_ + j, hidden_ + hd * dk_ + d);
+          }
+          row[j] = acc * scale;
+          mx = std::max(mx, row[j]);
+        }
+        float z = 0.0f;
+        for (int j = 0; j < seq_; ++j) {
+          row[j] = (causal_ && j > i) ? 0.0f : std::exp(row[j] - mx);
+          z += row[j];
+        }
+        for (int j = 0; j < seq_; ++j) {
+          probs_all.at2(b * heads_ + hd, i * seq_ + j) = row[j] / z;
+        }
+        for (int d = 0; d < dk_; ++d) {
+          float acc = 0.0f;
+          for (int j = 0; j < seq_; ++j) {
+            acc += (row[j] / z) *
+                   qkv.at2(b * seq_ + j, 2 * hidden_ + hd * dk_ + d);
+          }
+          ctx.at2(b * seq_ + i, hd * dk_ + d) = acc;
+        }
+      }
+    }
+  }
+  const Tensor out = AddBias(MatMul(ctx, w_o_), b_o_);
+  Tensor y = Add(x, out);
+  if (stash) stash->t = {x, mean, rstd, ln, qkv, probs_all, ctx};
+  return y;
+}
+
+Tensor AttentionBlock::Backward(const Stash& stash, const Tensor& dy,
+                                std::vector<Tensor>* grads) const {
+  EnsureGradBuffers(grads);
+  const Tensor& x = stash.t[0];
+  const Tensor& mean = stash.t[1];
+  const Tensor& rstd = stash.t[2];
+  const Tensor& ln = stash.t[3];
+  const Tensor& qkv = stash.t[4];
+  const Tensor& probs = stash.t[5];
+  const Tensor& ctx = stash.t[6];
+  const int rows = x.dim(0);
+  const int batch = rows / seq_;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dk_));
+  Tensor& dln_g = (*grads)[0];
+  Tensor& dln_b = (*grads)[1];
+  Tensor& dw_qkv = (*grads)[2];
+  Tensor& db_qkv = (*grads)[3];
+  Tensor& dw_o = (*grads)[4];
+  Tensor& db_o = (*grads)[5];
+
+  // y = x + ctx @ Wo + bo
+  const Tensor& dout = dy;
+  AddInPlace(&dw_o, MatMulAt(ctx, dout));
+  AccumulateBiasGrad(dout, &db_o);
+  const Tensor dctx = MatMulBt(dout, w_o_);
+
+  Tensor dqkv({rows, 3 * hidden_});
+  for (int b = 0; b < batch; ++b) {
+    for (int hd = 0; hd < heads_; ++hd) {
+      for (int i = 0; i < seq_; ++i) {
+        // dprobs[i][j] = dctx_i . v_j ; dv_j += probs[i][j] * dctx_i
+        std::vector<float> dprob(seq_, 0.0f);
+        for (int j = 0; j < seq_; ++j) {
+          float acc = 0.0f;
+          for (int d = 0; d < dk_; ++d) {
+            acc += dctx.at2(b * seq_ + i, hd * dk_ + d) *
+                   qkv.at2(b * seq_ + j, 2 * hidden_ + hd * dk_ + d);
+          }
+          dprob[j] = acc;
+        }
+        for (int j = 0; j < seq_; ++j) {
+          const float p = probs.at2(b * heads_ + hd, i * seq_ + j);
+          for (int d = 0; d < dk_; ++d) {
+            dqkv.at2(b * seq_ + j, 2 * hidden_ + hd * dk_ + d) +=
+                p * dctx.at2(b * seq_ + i, hd * dk_ + d);
+          }
+        }
+        // softmax backward
+        float dot = 0.0f;
+        for (int j = 0; j < seq_; ++j) {
+          dot += dprob[j] * probs.at2(b * heads_ + hd, i * seq_ + j);
+        }
+        for (int j = 0; j < seq_; ++j) {
+          const float p = probs.at2(b * heads_ + hd, i * seq_ + j);
+          const float ds = p * (dprob[j] - dot) * scale;
+          // scores[i][j] = scale * q_i . k_j
+          for (int d = 0; d < dk_; ++d) {
+            dqkv.at2(b * seq_ + i, hd * dk_ + d) +=
+                ds * qkv.at2(b * seq_ + j, hidden_ + hd * dk_ + d);
+            dqkv.at2(b * seq_ + j, hidden_ + hd * dk_ + d) +=
+                ds * qkv.at2(b * seq_ + i, hd * dk_ + d);
+          }
+        }
+      }
+    }
+  }
+
+  AddInPlace(&dw_qkv, MatMulAt(ln, dqkv));
+  AccumulateBiasGrad(dqkv, &db_qkv);
+  const Tensor dln = MatMulBt(dqkv, w_qkv_);
+  Tensor dx = LayerNormBackward(x, ln_g_, mean, rstd, dln, &dln_g, &dln_b);
+  AddInPlace(&dx, dy);  // residual
+  return dx;
+}
+
+// ---------------------------------------------------------------------------
+// MlpBlock
+// ---------------------------------------------------------------------------
+
+MlpBlock::MlpBlock(int hidden, int ffn, Rng* rng)
+    : hidden_(hidden),
+      ffn_(ffn),
+      ln_g_(Tensor::Zeros({hidden})),
+      ln_b_(Tensor::Zeros({hidden})),
+      w1_(Tensor::Randn({hidden, ffn}, rng, 0.02f)),
+      b1_(Tensor::Zeros({ffn})),
+      w2_(Tensor::Randn({ffn, hidden}, rng, 0.02f)),
+      b2_(Tensor::Zeros({hidden})) {
+  for (int h = 0; h < hidden; ++h) ln_g_.at(h) = 1.0f;
+}
+
+Tensor MlpBlock::Forward(const Tensor& x, Stash* stash) const {
+  Tensor mean, rstd;
+  const Tensor ln = LayerNormForward(x, ln_g_, ln_b_, &mean, &rstd);
+  const Tensor pre = AddBias(MatMul(ln, w1_), b1_);
+  Tensor act({pre.dim(0), pre.dim(1)});
+  for (int64_t i = 0; i < pre.size(); ++i) act.at(i) = Gelu(pre.at(i));
+  const Tensor out = AddBias(MatMul(act, w2_), b2_);
+  Tensor y = Add(x, out);
+  if (stash) stash->t = {x, mean, rstd, ln, pre, act};
+  return y;
+}
+
+Tensor MlpBlock::Backward(const Stash& stash, const Tensor& dy,
+                          std::vector<Tensor>* grads) const {
+  EnsureGradBuffers(grads);
+  const Tensor& x = stash.t[0];
+  const Tensor& mean = stash.t[1];
+  const Tensor& rstd = stash.t[2];
+  const Tensor& ln = stash.t[3];
+  const Tensor& pre = stash.t[4];
+  const Tensor& act = stash.t[5];
+  Tensor& dln_g = (*grads)[0];
+  Tensor& dln_b = (*grads)[1];
+  Tensor& dw1 = (*grads)[2];
+  Tensor& db1 = (*grads)[3];
+  Tensor& dw2 = (*grads)[4];
+  Tensor& db2 = (*grads)[5];
+
+  AddInPlace(&dw2, MatMulAt(act, dy));
+  AccumulateBiasGrad(dy, &db2);
+  Tensor dact = MatMulBt(dy, w2_);
+  for (int64_t i = 0; i < dact.size(); ++i) {
+    dact.at(i) *= GeluGrad(pre.at(i));
+  }
+  AddInPlace(&dw1, MatMulAt(ln, dact));
+  AccumulateBiasGrad(dact, &db1);
+  const Tensor dln = MatMulBt(dact, w1_);
+  Tensor dx = LayerNormBackward(x, ln_g_, mean, rstd, dln, &dln_g, &dln_b);
+  AddInPlace(&dx, dy);  // residual
+  return dx;
+}
+
+// ---------------------------------------------------------------------------
+// Classifier
+// ---------------------------------------------------------------------------
+
+Classifier::Classifier(int hidden, int classes, int seq, Rng* rng)
+    : hidden_(hidden),
+      classes_(classes),
+      seq_(seq),
+      ln_g_(Tensor::Zeros({hidden})),
+      ln_b_(Tensor::Zeros({hidden})),
+      w_(Tensor::Randn({hidden, classes}, rng, 0.02f)),
+      b_(Tensor::Zeros({classes})) {
+  for (int h = 0; h < hidden; ++h) ln_g_.at(h) = 1.0f;
+}
+
+Tensor Classifier::Forward(const Tensor& x, Stash* stash) const {
+  const int rows = x.dim(0);
+  HARMONY_CHECK_EQ(rows % seq_, 0);
+  const int batch = rows / seq_;
+  // Gather the first token of each sequence.
+  Tensor cls({batch, hidden_});
+  for (int b = 0; b < batch; ++b) {
+    for (int h = 0; h < hidden_; ++h) cls.at2(b, h) = x.at2(b * seq_, h);
+  }
+  Tensor mean, rstd;
+  const Tensor ln = LayerNormForward(cls, ln_g_, ln_b_, &mean, &rstd);
+  Tensor logits = AddBias(MatMul(ln, w_), b_);
+  if (stash) stash->t = {cls, mean, rstd, ln};
+  return logits;
+}
+
+Tensor Classifier::Backward(const Stash& stash, const Tensor& dy,
+                            std::vector<Tensor>* grads) const {
+  EnsureGradBuffers(grads);
+  const Tensor& cls = stash.t[0];
+  const Tensor& mean = stash.t[1];
+  const Tensor& rstd = stash.t[2];
+  const Tensor& ln = stash.t[3];
+  Tensor& dln_g = (*grads)[0];
+  Tensor& dln_b = (*grads)[1];
+  Tensor& dw = (*grads)[2];
+  Tensor& db = (*grads)[3];
+
+  AddInPlace(&dw, MatMulAt(ln, dy));
+  AccumulateBiasGrad(dy, &db);
+  const Tensor dln = MatMulBt(dy, w_);
+  const Tensor dcls = LayerNormBackward(cls, ln_g_, mean, rstd, dln, &dln_g, &dln_b);
+  const int batch = cls.dim(0);
+  Tensor dx({batch * seq_, hidden_});
+  for (int b = 0; b < batch; ++b) {
+    for (int h = 0; h < hidden_; ++h) dx.at2(b * seq_, h) = dcls.at2(b, h);
+  }
+  return dx;
+}
+
+}  // namespace harmony::tensor

@@ -1,0 +1,139 @@
+#ifndef HARMONY_TENSOR_LAYERS_H_
+#define HARMONY_TENSOR_LAYERS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace harmony::tensor {
+
+/// Activations a layer saves in its forward pass for use by its backward
+/// pass. Under Harmony's recomputation these are rebuilt from the pack-input
+/// checkpoint; either way the values are bit-identical because forward is
+/// deterministic.
+struct Stash {
+  std::vector<Tensor> t;
+};
+
+/// A differentiable layer with explicit, stateless forward/backward: the
+/// layer-granularity unit the correctness experiments schedule in different
+/// orders. Parameters are owned by the layer; gradients are accumulated into
+/// caller-provided buffers so the *accumulation order* is under the
+/// scheduler's control (and can be shown not to matter bit-wise when it
+/// follows microbatch order).
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Computes the layer output; records what backward needs into `stash`.
+  virtual Tensor Forward(const Tensor& x, Stash* stash) const = 0;
+
+  /// Given the stash from (re)computation and the output gradient, returns
+  /// the input gradient and accumulates parameter gradients into `grads`
+  /// (same order/shapes as Params(); buffers must be pre-sized or empty —
+  /// empty buffers are initialized to zeros).
+  virtual Tensor Backward(const Stash& stash, const Tensor& dy,
+                          std::vector<Tensor>* grads) const = 0;
+
+  virtual std::vector<Tensor*> Params() = 0;
+  std::vector<const Tensor*> Params() const {
+    auto ps = const_cast<Layer*>(this)->Params();
+    return {ps.begin(), ps.end()};
+  }
+
+ protected:
+  /// Ensures `grads` has zero-initialized buffers matching Params().
+  void EnsureGradBuffers(std::vector<Tensor>* grads) const;
+};
+
+/// Token + learned positional embedding: [B, S] int tokens -> [B*S, H].
+class Embedding final : public Layer {
+ public:
+  Embedding(int vocab, int hidden, int seq, Rng* rng);
+  std::string name() const override { return "embedding"; }
+  Tensor Forward(const Tensor& x, Stash* stash) const override;
+  Tensor Backward(const Stash& stash, const Tensor& dy,
+                  std::vector<Tensor>* grads) const override;
+  std::vector<Tensor*> Params() override { return {&tok_, &pos_}; }
+
+ private:
+  int vocab_, hidden_, seq_;
+  Tensor tok_, pos_;
+};
+
+/// Pre-LN multi-head self-attention block with residual connection.
+class AttentionBlock final : public Layer {
+ public:
+  AttentionBlock(int hidden, int heads, int seq, bool causal, Rng* rng);
+  std::string name() const override { return "attention"; }
+  Tensor Forward(const Tensor& x, Stash* stash) const override;
+  Tensor Backward(const Stash& stash, const Tensor& dy,
+                  std::vector<Tensor>* grads) const override;
+  std::vector<Tensor*> Params() override {
+    return {&ln_g_, &ln_b_, &w_qkv_, &b_qkv_, &w_o_, &b_o_};
+  }
+
+ private:
+  int hidden_, heads_, seq_, dk_;
+  bool causal_;
+  Tensor ln_g_, ln_b_, w_qkv_, b_qkv_, w_o_, b_o_;
+};
+
+/// Pre-LN 2-layer GELU MLP block with residual connection.
+class MlpBlock final : public Layer {
+ public:
+  MlpBlock(int hidden, int ffn, Rng* rng);
+  std::string name() const override { return "mlp"; }
+  Tensor Forward(const Tensor& x, Stash* stash) const override;
+  Tensor Backward(const Stash& stash, const Tensor& dy,
+                  std::vector<Tensor>* grads) const override;
+  std::vector<Tensor*> Params() override {
+    return {&ln_g_, &ln_b_, &w1_, &b1_, &w2_, &b2_};
+  }
+
+ private:
+  int hidden_, ffn_;
+  Tensor ln_g_, ln_b_, w1_, b1_, w2_, b2_;
+};
+
+/// Final norm + linear head over the first token ([CLS]) of each sequence:
+/// [B*S, H] -> [B, classes].
+class Classifier final : public Layer {
+ public:
+  Classifier(int hidden, int classes, int seq, Rng* rng);
+  std::string name() const override { return "classifier"; }
+  Tensor Forward(const Tensor& x, Stash* stash) const override;
+  Tensor Backward(const Stash& stash, const Tensor& dy,
+                  std::vector<Tensor>* grads) const override;
+  std::vector<Tensor*> Params() override { return {&ln_g_, &ln_b_, &w_, &b_}; }
+
+ private:
+  int hidden_, classes_, seq_;
+  Tensor ln_g_, ln_b_, w_, b_;
+};
+
+/// Softmax cross-entropy, returned as the *sum* over samples (the trainer
+/// divides by the global minibatch once, so microbatch grouping cannot
+/// change the arithmetic). Returns {loss_sum, dlogits}.
+std::pair<float, Tensor> SoftmaxCrossEntropySum(const Tensor& logits,
+                                                const std::vector<int>& labels);
+
+/// Row-wise layer norm over the last dim of a 2D tensor (helper shared by
+/// layers; exposed for unit tests). Saves mean/rstd per row into the outputs.
+Tensor LayerNormForward(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                        Tensor* mean, Tensor* rstd);
+Tensor LayerNormBackward(const Tensor& x, const Tensor& gamma,
+                         const Tensor& mean, const Tensor& rstd,
+                         const Tensor& dy, Tensor* dgamma, Tensor* dbeta);
+
+float Gelu(float x);
+float GeluGrad(float x);
+
+}  // namespace harmony::tensor
+
+#endif  // HARMONY_TENSOR_LAYERS_H_

@@ -1,0 +1,52 @@
+#include "tensor/optim.h"
+
+#include <cmath>
+
+namespace harmony::tensor {
+
+void SgdMomentum::Step(int layer, const std::vector<Tensor*>& params,
+                       const std::vector<Tensor>& grad_sums, float scale) {
+  HARMONY_CHECK_EQ(params.size(), grad_sums.size());
+  auto& vel = velocity_[layer];
+  if (vel.empty()) {
+    for (const Tensor* p : params) vel.push_back(Tensor::Zeros(p->shape()));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor& v = vel[i];
+    Tensor& p = *params[i];
+    for (int64_t j = 0; j < p.size(); ++j) {
+      const float g = grad_sums[i].at(j) * scale;
+      v.at(j) = momentum_ * v.at(j) + g;
+      p.at(j) -= lr_ * v.at(j);
+    }
+  }
+}
+
+void Adam::Step(int layer, const std::vector<Tensor*>& params,
+                const std::vector<Tensor>& grad_sums, float scale) {
+  HARMONY_CHECK_EQ(params.size(), grad_sums.size());
+  auto& m = m_[layer];
+  auto& v = v_[layer];
+  if (m.empty()) {
+    for (const Tensor* p : params) {
+      m.push_back(Tensor::Zeros(p->shape()));
+      v.push_back(Tensor::Zeros(p->shape()));
+    }
+  }
+  const int t = ++t_[layer];
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t));
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = *params[i];
+    for (int64_t j = 0; j < p.size(); ++j) {
+      const float g = grad_sums[i].at(j) * scale;
+      m[i].at(j) = beta1_ * m[i].at(j) + (1.0f - beta1_) * g;
+      v[i].at(j) = beta2_ * v[i].at(j) + (1.0f - beta2_) * g * g;
+      const float mhat = m[i].at(j) / bc1;
+      const float vhat = v[i].at(j) / bc2;
+      p.at(j) -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace harmony::tensor

@@ -1,0 +1,53 @@
+#ifndef HARMONY_TENSOR_OPTIM_H_
+#define HARMONY_TENSOR_OPTIM_H_
+
+#include <map>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace harmony::tensor {
+
+/// Per-layer optimizer: state is keyed by layer index so Harmony's jit
+/// updates (which step layer packs as soon as their gradients are ready) use
+/// exactly the same state and arithmetic as an end-of-iteration update —
+/// parameter updates are independent across layers, which is what makes jit
+/// scheduling semantics-preserving.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update step to `params` of layer `layer` given accumulated
+  /// gradient sums; `scale` (1/minibatch) converts sums to means.
+  virtual void Step(int layer, const std::vector<Tensor*>& params,
+                    const std::vector<Tensor>& grad_sums, float scale) = 0;
+};
+
+class SgdMomentum final : public Optimizer {
+ public:
+  SgdMomentum(float lr, float momentum) : lr_(lr), momentum_(momentum) {}
+  void Step(int layer, const std::vector<Tensor*>& params,
+            const std::vector<Tensor>& grad_sums, float scale) override;
+
+ private:
+  float lr_, momentum_;
+  std::map<int, std::vector<Tensor>> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+  void Step(int layer, const std::vector<Tensor*>& params,
+            const std::vector<Tensor>& grad_sums, float scale) override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  std::map<int, std::vector<Tensor>> m_, v_;
+  std::map<int, int> t_;
+};
+
+}  // namespace harmony::tensor
+
+#endif  // HARMONY_TENSOR_OPTIM_H_

@@ -1,0 +1,115 @@
+#include "tensor/tensor.h"
+
+#include <cstring>
+
+namespace harmony::tensor {
+
+namespace {
+int64_t NumElements(const std::vector<int>& shape) {
+  int64_t n = 1;
+  for (int d : shape) {
+    HARMONY_CHECK_GT(d, 0);
+    n *= d;
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)), data_(NumElements(shape_), 0.0f) {}
+
+Tensor Tensor::Zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Randn(std::vector<int> shape, Rng* rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t.at(i) = static_cast<float>(rng->NextGaussian()) * stddev;
+  }
+  return t;
+}
+
+bool Tensor::BitEquals(const Tensor& o) const {
+  if (shape_ != o.shape_) return false;
+  return std::memcmp(data_.data(), o.data_.data(),
+                     data_.size() * sizeof(float)) == 0;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  HARMONY_CHECK_EQ(a.rank(), 2);
+  HARMONY_CHECK_EQ(b.rank(), 2);
+  HARMONY_CHECK_EQ(a.dim(1), b.dim(0));
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += a.at2(i, p) * b.at2(p, j);
+      out.at2(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+Tensor MatMulBt(const Tensor& a, const Tensor& b) {
+  HARMONY_CHECK_EQ(a.dim(1), b.dim(1));
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor out({m, n});
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += a.at2(i, p) * b.at2(j, p);
+      out.at2(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+Tensor MatMulAt(const Tensor& a, const Tensor& b) {
+  HARMONY_CHECK_EQ(a.dim(0), b.dim(0));
+  const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += a.at2(p, i) * b.at2(p, j);
+      out.at2(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  HARMONY_CHECK(a.SameShape(b));
+  Tensor out = a;
+  for (int64_t i = 0; i < out.size(); ++i) out.at(i) += b.at(i);
+  return out;
+}
+
+void AddInPlace(Tensor* a, const Tensor& b) {
+  HARMONY_CHECK(a->SameShape(b));
+  for (int64_t i = 0; i < a->size(); ++i) a->at(i) += b.at(i);
+}
+
+void Axpy(Tensor* a, float s, const Tensor& b) {
+  HARMONY_CHECK(a->SameShape(b));
+  for (int64_t i = 0; i < a->size(); ++i) a->at(i) += s * b.at(i);
+}
+
+Tensor AddBias(const Tensor& a, const Tensor& bias) {
+  HARMONY_CHECK_EQ(a.rank(), 2);
+  HARMONY_CHECK_EQ(bias.rank(), 1);
+  HARMONY_CHECK_EQ(a.dim(1), bias.dim(0));
+  Tensor out = a;
+  for (int r = 0; r < a.dim(0); ++r) {
+    for (int c = 0; c < a.dim(1); ++c) out.at2(r, c) += bias.at(c);
+  }
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Tensor out = a;
+  for (int64_t i = 0; i < out.size(); ++i) out.at(i) *= s;
+  return out;
+}
+
+}  // namespace harmony::tensor

@@ -1,0 +1,70 @@
+#ifndef HARMONY_TENSOR_TENSOR_H_
+#define HARMONY_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace harmony::tensor {
+
+/// Dense row-major FP32 tensor for the correctness experiments (Sec 5.4):
+/// small, deterministic, and completely self-contained. Performance is not a
+/// goal — bit-exact reproducibility across execution orders is.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape);
+
+  static Tensor Zeros(std::vector<int> shape);
+  /// Gaussian init scaled by `stddev`, deterministic from `rng`.
+  static Tensor Randn(std::vector<int> shape, Rng* rng, float stddev);
+
+  const std::vector<int>& shape() const { return shape_; }
+  int dim(int i) const { return shape_.at(i); }
+  int rank() const { return static_cast<int>(shape_.size()); }
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& at(int64_t i) { return data_[i]; }
+  float at(int64_t i) const { return data_[i]; }
+
+  /// 2D accessors (row-major).
+  float& at2(int r, int c) { return data_[static_cast<int64_t>(r) * shape_[1] + c]; }
+  float at2(int r, int c) const {
+    return data_[static_cast<int64_t>(r) * shape_[1] + c];
+  }
+
+  bool SameShape(const Tensor& o) const { return shape_ == o.shape_; }
+
+  /// Exact bitwise equality (the Fig 12 correctness criterion).
+  bool BitEquals(const Tensor& o) const;
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// out = a @ b for 2D tensors [m,k] x [k,n]. Deterministic accumulation
+/// order (k ascending).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// out = a @ b^T for 2D tensors [m,k] x [n,k].
+Tensor MatMulBt(const Tensor& a, const Tensor& b);
+/// out = a^T @ b for 2D tensors [k,m] x [k,n].
+Tensor MatMulAt(const Tensor& a, const Tensor& b);
+
+/// c = a + b (same shape).
+Tensor Add(const Tensor& a, const Tensor& b);
+/// a += b.
+void AddInPlace(Tensor* a, const Tensor& b);
+/// a += s * b.
+void Axpy(Tensor* a, float s, const Tensor& b);
+/// c = a + row-broadcast bias [n] over [m,n].
+Tensor AddBias(const Tensor& a, const Tensor& bias);
+Tensor Scale(const Tensor& a, float s);
+
+}  // namespace harmony::tensor
+
+#endif  // HARMONY_TENSOR_TENSOR_H_

@@ -1,0 +1,349 @@
+#include "tensor/train.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+namespace harmony::tensor {
+
+using core::Pack;
+using core::PackList;
+
+TinyModel::TinyModel(const TinyModelConfig& c) : config_(c) {
+  Rng rng(c.seed);
+  layers_.push_back(std::make_unique<Embedding>(c.vocab, c.hidden, c.seq, &rng));
+  for (int b = 0; b < c.blocks; ++b) {
+    layers_.push_back(
+        std::make_unique<AttentionBlock>(c.hidden, c.heads, c.seq, c.causal, &rng));
+    layers_.push_back(std::make_unique<MlpBlock>(c.hidden, 4 * c.hidden, &rng));
+  }
+  layers_.push_back(
+      std::make_unique<Classifier>(c.hidden, c.classes, c.seq, &rng));
+}
+
+SyntheticDataset::SyntheticDataset(const TinyModelConfig& c, uint64_t seed,
+                                   int size)
+    : config_(c), all_tokens_({size, c.seq}), size_(size) {
+  Rng rng(seed);
+  all_labels_.resize(size);
+  for (int i = 0; i < size; ++i) {
+    for (int s = 0; s < c.seq; ++s) {
+      all_tokens_.at2(i, s) =
+          static_cast<float>(rng.NextBounded(static_cast<uint64_t>(c.vocab)));
+    }
+    // Learnable signal: the label is a function of the first token.
+    all_labels_[i] = static_cast<int>(all_tokens_.at2(i, 0)) % c.classes;
+  }
+}
+
+void SyntheticDataset::GetBatch(int iteration, int minibatch, Tensor* tokens,
+                                std::vector<int>* labels) const {
+  *tokens = Tensor({minibatch, config_.seq});
+  labels->resize(minibatch);
+  for (int i = 0; i < minibatch; ++i) {
+    const int idx = (iteration * minibatch + i) % size_;
+    for (int s = 0; s < config_.seq; ++s) {
+      tokens->at2(i, s) = all_tokens_.at2(idx, s);
+    }
+    (*labels)[i] = all_labels_[idx];
+  }
+}
+
+void SyntheticDataset::EvalBatch(Tensor* tokens, std::vector<int>* labels) const {
+  const int n = std::min(128, size_);
+  *tokens = Tensor({n, config_.seq});
+  labels->resize(n);
+  for (int i = 0; i < n; ++i) {
+    for (int s = 0; s < config_.seq; ++s) {
+      tokens->at2(i, s) = all_tokens_.at2(i, s);
+    }
+    (*labels)[i] = all_labels_[i];
+  }
+}
+
+const char* ExecutionSchemeName(ExecutionScheme scheme) {
+  switch (scheme) {
+    case ExecutionScheme::kBaseline1Gpu: return "Baseline (1 GPU)";
+    case ExecutionScheme::kHarmony1Gpu: return "Harmony (1 GPU)";
+    case ExecutionScheme::kHarmonyPp: return "Harmony PP";
+    case ExecutionScheme::kBaselineDp: return "Baseline DP";
+    case ExecutionScheme::kHarmonyDp: return "Harmony DP";
+  }
+  return "?";
+}
+
+namespace {
+
+Tensor SliceRows(const Tensor& t, int row_begin, int row_count) {
+  HARMONY_CHECK_EQ(t.rank(), 2);
+  HARMONY_CHECK_LE(row_begin + row_count, t.dim(0));
+  Tensor out({row_count, t.dim(1)});
+  for (int r = 0; r < row_count; ++r) {
+    for (int c = 0; c < t.dim(1); ++c) out.at2(r, c) = t.at2(row_begin + r, c);
+  }
+  return out;
+}
+
+/// Boundary tensor storage at producer-piece granularity with arbitrary
+/// sample-range extraction (the in-memory analogue of the Runtime's
+/// checkpoint store + cross-granularity piece matching).
+class BoundaryStore {
+ public:
+  explicit BoundaryStore(int rows_per_sample) : rows_(rows_per_sample) {}
+
+  void Put(int sample_begin, Tensor t) { pieces_[sample_begin] = std::move(t); }
+
+  Tensor Get(int sample_begin, int sample_count) const {
+    // Fast path: exact piece.
+    auto it = pieces_.find(sample_begin);
+    if (it != pieces_.end() && it->second.dim(0) == sample_count * rows_) {
+      return it->second;
+    }
+    // Assemble from overlapping pieces.
+    Tensor out;
+    int filled = 0;
+    for (const auto& [begin, piece] : pieces_) {
+      const int count = piece.dim(0) / rows_;
+      const int lo = std::max(begin, sample_begin);
+      const int hi = std::min(begin + count, sample_begin + sample_count);
+      if (lo >= hi) continue;
+      Tensor part = SliceRows(piece, (lo - begin) * rows_, (hi - lo) * rows_);
+      if (out.size() == 0) {
+        out = Tensor({sample_count * rows_, part.dim(1)});
+      }
+      for (int r = 0; r < part.dim(0); ++r) {
+        for (int c = 0; c < part.dim(1); ++c) {
+          out.at2((lo - sample_begin) * rows_ + r, c) = part.at2(r, c);
+        }
+      }
+      filled += hi - lo;
+    }
+    HARMONY_CHECK_EQ(filled, sample_count) << "boundary store gap";
+    return out;
+  }
+
+ private:
+  int rows_;
+  std::map<int, Tensor> pieces_;
+};
+
+struct GradAccumulator {
+  std::vector<std::vector<Tensor>> per_layer;  // [layer][param]
+  float loss_sum = 0.0f;
+
+  explicit GradAccumulator(int layers) : per_layer(layers) {}
+
+  void Merge(const GradAccumulator& other) {
+    loss_sum += other.loss_sum;
+    for (size_t l = 0; l < per_layer.size(); ++l) {
+      if (other.per_layer[l].empty()) continue;
+      if (per_layer[l].empty()) {
+        per_layer[l] = other.per_layer[l];
+        continue;
+      }
+      for (size_t p = 0; p < per_layer[l].size(); ++p) {
+        AddInPlace(&per_layer[l][p], other.per_layer[l][p]);
+      }
+    }
+  }
+};
+
+/// Baseline order: for each microbatch, forward all layers then backward all
+/// layers (vanilla autograd with gradient accumulation). Operates on samples
+/// [begin, begin+count) of the batch.
+void AccumulateBaseline(TinyModel* model, const Tensor& tokens,
+                        const std::vector<int>& labels, int begin, int count,
+                        int microbatch, GradAccumulator* acc) {
+  const int R = model->num_layers();
+  for (int mb = begin; mb < begin + count; mb += microbatch) {
+    const int u = std::min(microbatch, begin + count - mb);
+    Tensor x = SliceRows(tokens, mb, u);
+    std::vector<int> y(labels.begin() + mb, labels.begin() + mb + u);
+    std::vector<Stash> stashes(R);
+    Tensor act = x;
+    for (int l = 0; l < R; ++l) act = model->layer(l).Forward(act, &stashes[l]);
+    auto [loss, dy] = SoftmaxCrossEntropySum(act, y);
+    acc->loss_sum += loss;
+    Tensor grad = dy;
+    for (int l = R - 1; l >= 0; --l) {
+      grad = model->layer(l).Backward(stashes[l], grad, &acc->per_layer[l]);
+    }
+  }
+}
+
+/// Harmony order: grouped forward over packs (checkpointing pack inputs),
+/// then fused + reverse backward packs with rematerialization; `updated`
+/// reports which packs finished so the caller can jit-update. Operates on
+/// samples [begin, begin+count).
+void AccumulateHarmony(TinyModel* model, const Tensor& tokens,
+                       const std::vector<int>& labels, int begin, int count,
+                       int u_fwd, int u_bwd, const PackList& packs,
+                       GradAccumulator* acc,
+                       const std::function<void(const Pack&)>& pack_done) {
+  const int R = model->num_layers();
+  const int seq = model->config().seq;
+  HARMONY_CHECK(!packs.empty());
+  HARMONY_CHECK_EQ(packs.front().lo, 0);
+  HARMONY_CHECK_EQ(packs.back().hi, R - 1);
+  const Pack fused = packs.back();
+
+  // Boundary stores. Boundary 0 is the token input (1 row of seq per
+  // sample); interior boundaries carry hidden states (seq rows per sample).
+  std::map<int, BoundaryStore> stores;
+  stores.emplace(0, BoundaryStore(1));
+  for (int b = 1; b < R; ++b) stores.emplace(b, BoundaryStore(seq));
+  {
+    BoundaryStore& s0 = stores.at(0);
+    s0.Put(0, SliceRows(tokens, begin, count));
+  }
+
+  // Forward packs (all but the fused one), input-batch grouped at U_F.
+  for (size_t pi = 0; pi + 1 < packs.size(); ++pi) {
+    const Pack& p = packs[pi];
+    for (int mb = 0; mb < count; mb += u_fwd) {
+      const int u = std::min(u_fwd, count - mb);
+      Tensor act = stores.at(p.lo).Get(mb, u);
+      for (int l = p.lo; l <= p.hi; ++l) {
+        act = model->layer(l).Forward(act, /*stash=*/nullptr);
+      }
+      stores.at(p.hi + 1).Put(mb, std::move(act));
+    }
+  }
+
+  // Backward packs in reverse, grouped at U_B; the last pack's forward runs
+  // fused (jit-compute), others rematerialize from their checkpoint.
+  std::map<int, BoundaryStore> grad_stores;  // gradient at boundary b
+  for (int b = 1; b < R; ++b) grad_stores.emplace(b, BoundaryStore(seq));
+  for (int pi = static_cast<int>(packs.size()) - 1; pi >= 0; --pi) {
+    const Pack& p = packs[pi];
+    for (int mb = 0; mb < count; mb += u_bwd) {
+      const int u = std::min(u_bwd, count - mb);
+      Tensor act = stores.at(p.lo).Get(mb, u);
+      std::vector<Stash> stashes(p.num_layers());
+      for (int l = p.lo; l <= p.hi; ++l) {
+        act = model->layer(l).Forward(act, &stashes[l - p.lo]);
+      }
+      Tensor grad;
+      if (p.hi == R - 1) {
+        std::vector<int> y(labels.begin() + begin + mb,
+                           labels.begin() + begin + mb + u);
+        auto [loss, dlogits] = SoftmaxCrossEntropySum(act, y);
+        acc->loss_sum += loss;
+        grad = std::move(dlogits);
+      } else {
+        grad = grad_stores.at(p.hi + 1).Get(mb, u);
+      }
+      for (int l = p.hi; l >= p.lo; --l) {
+        grad = model->layer(l).Backward(stashes[l - p.lo], grad,
+                                        &acc->per_layer[l]);
+      }
+      if (p.lo > 0) grad_stores.at(p.lo).Put(mb, std::move(grad));
+    }
+    pack_done(p);
+  }
+  (void)fused;
+}
+
+std::vector<std::pair<int, int>> ReplicaShares(int minibatch, int replicas) {
+  std::vector<std::pair<int, int>> shares;
+  int begin = 0;
+  for (int r = 0; r < replicas; ++r) {
+    int count = minibatch / replicas + (r < minibatch % replicas ? 1 : 0);
+    shares.emplace_back(begin, count);
+    begin += count;
+  }
+  return shares;
+}
+
+}  // namespace
+
+TrainResult Train(const TinyModelConfig& model_config, ExecutionScheme scheme,
+                  const TrainOptions& options) {
+  TinyModel model(model_config);
+  const int R = model.num_layers();
+  SyntheticDataset data(model_config, options.data_seed);
+
+  PackList packs = options.packs;
+  if (packs.empty()) {
+    for (int l = 0; l < R; ++l) packs.push_back(Pack{l, l});
+  }
+
+  std::unique_ptr<Optimizer> opt;
+  if (options.use_adam) {
+    opt = std::make_unique<Adam>(options.lr);
+  } else {
+    opt = std::make_unique<SgdMomentum>(options.lr, 0.9f);
+  }
+
+  auto update_pack = [&](const Pack& p, GradAccumulator* acc) {
+    for (int l = p.lo; l <= p.hi; ++l) {
+      opt->Step(l, model.layer(l).Params(), acc->per_layer[l],
+                1.0f / options.minibatch);
+    }
+  };
+
+  TrainResult result;
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    Tensor tokens;
+    std::vector<int> labels;
+    data.GetBatch(iter, options.minibatch, &tokens, &labels);
+    GradAccumulator acc(R);
+
+    switch (scheme) {
+      case ExecutionScheme::kBaseline1Gpu:
+        AccumulateBaseline(&model, tokens, labels, 0, options.minibatch,
+                           options.microbatch, &acc);
+        for (const Pack& p : packs) update_pack(p, &acc);
+        break;
+      case ExecutionScheme::kHarmony1Gpu:
+      case ExecutionScheme::kHarmonyPp:
+        // The wrap-around pipeline reorders *where* tasks run, not their
+        // arithmetic; both schemes execute the Harmony order with jit
+        // updates as each pack's gradients complete.
+        AccumulateHarmony(&model, tokens, labels, 0, options.minibatch,
+                          options.fwd_microbatch, options.microbatch, packs,
+                          &acc, [&](const Pack& p) { update_pack(p, &acc); });
+        break;
+      case ExecutionScheme::kBaselineDp:
+      case ExecutionScheme::kHarmonyDp: {
+        GradAccumulator total(R);
+        for (const auto& [begin, count] :
+             ReplicaShares(options.minibatch, options.num_replicas)) {
+          GradAccumulator replica(R);
+          if (scheme == ExecutionScheme::kBaselineDp) {
+            AccumulateBaseline(&model, tokens, labels, begin, count,
+                               options.microbatch, &replica);
+          } else {
+            AccumulateHarmony(&model, tokens, labels, begin, count,
+                              options.fwd_microbatch, options.microbatch, packs,
+                              &replica, [](const Pack&) {});
+          }
+          total.Merge(replica);  // reduction in replica order
+        }
+        for (const Pack& p : packs) update_pack(p, &total);
+        acc.loss_sum = total.loss_sum;
+        break;
+      }
+    }
+    result.losses.push_back(acc.loss_sum / options.minibatch);
+  }
+
+  // Final evaluation accuracy.
+  Tensor eval_tokens;
+  std::vector<int> eval_labels;
+  data.EvalBatch(&eval_tokens, &eval_labels);
+  Tensor act = eval_tokens;
+  for (int l = 0; l < R; ++l) act = model.layer(l).Forward(act, nullptr);
+  int correct = 0;
+  for (int r = 0; r < act.dim(0); ++r) {
+    int best = 0;
+    for (int c = 1; c < act.dim(1); ++c) {
+      if (act.at2(r, c) > act.at2(r, best)) best = c;
+    }
+    if (best == eval_labels[r]) ++correct;
+  }
+  result.eval_accuracy = static_cast<double>(correct) / act.dim(0);
+  return result;
+}
+
+}  // namespace harmony::tensor

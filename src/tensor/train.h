@@ -1,0 +1,105 @@
+#ifndef HARMONY_TENSOR_TRAIN_H_
+#define HARMONY_TENSOR_TRAIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "tensor/layers.h"
+#include "tensor/optim.h"
+
+namespace harmony::tensor {
+
+/// A small but real transformer used by the correctness experiments
+/// (Sec 5.4): Embedding + (Attention, MLP) x blocks + Classifier, trained
+/// with actual FP32 arithmetic so execution-order claims are testable
+/// bit-for-bit.
+struct TinyModelConfig {
+  int vocab = 64;
+  int hidden = 32;
+  int heads = 4;
+  int seq = 8;
+  int blocks = 3;
+  int classes = 2;
+  bool causal = false;
+  uint64_t seed = 42;
+};
+
+class TinyModel {
+ public:
+  explicit TinyModel(const TinyModelConfig& config);
+
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  Layer& layer(int i) { return *layers_.at(i); }
+  const Layer& layer(int i) const { return *layers_.at(i); }
+  const TinyModelConfig& config() const { return config_; }
+
+ private:
+  TinyModelConfig config_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Deterministic synthetic dataset: the label of a sequence is derived from
+/// its first token, so the model can actually learn (losses fall, accuracy
+/// rises — the Fig 12 curves are real training curves).
+class SyntheticDataset {
+ public:
+  SyntheticDataset(const TinyModelConfig& config, uint64_t seed, int size = 512);
+
+  /// `iteration`-th training minibatch of `minibatch` sequences (wraps).
+  void GetBatch(int iteration, int minibatch, Tensor* tokens,
+                std::vector<int>* labels) const;
+  void EvalBatch(Tensor* tokens, std::vector<int>* labels) const;
+
+ private:
+  TinyModelConfig config_;
+  Tensor all_tokens_;           // [size, seq]
+  std::vector<int> all_labels_;
+  int size_;
+};
+
+/// How one training run schedules its computation. All schemes compute the
+/// same synchronous-SGD iteration; they differ only in execution order —
+/// which is exactly what the correctness experiment validates.
+enum class ExecutionScheme {
+  kBaseline1Gpu,  // per-microbatch fwd+bwd, update at end (vanilla PyTorch)
+  kHarmony1Gpu,   // packs + input-batch grouping + recompute + jit updates
+  kHarmonyPp,     // wrap-around pipeline order (numerically == kHarmony1Gpu)
+  kBaselineDp,    // replicas accumulate, reduce in replica order, update
+  kHarmonyDp,     // replica-local Harmony order + same reduction
+};
+
+const char* ExecutionSchemeName(ExecutionScheme scheme);
+
+struct TrainOptions {
+  int iterations = 20;
+  int minibatch = 16;
+  /// Backward/accumulation microbatch U_B (all schemes accumulate gradients
+  /// in this granularity and order, which is what makes them comparable
+  /// bit-for-bit; see Sec 5.4).
+  int microbatch = 4;
+  /// Forward microbatch U_F for the Harmony schemes (may differ from U_B).
+  int fwd_microbatch = 8;
+  /// Backward layer packs for the Harmony schemes; empty = every layer its
+  /// own pack. The last pack is the fused jit-compute pack.
+  core::PackList packs;
+  int num_replicas = 2;  // DP schemes
+  bool use_adam = true;
+  float lr = 1e-3f;
+  uint64_t data_seed = 7;
+};
+
+struct TrainResult {
+  std::vector<float> losses;  // mean loss per iteration
+  double eval_accuracy = 0.0;
+};
+
+/// Trains a fresh TinyModel under the given scheme and returns the loss
+/// curve + final evaluation accuracy. Two runs with the same model seed and
+/// equivalent schemes produce bit-identical losses.
+TrainResult Train(const TinyModelConfig& model_config, ExecutionScheme scheme,
+                  const TrainOptions& options);
+
+}  // namespace harmony::tensor
+
+#endif  // HARMONY_TENSOR_TRAIN_H_

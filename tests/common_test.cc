@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/regression.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace harmony {
+namespace {
+
+TEST(Units, Constructors) {
+  EXPECT_EQ(GiB(1), 1024LL * 1024 * 1024);
+  EXPECT_EQ(MiB(2), 2LL * 1024 * 1024);
+  EXPECT_EQ(KiB(3), 3LL * 1024);
+  EXPECT_EQ(GiB(11.0), 11LL * 1024 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(GiBps(16.0), 16.0 * 1024 * 1024 * 1024);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(GiB(11)), "11.00 GiB");
+  EXPECT_EQ(FormatBytes(MiB(1.5)), "1.50 MiB");
+  EXPECT_EQ(FormatBytes(KiB(4)), "4.00 KiB");
+}
+
+TEST(Units, FormatTime) {
+  EXPECT_EQ(FormatTime(1.5), "1.500 s");
+  EXPECT_EQ(FormatTime(0.012), "12.000 ms");
+  EXPECT_EQ(FormatTime(42e-6), "42.000 us");
+}
+
+TEST(Status, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  const Status s = Status::InvalidArgument("bad");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad");
+  EXPECT_EQ(Status::OutOfMemory("x").code(), StatusCode::kOutOfMemory);
+}
+
+TEST(Result, ValueAndStatus) {
+  Result<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_TRUE(ok.status().ok());
+
+  Result<int> err(Status::NotFound("nope"));
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.NextU64() == b.NextU64();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BoundedInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    const int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, SplitIndependence) {
+  Rng parent(5);
+  Rng c1 = parent.Split(1);
+  Rng c2 = parent.Split(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += c1.NextU64() == c2.NextU64();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Regression, ExactLinearFit) {
+  const std::vector<double> x = {1, 2, 4, 8, 16};
+  std::vector<double> y;
+  for (double xi : x) y.push_back(3.0 + 2.0 * xi);
+  const auto fit = LinearRegression::Fit(x, y);
+  EXPECT_NEAR(fit.slope(), 2.0, 1e-9);
+  EXPECT_NEAR(fit.intercept(), 3.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared(), 1.0, 1e-9);
+  EXPECT_NEAR(fit.Predict(32), 67.0, 1e-9);
+}
+
+TEST(Regression, SinglePointIsConstant) {
+  const auto fit = LinearRegression::Fit({4}, {7});
+  EXPECT_DOUBLE_EQ(fit.Predict(100), 7.0);
+}
+
+TEST(Regression, ClampsNegativePredictions) {
+  const auto fit = LinearRegression::Fit({1, 2}, {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(fit.Predict(-10), 0.0);
+}
+
+TEST(Regression, NoisyFitHasReasonableR2) {
+  Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 1; i <= 32; ++i) {
+    x.push_back(i);
+    y.push_back(5.0 * i + 10 + rng.NextGaussian() * 0.5);
+  }
+  const auto fit = LinearRegression::Fit(x, y);
+  EXPECT_GT(fit.r_squared(), 0.99);
+  EXPECT_NEAR(fit.slope(), 5.0, 0.1);
+}
+
+TEST(Table, AsciiAndCsv) {
+  Table t({"model", "time"});
+  t.AddRow({"GPT2", Table::Cell(1.5)});
+  t.AddRow({"BERT96", Table::Cell(int64_t{42})});
+  EXPECT_EQ(t.num_rows(), 2);
+  std::ostringstream ascii, csv;
+  t.PrintAscii(&ascii);
+  t.PrintCsv(&csv);
+  EXPECT_NE(ascii.str().find("GPT2"), std::string::npos);
+  EXPECT_EQ(csv.str(), "model,time\nGPT2,1.50\nBERT96,42\n");
+}
+
+}  // namespace
+}  // namespace harmony

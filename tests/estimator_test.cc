@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "core/estimator.h"
+#include "core/packing.h"
+#include "core/scheduler.h"
+#include "model/models.h"
+#include "profile/profiler.h"
+
+namespace harmony::core {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : machine(hw::MachineSpec::Commodity4Gpu()),
+        model(model::Sequentialize(model::TinyTransformer(16, 512, 128))),
+        db(profile::Profiler(machine.gpu, {}).Profile(model)) {}
+
+  Configuration Config(int u_fwd, int u_bwd) const {
+    PackingOptions opts;
+    opts.capacity = MiB(512);
+    Configuration c;
+    c.u_fwd = u_fwd;
+    c.u_bwd = u_bwd;
+    c.bwd_packs = BackwardPacks(u_bwd, db, opts).value();
+    opts.min_packs = 4;
+    c.fwd_packs = ForwardPacks(u_fwd, c.bwd_packs, db, opts).value();
+    return c;
+  }
+
+  hw::MachineSpec machine;
+  model::SequentialModel model;
+  profile::ProfileDb db;
+};
+
+TEST(Estimator, LowerBoundedByComputeAndPositive) {
+  const Fixture f;
+  const Configuration c = f.Config(2, 2);
+  const TaskGraph g = GenerateHarmonyTaskGraph(
+      c, HarmonyMode::kPipelineParallel, 4, 8, OptimizationFlags{}, f.db);
+  const RuntimeEstimator est(f.db, f.machine);
+  const Estimate e = est.EstimateIteration(g);
+  // Per-GPU compute: total fwd+recompute+bwd work / N is a hard lower bound.
+  double total = 0;
+  for (int l = 0; l < f.db.num_layers(); ++l) {
+    total += 8 / 2 * (2 * f.db.FwdTime(l, 2) + f.db.BwdTime(l, 2));
+  }
+  EXPECT_GT(e.iteration_time, total / 4 * 0.9);
+  EXPECT_GT(e.swap_bytes, 0);
+}
+
+TEST(Estimator, SwapBytesTrackWeightTraffic) {
+  const Fixture f;
+  const Configuration c = f.Config(2, 2);
+  const TaskGraph g = GenerateHarmonyTaskGraph(
+      c, HarmonyMode::kPipelineParallel, 4, 8, OptimizationFlags{}, f.db);
+  const RuntimeEstimator est(f.db, f.machine);
+  const Estimate e = est.EstimateIteration(g);
+  const Bytes params = f.db.PackParamBytes(0, f.db.num_layers() - 1);
+  // Harmony PP: roughly 3|W| (fwd in, bwd in, grads out) plus checkpoints.
+  EXPECT_GE(e.swap_bytes, 2 * params);
+  EXPECT_LE(e.swap_bytes, 6 * params);
+}
+
+TEST(Estimator, DataParallelSwapsScaleWithReplicas) {
+  const Fixture f;
+  const Configuration c = f.Config(2, 2);
+  const TaskGraph pp = GenerateHarmonyTaskGraph(
+      c, HarmonyMode::kPipelineParallel, 4, 8, OptimizationFlags{}, f.db);
+  const TaskGraph dp = GenerateHarmonyTaskGraph(
+      c, HarmonyMode::kDataParallel, 4, 8, OptimizationFlags{}, f.db);
+  const RuntimeEstimator est(f.db, f.machine);
+  EXPECT_GT(est.EstimateIteration(dp).swap_bytes,
+            2 * est.EstimateIteration(pp).swap_bytes);
+}
+
+TEST(Estimator, P2pOffIsSlower) {
+  const Fixture f;
+  const Configuration c = f.Config(2, 2);
+  OptimizationFlags on, off;
+  off.p2p_transfers = false;
+  const RuntimeEstimator est(f.db, f.machine);
+  const auto g_on = GenerateHarmonyTaskGraph(c, HarmonyMode::kPipelineParallel,
+                                             4, 8, on, f.db);
+  const auto g_off = GenerateHarmonyTaskGraph(c, HarmonyMode::kPipelineParallel,
+                                              4, 8, off, f.db);
+  const Estimate e_on = est.EstimateIteration(g_on);
+  const Estimate e_off = est.EstimateIteration(g_off);
+  EXPECT_GT(e_on.p2p_bytes, 0);
+  EXPECT_EQ(e_off.p2p_bytes, 0);
+  EXPECT_GE(e_off.iteration_time, e_on.iteration_time);
+  EXPECT_GT(e_off.swap_bytes, e_on.swap_bytes);
+}
+
+TEST(Estimator, PrefetchHidesWeightFetches) {
+  const Fixture f;
+  const Configuration c = f.Config(2, 2);
+  OptimizationFlags on, off;
+  off.prefetch = false;
+  const RuntimeEstimator est(f.db, f.machine);
+  const auto g_on = GenerateHarmonyTaskGraph(c, HarmonyMode::kPipelineParallel,
+                                             4, 8, on, f.db);
+  const auto g_off = GenerateHarmonyTaskGraph(c, HarmonyMode::kPipelineParallel,
+                                              4, 8, off, f.db);
+  EXPECT_LE(est.EstimateIteration(g_on).iteration_time,
+            est.EstimateIteration(g_off).iteration_time);
+}
+
+TEST(Estimator, GroupingOnIsFasterOrEqual) {
+  const Fixture f;
+  const Configuration c = f.Config(2, 2);
+  OptimizationFlags on, off;
+  off.input_batch_grouping = false;
+  const RuntimeEstimator est(f.db, f.machine);
+  const auto g_on =
+      GenerateHarmonyTaskGraph(c, HarmonyMode::kDataParallel, 4, 16, on, f.db);
+  const auto g_off =
+      GenerateHarmonyTaskGraph(c, HarmonyMode::kDataParallel, 4, 16, off, f.db);
+  EXPECT_LE(est.EstimateIteration(g_on).swap_bytes,
+            est.EstimateIteration(g_off).swap_bytes);
+}
+
+TEST(Estimator, MoreMicrobatchesMoreTime) {
+  const Fixture f;
+  const Configuration c = f.Config(2, 2);
+  const RuntimeEstimator est(f.db, f.machine);
+  const auto g8 = GenerateHarmonyTaskGraph(c, HarmonyMode::kPipelineParallel, 4,
+                                           8, OptimizationFlags{}, f.db);
+  const auto g16 = GenerateHarmonyTaskGraph(c, HarmonyMode::kPipelineParallel, 4,
+                                            16, OptimizationFlags{}, f.db);
+  EXPECT_GT(est.EstimateIteration(g16).iteration_time,
+            est.EstimateIteration(g8).iteration_time);
+}
+
+TEST(Search, FindsFeasibleBestAndExploresSpace) {
+  const Fixture f;
+  hw::MachineSpec small = f.machine;
+  small.gpu.memory_capacity = MiB(512);
+  SearchOptions opts;
+  opts.u_fwd_max = 4;
+  opts.u_bwd_max = 4;
+  const auto result =
+      SearchConfiguration(f.db, small, HarmonyMode::kPipelineParallel, 8,
+                          OptimizationFlags{}, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().configs_feasible, 4);
+  EXPECT_GT(result.value().best_estimate.iteration_time, 0);
+  // The best config is at least as good as every explored one.
+  for (const auto& ec : result.value().explored) {
+    EXPECT_GE(ec.estimate.iteration_time + 1e-12,
+              result.value().best_estimate.iteration_time);
+  }
+}
+
+TEST(Search, EquiFbNeverBeatsDistinctFb) {
+  // Table 4: the Distinct-FB design space contains Equi-FB, so its best is
+  // at least as fast.
+  const Fixture f;
+  hw::MachineSpec small = f.machine;
+  small.gpu.memory_capacity = MiB(512);
+  SearchOptions distinct, equi;
+  distinct.u_fwd_max = equi.u_fwd_max = 4;
+  distinct.u_bwd_max = equi.u_bwd_max = 4;
+  equi.equi_fb = true;
+  const auto d = SearchConfiguration(f.db, small, HarmonyMode::kPipelineParallel,
+                                     8, OptimizationFlags{}, distinct);
+  const auto e = SearchConfiguration(f.db, small, HarmonyMode::kPipelineParallel,
+                                     8, OptimizationFlags{}, equi);
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(e.ok());
+  EXPECT_LE(d.value().best_estimate.iteration_time,
+            e.value().best_estimate.iteration_time + 1e-12);
+  // Equi-FB uses the same microbatch size for both passes.
+  EXPECT_EQ(e.value().best.u_fwd, e.value().best.u_bwd);
+}
+
+TEST(Search, InfeasibleModelReturnsError) {
+  const Fixture f;
+  hw::MachineSpec tiny = f.machine;
+  tiny.gpu.memory_capacity = MiB(32);
+  const auto result = SearchConfiguration(
+      f.db, tiny, HarmonyMode::kPipelineParallel, 8, OptimizationFlags{}, {});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Scheduler, EndToEndProducesValidGraph) {
+  const Fixture f;
+  hw::MachineSpec small = f.machine;
+  small.gpu.memory_capacity = MiB(512);
+  const Scheduler scheduler(small);
+  SearchOptions opts;
+  opts.u_fwd_max = 2;
+  opts.u_bwd_max = 2;
+  const auto outcome = scheduler.Schedule(
+      f.model, HarmonyMode::kPipelineParallel, 8, OptimizationFlags{}, opts);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ValidateTaskGraph(outcome.value().graph);
+  EXPECT_EQ(outcome.value().graph.minibatch, 8);
+}
+
+}  // namespace
+}  // namespace harmony::core

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nphard/reduction.h"
+
+namespace harmony::nphard {
+namespace {
+
+using core::Pack;
+using core::PackList;
+
+TEST(Makespan, SingleGpuIsSerial) {
+  SchedulingInstance inst;
+  inst.num_microbatches = 2;
+  inst.num_gpus = 1;
+  inst.memory = 10;
+  inst.times = {1.0, 2.0, 3.0};
+  inst.sizes = {1, 1, 1};
+  // One pack: (1+2+3) * 2 microbatches.
+  EXPECT_DOUBLE_EQ(Makespan(inst, {Pack{0, 2}}), 12.0);
+  // Split packs on one GPU: same total, no overlap possible.
+  EXPECT_DOUBLE_EQ(Makespan(inst, {Pack{0, 0}, Pack{1, 2}}), 12.0);
+}
+
+TEST(Makespan, PerfectPipelineOnTwoGpus) {
+  // Two equal packs, two GPUs, B microbatches: makespan = (B + 1) * p.
+  SchedulingInstance inst;
+  inst.num_microbatches = 3;
+  inst.num_gpus = 2;
+  inst.memory = 10;
+  inst.times = {2.0, 2.0};
+  inst.sizes = {1, 1};
+  EXPECT_DOUBLE_EQ(Makespan(inst, {Pack{0, 0}, Pack{1, 1}}), 8.0);
+}
+
+TEST(Makespan, BottleneckPackDominates) {
+  SchedulingInstance inst;
+  inst.num_microbatches = 4;
+  inst.num_gpus = 2;
+  inst.memory = 10;
+  inst.times = {1.0, 5.0};
+  inst.sizes = {1, 1};
+  // Slow pack processes 4 microbatches serially after a 1s offset.
+  EXPECT_DOUBLE_EQ(Makespan(inst, {Pack{0, 0}, Pack{1, 1}}), 1.0 + 4 * 5.0);
+}
+
+TEST(Feasible, MemoryConstraint) {
+  SchedulingInstance inst;
+  inst.memory = 5;
+  inst.times = {1, 1, 1};
+  inst.sizes = {3, 3, 3};
+  EXPECT_TRUE(Feasible(inst, {Pack{0, 0}, Pack{1, 1}, Pack{2, 2}}));
+  EXPECT_FALSE(Feasible(inst, {Pack{0, 1}, Pack{2, 2}}));
+}
+
+TEST(Reduction, InstanceShapeMatchesTable2) {
+  const auto inst = ReduceFromPartition({6, 2, 4});
+  EXPECT_EQ(inst.num_layers(), 3 * 3 + 4);
+  EXPECT_EQ(inst.num_microbatches, 3);
+  EXPECT_EQ(inst.num_gpus, 2);
+  EXPECT_EQ(inst.memory, 7);
+  const double big = 6.0 * 12;  // A = 6 * sum
+  EXPECT_DOUBLE_EQ(inst.times[0], 8 * big);
+  EXPECT_EQ(inst.sizes[0], 6);
+  EXPECT_DOUBLE_EQ(inst.times[3], 6.0);  // a_1
+  EXPECT_EQ(inst.sizes[3], 2);
+}
+
+TEST(Reduction, YesInstanceAttainsTarget) {
+  // (6,2,4): partition {6} vs {2,4} exists.
+  const auto inst = ReduceFromPartition({6, 2, 4});
+  const double opt = BruteForceOptimalMakespan(inst);
+  EXPECT_NEAR(opt, TargetMakespan(inst), 1e-6);
+}
+
+TEST(Reduction, NoInstanceExceedsTarget) {
+  // (3,5,7): odd sum, no partition.
+  const auto inst = ReduceFromPartition({3, 5, 7});
+  const double opt = BruteForceOptimalMakespan(inst);
+  EXPECT_GT(opt, TargetMakespan(inst) + 1e-6);
+}
+
+TEST(Reduction, BalancedSolutionFromProofAchievesT) {
+  // Fig 17(a): a_1=6 packs with its predecessor (GPU 1 side), a_2, a_3 with
+  // their successors (GPU 2 side).
+  const std::vector<int64_t> a = {6, 2, 4};
+  const auto inst = ReduceFromPartition(a);
+  const PackList packs = {
+      Pack{0, 0}, Pack{1, 1},
+      Pack{2, 3}, Pack{4, 4},    // {3i, 3i+1}, {3i+2} for i=1 (a_1 -> GPU 1)
+      Pack{5, 5}, Pack{6, 7},    // {3i}, {3i+1, 3i+2} for i=2 (a_2 -> GPU 2)
+      Pack{8, 8}, Pack{9, 10},   // i=3 (a_3 -> GPU 2)
+      Pack{11, 11}, Pack{12, 12}};
+  ASSERT_TRUE(Feasible(inst, packs));
+  EXPECT_NEAR(Makespan(inst, packs), TargetMakespan(inst), 1e-6);
+}
+
+TEST(Reduction, SingletonMiddleLayerIsSuboptimal) {
+  // Fig 17(b): putting layer 3i+1 alone forces unforced idle time.
+  const auto inst = ReduceFromPartition({6, 2, 4});
+  const PackList packs = {Pack{0, 0}, Pack{1, 1}, Pack{2, 2}, Pack{3, 3},
+                          Pack{4, 4}, Pack{5, 5}, Pack{6, 6}, Pack{7, 7},
+                          Pack{8, 8}, Pack{9, 9}, Pack{10, 10}, Pack{11, 11},
+                          Pack{12, 12}};
+  ASSERT_TRUE(Feasible(inst, packs));
+  EXPECT_GT(Makespan(inst, packs), TargetMakespan(inst) + 1e-6);
+}
+
+TEST(Partition, OracleBasics) {
+  EXPECT_TRUE(PartitionFeasible({1, 1}));
+  EXPECT_TRUE(PartitionFeasible({3, 1, 2}));
+  EXPECT_FALSE(PartitionFeasible({1, 2}));
+  EXPECT_FALSE(PartitionFeasible({2, 4, 16}));
+}
+
+// Property test: over random small Partition instances, the reduction's
+// optimal makespan equals T exactly when the instance is feasible — the
+// equivalence at the heart of the NP-hardness proof (Proposition A.2).
+class ReductionEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReductionEquivalence, MakespanEqualsTargetIffPartitionFeasible) {
+  Rng rng(GetParam() * 1337 + 11);
+  const int n = 2 + static_cast<int>(rng.NextBounded(2));  // 2..3 numbers
+  std::vector<int64_t> a;
+  for (int i = 0; i < n; ++i) a.push_back(1 + rng.NextInt(0, 9));
+  const bool feasible = PartitionFeasible(a);
+  const auto inst = ReduceFromPartition(a);
+  const double opt = BruteForceOptimalMakespan(inst);
+  const double target = TargetMakespan(inst);
+  if (feasible) {
+    EXPECT_NEAR(opt, target, 1e-6) << ::testing::PrintToString(a);
+  } else {
+    EXPECT_GT(opt, target + 1e-9) << ::testing::PrintToString(a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPartitions, ReductionEquivalence,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace harmony::nphard

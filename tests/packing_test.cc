@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/packing.h"
+#include "model/models.h"
+#include "profile/profiler.h"
+
+namespace harmony::core {
+namespace {
+
+profile::ProfileDb MakeDb(const model::LayerGraph& graph) {
+  const hw::MachineSpec machine = hw::MachineSpec::Commodity4Gpu();
+  const profile::Profiler profiler(machine.gpu, profile::ProfilerOptions{});
+  return profiler.Profile(model::Sequentialize(graph));
+}
+
+void CheckPartition(const PackList& packs, int num_layers) {
+  ASSERT_FALSE(packs.empty());
+  EXPECT_EQ(packs.front().lo, 0);
+  EXPECT_EQ(packs.back().hi, num_layers - 1);
+  for (size_t i = 0; i + 1 < packs.size(); ++i) {
+    EXPECT_EQ(packs[i].hi + 1, packs[i + 1].lo) << "gap/overlap at pack " << i;
+    EXPECT_LE(packs[i].lo, packs[i].hi);
+  }
+}
+
+TEST(Packing, CoversAllLayersContiguously) {
+  const auto db = MakeDb(model::Gpt2());
+  PackingOptions opts;
+  opts.capacity = GiB(9);
+  for (int u : {1, 2, 4}) {
+    const auto packs = BackwardPacks(u, db, opts);
+    ASSERT_TRUE(packs.ok()) << "u=" << u;
+    CheckPartition(packs.value(), db.num_layers());
+  }
+}
+
+TEST(Packing, RespectsCapacity) {
+  const auto db = MakeDb(model::Gpt2());
+  PackingOptions opts;
+  opts.capacity = GiB(9);
+  const auto packs = BackwardPacks(2, db, opts);
+  ASSERT_TRUE(packs.ok());
+  for (const Pack& p : packs.value()) {
+    EXPECT_LE(PackTaskBytes(PassType::kBackward, p, 2, db), opts.capacity);
+  }
+}
+
+TEST(Packing, SmallerCapacityMeansMorePacks) {
+  const auto db = MakeDb(model::Gpt2());
+  PackingOptions big, small;
+  big.capacity = GiB(9);
+  small.capacity = GiB(5);
+  const auto pb = BackwardPacks(1, db, big);
+  const auto ps = BackwardPacks(1, db, small);
+  ASSERT_TRUE(pb.ok());
+  ASSERT_TRUE(ps.ok());
+  EXPECT_GT(ps.value().size(), pb.value().size());
+}
+
+TEST(Packing, LargerMicrobatchMeansMorePacks) {
+  const auto db = MakeDb(model::Gpt2());
+  PackingOptions opts;
+  opts.capacity = GiB(9);
+  const auto p1 = BackwardPacks(1, db, opts);
+  const auto p3 = BackwardPacks(3, db, opts);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p3.ok());
+  EXPECT_GE(p3.value().size(), p1.value().size());
+}
+
+TEST(Packing, BalancedTimesForUniformLayers) {
+  const auto db = MakeDb(model::TinyTransformer(32, 512, 128));
+  PackingOptions opts;
+  opts.capacity = GiB(9);
+  opts.min_packs = 8;
+  const auto packs = BalancedTimePacking(PassType::kForward, 4, 32, db, opts);
+  ASSERT_TRUE(packs.ok());
+  double mn = 1e9, mx = 0;
+  for (const Pack& p : packs.value()) {
+    // Skip the first pack: it holds the cheap embedding layer.
+    if (p.lo == 0) continue;
+    const double t = PackTaskTime(PassType::kForward, p, 4, db);
+    mn = std::min(mn, t);
+    mx = std::max(mx, t);
+  }
+  EXPECT_LT(mx / mn, 1.8) << "uniform layers should pack near-evenly";
+}
+
+TEST(Packing, MinPacksHonored) {
+  const auto db = MakeDb(model::Gpt2());
+  PackingOptions opts;
+  opts.capacity = GiB(9);
+  opts.min_packs = 10;
+  const auto packs =
+      BalancedTimePacking(PassType::kForward, 4, db.num_layers(), db, opts);
+  ASSERT_TRUE(packs.ok());
+  EXPECT_GE(static_cast<int>(packs.value().size()), 10);
+}
+
+TEST(Packing, InfeasibleWhenLayerExceedsCapacity) {
+  const auto db = MakeDb(model::Gpt2());
+  PackingOptions opts;
+  opts.capacity = MiB(100);  // smaller than one transformer block's task
+  const auto packs = BackwardPacks(1, db, opts);
+  EXPECT_FALSE(packs.ok());
+  EXPECT_EQ(packs.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Packing, ForwardPacksExcludeFusedPack) {
+  // jit-compute: P_F covers only the layers before the last backward pack.
+  const auto db = MakeDb(model::Gpt2());
+  PackingOptions opts;
+  opts.capacity = GiB(9);
+  const auto bwd = BackwardPacks(1, db, opts);
+  ASSERT_TRUE(bwd.ok());
+  const auto fwd = ForwardPacks(4, bwd.value(), db, opts);
+  ASSERT_TRUE(fwd.ok());
+  ASSERT_FALSE(fwd.value().empty());
+  EXPECT_EQ(fwd.value().back().hi + 1, bwd.value().back().lo);
+  CheckPartition(fwd.value(), bwd.value().back().lo);
+}
+
+TEST(Packing, SingleLayerModel) {
+  const auto db = MakeDb(model::TinyTransformer(1, 128, 32));
+  PackingOptions opts;
+  opts.capacity = GiB(9);
+  const auto packs = BackwardPacks(1, db, opts);
+  ASSERT_TRUE(packs.ok());
+  CheckPartition(packs.value(), db.num_layers());
+}
+
+// Property test: random capacities and microbatch sizes across models — the
+// result is always a valid partition within capacity, or a clean error.
+class PackingPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PackingPropertyTest, AlwaysValidOrInfeasible) {
+  Rng rng(GetParam());
+  static const auto db_gpt = MakeDb(model::Gpt2());
+  static const auto db_cnn = MakeDb(model::Vgg416());
+  const auto& db = rng.NextBounded(2) == 0 ? db_gpt : db_cnn;
+  PackingOptions opts;
+  opts.capacity = GiB(2) + static_cast<Bytes>(rng.NextBounded(GiB(8)));
+  opts.min_packs = 1 + static_cast<int>(rng.NextBounded(12));
+  const int u = 1 + static_cast<int>(rng.NextBounded(8));
+  const PassType pass =
+      rng.NextBounded(2) == 0 ? PassType::kForward : PassType::kBackward;
+  const auto packs =
+      BalancedTimePacking(pass, u, db.num_layers(), db, opts);
+  if (!packs.ok()) return;  // infeasible is a legal outcome
+  CheckPartition(packs.value(), db.num_layers());
+  for (const Pack& p : packs.value()) {
+    EXPECT_LE(PackTaskBytes(pass, p, u, db), opts.capacity);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, PackingPropertyTest,
+                         ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace harmony::core

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "model/cost_model.h"
+#include "model/models.h"
+#include "profile/profiler.h"
+
+namespace harmony::profile {
+namespace {
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  ProfileTest()
+      : machine_(hw::MachineSpec::Commodity4Gpu()),
+        model_(model::Sequentialize(model::Gpt2())),
+        profiler_(machine_.gpu, ProfilerOptions{}),
+        db_(profiler_.Profile(model_)) {}
+
+  hw::MachineSpec machine_;
+  model::SequentialModel model_;
+  Profiler profiler_;
+  ProfileDb db_;
+};
+
+TEST_F(ProfileTest, CoversAllLayers) {
+  EXPECT_EQ(db_.num_layers(), model_.num_layers());
+}
+
+TEST_F(ProfileTest, InterpolationIsStrikinglyAccurate) {
+  // The paper validates that linear interpolation over sampled microbatch
+  // sizes closely predicts unsampled ones (Sec 4.2). Check an unsampled u
+  // against ground truth for every layer.
+  const model::CostModel cost(machine_.gpu);
+  const int unsampled_u = 12;  // samples are powers of two
+  for (int l = 0; l < db_.num_layers(); ++l) {
+    const double truth = cost.FwdTime(model_.layers[l].spec, unsampled_u);
+    const double predicted = db_.FwdTime(l, unsampled_u);
+    EXPECT_NEAR(predicted, truth, 0.12 * truth + 1e-5)
+        << "layer " << l << " (" << model_.layers[l].spec.name << ")";
+  }
+}
+
+TEST_F(ProfileTest, RegressionFitsAreTight) {
+  for (int l = 0; l < db_.num_layers(); ++l) {
+    EXPECT_GT(db_.layer(l).fwd_time.r_squared(), 0.97) << l;
+    EXPECT_GT(db_.layer(l).bwd_time.r_squared(), 0.97) << l;
+  }
+}
+
+TEST_F(ProfileTest, PackQueriesAreSums) {
+  const double sum = db_.FwdTime(3, 4) + db_.FwdTime(4, 4) + db_.FwdTime(5, 4);
+  EXPECT_NEAR(db_.PackFwdTime(3, 5, 4), sum, 1e-12);
+  const Bytes psum = db_.layer(3).param_bytes + db_.layer(4).param_bytes;
+  EXPECT_EQ(db_.PackParamBytes(3, 4), psum);
+}
+
+TEST_F(ProfileTest, TaskBytesMonotonicInMicrobatchAndPackSize) {
+  EXPECT_LT(db_.FwdTaskBytes(1, 4, 2), db_.FwdTaskBytes(1, 4, 8));
+  EXPECT_LT(db_.FwdTaskBytes(1, 4, 2), db_.FwdTaskBytes(1, 8, 2));
+  EXPECT_LT(db_.BwdTaskBytes(1, 4, 2), db_.BwdTaskBytes(1, 4, 8));
+  // Backward tasks carry gradients + rematerialized stash: always bigger.
+  EXPECT_GT(db_.BwdTaskBytes(1, 4, 4), db_.FwdTaskBytes(1, 4, 4));
+}
+
+TEST_F(ProfileTest, DeterministicGivenSeed) {
+  const ProfileDb again = profiler_.Profile(model_);
+  for (int l = 0; l < db_.num_layers(); ++l) {
+    EXPECT_DOUBLE_EQ(db_.FwdTime(l, 7), again.FwdTime(l, 7));
+  }
+}
+
+TEST_F(ProfileTest, DifferentSeedsDifferSlightly) {
+  ProfilerOptions opts;
+  opts.seed = 999;
+  const Profiler other(machine_.gpu, opts);
+  const ProfileDb other_db = other.Profile(model_);
+  // Noise changes measurements a little but not wildly.
+  const double a = db_.FwdTime(1, 4), b = other_db.FwdTime(1, 4);
+  EXPECT_NE(a, b);
+  EXPECT_NEAR(a, b, 0.1 * a);
+}
+
+TEST_F(ProfileTest, ProfilingCostIsMinutesNotHours) {
+  const TimeSec t = profiler_.ProfilingCost(model_);
+  EXPECT_GT(t, 1.0);
+  EXPECT_LT(t, 3600.0);
+}
+
+TEST_F(ProfileTest, RelayBytesIncludedForResNet) {
+  const model::SequentialModel resnet = model::Sequentialize(model::ResNet1K());
+  const ProfileDb db = profiler_.Profile(resnet);
+  bool any_relay = false;
+  for (int l = 0; l < db.num_layers(); ++l) {
+    if (db.layer(l).input_bytes_per_sample >
+        resnet.layers[l].spec.input_bytes_per_sample) {
+      any_relay = true;
+    }
+  }
+  EXPECT_TRUE(any_relay);
+}
+
+}  // namespace
+}  // namespace harmony::profile

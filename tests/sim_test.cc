@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/machine.h"
+#include "sim/engine.h"
+#include "sim/network.h"
+#include "sim/stream.h"
+
+namespace harmony::sim {
+namespace {
+
+TEST(Engine, RunsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.After(2.0, [&] { order.push_back(2); });
+  e.After(1.0, [&] { order.push_back(1); });
+  e.After(3.0, [&] { order.push_back(3); });
+  EXPECT_DOUBLE_EQ(e.Run(), 3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, FifoTieBreakAtEqualTime) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) e.After(1.0, [&order, i] { order.push_back(i); });
+  e.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine e;
+  double fired_at = -1;
+  e.After(1.0, [&] { e.After(1.5, [&] { fired_at = e.now(); }); });
+  e.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 2.5);
+}
+
+TEST(Condition, FireReleasesWaiters) {
+  Condition c;
+  int calls = 0;
+  c.OnFire([&] { ++calls; });
+  c.OnFire([&] { ++calls; });
+  EXPECT_EQ(calls, 0);
+  c.Fire();
+  EXPECT_EQ(calls, 2);
+  c.OnFire([&] { ++calls; });  // post-fire waiters run immediately
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Condition, WhenAllWaitsForEveryDep) {
+  Condition a, b;
+  int done = 0;
+  WhenAll({&a, nullptr, &b}, [&] { ++done; });
+  a.Fire();
+  EXPECT_EQ(done, 0);
+  b.Fire();
+  EXPECT_EQ(done, 1);
+}
+
+TEST(Condition, WhenAllEmptyRunsImmediately) {
+  int done = 0;
+  WhenAll({}, [&] { ++done; });
+  EXPECT_EQ(done, 1);
+}
+
+TEST(Stream, ExecutesInOrder) {
+  Engine e;
+  Stream s(&e, "t");
+  std::vector<int> order;
+  s.Push({}, [&](std::function<void()> done) {
+    order.push_back(1);
+    e.After(2.0, std::move(done));
+  });
+  s.Push({}, [&](std::function<void()> done) {
+    order.push_back(2);
+    EXPECT_DOUBLE_EQ(e.now(), 2.0);  // waited for op 1
+    e.After(1.0, std::move(done));
+  });
+  e.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(s.busy_time(), 3.0);
+  EXPECT_EQ(s.ops_completed(), 2);
+}
+
+TEST(Stream, WaitsForDependencies) {
+  Engine e;
+  Stream s(&e, "t");
+  Condition gate;
+  double started = -1;
+  s.Push({&gate}, [&](std::function<void()> done) {
+    started = e.now();
+    done();
+  });
+  e.After(5.0, [&] { gate.Fire(); });
+  e.Run();
+  EXPECT_DOUBLE_EQ(started, 5.0);
+}
+
+TEST(Stream, PushDelayOccupiesStream) {
+  Engine e;
+  Stream s(&e, "t");
+  s.PushDelay({}, 1.0);
+  Condition* done = s.PushDelay({}, 2.0);
+  e.Run();
+  EXPECT_TRUE(done->fired());
+  EXPECT_DOUBLE_EQ(s.busy_time(), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// FlowNetwork
+// ---------------------------------------------------------------------------
+
+TEST(FlowNetwork, SingleFlowTakesBytesOverBandwidth) {
+  Engine e;
+  FlowNetwork net(&e, {GiBps(10)});
+  double done_at = -1;
+  net.StartFlow({0}, GiB(5), [&] { done_at = e.now(); });
+  e.Run();
+  EXPECT_NEAR(done_at, 0.5, 1e-6);
+}
+
+TEST(FlowNetwork, FairSharingDoublesTime) {
+  Engine e;
+  FlowNetwork net(&e, {GiBps(10)});
+  double a = -1, b = -1;
+  net.StartFlow({0}, GiB(5), [&] { a = e.now(); });
+  net.StartFlow({0}, GiB(5), [&] { b = e.now(); });
+  e.Run();
+  // Both share the link: each runs at 5 GiB/s, finishing together at 1s.
+  EXPECT_NEAR(a, 1.0, 1e-6);
+  EXPECT_NEAR(b, 1.0, 1e-6);
+}
+
+TEST(FlowNetwork, ShortFlowReleasesBandwidth) {
+  Engine e;
+  FlowNetwork net(&e, {GiBps(10)});
+  double small = -1, big = -1;
+  net.StartFlow({0}, GiB(1), [&] { small = e.now(); });
+  net.StartFlow({0}, GiB(9), [&] { big = e.now(); });
+  e.Run();
+  // Shared until the small flow drains at 0.2s; big then gets full bandwidth:
+  // 9 - 1 = 8 GiB remaining at 10 GiB/s => 0.2 + 0.8 = 1.0s.
+  EXPECT_NEAR(small, 0.2, 1e-6);
+  EXPECT_NEAR(big, 1.0, 1e-6);
+}
+
+TEST(FlowNetwork, MultiLinkPathBottleneck) {
+  Engine e;
+  FlowNetwork net(&e, {GiBps(10), GiBps(2)});
+  double done = -1;
+  net.StartFlow({0, 1}, GiB(4), [&] { done = e.now(); });
+  e.Run();
+  EXPECT_NEAR(done, 2.0, 1e-6);  // limited by the 2 GiB/s hop
+}
+
+TEST(FlowNetwork, ZeroByteFlowCompletesAsync) {
+  Engine e;
+  FlowNetwork net(&e, {GiBps(1)});
+  bool done = false;
+  net.StartFlow({0}, 0, [&] { done = true; });
+  EXPECT_FALSE(done);  // asynchronous even when empty
+  e.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(FlowNetwork, LargeFlowNoSpin) {
+  // Regression test: GB-scale flows must complete in O(1) events despite
+  // floating-point residue (sub-byte epsilon).
+  Engine e;
+  FlowNetwork net(&e, {GiBps(13.6), GiBps(13.6), GiBps(16)});
+  int completed = 0;
+  for (int i = 0; i < 8; ++i) {
+    net.StartFlow({0, 1, 2}, GiB(1.37), [&] { ++completed; });
+  }
+  e.Run();
+  EXPECT_EQ(completed, 8);
+  EXPECT_LT(e.events_processed(), 200);
+}
+
+TEST(FlowNetwork, TracksLinkBytes) {
+  Engine e;
+  FlowNetwork net(&e, {GiBps(10)});
+  net.StartFlow({0}, GiB(3), [] {});
+  e.Run();
+  EXPECT_NEAR(net.link_bytes(0), static_cast<double>(GiB(3)), 16.0);
+}
+
+// ---------------------------------------------------------------------------
+// Interconnect topology
+// ---------------------------------------------------------------------------
+
+TEST(Interconnect, SwapContentionOnSharedHost) {
+  // Four GPUs swapping in simultaneously share the host memory port: total
+  // throughput is host_mem_bw, so each 4 GiB transfer takes 4*4/16 = 1s
+  // instead of 4/13.6 = 0.29s alone.
+  Engine e;
+  const hw::MachineSpec m = hw::MachineSpec::Commodity4Gpu();
+  Interconnect net(m);
+  FlowNetwork flows(&e, net.capacities());
+  std::vector<double> done(4, -1);
+  for (int g = 0; g < 4; ++g) {
+    flows.StartFlow(net.SwapInPath(g), GiB(4), [&, g] { done[g] = e.now(); });
+  }
+  e.Run();
+  const double expected = 4.0 * static_cast<double>(GiB(4)) / m.host_mem_bw;
+  for (int g = 0; g < 4; ++g) EXPECT_NEAR(done[g], expected, 1e-3);
+}
+
+TEST(Interconnect, SingleSwapLimitedByPcie) {
+  Engine e;
+  const hw::MachineSpec m = hw::MachineSpec::Commodity4Gpu();
+  Interconnect net(m);
+  FlowNetwork flows(&e, net.capacities());
+  double done = -1;
+  flows.StartFlow(net.SwapInPath(0), GiB(4), [&] { done = e.now(); });
+  e.Run();
+  EXPECT_NEAR(done, static_cast<double>(GiB(4)) / m.pcie_bw, 1e-3);
+}
+
+TEST(Interconnect, SameSwitchP2pBypassesHost) {
+  // GPUs 0 and 1 share a switch: their p2p does not touch the host memory
+  // port, so it can run at full PCIe speed while other GPUs swap.
+  Engine e;
+  const hw::MachineSpec m = hw::MachineSpec::Commodity4Gpu();
+  ASSERT_TRUE(m.SameSwitch(0, 1));
+  ASSERT_FALSE(m.SameSwitch(0, 2));
+  Interconnect net(m);
+  FlowNetwork flows(&e, net.capacities());
+  double p2p_done = -1;
+  flows.StartFlow(net.P2pPath(0, 1), GiB(4), [&] { p2p_done = e.now(); });
+  flows.StartFlow(net.SwapInPath(2), GiB(100), [] {});
+  flows.StartFlow(net.SwapInPath(3), GiB(100), [] {});
+  e.Run();
+  EXPECT_NEAR(p2p_done, static_cast<double>(GiB(4)) / m.pcie_bw, 1e-3);
+}
+
+TEST(Interconnect, CrossSwitchP2pUsesUplinks) {
+  const hw::MachineSpec m = hw::MachineSpec::Commodity4Gpu();
+  Interconnect net(m);
+  EXPECT_EQ(net.P2pPath(0, 1).size(), 2u);  // gpu.up, gpu.down
+  EXPECT_EQ(net.P2pPath(0, 2).size(), 4u);  // + both uplinks
+  EXPECT_EQ(net.SwapInPath(0).size(), 3u);  // hostmem, uplink, gpu.down
+}
+
+TEST(Interconnect, EightGpuMachineOversubscription) {
+  // Four GPUs per switch: concurrent swap-ins on one switch are bounded by
+  // the single uplink (4:1 oversubscription, Sec 2).
+  Engine e;
+  const hw::MachineSpec m = hw::MachineSpec::Commodity8Gpu();
+  Interconnect net(m);
+  FlowNetwork flows(&e, net.capacities());
+  std::vector<double> done(4, -1);
+  for (int g = 0; g < 4; ++g) {  // all on switch 0
+    flows.StartFlow(net.SwapInPath(g), GiB(4), [&, g] { done[g] = e.now(); });
+  }
+  e.Run();
+  const double expected = 4.0 * static_cast<double>(GiB(4)) / m.uplink_bw;
+  for (int g = 0; g < 4; ++g) EXPECT_NEAR(done[g], expected, 1e-2);
+}
+
+TEST(Machine, WithNumGpusRestricts) {
+  const hw::MachineSpec m = hw::MachineSpec::Commodity8Gpu().WithNumGpus(3);
+  EXPECT_EQ(m.num_gpus, 3);
+  EXPECT_EQ(m.gpu_to_switch.size(), 3u);
+  EXPECT_EQ(m.num_switches, 1);
+}
+
+}  // namespace
+}  // namespace harmony::sim

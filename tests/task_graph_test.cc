@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/packing.h"
+#include "core/task_graph.h"
+#include "model/models.h"
+#include "profile/profiler.h"
+
+namespace harmony::core {
+namespace {
+
+profile::ProfileDb MakeDb(int blocks = 16) {
+  const hw::MachineSpec machine = hw::MachineSpec::Commodity4Gpu();
+  const profile::Profiler profiler(machine.gpu, profile::ProfilerOptions{});
+  return profiler.Profile(
+      model::Sequentialize(model::TinyTransformer(blocks, 512, 128)));
+}
+
+Configuration MakeConfig(const profile::ProfileDb& db, int u_fwd, int u_bwd,
+                         Bytes capacity = MiB(512)) {
+  PackingOptions opts;
+  opts.capacity = capacity;
+  Configuration c;
+  c.u_fwd = u_fwd;
+  c.u_bwd = u_bwd;
+  c.bwd_packs = BackwardPacks(u_bwd, db, opts).value();
+  opts.min_packs = 4;  // several forward packs so pipelines are non-trivial
+  c.fwd_packs = ForwardPacks(u_fwd, c.bwd_packs, db, opts).value();
+  return c;
+}
+
+TEST(SplitMicrobatches, EvenAndRagged) {
+  const auto even = SplitMicrobatches(8, 4);
+  ASSERT_EQ(even.size(), 2u);
+  EXPECT_EQ(even[0].begin, 0);
+  EXPECT_EQ(even[1].begin, 4);
+  const auto ragged = SplitMicrobatches(10, 4);
+  ASSERT_EQ(ragged.size(), 3u);
+  EXPECT_EQ(ragged[2].size, 2);
+}
+
+TEST(MbPiece, Overlaps) {
+  const MbPiece a{0, 4}, b{4, 4}, c{2, 4};
+  EXPECT_FALSE(a.Overlaps(b));
+  EXPECT_TRUE(a.Overlaps(c));
+  EXPECT_TRUE(c.Overlaps(b));
+}
+
+class TaskGraphTest : public ::testing::Test {
+ protected:
+  TaskGraphTest() : db_(MakeDb()) {}
+  profile::ProfileDb db_;
+};
+
+TEST_F(TaskGraphTest, WrapAroundBinding) {
+  // Algorithm 3: Task(P_FB[i]) -> GPU[i mod N].
+  const Configuration c = MakeConfig(db_, 2, 2);
+  const TaskGraph g = GenerateHarmonyTaskGraph(
+      c, HarmonyMode::kPipelineParallel, 4, 8, OptimizationFlags{}, db_);
+  int slot = 0;
+  for (const Task& t : g.tasks) {
+    if (t.type == TaskType::kUpdate) continue;
+    EXPECT_EQ(t.device, slot % 4) << "task " << t.id;
+    ++slot;
+  }
+  EXPECT_EQ(slot, static_cast<int>(c.fwd_packs.size() + c.bwd_packs.size()));
+}
+
+TEST_F(TaskGraphTest, FusedTaskProperties) {
+  const Configuration c = MakeConfig(db_, 2, 2);
+  const TaskGraph g = GenerateHarmonyTaskGraph(
+      c, HarmonyMode::kPipelineParallel, 4, 8, OptimizationFlags{}, db_);
+  int fused_count = 0;
+  for (const Task& t : g.tasks) {
+    if (!t.fused_forward) continue;
+    ++fused_count;
+    EXPECT_EQ(t.type, TaskType::kBackward);
+    EXPECT_EQ(t.pack, c.bwd_packs.back());
+    EXPECT_FALSE(t.recompute);        // its forward is real, not re-computed
+    EXPECT_FALSE(t.reads_checkpoint); // input streams in from the last F task
+  }
+  EXPECT_EQ(fused_count, 1);
+}
+
+TEST_F(TaskGraphTest, CheckpointBoundariesMatchBackwardPackInputs) {
+  const Configuration c = MakeConfig(db_, 2, 2);
+  const TaskGraph g = GenerateHarmonyTaskGraph(
+      c, HarmonyMode::kPipelineParallel, 4, 8, OptimizationFlags{}, db_);
+  std::set<int> expected;
+  for (size_t j = 0; j + 1 < c.bwd_packs.size(); ++j) {  // fused pack excluded
+    if (c.bwd_packs[j].lo > 0) expected.insert(c.bwd_packs[j].lo);
+  }
+  std::set<int> saved;
+  for (const Task& t : g.tasks) {
+    for (int b : t.checkpoint_boundaries) {
+      EXPECT_EQ(t.type, TaskType::kForward);
+      EXPECT_GE(b - 1, t.pack.lo);
+      EXPECT_LE(b - 1, t.pack.hi);
+      saved.insert(b);
+    }
+  }
+  EXPECT_EQ(saved, expected);
+}
+
+TEST_F(TaskGraphTest, GroupsCoverWholeMinibatch) {
+  const Configuration c = MakeConfig(db_, 3, 2);
+  const TaskGraph g = GenerateHarmonyTaskGraph(
+      c, HarmonyMode::kPipelineParallel, 4, 10, OptimizationFlags{}, db_);
+  for (const Task& t : g.tasks) {
+    if (t.type == TaskType::kUpdate) continue;
+    int total = 0;
+    for (const MbPiece& p : t.group) total += p.size;
+    EXPECT_EQ(total, 10);
+    const int u = t.type == TaskType::kForward && !t.fused_forward ? 3 : 2;
+    EXPECT_EQ(t.group.front().size, u);
+  }
+}
+
+TEST_F(TaskGraphTest, DataParallelReplication) {
+  const Configuration c = MakeConfig(db_, 2, 2);
+  const TaskGraph g = GenerateHarmonyTaskGraph(
+      c, HarmonyMode::kDataParallel, 4, 16, OptimizationFlags{}, db_);
+  EXPECT_EQ(g.num_replicas, 4);
+  EXPECT_TRUE(g.grad_reduce_via_host);
+  for (const Task& t : g.tasks) {
+    if (t.type == TaskType::kUpdate) {
+      EXPECT_EQ(t.replica, -1);  // one master update per pack
+      EXPECT_TRUE(t.on_cpu);
+    } else {
+      EXPECT_EQ(t.device, t.replica);  // each replica owns one GPU
+      int total = 0;
+      for (const MbPiece& p : t.group) total += p.size;
+      EXPECT_EQ(total, 4);  // 16 / 4 replicas
+    }
+  }
+}
+
+TEST_F(TaskGraphTest, UpdateTaskPerBackwardPack) {
+  const Configuration c = MakeConfig(db_, 2, 2);
+  const TaskGraph g = GenerateHarmonyTaskGraph(
+      c, HarmonyMode::kPipelineParallel, 4, 8, OptimizationFlags{}, db_);
+  int updates = 0;
+  for (const Task& t : g.tasks) updates += t.type == TaskType::kUpdate;
+  EXPECT_EQ(updates, static_cast<int>(c.bwd_packs.size()));
+}
+
+TEST_F(TaskGraphTest, CpuOffloadRoutesUpdatesToCpuOrder) {
+  const Configuration c = MakeConfig(db_, 2, 2);
+  OptimizationFlags flags;
+  flags.cpu_optimizer = true;
+  const TaskGraph g = GenerateHarmonyTaskGraph(
+      c, HarmonyMode::kPipelineParallel, 4, 8, flags, db_);
+  int cpu_updates = 0;
+  for (const auto& order : g.cpu_order) cpu_updates += order.size();
+  EXPECT_EQ(cpu_updates, static_cast<int>(c.bwd_packs.size()));
+
+  flags.cpu_optimizer = false;
+  const TaskGraph g2 = GenerateHarmonyTaskGraph(
+      c, HarmonyMode::kPipelineParallel, 4, 8, flags, db_);
+  for (const auto& order : g2.cpu_order) EXPECT_TRUE(order.empty());
+}
+
+TEST_F(TaskGraphTest, JitComputeOffUnfusesLastPack) {
+  const Configuration c = MakeConfig(db_, 2, 2);
+  OptimizationFlags flags;
+  flags.jit_compute = false;
+  const TaskGraph g = GenerateHarmonyTaskGraph(
+      c, HarmonyMode::kPipelineParallel, 4, 8, flags, db_);
+  int fwd_layers = 0;
+  for (const Task& t : g.tasks) {
+    EXPECT_FALSE(t.fused_forward);
+    if (t.type == TaskType::kForward) fwd_layers += t.pack.num_layers();
+  }
+  EXPECT_EQ(fwd_layers, g.num_layers);  // forward now covers everything
+}
+
+TEST_F(TaskGraphTest, NoRecomputeSavesFullStash) {
+  const Configuration c = MakeConfig(db_, 2, 2);
+  OptimizationFlags flags;
+  flags.use_recompute = false;
+  const TaskGraph g = GenerateHarmonyTaskGraph(
+      c, HarmonyMode::kPipelineParallel, 4, 8, flags, db_);
+  for (const Task& t : g.tasks) {
+    if (t.type == TaskType::kForward) {
+      EXPECT_TRUE(t.save_full_stash);
+    }
+    if (t.type == TaskType::kBackward && !t.fused_forward) {
+      EXPECT_FALSE(t.recompute);
+      EXPECT_FALSE(t.reads_checkpoint);
+    }
+    EXPECT_TRUE(t.checkpoint_boundaries.empty());
+  }
+}
+
+TEST_F(TaskGraphTest, GroupingOffSplitsTasksMicrobatchMajor) {
+  const Configuration c = MakeConfig(db_, 2, 2);
+  OptimizationFlags flags;
+  flags.input_batch_grouping = false;
+  const TaskGraph g = GenerateHarmonyTaskGraph(
+      c, HarmonyMode::kPipelineParallel, 4, 8, flags, db_);
+  for (const Task& t : g.tasks) {
+    if (t.type != TaskType::kUpdate) {
+      EXPECT_EQ(t.group.size(), 1u);
+    }
+  }
+  // Per device, piece begins must be non-decreasing (microbatch-major).
+  for (const auto& order : g.device_order) {
+    int prev_begin = -1;
+    for (int id : order) {
+      const Task& t = g.task(id);
+      if (t.type == TaskType::kUpdate) continue;
+      EXPECT_GE(t.group.front().begin, prev_begin);
+      prev_begin = t.group.front().begin;
+    }
+  }
+}
+
+TEST_F(TaskGraphTest, DepResolverActivationChain) {
+  const Configuration c = MakeConfig(db_, 2, 2);
+  const TaskGraph g = GenerateHarmonyTaskGraph(
+      c, HarmonyMode::kPipelineParallel, 4, 8, OptimizationFlags{}, db_);
+  const DepResolver deps(g);
+  // The second forward task's input boundary is produced by the first.
+  const Task* second = nullptr;
+  for (const Task& t : g.tasks) {
+    if (t.type == TaskType::kForward && t.pack.lo > 0) {
+      if (!second || t.pack.lo < second->pack.lo) second = &t;
+    }
+  }
+  ASSERT_NE(second, nullptr);
+  const auto producers =
+      deps.ActivationProducers(second->pack.lo, second->group.front(), 0);
+  ASSERT_EQ(producers.size(), 1u);
+  EXPECT_EQ(g.task(producers[0].first).pack.hi + 1, second->pack.lo);
+}
+
+TEST_F(TaskGraphTest, DepResolverCrossGranularityOverlap) {
+  const Configuration c = MakeConfig(db_, 4, 2);  // U_F=4, U_B=2
+  const TaskGraph g = GenerateHarmonyTaskGraph(
+      c, HarmonyMode::kPipelineParallel, 4, 8, OptimizationFlags{}, db_);
+  const DepResolver deps(g);
+  const Task* fused = nullptr;
+  for (const Task& t : g.tasks) {
+    if (t.fused_forward) fused = &t;
+  }
+  ASSERT_NE(fused, nullptr);
+  // Each U_B=2 piece overlaps exactly one U_F=4 producer piece.
+  for (const MbPiece& piece : fused->group) {
+    const auto producers = deps.ActivationProducers(fused->pack.lo, piece, 0);
+    ASSERT_EQ(producers.size(), 1u);
+    const Task& p = g.task(producers[0].first);
+    EXPECT_TRUE(p.group[producers[0].second].Overlaps(piece));
+  }
+}
+
+TEST_F(TaskGraphTest, GradientChainLinksBackwardTasks) {
+  const Configuration c = MakeConfig(db_, 2, 2);
+  const TaskGraph g = GenerateHarmonyTaskGraph(
+      c, HarmonyMode::kPipelineParallel, 4, 8, OptimizationFlags{}, db_);
+  const DepResolver deps(g);
+  for (const Task& t : g.tasks) {
+    if (t.type != TaskType::kBackward || t.pack.hi == g.num_layers - 1) continue;
+    const auto producers =
+        deps.GradientProducers(t.pack.hi + 1, t.group.front(), 0);
+    ASSERT_FALSE(producers.empty()) << "backward task " << t.id;
+    EXPECT_EQ(g.task(producers[0].first).pack.lo, t.pack.hi + 1);
+  }
+}
+
+TEST_F(TaskGraphTest, BackwardTasksForPackFindsAllReplicas) {
+  const Configuration c = MakeConfig(db_, 2, 2);
+  const TaskGraph g = GenerateHarmonyTaskGraph(
+      c, HarmonyMode::kDataParallel, 4, 16, OptimizationFlags{}, db_);
+  const DepResolver deps(g);
+  const auto tasks = deps.BackwardTasksForPack(c.bwd_packs[0], -1);
+  EXPECT_EQ(tasks.size(), 4u);  // one per replica
+}
+
+// Property sweep: every (U_F, U_B, mode, flags) combination yields a graph
+// that passes structural validation (ValidateTaskGraph CHECK-fails on bugs).
+struct GenParam {
+  int u_fwd, u_bwd, minibatch;
+  bool dp, grouping, jit_update, jit_compute, recompute;
+};
+
+class GenerateProperty : public ::testing::TestWithParam<GenParam> {};
+
+TEST_P(GenerateProperty, ValidGraph) {
+  static const profile::ProfileDb db = MakeDb();
+  const GenParam p = GetParam();
+  const Configuration c = MakeConfig(db, p.u_fwd, p.u_bwd);
+  OptimizationFlags flags;
+  flags.input_batch_grouping = p.grouping;
+  flags.jit_update = p.jit_update;
+  flags.jit_compute = p.jit_compute;
+  flags.use_recompute = p.recompute;
+  const TaskGraph g = GenerateHarmonyTaskGraph(
+      c, p.dp ? HarmonyMode::kDataParallel : HarmonyMode::kPipelineParallel, 4,
+      p.minibatch, flags, db);
+  ValidateTaskGraph(g);  // CHECK-fails on structural bugs
+  EXPECT_EQ(g.minibatch, p.minibatch);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, GenerateProperty,
+    ::testing::Values(GenParam{1, 1, 8, false, true, true, true, true},
+                      GenParam{2, 1, 8, false, true, true, true, true},
+                      GenParam{1, 2, 9, false, true, true, true, true},
+                      GenParam{4, 2, 12, false, true, true, true, true},
+                      GenParam{2, 2, 8, true, true, true, true, true},
+                      GenParam{3, 2, 13, true, true, true, true, true},
+                      GenParam{2, 2, 8, false, false, true, true, true},
+                      GenParam{2, 2, 8, true, false, true, true, true},
+                      GenParam{2, 2, 8, false, true, false, true, true},
+                      GenParam{2, 2, 8, false, true, true, false, true},
+                      GenParam{2, 2, 8, false, true, true, true, false},
+                      GenParam{2, 2, 8, false, false, false, false, false},
+                      GenParam{2, 2, 8, true, false, false, false, false}));
+
+}  // namespace
+}  // namespace harmony::core

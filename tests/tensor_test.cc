@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/layers.h"
+#include "tensor/optim.h"
+#include "tensor/tensor.h"
+
+namespace harmony::tensor {
+namespace {
+
+TEST(Tensor, ShapeAndAccess) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6);
+  t.at2(1, 2) = 5.0f;
+  EXPECT_EQ(t.at(5), 5.0f);
+}
+
+TEST(Tensor, MatMulMatchesHand) {
+  Tensor a({2, 3}), b({3, 2});
+  for (int i = 0; i < 6; ++i) {
+    a.at(i) = static_cast<float>(i + 1);      // [[1,2,3],[4,5,6]]
+    b.at(i) = static_cast<float>(6 - i);      // [[6,5],[4,3],[2,1]]
+  }
+  const Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at2(0, 0), 1 * 6 + 2 * 4 + 3 * 2);
+  EXPECT_FLOAT_EQ(c.at2(1, 1), 4 * 5 + 5 * 3 + 6 * 1);
+}
+
+TEST(Tensor, TransposedMatMulsAgree) {
+  Rng rng(1);
+  const Tensor a = Tensor::Randn({4, 5}, &rng, 1.0f);
+  const Tensor b = Tensor::Randn({5, 3}, &rng, 1.0f);
+  const Tensor ab = MatMul(a, b);
+  // a @ b == MatMulBt(a, b^T): build b^T explicitly.
+  Tensor bt({3, 5});
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 3; ++j) bt.at2(j, i) = b.at2(i, j);
+  }
+  const Tensor ab2 = MatMulBt(a, bt);
+  for (int64_t i = 0; i < ab.size(); ++i) EXPECT_NEAR(ab.at(i), ab2.at(i), 1e-5);
+}
+
+TEST(Tensor, BitEquals) {
+  Rng rng(2);
+  const Tensor a = Tensor::Randn({3, 3}, &rng, 1.0f);
+  Tensor b = a;
+  EXPECT_TRUE(a.BitEquals(b));
+  b.at(4) = std::nextafter(b.at(4), 1e9f);
+  EXPECT_FALSE(a.BitEquals(b));
+}
+
+TEST(Ops, AddBiasAndScale) {
+  Tensor a({2, 2});
+  Tensor bias({2});
+  bias.at(0) = 1;
+  bias.at(1) = 2;
+  const Tensor c = AddBias(a, bias);
+  EXPECT_FLOAT_EQ(c.at2(0, 0), 1);
+  EXPECT_FLOAT_EQ(c.at2(1, 1), 2);
+  const Tensor s = Scale(c, 2.0f);
+  EXPECT_FLOAT_EQ(s.at2(1, 1), 4);
+}
+
+TEST(Gelu, ValueAndDerivative) {
+  EXPECT_NEAR(Gelu(0.0f), 0.0f, 1e-7);
+  EXPECT_NEAR(Gelu(3.0f), 3.0f, 0.02);   // ~identity for large positive x
+  EXPECT_NEAR(Gelu(-5.0f), 0.0f, 0.01);  // ~zero for large negative x
+  // Numerical derivative check.
+  for (float x : {-2.0f, -0.5f, 0.0f, 0.7f, 2.0f}) {
+    const float eps = 1e-3f;
+    const float num = (Gelu(x + eps) - Gelu(x - eps)) / (2 * eps);
+    EXPECT_NEAR(GeluGrad(x), num, 1e-3) << "x=" << x;
+  }
+}
+
+TEST(SoftmaxCrossEntropy, UniformLogits) {
+  Tensor logits({2, 4});  // all zero -> uniform
+  const auto [loss, dlogits] = SoftmaxCrossEntropySum(logits, {1, 3});
+  EXPECT_NEAR(loss, 2 * std::log(4.0f), 1e-5);
+  EXPECT_NEAR(dlogits.at2(0, 1), 0.25f - 1.0f, 1e-6);
+  EXPECT_NEAR(dlogits.at2(0, 0), 0.25f, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Gradient checking: every layer's analytic backward must match a numerical
+// directional derivative of a scalar loss.
+// ---------------------------------------------------------------------------
+
+/// L(x) = sum(output) for gradient checking; returns dL/dinputs via backward
+/// with dy = ones.
+double SumForward(const Layer& layer, const Tensor& x) {
+  Stash stash;
+  const Tensor y = layer.Forward(x, &stash);
+  double sum = 0;
+  for (int64_t i = 0; i < y.size(); ++i) sum += y.at(i);
+  return sum;
+}
+
+void CheckInputGradient(Layer* layer, Tensor x, double tol = 2e-2) {
+  Stash stash;
+  const Tensor y = layer->Forward(x, &stash);
+  Tensor dy(y.shape());
+  for (int64_t i = 0; i < dy.size(); ++i) dy.at(i) = 1.0f;
+  std::vector<Tensor> grads;
+  const Tensor dx = layer->Backward(stash, dy, &grads);
+
+  Rng rng(99);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int64_t i = static_cast<int64_t>(rng.NextBounded(x.size()));
+    const float eps = 1e-2f;
+    Tensor xp = x, xm = x;
+    xp.at(i) += eps;
+    xm.at(i) -= eps;
+    const double num = (SumForward(*layer, xp) - SumForward(*layer, xm)) / (2 * eps);
+    EXPECT_NEAR(dx.at(i), num, tol * (std::abs(num) + 1.0)) << "input " << i;
+  }
+}
+
+void CheckParamGradient(Layer* layer, const Tensor& x, double tol = 2e-2) {
+  Stash stash;
+  const Tensor y = layer->Forward(x, &stash);
+  Tensor dy(y.shape());
+  for (int64_t i = 0; i < dy.size(); ++i) dy.at(i) = 1.0f;
+  std::vector<Tensor> grads;
+  layer->Backward(stash, dy, &grads);
+
+  auto params = layer->Params();
+  Rng rng(7);
+  for (int trial = 0; trial < 8; ++trial) {
+    const size_t p = rng.NextBounded(params.size());
+    if (params[p]->size() == 0) continue;
+    const int64_t i = static_cast<int64_t>(rng.NextBounded(params[p]->size()));
+    const float eps = 1e-2f;
+    const float saved = params[p]->at(i);
+    params[p]->at(i) = saved + eps;
+    const double up = SumForward(*layer, x);
+    params[p]->at(i) = saved - eps;
+    const double down = SumForward(*layer, x);
+    params[p]->at(i) = saved;
+    const double num = (up - down) / (2 * eps);
+    EXPECT_NEAR(grads[p].at(i), num, tol * (std::abs(num) + 1.0))
+        << "param " << p << " elem " << i;
+  }
+}
+
+TEST(GradCheck, MlpBlock) {
+  Rng rng(3);
+  MlpBlock layer(8, 16, &rng);
+  CheckInputGradient(&layer, Tensor::Randn({6, 8}, &rng, 1.0f));
+  CheckParamGradient(&layer, Tensor::Randn({6, 8}, &rng, 1.0f));
+}
+
+TEST(GradCheck, AttentionBlock) {
+  Rng rng(4);
+  AttentionBlock layer(8, 2, /*seq=*/4, /*causal=*/false, &rng);
+  CheckInputGradient(&layer, Tensor::Randn({8, 8}, &rng, 1.0f));  // B=2, S=4
+  CheckParamGradient(&layer, Tensor::Randn({8, 8}, &rng, 1.0f));
+}
+
+TEST(GradCheck, CausalAttentionBlock) {
+  Rng rng(5);
+  AttentionBlock layer(8, 2, /*seq=*/4, /*causal=*/true, &rng);
+  CheckInputGradient(&layer, Tensor::Randn({8, 8}, &rng, 1.0f));
+  CheckParamGradient(&layer, Tensor::Randn({8, 8}, &rng, 1.0f));
+}
+
+TEST(GradCheck, Classifier) {
+  Rng rng(6);
+  Classifier layer(8, 3, /*seq=*/4, &rng);
+  CheckParamGradient(&layer, Tensor::Randn({8, 8}, &rng, 1.0f));
+}
+
+TEST(GradCheck, EmbeddingParams) {
+  Rng rng(8);
+  Embedding layer(10, 8, 4, &rng);
+  Tensor tokens({2, 4});
+  for (int i = 0; i < 8; ++i) {
+    tokens.at(i) = static_cast<float>(rng.NextBounded(10));
+  }
+  CheckParamGradient(&layer, tokens);
+}
+
+TEST(GradCheck, LayerNorm) {
+  Rng rng(10);
+  const Tensor x = Tensor::Randn({4, 6}, &rng, 1.0f);
+  Tensor gamma({6}), beta({6});
+  for (int i = 0; i < 6; ++i) gamma.at(i) = 1.0f + 0.1f * i;
+  Tensor mean, rstd;
+  const Tensor y = LayerNormForward(x, gamma, beta, &mean, &rstd);
+  Tensor dy(y.shape());
+  for (int64_t i = 0; i < dy.size(); ++i) dy.at(i) = 1.0f;
+  Tensor dgamma({6}), dbeta({6});
+  const Tensor dx = LayerNormBackward(x, gamma, mean, rstd, dy, &dgamma, &dbeta);
+  // Numerical input gradient.
+  for (int trial = 0; trial < 6; ++trial) {
+    const int64_t i = trial * 3;
+    const float eps = 1e-2f;
+    Tensor xp = x, xm = x;
+    xp.at(i) += eps;
+    xm.at(i) -= eps;
+    Tensor m2, r2;
+    double up = 0, down = 0;
+    const Tensor yp = LayerNormForward(xp, gamma, beta, &m2, &r2);
+    for (int64_t j = 0; j < yp.size(); ++j) up += yp.at(j);
+    const Tensor ym = LayerNormForward(xm, gamma, beta, &m2, &r2);
+    for (int64_t j = 0; j < ym.size(); ++j) down += ym.at(j);
+    EXPECT_NEAR(dx.at(i), (up - down) / (2 * eps), 2e-2);
+  }
+}
+
+TEST(Optim, SgdMomentumStep) {
+  SgdMomentum opt(0.1f, 0.9f);
+  Tensor p({2});
+  p.at(0) = 1.0f;
+  p.at(1) = -1.0f;
+  Tensor g({2});
+  g.at(0) = 10.0f;  // grad *sum*; scale 0.1 makes it 1.0
+  g.at(1) = 0.0f;
+  opt.Step(0, {&p}, {g}, 0.1f);
+  EXPECT_NEAR(p.at(0), 1.0f - 0.1f * 1.0f, 1e-6);
+  EXPECT_NEAR(p.at(1), -1.0f, 1e-6);
+  // Momentum accumulates on repeated steps.
+  opt.Step(0, {&p}, {g}, 0.1f);
+  EXPECT_NEAR(p.at(0), 0.9f - 0.1f * 1.9f, 1e-6);
+}
+
+TEST(Optim, AdamConvergesOnQuadratic) {
+  // Minimize (p - 3)^2 with Adam; gradient = 2(p-3).
+  Adam opt(0.1f);
+  Tensor p({1});
+  for (int i = 0; i < 300; ++i) {
+    Tensor g({1});
+    g.at(0) = 2.0f * (p.at(0) - 3.0f);
+    opt.Step(0, {&p}, {g}, 1.0f);
+  }
+  EXPECT_NEAR(p.at(0), 3.0f, 0.05);
+}
+
+TEST(Optim, PerLayerStateIsolation) {
+  // Steps on different layer ids keep independent Adam state (timesteps).
+  Adam opt(0.1f);
+  Tensor p0({1}), p1({1});
+  Tensor g({1});
+  g.at(0) = 1.0f;
+  opt.Step(0, {&p0}, {g}, 1.0f);
+  opt.Step(0, {&p0}, {g}, 1.0f);
+  opt.Step(1, {&p1}, {g}, 1.0f);
+  // First step of layer 1 equals the first step of layer 0 (same state age).
+  Adam fresh(0.1f);
+  Tensor q({1});
+  fresh.Step(7, {&q}, {g}, 1.0f);
+  EXPECT_FLOAT_EQ(p1.at(0), q.at(0));
+}
+
+}  // namespace
+}  // namespace harmony::tensor
