@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_swap_bottleneck.dir/bench_fig02_swap_bottleneck.cc.o"
+  "CMakeFiles/bench_fig02_swap_bottleneck.dir/bench_fig02_swap_bottleneck.cc.o.d"
+  "bench_fig02_swap_bottleneck"
+  "bench_fig02_swap_bottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_swap_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

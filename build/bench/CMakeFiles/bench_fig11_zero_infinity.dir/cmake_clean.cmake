@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_zero_infinity.dir/bench_fig11_zero_infinity.cc.o"
+  "CMakeFiles/bench_fig11_zero_infinity.dir/bench_fig11_zero_infinity.cc.o.d"
+  "bench_fig11_zero_infinity"
+  "bench_fig11_zero_infinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_zero_infinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

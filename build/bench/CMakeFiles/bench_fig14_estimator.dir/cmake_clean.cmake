@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_estimator.dir/bench_fig14_estimator.cc.o"
+  "CMakeFiles/bench_fig14_estimator.dir/bench_fig14_estimator.cc.o.d"
+  "bench_fig14_estimator"
+  "bench_fig14_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec3_analytic.dir/bench_sec3_analytic.cc.o"
+  "CMakeFiles/bench_sec3_analytic.dir/bench_sec3_analytic.cc.o.d"
+  "bench_sec3_analytic"
+  "bench_sec3_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec3_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table4_equi_fb.cc" "bench/CMakeFiles/bench_table4_equi_fb.dir/bench_table4_equi_fb.cc.o" "gcc" "bench/CMakeFiles/bench_table4_equi_fb.dir/bench_table4_equi_fb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/harmony_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/harmony_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/harmony_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/harmony_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/harmony_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/harmony_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/harmony_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/harmony_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/harmony_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/harmony_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table4_equi_fb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/harmony_bench_common.dir/bench_common.cc.o.d"
+  "libharmony_bench_common.a"
+  "libharmony_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finetune_correctness.dir/finetune_correctness.cpp.o"
+  "CMakeFiles/finetune_correctness.dir/finetune_correctness.cpp.o.d"
+  "finetune_correctness"
+  "finetune_correctness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finetune_correctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

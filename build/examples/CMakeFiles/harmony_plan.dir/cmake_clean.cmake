@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_plan.dir/harmony_plan.cpp.o"
+  "CMakeFiles/harmony_plan.dir/harmony_plan.cpp.o.d"
+  "harmony_plan"
+  "harmony_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massive_model.dir/massive_model.cpp.o"
+  "CMakeFiles/massive_model.dir/massive_model.cpp.o.d"
+  "massive_model"
+  "massive_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massive_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

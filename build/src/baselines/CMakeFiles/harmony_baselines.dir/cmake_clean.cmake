@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_baselines.dir/baselines.cc.o"
+  "CMakeFiles/harmony_baselines.dir/baselines.cc.o.d"
+  "libharmony_baselines.a"
+  "libharmony_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_common.dir/common.cc.o"
+  "CMakeFiles/harmony_common.dir/common.cc.o.d"
+  "libharmony_common.a"
+  "libharmony_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/harmony_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/config.cc.o.d"
+  "/root/repo/src/core/estimator.cc" "src/core/CMakeFiles/harmony_core.dir/estimator.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/estimator.cc.o.d"
+  "/root/repo/src/core/packing.cc" "src/core/CMakeFiles/harmony_core.dir/packing.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/packing.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/harmony_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/core/search.cc" "src/core/CMakeFiles/harmony_core.dir/search.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/search.cc.o.d"
+  "/root/repo/src/core/task_graph.cc" "src/core/CMakeFiles/harmony_core.dir/task_graph.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/task_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profile/CMakeFiles/harmony_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/harmony_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/harmony_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/harmony_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_core.dir/config.cc.o"
+  "CMakeFiles/harmony_core.dir/config.cc.o.d"
+  "CMakeFiles/harmony_core.dir/estimator.cc.o"
+  "CMakeFiles/harmony_core.dir/estimator.cc.o.d"
+  "CMakeFiles/harmony_core.dir/packing.cc.o"
+  "CMakeFiles/harmony_core.dir/packing.cc.o.d"
+  "CMakeFiles/harmony_core.dir/scheduler.cc.o"
+  "CMakeFiles/harmony_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/harmony_core.dir/search.cc.o"
+  "CMakeFiles/harmony_core.dir/search.cc.o.d"
+  "CMakeFiles/harmony_core.dir/task_graph.cc.o"
+  "CMakeFiles/harmony_core.dir/task_graph.cc.o.d"
+  "libharmony_core.a"
+  "libharmony_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/cost_model.cc" "src/model/CMakeFiles/harmony_model.dir/cost_model.cc.o" "gcc" "src/model/CMakeFiles/harmony_model.dir/cost_model.cc.o.d"
+  "/root/repo/src/model/layer.cc" "src/model/CMakeFiles/harmony_model.dir/layer.cc.o" "gcc" "src/model/CMakeFiles/harmony_model.dir/layer.cc.o.d"
+  "/root/repo/src/model/memory.cc" "src/model/CMakeFiles/harmony_model.dir/memory.cc.o" "gcc" "src/model/CMakeFiles/harmony_model.dir/memory.cc.o.d"
+  "/root/repo/src/model/models.cc" "src/model/CMakeFiles/harmony_model.dir/models.cc.o" "gcc" "src/model/CMakeFiles/harmony_model.dir/models.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harmony_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/harmony_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_model.dir/cost_model.cc.o"
+  "CMakeFiles/harmony_model.dir/cost_model.cc.o.d"
+  "CMakeFiles/harmony_model.dir/layer.cc.o"
+  "CMakeFiles/harmony_model.dir/layer.cc.o.d"
+  "CMakeFiles/harmony_model.dir/memory.cc.o"
+  "CMakeFiles/harmony_model.dir/memory.cc.o.d"
+  "CMakeFiles/harmony_model.dir/models.cc.o"
+  "CMakeFiles/harmony_model.dir/models.cc.o.d"
+  "libharmony_model.a"
+  "libharmony_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

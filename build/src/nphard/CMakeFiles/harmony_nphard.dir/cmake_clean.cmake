@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_nphard.dir/reduction.cc.o"
+  "CMakeFiles/harmony_nphard.dir/reduction.cc.o.d"
+  "libharmony_nphard.a"
+  "libharmony_nphard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_nphard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

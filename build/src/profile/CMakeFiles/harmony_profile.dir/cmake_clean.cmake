@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_profile.dir/profiler.cc.o"
+  "CMakeFiles/harmony_profile.dir/profiler.cc.o.d"
+  "libharmony_profile.a"
+  "libharmony_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

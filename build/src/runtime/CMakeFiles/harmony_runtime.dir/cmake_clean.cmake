@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_runtime.dir/memory_manager.cc.o"
+  "CMakeFiles/harmony_runtime.dir/memory_manager.cc.o.d"
+  "CMakeFiles/harmony_runtime.dir/runtime.cc.o"
+  "CMakeFiles/harmony_runtime.dir/runtime.cc.o.d"
+  "libharmony_runtime.a"
+  "libharmony_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

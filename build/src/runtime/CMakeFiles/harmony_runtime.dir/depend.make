@@ -1,0 +1,2 @@
+# Empty dependencies file for harmony_runtime.
+# This may be replaced when dependencies are built.

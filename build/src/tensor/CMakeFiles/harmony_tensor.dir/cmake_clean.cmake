@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_tensor.dir/layers.cc.o"
+  "CMakeFiles/harmony_tensor.dir/layers.cc.o.d"
+  "CMakeFiles/harmony_tensor.dir/optim.cc.o"
+  "CMakeFiles/harmony_tensor.dir/optim.cc.o.d"
+  "CMakeFiles/harmony_tensor.dir/tensor.cc.o"
+  "CMakeFiles/harmony_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/harmony_tensor.dir/train.cc.o"
+  "CMakeFiles/harmony_tensor.dir/train.cc.o.d"
+  "libharmony_tensor.a"
+  "libharmony_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

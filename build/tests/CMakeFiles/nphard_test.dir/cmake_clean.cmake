@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nphard_test.dir/nphard_test.cc.o"
+  "CMakeFiles/nphard_test.dir/nphard_test.cc.o.d"
+  "nphard_test"
+  "nphard_test.pdb"
+  "nphard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nphard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvlink_test.dir/nvlink_test.cc.o"
+  "CMakeFiles/nvlink_test.dir/nvlink_test.cc.o.d"
+  "nvlink_test"
+  "nvlink_test.pdb"
+  "nvlink_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvlink_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
