@@ -1,6 +1,8 @@
 #include "bench/bench_common.h"
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 
 namespace harmony::bench {
 
@@ -150,6 +152,85 @@ SchemeResult RunScheme(Scheme scheme, const PreparedModel& pm,
 void PrintHeader(const std::string& title, const std::string& paper_ref) {
   std::cout << "\n=== " << title << " ===\n";
   std::cout << "Reproduces: " << paper_ref << "\n\n";
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonObject& JsonObject::SetRaw(const std::string& key, std::string rendered) {
+  fields_.emplace_back(key, std::move(rendered));
+  return *this;
+}
+
+JsonObject& JsonObject::Set(const std::string& key, const std::string& value) {
+  return SetRaw(key, "\"" + JsonEscape(value) + "\"");
+}
+
+JsonObject& JsonObject::Set(const std::string& key, const char* value) {
+  return Set(key, std::string(value));
+}
+
+JsonObject& JsonObject::Set(const std::string& key, int64_t value) {
+  return SetRaw(key, std::to_string(value));
+}
+
+JsonObject& JsonObject::Set(const std::string& key, int value) {
+  return Set(key, static_cast<int64_t>(value));
+}
+
+JsonObject& JsonObject::Set(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return SetRaw(key, buf);
+}
+
+std::string JsonObject::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + JsonEscape(fields_[i].first) + "\": " + fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+bool JsonFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return true;
+  }
+  return false;
+}
+
+bool WriteJsonFile(const std::string& path,
+                   const std::vector<JsonObject>& records) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return false;
+  }
+  out << "[\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    out << "  " << records[i].ToString() << (i + 1 < records.size() ? "," : "")
+        << "\n";
+  }
+  out << "]\n";
+  return out.good();
 }
 
 }  // namespace harmony::bench

@@ -72,6 +72,33 @@ SchemeResult RunScheme(Scheme scheme, const PreparedModel& pm,
 /// Prints a standard header for a figure/table reproduction.
 void PrintHeader(const std::string& title, const std::string& paper_ref);
 
+/// One flat JSON object, rendered in insertion order. Just enough JSON for
+/// machine-readable perf baselines (BENCH_*.json); not a general serializer.
+class JsonObject {
+ public:
+  JsonObject& Set(const std::string& key, const std::string& value);
+  JsonObject& Set(const std::string& key, const char* value);
+  JsonObject& Set(const std::string& key, int64_t value);
+  JsonObject& Set(const std::string& key, int value);
+  JsonObject& Set(const std::string& key, double value);
+
+  std::string ToString() const;
+
+ private:
+  JsonObject& SetRaw(const std::string& key, std::string rendered);
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// True when argv contains `--json` — the standard bench flag selecting
+/// machine-readable output alongside the human tables.
+bool JsonFlag(int argc, char** argv);
+
+/// Writes `records` to `path` as a pretty-printed JSON array (one object per
+/// line). Returns false (with a message on stderr) if the file can't be
+/// written.
+bool WriteJsonFile(const std::string& path,
+                   const std::vector<JsonObject>& records);
+
 }  // namespace harmony::bench
 
 #endif  // HARMONY_BENCH_BENCH_COMMON_H_

@@ -21,6 +21,10 @@ void Run() {
   core::SearchOptions opts;
   opts.u_fwd_max = 32;
   opts.u_bwd_max = 32;
+  // Fig 14 samples from the full explored set; the search drops it by
+  // default since only this experiment needs every candidate's packs.
+  opts.keep_explored = true;
+  opts.num_threads = 0;  // all cores; result is thread-count-invariant
   const auto search = core::SearchConfiguration(
       pm.profiles, machine, core::HarmonyMode::kPipelineParallel, 600,
       core::OptimizationFlags{}, opts);

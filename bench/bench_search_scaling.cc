@@ -1,0 +1,117 @@
+// Measures how the parallel configuration search (Algorithm 1 fanned out
+// over harmony::common::ThreadPool) scales with worker count, on the Table 1
+// workload (Harmony PP, 4 GPUs, minibatch 64). With --json, also emits the
+// machine-readable perf baseline BENCH_search.json:
+//   {model, threads, configs_explored, search_wall_seconds,
+//    best_iteration_time}
+// The chosen configuration is thread-count-invariant by construction (the
+// search merges candidates deterministically); this bench verifies that on
+// every run and reports wall-time speedups relative to one thread.
+
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+
+namespace harmony::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const bool json = JsonFlag(argc, argv);
+  PrintHeader("Configuration-search scaling vs worker threads (Harmony PP, "
+              "4 GPUs, minibatch 64)",
+              "Table 1 (Scheduler wall time) under the thread-pooled search");
+  const hw::MachineSpec machine = hw::MachineSpec::Commodity4Gpu();
+  const int cores = static_cast<int>(std::thread::hardware_concurrency());
+  std::cout << "Host hardware concurrency: " << cores << "\n\n";
+
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  std::vector<JsonObject> records;
+  bool parity_ok = true;
+  bool no_regression = true;
+
+  Table t({"Model", "threads", "configs explored", "search wall (s)",
+           "speedup vs 1T", "best est. iter (s)"});
+  for (const std::string name : {"BERT96", "GPT2", "VGG416", "ResNet1K"}) {
+    const PreparedModel pm = Prepare(name, machine);
+    core::SearchResult serial;
+    for (int threads : thread_counts) {
+      core::SearchOptions opts;
+      opts.u_fwd_max = 32;
+      opts.u_bwd_max = 32;
+      opts.num_threads = threads;
+      const auto result = core::SearchConfiguration(
+          pm.profiles, machine, core::HarmonyMode::kPipelineParallel, 64,
+          core::OptimizationFlags{}, opts);
+      if (!result.ok()) {
+        t.AddRow({name, Table::Cell(threads), "-", "-", "-",
+                  result.status().ToString()});
+        continue;
+      }
+      const auto& r = result.value();
+      if (threads == thread_counts.front()) {
+        serial = r;
+      } else {
+        // Determinism guarantee: identical winner at every thread count.
+        const bool same =
+            r.best.u_fwd == serial.best.u_fwd &&
+            r.best.u_bwd == serial.best.u_bwd &&
+            r.best.fwd_packs == serial.best.fwd_packs &&
+            r.best.bwd_packs == serial.best.bwd_packs &&
+            r.best_estimate.iteration_time ==
+                serial.best_estimate.iteration_time &&
+            r.configs_explored == serial.configs_explored &&
+            r.configs_feasible == serial.configs_feasible;
+        if (!same) {
+          parity_ok = false;
+          std::cout << "PARITY VIOLATION: " << name << " at " << threads
+                    << " threads diverged from the serial search\n";
+        }
+      }
+      const double speedup =
+          serial.search_wall_seconds > 0
+              ? serial.search_wall_seconds / r.search_wall_seconds
+              : 1.0;
+      // With more workers than cores the pool only adds scheduling overhead;
+      // "no regression" = within 25% of the serial wall time.
+      if (threads > 1 && speedup < 0.75) no_regression = false;
+      t.AddRow({name, Table::Cell(threads), Table::Cell(r.configs_explored),
+                Table::Cell(r.search_wall_seconds, 4), Table::Cell(speedup),
+                Table::Cell(r.best_estimate.iteration_time, 4)});
+      records.push_back(
+          JsonObject()
+              .Set("model", name)
+              .Set("threads", threads)
+              .Set("configs_explored", r.configs_explored)
+              .Set("search_wall_seconds", r.search_wall_seconds)
+              .Set("best_iteration_time", r.best_estimate.iteration_time));
+    }
+  }
+  t.PrintAscii(&std::cout);
+
+  std::cout << "\nDeterminism (identical best config at all thread counts): "
+            << (parity_ok ? "PASS" : "FAIL") << "\n";
+  if (cores >= 4) {
+    std::cout << "Expectation on this >=4-core host: >=2x speedup at 4 "
+                 "threads (see table)\n";
+  } else {
+    std::cout << "Single/dual-core host: expecting no regression from "
+                 "threading overhead: "
+              << (no_regression ? "PASS" : "FAIL") << "\n";
+  }
+
+  if (json) {
+    const std::string path = "BENCH_search.json";
+    if (WriteJsonFile(path, records)) {
+      std::cout << "Wrote " << records.size() << " records to " << path << "\n";
+    }
+  }
+  return parity_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace harmony::bench
+
+int main(int argc, char** argv) { return harmony::bench::Run(argc, argv); }

@@ -24,6 +24,9 @@ void Run() {
     core::SearchOptions opts;
     opts.u_fwd_max = 64;
     opts.u_bwd_max = 64;
+    // All cores: the reported Scheduler time depends on the thread count but
+    // the chosen configuration does not (see bench_search_scaling).
+    opts.num_threads = 0;
     const auto result = core::SearchConfiguration(
         pm.profiles, machine, core::HarmonyMode::kPipelineParallel, 64,
         core::OptimizationFlags{}, opts);

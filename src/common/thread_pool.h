@@ -1,0 +1,78 @@
+#ifndef HARMONY_COMMON_THREAD_POOL_H_
+#define HARMONY_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace harmony::common {
+
+/// A fixed-size worker pool with a shared FIFO task queue. Built for the
+/// Scheduler's parallel configuration search (many independent, CPU-bound
+/// estimator calls), but generic: any callable can be submitted and its
+/// result retrieved through the returned future.
+///
+/// Guarantees:
+///  * `Submit` never blocks on task execution; tasks run in FIFO submission
+///    order across the pool (each worker pops the oldest pending task).
+///  * Deterministic shutdown: the destructor (or `Shutdown`) drains every
+///    already-submitted task before joining the workers, so futures obtained
+///    from `Submit` are always eventually satisfied.
+///  * Thread-safe: `Submit` may be called concurrently from any thread,
+///    including from inside a running task (tasks must not block on futures
+///    of tasks queued behind them, the usual pool-deadlock caveat).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers. `num_threads` <= 0 selects the hardware
+  /// concurrency (at least 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn(args...)` and returns a future for its result.
+  template <typename F, typename... Args>
+  auto Submit(F&& fn, Args&&... args)
+      -> std::future<std::invoke_result_t<F, Args...>> {
+    using R = std::invoke_result_t<F, Args...>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [f = std::forward<F>(fn),
+         ... a = std::forward<Args>(args)]() mutable { return f(a...); });
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    wake_.notify_one();
+    return result;
+  }
+
+  /// Drains the queue and joins all workers. Idempotent; called by the
+  /// destructor. After shutdown, `Submit` must not be called again.
+  void Shutdown();
+
+  /// Best-effort default worker count for CPU-bound work on this host.
+  static int DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace harmony::common
+
+#endif  // HARMONY_COMMON_THREAD_POOL_H_

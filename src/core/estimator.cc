@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 
@@ -66,152 +68,218 @@ Estimate RuntimeEstimator::EstimateIteration(const TaskGraph& graph) const {
     }
   }
 
-  auto unit_end = [&](int task, int piece) -> TimeSec {
+  // Flat unit ids: uid = lane_base[lane] + position.
+  std::vector<int> lane_base(2 * N + 1, 0);
+  for (int lane_id = 0; lane_id < 2 * N; ++lane_id) {
+    lane_base[lane_id + 1] =
+        lane_base[lane_id] + static_cast<int>(lanes[lane_id].size());
+  }
+  const int total_units = lane_base[2 * N];
+  auto unit_at = [&](int uid) -> Unit& {
+    const int lane_id = static_cast<int>(
+        std::upper_bound(lane_base.begin(), lane_base.end(), uid) -
+        lane_base.begin() - 1);
+    return lanes[lane_id][uid - lane_base[lane_id]];
+  };
+  auto uid_of = [&](int task, int piece) -> int {
     const auto& locs = locate[task];
     HARMONY_CHECK(!locs.empty());
     const int idx = piece >= 0 && piece < static_cast<int>(locs.size()) ? piece : 0;
     const auto& [lane, pos] = locs[idx];
-    return lanes[lane][pos].end;
+    return lane_base[lane] + pos;
   };
 
-  // Fixpoint sweep: advance each lane's next unscheduled unit when its
-  // dependencies have end times. Valid schedules have no cyclic waits.
-  std::vector<int> cursor(2 * N, 0);
-  int64_t scheduled = 0, total_units = 0;
-  for (const auto& lane : lanes) total_units += static_cast<int64_t>(lane.size());
-  bool progress = true;
-  while (progress) {
-    progress = false;
-    for (int lane_id = 0; lane_id < 2 * N; ++lane_id) {
-      auto& lane = lanes[lane_id];
-      while (cursor[lane_id] < static_cast<int>(lane.size())) {
-        Unit& u = lane[cursor[lane_id]];
-        const Task& t = graph.task(u.task);
-        const TimeSec lane_free =
-            cursor[lane_id] == 0 ? 0.0 : lane[cursor[lane_id] - 1].end;
+  // Precompute each unit's producers (cross-lane dependencies). Updates keep
+  // their gradient producers separate from the rigid-scheduling extras, since
+  // only the former enter the traffic model.
+  std::vector<std::vector<int>> grad_units(total_units);
+  std::vector<std::vector<int>> rigid_units(total_units);
+  // Streaming producers of a compute unit: (producer unit, producer task).
+  std::vector<std::vector<std::pair<int, int>>> stream_units(total_units);
 
-        TimeSec ready = lane_free;
-        TimeSec duration = 0.0;
-        bool deps_known = true;
-
-        if (t.type == TaskType::kUpdate) {
-          const Bytes params = pack_params(t.pack);
-          const auto producers = deps.BackwardTasksForPack(t.pack, t.replica);
-          const int nrep = static_cast<int>(producers.size());
-          TimeSec grads_ready = 0.0;
-          for (int pid : producers) {
-            const Task& p = graph.task(pid);
-            const TimeSec done =
-                unit_end(pid, static_cast<int>(p.group.size()) - 1);
-            if (done < 0) { deps_known = false; break; }
-            grads_ready = std::max(grads_ready, done);
-          }
-          if (deps_known && !graph.flags.jit_update) {
-            // Rigid scheduling: updates wait for the entire backward pass.
-            for (int r = 0; r < graph.num_replicas && deps_known; ++r) {
-              if (t.replica >= 0 && r != t.replica) continue;
-              for (int pid : deps.AllBackwardTasks(r)) {
-                const Task& p = graph.task(pid);
-                const TimeSec done =
-                    unit_end(pid, static_cast<int>(p.group.size()) - 1);
-                if (done < 0) { deps_known = false; break; }
-                grads_ready = std::max(grads_ready, done);
-              }
-            }
-          }
-          if (!deps_known) break;
-          if (t.on_cpu) {
-            // Gradient swap-out from each producing GPU, then CPU reduce +
-            // Adam update on host-resident master state.
-            grads_ready += static_cast<double>(params) / swap_bw;
-            swap_bytes += params * nrep;
-            duration = static_cast<double>(params) * (2.0 + nrep) /
-                       machine_.cpu_update_bw;
-          } else {
-            // On-GPU update: W in+out, optimizer state in+out, compute.
-            const Bytes traffic = 2 * params + 4 * params;
-            swap_bytes += traffic + (graph.grad_reduce_via_host ? 2 * params : 0);
-            TimeSec compute = 0;
-            for (int l = t.pack.lo; l <= t.pack.hi; ++l) {
-              compute += profiles_.layer(l).gpu_update_time;
-            }
-            duration = static_cast<double>(traffic) / swap_bw + compute;
-          }
-          ready = std::max(ready, grads_ready);
-        } else {
-          const MbPiece piece = t.group[u.piece];
-          const int usize = piece.size;
-          if (t.type == TaskType::kForward) {
-            duration = profiles_.PackFwdTime(t.pack.lo, t.pack.hi, usize);
-          } else {
-            duration = profiles_.PackBwdTime(t.pack.lo, t.pack.hi, usize);
-            if (t.recompute || t.fused_forward) {
-              duration += profiles_.PackFwdTime(t.pack.lo, t.pack.hi, usize);
-            }
-          }
-
-          // Streaming input: activations (forward / fused) or boundary
-          // gradient (backward).
-          const bool wants_act = t.type == TaskType::kForward || t.fused_forward;
-          const int in_boundary = wants_act ? t.pack.lo : t.pack.hi + 1;
-          const auto producers =
-              wants_act ? deps.ActivationProducers(in_boundary, piece, t.replica)
-                        : deps.GradientProducers(in_boundary, piece, t.replica);
-          for (const auto& [pid, pk] : producers) {
-            const TimeSec done = unit_end(pid, pk);
-            if (done < 0) { deps_known = false; break; }
-            const Task& p = graph.task(pid);
-            const Bytes bytes =
-                static_cast<Bytes>(usize) * boundary_in_bytes(in_boundary);
-            TimeSec xfer = 0.0;
-            if (p.device != t.device && bytes > 0) {
-              if (graph.flags.p2p_transfers) {
-                xfer = static_cast<double>(bytes) / p2p_bw;
-                p2p_bytes += bytes;
-              } else {
-                xfer = 2.0 * static_cast<double>(bytes) / swap_bw;
-                swap_bytes += 2 * bytes;
-              }
-            }
-            ready = std::max(ready, done + xfer);
-          }
-          if (!deps_known) break;
-
-          // Checkpoint read for backward tasks (message passing via host).
-          if (t.type == TaskType::kBackward && t.reads_checkpoint) {
-            const Bytes ck =
-                static_cast<Bytes>(usize) * boundary_in_bytes(t.pack.lo);
-            duration += static_cast<double>(ck) / swap_bw;
-            swap_bytes += ck;
-          }
-          // Checkpoint writes (forward): overlapped on the swap-out stream;
-          // count volume only.
-          for (int b : t.checkpoint_boundaries) {
-            swap_bytes += static_cast<Bytes>(usize) * boundary_in_bytes(b);
-          }
-
-          // Weight fetch at the first piece of a task; prefetch overlaps it
-          // with the previous task on the device.
-          if (u.piece == 0) {
-            const Bytes params = pack_params(t.pack);
-            const TimeSec fetch = static_cast<double>(params) / swap_bw;
-            swap_bytes += params;
-            if (graph.flags.prefetch && cursor[lane_id] > 0) {
-              const Unit& prev = lane[cursor[lane_id] - 1];
-              const TimeSec prev_span = prev.end - prev.start;
-              ready = std::max(ready, lane_free + std::max(0.0, fetch - prev_span));
-            } else {
-              ready = std::max(ready, lane_free + fetch);
+  for (int lane_id = 0; lane_id < 2 * N; ++lane_id) {
+    for (int pos = 0; pos < static_cast<int>(lanes[lane_id].size()); ++pos) {
+      const int uid = lane_base[lane_id] + pos;
+      const Unit& u = lanes[lane_id][pos];
+      const Task& t = graph.task(u.task);
+      if (t.type == TaskType::kUpdate) {
+        for (int pid : deps.BackwardTasksForPack(t.pack, t.replica)) {
+          const Task& p = graph.task(pid);
+          grad_units[uid].push_back(
+              uid_of(pid, static_cast<int>(p.group.size()) - 1));
+        }
+        if (!graph.flags.jit_update) {
+          // Rigid scheduling: updates wait for the entire backward pass.
+          for (int r = 0; r < graph.num_replicas; ++r) {
+            if (t.replica >= 0 && r != t.replica) continue;
+            for (int pid : deps.AllBackwardTasks(r)) {
+              const Task& p = graph.task(pid);
+              rigid_units[uid].push_back(
+                  uid_of(pid, static_cast<int>(p.group.size()) - 1));
             }
           }
         }
-
-        u.start = ready;
-        u.end = ready + duration;
-        ++cursor[lane_id];
-        ++scheduled;
-        progress = true;
+      } else {
+        const MbPiece piece = t.group[u.piece];
+        const bool wants_act = t.type == TaskType::kForward || t.fused_forward;
+        const int in_boundary = wants_act ? t.pack.lo : t.pack.hi + 1;
+        const auto producers =
+            wants_act ? deps.ActivationProducers(in_boundary, piece, t.replica)
+                      : deps.GradientProducers(in_boundary, piece, t.replica);
+        for (const auto& [pid, pk] : producers) {
+          stream_units[uid].emplace_back(uid_of(pid, pk), pid);
+        }
       }
+    }
+  }
+
+  // Dependency-counted ready queue (Kahn): a unit becomes ready when its lane
+  // predecessor and every producer unit have finished. Duplicate edges are
+  // fine — each one both increments the count and appears in the dependents
+  // list. Any pop order yields the same schedule: a unit's times depend only
+  // on its (finished) producers, and the byte counters are order-free sums.
+  std::vector<int> dep_count(total_units, 0);
+  std::vector<std::vector<int>> dependents(total_units);
+  auto add_edge = [&](int from, int to) {
+    if (from == to) return;  // a task is never its own producer
+    ++dep_count[to];
+    dependents[from].push_back(to);
+  };
+  for (int lane_id = 0; lane_id < 2 * N; ++lane_id) {
+    for (int pos = 1; pos < static_cast<int>(lanes[lane_id].size()); ++pos) {
+      add_edge(lane_base[lane_id] + pos - 1, lane_base[lane_id] + pos);
+    }
+  }
+  for (int uid = 0; uid < total_units; ++uid) {
+    for (int p : grad_units[uid]) add_edge(p, uid);
+    for (int p : rigid_units[uid]) add_edge(p, uid);
+    for (const auto& edge : stream_units[uid]) add_edge(edge.first, uid);
+  }
+
+  std::vector<int> ready;
+  ready.reserve(total_units);
+  for (int uid = 0; uid < total_units; ++uid) {
+    if (dep_count[uid] == 0) ready.push_back(uid);
+  }
+
+  int64_t scheduled = 0;
+  while (!ready.empty()) {
+    const int uid = ready.back();
+    ready.pop_back();
+    const int lane_id = static_cast<int>(
+        std::upper_bound(lane_base.begin(), lane_base.end(), uid) -
+        lane_base.begin() - 1);
+    auto& lane = lanes[lane_id];
+    const int pos = uid - lane_base[lane_id];
+    Unit& u = lane[pos];
+    const Task& t = graph.task(u.task);
+    const TimeSec lane_free = pos == 0 ? 0.0 : lane[pos - 1].end;
+
+    TimeSec ready_time = lane_free;
+    TimeSec duration = 0.0;
+
+    if (t.type == TaskType::kUpdate) {
+      const Bytes params = pack_params(t.pack);
+      const int nrep = static_cast<int>(grad_units[uid].size());
+      TimeSec grads_ready = 0.0;
+      for (int p : grad_units[uid]) {
+        const TimeSec done = unit_at(p).end;
+        HARMONY_CHECK_GE(done, 0.0);
+        grads_ready = std::max(grads_ready, done);
+      }
+      for (int p : rigid_units[uid]) {
+        const TimeSec done = unit_at(p).end;
+        HARMONY_CHECK_GE(done, 0.0);
+        grads_ready = std::max(grads_ready, done);
+      }
+      if (t.on_cpu) {
+        // Gradient swap-out from each producing GPU, then CPU reduce +
+        // Adam update on host-resident master state.
+        grads_ready += static_cast<double>(params) / swap_bw;
+        swap_bytes += params * nrep;
+        duration = static_cast<double>(params) * (2.0 + nrep) /
+                   machine_.cpu_update_bw;
+      } else {
+        // On-GPU update: W in+out, optimizer state in+out, compute.
+        const Bytes traffic = 2 * params + 4 * params;
+        swap_bytes += traffic + (graph.grad_reduce_via_host ? 2 * params : 0);
+        TimeSec compute = 0;
+        for (int l = t.pack.lo; l <= t.pack.hi; ++l) {
+          compute += profiles_.layer(l).gpu_update_time;
+        }
+        duration = static_cast<double>(traffic) / swap_bw + compute;
+      }
+      ready_time = std::max(ready_time, grads_ready);
+    } else {
+      const MbPiece piece = t.group[u.piece];
+      const int usize = piece.size;
+      if (t.type == TaskType::kForward) {
+        duration = profiles_.PackFwdTime(t.pack.lo, t.pack.hi, usize);
+      } else {
+        duration = profiles_.PackBwdTime(t.pack.lo, t.pack.hi, usize);
+        if (t.recompute || t.fused_forward) {
+          duration += profiles_.PackFwdTime(t.pack.lo, t.pack.hi, usize);
+        }
+      }
+
+      // Streaming input: activations (forward / fused) or boundary
+      // gradient (backward).
+      const bool wants_act = t.type == TaskType::kForward || t.fused_forward;
+      const int in_boundary = wants_act ? t.pack.lo : t.pack.hi + 1;
+      for (const auto& [p, pid] : stream_units[uid]) {
+        const TimeSec done = unit_at(p).end;
+        HARMONY_CHECK_GE(done, 0.0);
+        const Task& prod = graph.task(pid);
+        const Bytes bytes =
+            static_cast<Bytes>(usize) * boundary_in_bytes(in_boundary);
+        TimeSec xfer = 0.0;
+        if (prod.device != t.device && bytes > 0) {
+          if (graph.flags.p2p_transfers) {
+            xfer = static_cast<double>(bytes) / p2p_bw;
+            p2p_bytes += bytes;
+          } else {
+            xfer = 2.0 * static_cast<double>(bytes) / swap_bw;
+            swap_bytes += 2 * bytes;
+          }
+        }
+        ready_time = std::max(ready_time, done + xfer);
+      }
+
+      // Checkpoint read for backward tasks (message passing via host).
+      if (t.type == TaskType::kBackward && t.reads_checkpoint) {
+        const Bytes ck =
+            static_cast<Bytes>(usize) * boundary_in_bytes(t.pack.lo);
+        duration += static_cast<double>(ck) / swap_bw;
+        swap_bytes += ck;
+      }
+      // Checkpoint writes (forward): overlapped on the swap-out stream;
+      // count volume only.
+      for (int b : t.checkpoint_boundaries) {
+        swap_bytes += static_cast<Bytes>(usize) * boundary_in_bytes(b);
+      }
+
+      // Weight fetch at the first piece of a task; prefetch overlaps it
+      // with the previous task on the device.
+      if (u.piece == 0) {
+        const Bytes params = pack_params(t.pack);
+        const TimeSec fetch = static_cast<double>(params) / swap_bw;
+        swap_bytes += params;
+        if (graph.flags.prefetch && pos > 0) {
+          const Unit& prev = lane[pos - 1];
+          const TimeSec prev_span = prev.end - prev.start;
+          ready_time =
+              std::max(ready_time, lane_free + std::max(0.0, fetch - prev_span));
+        } else {
+          ready_time = std::max(ready_time, lane_free + fetch);
+        }
+      }
+    }
+
+    u.start = ready_time;
+    u.end = ready_time + duration;
+    ++scheduled;
+    for (int dep : dependents[uid]) {
+      if (--dep_count[dep] == 0) ready.push_back(dep);
     }
   }
   HARMONY_CHECK_EQ(scheduled, total_units)

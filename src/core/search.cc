@@ -1,13 +1,71 @@
 #include "core/search.h"
 
+#include <algorithm>
 #include <chrono>
+#include <future>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <tuple>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "core/packing.h"
 
 namespace harmony::core {
+namespace {
+
+/// One candidate of the four-tuple grid. Backward packs are shared across
+/// the whole (U_B, floor) group; `bwd_group` indexes into the group store.
+struct GridPoint {
+  int u_bwd = 0;
+  int bwd_floor = 0;
+  int u_fwd = 0;
+  int fwd_floor = 0;
+  int bwd_group = -1;
+
+  /// The deterministic merge order of the issue statement: candidates with
+  /// equal estimated time resolve by this tuple, NOT by enumeration order,
+  /// so serial and parallel searches agree bit-for-bit.
+  std::tuple<int, int, int, int> TieBreak() const {
+    return {u_bwd, u_fwd, bwd_floor, fwd_floor};
+  }
+};
+
+struct EvalOutcome {
+  bool feasible = false;
+  Configuration config;
+  Estimate estimate;
+};
+
+/// Thread-safe memo for ForwardPacks keyed by (U_F, min_packs, fwd_layers).
+/// ForwardPacks is a pure function of the key (the backward packs only enter
+/// through fwd_layers), so a lost insertion race recomputes the same value;
+/// the first inserted entry wins and all callers see an identical PackList.
+class FwdPackMemo {
+ public:
+  using Key = std::tuple<int, int, int>;
+
+  const Result<PackList>& Get(const Key& key, int u_fwd, const PackList& bwd,
+                              const profile::ProfileDb& profiles,
+                              const PackingOptions& packing) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = cache_.find(key);
+      if (it != cache_.end()) return *it->second;
+    }
+    auto computed = std::make_shared<Result<PackList>>(
+        ForwardPacks(u_fwd, bwd, profiles, packing));
+    std::lock_guard<std::mutex> lock(mu_);
+    return *cache_.emplace(key, std::move(computed)).first->second;
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<Key, std::shared_ptr<Result<PackList>>> cache_;
+};
+
+}  // namespace
 
 Result<SearchResult> SearchConfiguration(const profile::ProfileDb& profiles,
                                          const hw::MachineSpec& machine,
@@ -43,10 +101,12 @@ Result<SearchResult> SearchConfiguration(const profile::ProfileDb& profiles,
   }
 
   SearchResult result;
-  double best_time = -1.0;
-  // Forward packs depend only on (U_F, floor, #forward layers).
-  std::map<std::tuple<int, int, int>, Result<PackList>> fwd_cache;
 
+  // Phase 1 (serial, cheap): enumerate backward-pack groups — BackwardPacks
+  // runs exactly once per (U_B, floor) — and flatten the feasible four-tuple
+  // grid into a canonically ordered candidate list.
+  std::vector<PackList> bwd_groups;
+  std::vector<GridPoint> points;
   for (int u_bwd = 1; u_bwd <= u_bwd_max; ++u_bwd) {
     for (int bwd_floor : bwd_floors) {
       PackingOptions bwd_packing = packing;
@@ -57,50 +117,105 @@ Result<SearchResult> SearchConfiguration(const profile::ProfileDb& profiles,
           static_cast<int>(bwd.value().size()) <= bwd_floor / 2) {
         continue;  // floor had no effect; same packs as a smaller floor
       }
+      const int group = static_cast<int>(bwd_groups.size());
+      bwd_groups.push_back(std::move(bwd).value());
 
-      const int fwd_layers = bwd.value().back().lo;
       for (int u_fwd = 1; u_fwd <= u_fwd_max; ++u_fwd) {
         for (int fwd_floor : fwd_floors) {
           ++result.configs_explored;
-          Configuration config;
-          config.u_bwd = u_bwd;
-          config.bwd_packs = bwd.value();
-
-          if (options.equi_fb) {
-            // Equi-FB (Table 4): reuse the backward packs and microbatch size
-            // for the forward pass (dropping the fused last pack).
-            if (u_fwd != u_bwd || fwd_floor != fwd_floors.front()) continue;
-            config.u_fwd = u_bwd;
-            config.fwd_packs.assign(bwd.value().begin(), bwd.value().end() - 1);
-          } else {
-            config.u_fwd = u_fwd;
-            PackingOptions fwd_packing = packing;
-            fwd_packing.min_packs = std::min(fwd_floor, fwd_layers);
-            auto key = std::make_tuple(u_fwd, fwd_packing.min_packs, fwd_layers);
-            auto it = fwd_cache.find(key);
-            if (it == fwd_cache.end()) {
-              it = fwd_cache
-                       .emplace(key, ForwardPacks(u_fwd, bwd.value(), profiles,
-                                                  fwd_packing))
-                       .first;
-            }
-            if (!it->second.ok()) continue;
-            config.fwd_packs = it->second.value();
+          if (options.equi_fb &&
+              (u_fwd != u_bwd || fwd_floor != fwd_floors.front())) {
+            continue;  // explored but outside the Equi-FB slice (Table 4)
           }
-
-          TaskGraph graph = GenerateHarmonyTaskGraph(config, mode,
-                                                     machine.num_gpus, minibatch,
-                                                     flags, profiles);
-          const Estimate est = estimator.EstimateIteration(graph);
-          ++result.configs_feasible;
-          result.explored.push_back(ExploredConfig{config, est});
-          if (best_time < 0 || est.iteration_time < best_time) {
-            best_time = est.iteration_time;
-            result.best = config;
-            result.best_estimate = est;
-          }
+          points.push_back(GridPoint{u_bwd, bwd_floor, u_fwd, fwd_floor, group});
         }
       }
+    }
+  }
+
+  // Phase 2 (parallel): evaluate every candidate independently. All inputs
+  // (profiles, machine, estimator, bwd_groups) are immutable from here on;
+  // the forward-pack memo is the only shared mutable state.
+  FwdPackMemo fwd_memo;
+  auto evaluate = [&](const GridPoint& pt) -> EvalOutcome {
+    EvalOutcome out;
+    const PackList& bwd = bwd_groups[pt.bwd_group];
+    Configuration config;
+    config.u_bwd = pt.u_bwd;
+    config.bwd_packs = bwd;
+
+    if (options.equi_fb) {
+      // Equi-FB (Table 4): reuse the backward packs and microbatch size
+      // for the forward pass (dropping the fused last pack).
+      config.u_fwd = pt.u_bwd;
+      config.fwd_packs.assign(bwd.begin(), bwd.end() - 1);
+    } else {
+      config.u_fwd = pt.u_fwd;
+      const int fwd_layers = bwd.back().lo;
+      PackingOptions fwd_packing = packing;
+      fwd_packing.min_packs = std::min(pt.fwd_floor, fwd_layers);
+      const Result<PackList>& fwd = fwd_memo.Get(
+          {pt.u_fwd, fwd_packing.min_packs, fwd_layers}, pt.u_fwd, bwd,
+          profiles, fwd_packing);
+      if (!fwd.ok()) return out;
+      config.fwd_packs = fwd.value();
+    }
+
+    TaskGraph graph = GenerateHarmonyTaskGraph(config, mode, machine.num_gpus,
+                                               minibatch, flags, profiles);
+    out.estimate = estimator.EstimateIteration(graph);
+    out.feasible = true;
+    out.config = std::move(config);
+    return out;
+  };
+
+  std::vector<EvalOutcome> outcomes(points.size());
+  const int num_threads = options.num_threads <= 0
+                              ? common::ThreadPool::DefaultThreadCount()
+                              : options.num_threads;
+  if (num_threads <= 1 || points.size() <= 1) {
+    for (size_t i = 0; i < points.size(); ++i) outcomes[i] = evaluate(points[i]);
+  } else {
+    common::ThreadPool pool(num_threads);
+    // Contiguous chunks keep per-task overhead negligible while leaving
+    // enough slack (4x oversubscription) to absorb uneven candidate costs.
+    const size_t chunks = std::min(
+        points.size(), static_cast<size_t>(num_threads) * 4);
+    const size_t stride = (points.size() + chunks - 1) / chunks;
+    std::vector<std::future<void>> pending;
+    pending.reserve(chunks);
+    for (size_t begin = 0; begin < points.size(); begin += stride) {
+      const size_t end = std::min(begin + stride, points.size());
+      pending.push_back(pool.Submit([&, begin, end]() {
+        for (size_t i = begin; i < end; ++i) outcomes[i] = evaluate(points[i]);
+      }));
+    }
+    for (auto& f : pending) f.get();
+  }
+
+  // Phase 3 (serial): deterministic merge. The winner is the feasible
+  // candidate with the lowest estimated time, ties broken by lexicographic
+  // (u_bwd, u_fwd, bwd_floor, fwd_floor) — independent of thread count and
+  // of the order workers finished.
+  double best_time = -1.0;
+  std::tuple<int, int, int, int> best_key;
+  for (size_t i = 0; i < points.size(); ++i) {
+    EvalOutcome& out = outcomes[i];
+    if (!out.feasible) continue;
+    ++result.configs_feasible;
+    const bool better =
+        best_time < 0 || out.estimate.iteration_time < best_time ||
+        (out.estimate.iteration_time == best_time &&
+         points[i].TieBreak() < best_key);
+    if (better) {
+      best_time = out.estimate.iteration_time;
+      best_key = points[i].TieBreak();
+      result.best = out.config;
+      result.best_estimate = out.estimate;
+    }
+    if (options.keep_explored) {
+      result.explored.push_back(
+          ExploredConfig{std::move(out.config), out.estimate});
     }
   }
 

@@ -21,6 +21,17 @@ struct SearchOptions {
   /// Table 4 ablation: force the forward configuration to equal the backward
   /// one (Equi-FB) instead of searching a distinct four-tuple (Distinct-FB).
   bool equi_fb = false;
+  /// Worker threads for the candidate sweep. 1 runs serially in the calling
+  /// thread; <= 0 selects the hardware concurrency. The result is identical
+  /// for every value (see DESIGN.md "Threading model"): candidates are
+  /// enumerated in a canonical order and merged with a deterministic
+  /// tie-break, so threading only changes wall time.
+  int num_threads = 1;
+  /// Keep every explored configuration in SearchResult::explored (needed by
+  /// the Fig 14 estimator-accuracy experiment). Off by default: the hot
+  /// search path only needs the best configuration, and retaining the full
+  /// pack lists of every candidate is pure overhead there.
+  bool keep_explored = false;
 };
 
 /// One explored configuration and its estimated iteration time (kept for
@@ -37,12 +48,20 @@ struct SearchResult {
   int configs_feasible = 0;
   /// Real wall-clock seconds the search took (Table 1's "Time (s)").
   double search_wall_seconds = 0;
+  /// Populated only when SearchOptions::keep_explored is set.
   std::vector<ExploredConfig> explored;
 };
 
 /// Algorithm 1: Harmony Configuration Search. Sweeps (U_B, U_F), derives
 /// balanced-time packs for each, generates the task graph, estimates its
 /// iteration time, and returns the fastest configuration.
+///
+/// The sweep is embarrassingly parallel: backward-pack groups (U_B, floor)
+/// are enumerated serially (each group's packing runs once), and the
+/// per-group (U_F, floor) grid fans out across SearchOptions::num_threads
+/// workers. Winners merge by lowest estimated time, ties broken by
+/// lexicographic (u_bwd, u_fwd, bwd_floor, fwd_floor), so any thread count
+/// returns a bit-identical best configuration.
 Result<SearchResult> SearchConfiguration(const profile::ProfileDb& profiles,
                                          const hw::MachineSpec& machine,
                                          HarmonyMode mode, int minibatch,

@@ -131,6 +131,78 @@ TEST(Estimator, MoreMicrobatchesMoreTime) {
             est.EstimateIteration(g8).iteration_time);
 }
 
+// Golden regression for the ready-queue estimator rewrite: exact
+// EstimateIteration outputs for a handful of task graphs, captured from the
+// original O(passes x lanes) fixpoint-sweep implementation. The rewrite must
+// keep these bit-for-bit (iteration times are a pure function of dependency
+// end times, so scheduling order cannot move them; byte counters are sums).
+TEST(Estimator, GoldenSchedulesPinnedAcrossRewrite) {
+  const Fixture f;
+  const Configuration c22 = f.Config(2, 2);
+
+  struct Golden {
+    const char* name;
+    HarmonyMode mode;
+    int minibatch;
+    OptimizationFlags flags;
+    double time;
+    Bytes swap;
+    Bytes p2p;
+  };
+  OptimizationFlags all_on;
+  OptimizationFlags no_p2p;
+  no_p2p.p2p_transfers = false;
+  OptimizationFlags no_prefetch;
+  no_prefetch.prefetch = false;
+  OptimizationFlags no_jit_update;
+  no_jit_update.jit_update = false;
+  OptimizationFlags no_grouping;
+  no_grouping.input_batch_grouping = false;
+
+  const Golden goldens[] = {
+      {"pp", HarmonyMode::kPipelineParallel, 8, all_on,
+       0.12359152136902132, 511320064, 10485760},
+      {"dp", HarmonyMode::kDataParallel, 8, all_on,
+       0.13466751933169979, 2045280256, 0},
+      {"pp_no_p2p", HarmonyMode::kPipelineParallel, 8, no_p2p,
+       0.12379975896093309, 532291584, 0},
+      {"pp_no_prefetch", HarmonyMode::kPipelineParallel, 8, no_prefetch,
+       0.12446235119103652, 511320064, 10485760},
+      {"pp_rigid_update", HarmonyMode::kPipelineParallel, 8, no_jit_update,
+       0.12359152136902132, 511320064, 10485760},
+      {"dp_ungrouped", HarmonyMode::kDataParallel, 16, no_grouping,
+       0.22929044485236438, 4090560512, 0},
+  };
+  const RuntimeEstimator est(f.db, f.machine);
+  for (const Golden& g : goldens) {
+    const TaskGraph graph =
+        GenerateHarmonyTaskGraph(c22, g.mode, 4, g.minibatch, g.flags, f.db);
+    const Estimate e = est.EstimateIteration(graph);
+    EXPECT_DOUBLE_EQ(e.iteration_time, g.time) << g.name;
+    EXPECT_EQ(e.swap_bytes, g.swap) << g.name;
+    EXPECT_EQ(e.p2p_bytes, g.p2p) << g.name;
+  }
+
+  // A second configuration shape: U_F != U_B with a coarser forward floor.
+  const Configuration c41 = [&]() {
+    PackingOptions opts;
+    opts.capacity = MiB(512);
+    Configuration c;
+    c.u_fwd = 4;
+    c.u_bwd = 1;
+    c.bwd_packs = BackwardPacks(1, f.db, opts).value();
+    opts.min_packs = 2;
+    c.fwd_packs = ForwardPacks(4, c.bwd_packs, f.db, opts).value();
+    return c;
+  }();
+  const TaskGraph graph = GenerateHarmonyTaskGraph(
+      c41, HarmonyMode::kPipelineParallel, 4, 12, all_on, f.db);
+  const Estimate e = est.EstimateIteration(graph);
+  EXPECT_DOUBLE_EQ(e.iteration_time, 0.14325066413564352);
+  EXPECT_EQ(e.swap_bytes, 511320064);
+  EXPECT_EQ(e.p2p_bytes, 9437184);
+}
+
 TEST(Search, FindsFeasibleBestAndExploresSpace) {
   const Fixture f;
   hw::MachineSpec small = f.machine;
@@ -138,6 +210,7 @@ TEST(Search, FindsFeasibleBestAndExploresSpace) {
   SearchOptions opts;
   opts.u_fwd_max = 4;
   opts.u_bwd_max = 4;
+  opts.keep_explored = true;
   const auto result =
       SearchConfiguration(f.db, small, HarmonyMode::kPipelineParallel, 8,
                           OptimizationFlags{}, opts);
