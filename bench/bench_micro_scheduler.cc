@@ -1,13 +1,24 @@
 // Microbenchmarks (google-benchmark) for the Scheduler's hot paths: balanced
-// time packing, task graph generation, runtime estimation and the full
-// configuration search. These back Table 1's claim that end-to-end
-// scheduling stays in seconds even for 1000-layer CNNs.
+// time packing, task graph generation, runtime estimation, the full
+// configuration search, and one simulated runtime execution. These back
+// Table 1's claim that end-to-end scheduling stays in seconds even for
+// 1000-layer CNNs.
+//
+// `--json` skips google-benchmark and instead times each path manually,
+// writing machine-readable per-op baselines to BENCH_runtime.json (compare
+// against the checked-in baseline to catch scheduler/runtime regressions).
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "core/packing.h"
 #include "core/search.h"
+#include "runtime/runtime.h"
 
 namespace harmony::bench {
 namespace {
@@ -100,7 +111,103 @@ void BM_FullConfigurationSearch_Gpt2(benchmark::State& state) {
 }
 BENCHMARK(BM_FullConfigurationSearch_Gpt2)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
 
+core::TaskGraph Gpt2Graph(int minibatch) {
+  const auto& pm = Gpt2Model();
+  core::Configuration config;
+  config.u_fwd = config.u_bwd = 4;
+  config.bwd_packs = core::BackwardPacks(4, pm.profiles, Packing()).value();
+  config.fwd_packs =
+      core::ForwardPacks(4, config.bwd_packs, pm.profiles, Packing()).value();
+  return core::GenerateHarmonyTaskGraph(
+      config, core::HarmonyMode::kPipelineParallel, 4, minibatch,
+      core::OptimizationFlags{}, pm.profiles);
+}
+
+void BM_RuntimeExecution_Gpt2(benchmark::State& state) {
+  const auto& pm = Gpt2Model();
+  const hw::MachineSpec machine = hw::MachineSpec::Commodity4Gpu();
+  const auto g = Gpt2Graph(static_cast<int>(state.range(0)));
+  const runtime::Runtime rt(machine, pm.model);
+  for (auto _ : state) {
+    auto m = rt.Execute(g);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_RuntimeExecution_Gpt2)->Arg(16)->Unit(benchmark::kMillisecond);
+
+// --- machine-readable baseline mode (`--json`) -----------------------------
+
+double SecondsPerOp(int iters, const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+  return dt.count() / iters;
+}
+
+int RunJsonMode() {
+  const auto& pm = Gpt2Model();
+  const hw::MachineSpec machine = hw::MachineSpec::Commodity4Gpu();
+  std::vector<JsonObject> records;
+  auto record = [&records](const char* name, int iters,
+                           const std::function<void()>& fn) {
+    fn();  // warm-up (model/profile statics, allocator)
+    const double sec = SecondsPerOp(iters, fn);
+    JsonObject o;
+    o.Set("benchmark", name).Set("iterations", iters).Set("seconds_per_op", sec);
+    records.push_back(o);
+    std::cout << name << ": " << FormatTime(sec) << "/op (" << iters
+              << " iters)\n";
+  };
+
+  record("balanced_time_packing_gpt2_u4", 20, [&]() {
+    auto packs = core::BackwardPacks(4, pm.profiles, Packing());
+    benchmark::DoNotOptimize(packs);
+  });
+  record("task_graph_generation_gpt2_mb64", 20, [&]() {
+    auto g = Gpt2Graph(64);
+    benchmark::DoNotOptimize(g);
+  });
+  {
+    const auto g = Gpt2Graph(64);
+    const core::RuntimeEstimator est(pm.profiles, machine);
+    record("runtime_estimation_gpt2_mb64", 20, [&]() {
+      auto e = est.EstimateIteration(g);
+      benchmark::DoNotOptimize(e);
+    });
+  }
+  {
+    core::SearchOptions opts;
+    opts.u_fwd_max = opts.u_bwd_max = 8;
+    record("full_configuration_search_gpt2_u8", 3, [&]() {
+      auto r = core::SearchConfiguration(pm.profiles, machine,
+                                         core::HarmonyMode::kPipelineParallel,
+                                         64, core::OptimizationFlags{}, opts);
+      benchmark::DoNotOptimize(r);
+    });
+  }
+  {
+    const auto g = Gpt2Graph(16);
+    const runtime::Runtime rt(machine, pm.model);
+    record("runtime_execution_gpt2_mb16", 5, [&]() {
+      auto m = rt.Execute(g);
+      benchmark::DoNotOptimize(m);
+    });
+  }
+
+  return WriteJsonFile("BENCH_runtime.json", records) ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace harmony::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (harmony::bench::JsonFlag(argc, argv)) {
+    // Manual timing mode: google-benchmark never sees the unknown flag.
+    return harmony::bench::RunJsonMode();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,6 +6,7 @@
 //   ./build/examples/harmony_plan GPT2 pp 64
 //   ./build/examples/harmony_plan ResNet1K dp 32 --gpus=8 --run
 //   ./build/examples/harmony_plan GPT2-20B pp 32 --gpus=8 --run
+//   ./build/examples/harmony_plan BERT96 pp 8 --trace-out trace.json
 
 #include <cstring>
 #include <iostream>
@@ -15,14 +16,18 @@
 #include "common/table.h"
 #include "core/scheduler.h"
 #include "runtime/runtime.h"
+#include "trace/chrome_trace.h"
 
 namespace {
 
 int Usage() {
   std::cerr
       << "usage: harmony_plan <model> <dp|pp> <minibatch> [--gpus=N] [--run]\n"
+         "                    [--trace-out <file>]\n"
          "  model: BERT-Large | BERT96 | GPT2 | GPT2-Medium | VGG416 |\n"
-         "         ResNet1K | GPT2-<n>B\n";
+         "         ResNet1K | GPT2-<n>B\n"
+         "  --trace-out writes the executed iteration's timeline as Chrome\n"
+         "  trace JSON (load in chrome://tracing or Perfetto); implies --run.\n";
   return 2;
 }
 
@@ -36,14 +41,25 @@ int main(int argc, char** argv) {
   const int minibatch = std::atoi(argv[3]);
   int gpus = 4;
   bool run = false;
+  std::string trace_out;
   for (int i = 4; i < argc; ++i) {
     if (std::strncmp(argv[i], "--gpus=", 7) == 0) {
       gpus = std::atoi(argv[i] + 7);
     } else if (std::strcmp(argv[i], "--run") == 0) {
       run = true;
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+      run = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+      run = true;
     } else {
       return Usage();
     }
+  }
+  if (trace_out.empty() && std::getenv("HARMONY_TRACE_OUT") != nullptr) {
+    trace_out = std::getenv("HARMONY_TRACE_OUT");
+    run = true;
   }
   if (minibatch < 1 || (mode_str != "dp" && mode_str != "pp")) return Usage();
   const auto mode = mode_str == "pp" ? core::HarmonyMode::kPipelineParallel
@@ -98,10 +114,21 @@ int main(int argc, char** argv) {
   const runtime::Runtime rt(machine, pm.model);
   runtime::RuntimeOptions ro;
   ro.optimizer = pm.optimizer;
+  trace::ChromeTraceSink chrome;
+  if (!trace_out.empty()) ro.trace_sinks.push_back(&chrome);
   const auto metrics = rt.Execute(graph, ro);
   if (!metrics.ok()) {
     std::cerr << "execution failed: " << metrics.status() << "\n";
     return 1;
+  }
+  if (!trace_out.empty()) {
+    const Status st = chrome.WriteFile(trace_out);
+    if (!st.ok()) {
+      std::cerr << "trace write failed: " << st << "\n";
+      return 1;
+    }
+    std::cout << "  wrote " << chrome.num_events() << " trace events to "
+              << trace_out << " (chrome://tracing)\n";
   }
   const auto& mm = metrics.value();
   std::cout << "  iteration " << FormatTime(mm.iteration_time) << " ("

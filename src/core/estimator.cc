@@ -23,7 +23,8 @@ RuntimeEstimator::RuntimeEstimator(const profile::ProfileDb& profiles,
                                    const hw::MachineSpec& machine)
     : profiles_(profiles), machine_(machine) {}
 
-Estimate RuntimeEstimator::EstimateIteration(const TaskGraph& graph) const {
+Estimate RuntimeEstimator::EstimateIteration(const TaskGraph& graph,
+                                             trace::TraceBus* trace) const {
   const DepResolver deps(graph);
   const int N = graph.num_devices;
   // Effective per-GPU swap bandwidth: the host link is shared by all GPUs
@@ -285,6 +286,33 @@ Estimate RuntimeEstimator::EstimateIteration(const TaskGraph& graph) const {
   HARMONY_CHECK_EQ(scheduled, total_units)
       << "estimator deadlock: schedule has cyclic waits in graph '"
       << graph.name << "'";
+
+  // Replay the predicted schedule onto the trace bus: one compute lane per
+  // GPU, one CPU lane per process, in start-time order (lane order is
+  // schedule order, and units within a lane never overlap).
+  if (trace != nullptr && trace->active()) {
+    for (int lane_id = 0; lane_id < 2 * N; ++lane_id) {
+      const bool cpu_lane = lane_id >= N;
+      for (const Unit& u : lanes[lane_id]) {
+        trace::Event begin;
+        begin.kind = trace::EventKind::kOpBegin;
+        begin.lane = cpu_lane ? trace::Lane::kCpu : trace::Lane::kCompute;
+        begin.device = cpu_lane ? lane_id - N : lane_id;
+        begin.time = u.start;
+        begin.task = u.task;
+        if (trace->detailed()) {
+          begin.name = "t" + std::to_string(u.task);
+          if (u.piece >= 0) begin.name += " p" + std::to_string(u.piece);
+        }
+        trace::Event end = begin;
+        end.kind = trace::EventKind::kOpEnd;
+        end.time = u.end;
+        end.name.clear();
+        trace->Emit(begin);
+        trace->Emit(end);
+      }
+    }
+  }
 
   Estimate e;
   for (const auto& lane : lanes) {

@@ -4,6 +4,7 @@
 #include "core/task_graph.h"
 #include "hw/machine.h"
 #include "profile/profiler.h"
+#include "trace/trace.h"
 
 namespace harmony::core {
 
@@ -32,7 +33,12 @@ class RuntimeEstimator {
   RuntimeEstimator(const profile::ProfileDb& profiles,
                    const hw::MachineSpec& machine);
 
-  Estimate EstimateIteration(const TaskGraph& graph) const;
+  /// Estimates one iteration. When `trace` is given, the predicted schedule
+  /// is replayed onto it as kOpBegin/kOpEnd spans (compute lanes per GPU,
+  /// CPU lanes per process), so a predicted timeline can be diffed against
+  /// the runtime's traced one (Fig 14's error, event by event).
+  Estimate EstimateIteration(const TaskGraph& graph,
+                             trace::TraceBus* trace = nullptr) const;
 
  private:
   const profile::ProfileDb& profiles_;

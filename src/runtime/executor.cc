@@ -1,0 +1,351 @@
+#include "runtime/executor.h"
+
+#include <memory>
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace harmony::runtime {
+
+Executor::Executor(const hw::MachineSpec& machine, const core::TaskGraph& graph,
+                   const RuntimeOptions& options, StepProgram program,
+                   trace::TraceBus* bus, trace::MetricsSink* metrics)
+    : machine_(machine),
+      graph_(graph),
+      options_(options),
+      program_(std::move(program)),
+      bus_(bus),
+      metrics_(metrics),
+      net_(machine),
+      flows_(&engine_, net_.capacities()) {}
+
+void Executor::Fail(Status status) {
+  if (failed_) return;
+  failed_ = true;
+  failure_ = std::move(status);
+}
+
+// ---------------------------------------------------------------------------
+// Task completion bookkeeping
+// ---------------------------------------------------------------------------
+
+void Executor::OnTaskStepDone(int task) {
+  HARMONY_CHECK_GT(task_steps_remaining_[task], 0);
+  if (--task_steps_remaining_[task] == 0) {
+    auto waiters = std::move(task_waiters_[task]);
+    task_waiters_[task].clear();
+    for (auto& w : waiters) w();
+  }
+}
+
+void Executor::WhenTaskComplete(int task, std::function<void()> fn) {
+  if (task_steps_remaining_[task] == 0) {
+    fn();
+  } else {
+    task_waiters_[task].push_back(std::move(fn));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GPU step driving
+// ---------------------------------------------------------------------------
+
+void Executor::TryIssue(int d) {
+  if (failed_ || issue_busy_[d]) return;
+  if (issue_next_[d] >= program_.steps[d].size()) return;
+  const size_t in_flight = issue_next_[d] - steps_done_[d];
+  if (in_flight > static_cast<size_t>(issue_window_)) return;
+  issue_busy_[d] = true;
+  const int idx = static_cast<int>(issue_next_[d]++);
+  IssueStep(d, idx);
+}
+
+void Executor::IssueStep(int d, int step_idx) {
+  Step& s = program_.steps[d][step_idx];
+  conditions_.push_back(std::make_unique<sim::Condition>());
+  sim::Condition* ready = conditions_.back().get();
+
+  // Join counters across needs + produces.
+  struct Join {
+    int commits_left;
+    int arrivals_left;
+  };
+  // Shared ownership so a wedged schedule (arrivals that never happen)
+  // releases the join with the waiter closures at teardown instead of
+  // leaking it.
+  auto join = std::make_shared<Join>(Join{0, 0});
+  join->commits_left = static_cast<int>(s.needs.size() + s.produces.size()) + 1;
+  join->arrivals_left = join->commits_left;
+
+  auto committed = [this, d, join]() {
+    if (--join->commits_left == 0) {
+      issue_busy_[d] = false;
+      TryIssue(d);
+    }
+  };
+  auto arrived = [join, ready]() {
+    if (--join->arrivals_left == 0) ready->Fire();
+  };
+
+  // Push the compute op first: the sentinel commit below can re-enter
+  // TryIssue and push the next step's op, and the compute stream must stay
+  // in step order.
+  std::string label;
+  if (bus_ != nullptr && bus_->detailed()) {
+    label = "t" + std::to_string(s.task) + " step" + std::to_string(step_idx);
+  }
+  compute_[d]
+      ->Push({ready}, std::move(label), s.task,
+             [this, d, step_idx](std::function<void()> done) {
+               engine_.After(program_.steps[d][step_idx].compute,
+                             std::move(done));
+             })
+      ->OnFire([this, d, step_idx]() { FinishStep(d, step_idx); });
+
+  for (const NeedSpec& n : s.needs) {
+    residency_->EnsureResident(d, n.key, n.bytes, n.from_host, committed,
+                               arrived);
+  }
+  for (const ProduceSpec& p : s.produces) {
+    residency_->AllocForProduce(d, p, [committed, arrived]() {
+      committed();
+      arrived();
+    });
+  }
+  // The +1 sentinel resolves immediately (handles empty lists).
+  committed();
+  arrived();
+}
+
+void Executor::FinishStep(int d, int step_idx) {
+  Step& s = program_.steps[d][step_idx];
+
+  // 1. Unpin this step's tensors.
+  for (const NeedSpec& n : s.needs) residency_->UnpinNeed(d, n.key);
+  // 2. Finalize produced tensors.
+  for (const ProduceSpec& p : s.produces) residency_->FinalizeProduce(d, p);
+  // 3. Dirty marks (gradient accumulation, updated weights).
+  for (const TensorKey& k : s.mark_dirty) residency_->MarkDirty(k);
+  // 4. Host copies (checkpoints, master weight write-back).
+  for (const TensorKey& k : s.copy_to_host) residency_->CopyToHost(d, k);
+  // 5. Moves to host (gradient push, optimizer state write-back).
+  for (const TensorKey& k : s.move_to_host) residency_->MoveToHost(d, k);
+  // 6. Dereference consumed inputs.
+  for (const TensorKey& k : s.derefs) residency_->Deref(k);
+
+  ++steps_done_[d];
+  OnTaskStepDone(s.task);
+  // Unpins and frees above may unblock queued allocations anywhere.
+  residency_->PumpAll();
+  TryIssue(d);
+}
+
+// ---------------------------------------------------------------------------
+// CPU step driving
+// ---------------------------------------------------------------------------
+
+void Executor::AdvanceCpu(int d) {
+  if (failed_ || cpu_next_[d] >= program_.cpu_steps[d].size()) return;
+  CpuStep& s = program_.cpu_steps[d][cpu_next_[d]];
+  auto retry = [this, d]() { AdvanceCpu(d); };
+
+  // Wait for producing (and, without jit, all) backward tasks first; then
+  // re-check that every gradient actually has a final host copy — an early
+  // eviction can put a *partial* gradient on host, so the host check only
+  // counts once the producers are done.
+  for (int task : s.wait_tasks) {
+    if (task_steps_remaining_[task] != 0) {
+      WhenTaskComplete(task, retry);
+      return;
+    }
+  }
+  for (const TensorKey& k : s.host_needs) {
+    if (!residency_->HostReady(k)) {
+      residency_->AddHostWaiter(k, retry);
+      return;
+    }
+  }
+
+  std::string label;
+  if (bus_ != nullptr && bus_->detailed()) {
+    label = "t" + std::to_string(s.task) + " cpu-update";
+  }
+  cpu_[d]
+      ->Push({}, std::move(label), s.task,
+             [this, d](std::function<void()> done) {
+               engine_.After(program_.cpu_steps[d][cpu_next_[d]].duration,
+                             std::move(done));
+             })
+      ->OnFire([this, d]() {
+        CpuStep& step = program_.cpu_steps[d][cpu_next_[d]];
+        for (const TensorKey& k : step.host_frees) {
+          residency_->ReleaseHostCopy(k);
+        }
+        OnTaskStepDone(step.task);
+        ++cpu_next_[d];
+        AdvanceCpu(d);
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock diagnostics
+// ---------------------------------------------------------------------------
+
+std::string Executor::DescribeStuck() {
+  std::string out;
+  const int N = graph_.num_devices;
+  for (int d = 0; d < N; ++d) {
+    if (steps_done_[d] < program_.steps[d].size()) {
+      const size_t idx = steps_done_[d];
+      const Step& s = program_.steps[d][idx];
+      out += "; d" + std::to_string(d) + " stuck at step " +
+             std::to_string(idx) + "/" +
+             std::to_string(program_.steps[d].size()) + " (task " +
+             std::to_string(s.task) + ") waiting on " +
+             residency_->DescribeWait(d, s);
+    }
+    if (cpu_next_[d] < program_.cpu_steps[d].size()) {
+      const CpuStep& s = program_.cpu_steps[d][cpu_next_[d]];
+      std::string waits;
+      for (int task : s.wait_tasks) {
+        if (task_steps_remaining_[task] == 0) continue;
+        if (!waits.empty()) waits += ", ";
+        waits += "task " + std::to_string(task);
+      }
+      for (const TensorKey& k : s.host_needs) {
+        if (residency_->HostReady(k)) continue;
+        if (!waits.empty()) waits += ", ";
+        waits += k.ToString() + " [no host copy]";
+      }
+      if (waits.empty()) waits = "cpu stream backlog";
+      out += "; cpu" + std::to_string(d) + " stuck at update (task " +
+             std::to_string(s.task) + ") waiting on " + waits;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Run
+// ---------------------------------------------------------------------------
+
+Result<RunMetrics> Executor::Run() {
+  const int N = graph_.num_devices;
+  HARMONY_CHECK_LE(N, machine_.num_gpus);
+
+  // Static host footprint: master weights + optimizer state (+ scheme
+  // overheads like ZeRO staging buffers).
+  const Bytes static_host =
+      options_.host_static_overhead + program_.static_host_bytes;
+  if (options_.enforce_host_capacity && static_host > machine_.host_memory) {
+    return Status::OutOfMemory(
+        "host memory exhausted before training: static state " +
+        FormatBytes(static_host) + " exceeds " +
+        FormatBytes(machine_.host_memory));
+  }
+
+  std::vector<Bytes> capacities;
+  for (int d = 0; d < N; ++d) {
+    Bytes reserved = d < static_cast<int>(graph_.device_reserved_bytes.size())
+                         ? graph_.device_reserved_bytes[d]
+                         : 0;
+    const Bytes capacity = machine_.gpu.usable_memory() - reserved;
+    if (capacity <= 0) {
+      return Status::OutOfMemory("device reservation exceeds GPU capacity");
+    }
+    capacities.push_back(capacity);
+    const std::string sd = std::to_string(d);
+    compute_.push_back(std::make_unique<sim::Stream>(&engine_, "compute" + sd));
+    swapin_.push_back(std::make_unique<sim::Stream>(&engine_, "swapin" + sd));
+    swapout_.push_back(std::make_unique<sim::Stream>(&engine_, "swapout" + sd));
+    p2pin_.push_back(std::make_unique<sim::Stream>(&engine_, "p2pin" + sd));
+    cpu_.push_back(std::make_unique<sim::Stream>(&engine_, "cpu" + sd));
+    if (bus_ != nullptr && bus_->active()) {
+      compute_[d]->BindTrace(bus_, d, trace::Lane::kCompute);
+      swapin_[d]->BindTrace(bus_, d, trace::Lane::kSwapIn);
+      swapout_[d]->BindTrace(bus_, d, trace::Lane::kSwapOut);
+      p2pin_[d]->BindTrace(bus_, d, trace::Lane::kP2pIn);
+      cpu_[d]->BindTrace(bus_, d, trace::Lane::kCpu);
+    }
+  }
+  if (bus_ != nullptr && bus_->active()) flows_.BindTrace(bus_);
+
+  Residency::Env env;
+  env.engine = &engine_;
+  env.flows = &flows_;
+  env.net = &net_;
+  for (int d = 0; d < N; ++d) {
+    env.swapin.push_back(swapin_[d].get());
+    env.swapout.push_back(swapout_[d].get());
+    env.p2pin.push_back(p2pin_[d].get());
+  }
+  env.fail = [this](Status status) { Fail(std::move(status)); };
+  env.failed = [this]() { return failed_; };
+  env.steps_in_flight = [this](int d) {
+    return issue_next_[d] - steps_done_[d] > 1;
+  };
+  residency_ = std::make_unique<Residency>(graph_, std::move(capacities),
+                                           &program_.ref_counts, std::move(env),
+                                           bus_);
+  residency_->SetStaticHostBytes(static_host);
+
+  issue_next_.assign(N, 0);
+  steps_done_.assign(N, 0);
+  issue_busy_.assign(N, false);
+  cpu_next_.assign(N, 0);
+  issue_window_ = graph_.flags.prefetch ? 2 : 0;
+
+  task_steps_remaining_ = program_.task_step_counts;
+  task_waiters_.assign(graph_.num_tasks(), {});
+
+  for (int d = 0; d < N; ++d) {
+    TryIssue(d);
+    AdvanceCpu(d);
+  }
+  const TimeSec end = engine_.Run();
+
+  if (failed_) return failure_;
+  for (int d = 0; d < N; ++d) {
+    if (steps_done_[d] != program_.steps[d].size() ||
+        cpu_next_[d] != program_.cpu_steps[d].size()) {
+      for (int dev = 0; dev < N; ++dev) {
+        if (residency_->HasPendingAllocs(dev)) {
+          // Stalled with allocations outstanding: the working set cannot fit
+          // even with everything evictable gone.
+          return Status::OutOfMemory(
+              "device " + std::to_string(dev) +
+              " wedged on allocation: working set exceeds GPU capacity"
+              "; pending: " +
+              residency_->DescribePendingAllocs(dev) + DescribeStuck());
+        }
+      }
+      return Status::Internal(
+          "device " + std::to_string(d) + " stalled: executed " +
+          std::to_string(steps_done_[d]) + "/" +
+          std::to_string(program_.steps[d].size()) +
+          " steps (schedule deadlock)" + DescribeStuck());
+    }
+  }
+  if (options_.enforce_host_capacity &&
+      metrics_->peak_host_bytes() > machine_.host_memory) {
+    return Status::OutOfMemory("host memory exhausted during training: peak " +
+                               FormatBytes(metrics_->peak_host_bytes()) +
+                               " exceeds " + FormatBytes(machine_.host_memory));
+  }
+
+  RunMetrics metrics;
+  metrics.iteration_time = end;
+  metrics.swap_in_bytes = metrics_->swap_in_bytes();
+  metrics.swap_out_bytes = metrics_->swap_out_bytes();
+  metrics.p2p_bytes = metrics_->p2p_bytes();
+  metrics.compute_busy = metrics_->compute_busy();
+  metrics.peak_device_bytes = metrics_->peak_device_bytes();
+  metrics.peak_host_bytes = metrics_->peak_host_bytes();
+  metrics.evictions = metrics_->evictions();
+  metrics.clean_drops = metrics_->clean_drops();
+  return metrics;
+}
+
+}  // namespace harmony::runtime

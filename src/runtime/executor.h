@@ -1,0 +1,84 @@
+#ifndef HARMONY_RUNTIME_EXECUTOR_H_
+#define HARMONY_RUNTIME_EXECUTOR_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/task_graph.h"
+#include "hw/machine.h"
+#include "runtime/residency.h"
+#include "runtime/runtime.h"
+#include "runtime/step.h"
+#include "sim/engine.h"
+#include "sim/network.h"
+#include "sim/stream.h"
+#include "trace/metrics_sink.h"
+#include "trace/trace.h"
+
+namespace harmony::runtime {
+
+/// The driving layer of the execution pipeline: issues a compiled StepProgram
+/// onto the discrete-event simulator. Owns the engine, the five CUDA-like
+/// streams per GPU, the issue windows (double-buffered prefetch), and the
+/// task-completion bookkeeping; delegates every residency decision to the
+/// Residency layer. All byte/time accounting flows through the trace bus into
+/// MetricsSink, from which the final RunMetrics is folded.
+class Executor {
+ public:
+  Executor(const hw::MachineSpec& machine, const core::TaskGraph& graph,
+           const RuntimeOptions& options, StepProgram program,
+           trace::TraceBus* bus, trace::MetricsSink* metrics);
+
+  /// Runs the program to completion and folds the metrics. Fails with
+  /// OutOfMemory when a working set cannot fit, or Internal on a schedule
+  /// deadlock — both diagnose the stuck steps and the tensors they wait on.
+  Result<RunMetrics> Run();
+
+ private:
+  void Fail(Status status);
+  void TryIssue(int d);
+  void IssueStep(int d, int step_idx);
+  void FinishStep(int d, int step_idx);
+  void AdvanceCpu(int d);
+  void OnTaskStepDone(int task);
+  void WhenTaskComplete(int task, std::function<void()> fn);
+
+  /// Names every stuck GPU/CPU step and the tensors or tasks it waits on —
+  /// appended to the post-drain failure statuses.
+  std::string DescribeStuck();
+
+  const hw::MachineSpec& machine_;
+  const core::TaskGraph& graph_;
+  RuntimeOptions options_;
+  StepProgram program_;
+  trace::TraceBus* bus_;
+  trace::MetricsSink* metrics_;
+
+  sim::Engine engine_;
+  sim::Interconnect net_;
+  sim::FlowNetwork flows_;
+
+  std::vector<std::unique_ptr<sim::Stream>> compute_, swapin_, swapout_,
+      p2pin_, cpu_;
+  std::unique_ptr<Residency> residency_;
+  std::deque<std::unique_ptr<sim::Condition>> conditions_;
+
+  // Driving state.
+  std::vector<size_t> issue_next_, steps_done_;
+  std::vector<bool> issue_busy_;
+  std::vector<size_t> cpu_next_;
+  int issue_window_ = 2;
+
+  std::vector<int> task_steps_remaining_;
+  std::vector<std::vector<std::function<void()>>> task_waiters_;
+
+  bool failed_ = false;
+  Status failure_;
+};
+
+}  // namespace harmony::runtime
+
+#endif  // HARMONY_RUNTIME_EXECUTOR_H_

@@ -1,0 +1,493 @@
+#include "runtime/residency.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace harmony::runtime {
+
+Residency::Residency(const core::TaskGraph& graph,
+                     std::vector<Bytes> capacities,
+                     const std::map<TensorKey, int>* ref_counts, Env env,
+                     trace::TraceBus* bus)
+    : graph_(graph), ref_counts_(ref_counts), env_(std::move(env)), bus_(bus) {
+  mem_.reserve(capacities.size());
+  for (Bytes capacity : capacities) mem_.emplace_back(capacity);
+  alloc_queue_.assign(capacities.size(), {});
+  evictions_in_flight_.assign(capacities.size(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Trace plumbing
+// ---------------------------------------------------------------------------
+
+void Residency::EmitInstant(trace::EventKind kind, trace::Lane lane,
+                            int device, Bytes bytes) {
+  if (bus_ == nullptr || !bus_->active()) return;
+  trace::Event e;
+  e.kind = kind;
+  e.lane = lane;
+  e.device = device;
+  e.time = env_.engine->now();
+  e.bytes = bytes;
+  bus_->Emit(e);
+}
+
+void Residency::TraceTensor(const TensorKey& key, const char* detail,
+                            int device) {
+  if (bus_ == nullptr || !bus_->tensor_events()) return;
+  trace::Event e;
+  e.kind = trace::EventKind::kTensor;
+  e.lane = trace::Lane::kAlloc;
+  e.device = device;
+  e.time = env_.engine->now();
+  e.detail = detail;
+  e.name = key.ToString();
+  bus_->Emit(e);
+}
+
+// ---------------------------------------------------------------------------
+// Host accounting
+// ---------------------------------------------------------------------------
+
+void Residency::SetStaticHostBytes(Bytes bytes) {
+  host_bytes_ = bytes;
+  EmitInstant(trace::EventKind::kHostBytes, trace::Lane::kHost, -1,
+              host_bytes_);
+}
+
+void Residency::AddHostBuffer(TensorState* st) {
+  host_bytes_ += st->bytes;
+  EmitInstant(trace::EventKind::kHostBytes, trace::Lane::kHost, -1,
+              host_bytes_);
+}
+
+void Residency::DropHostBuffer(TensorState* st) {
+  host_bytes_ -= st->bytes;
+  EmitInstant(trace::EventKind::kHostBytes, trace::Lane::kHost, -1,
+              host_bytes_);
+}
+
+// ---------------------------------------------------------------------------
+// Tensor lifetime
+// ---------------------------------------------------------------------------
+
+bool Residency::AutoCreate(const TensorKey& key, Bytes bytes) {
+  const bool creatable =
+      key.kind == TensorKind::kWeight || key.kind == TensorKind::kOptState ||
+      (key.kind == TensorKind::kActivation && key.layer == 0);
+  if (!creatable) return false;
+  TensorState& st = table_.Get(key);
+  st.bytes = bytes;
+  st.exists = true;
+  st.on_host = true;
+  if (key.kind == TensorKind::kActivation) {
+    // Loader data occupies host memory until consumed; persistent state
+    // (weights, optimizer) is counted in the static host footprint.
+    AddHostBuffer(&st);
+    auto it = ref_counts_->find(key);
+    st.refs_remaining = it == ref_counts_->end() ? 0 : it->second;
+  }
+  return true;
+}
+
+void Residency::FreeTensor(const TensorKey& key) {
+  TensorState& st = table_.Get(key);
+  TraceTensor(key, "free", -1);
+  for (auto it = st.resident_gpus.begin(); it != st.resident_gpus.end();) {
+    const int d = *it;
+    if (st.evicting_gpus.count(d) || mem_[d].IsPinned(key)) {
+      // An eviction or an in-flight host-copy flow still holds this copy;
+      // its completion handler releases the residency once `exists` is
+      // false.
+      ++it;
+      continue;
+    }
+    mem_[d].RemoveResident(key);
+    it = st.resident_gpus.erase(it);
+  }
+  if (st.on_host &&
+      (key.kind == TensorKind::kActivation || key.kind == TensorKind::kGradAct ||
+       key.kind == TensorKind::kStash || key.kind == TensorKind::kGrad)) {
+    DropHostBuffer(&st);
+    st.on_host = false;
+  }
+  st.exists = false;
+}
+
+void Residency::HostArrived(const TensorKey& key) {
+  TensorState& st = table_.Get(key);
+  auto waiters = std::move(st.host_waiters);
+  st.host_waiters.clear();
+  for (auto& w : waiters) w();
+}
+
+// ---------------------------------------------------------------------------
+// Allocation & eviction
+// ---------------------------------------------------------------------------
+
+void Residency::AllocForProduce(int d, const ProduceSpec& p,
+                                std::function<void()> granted) {
+  table_.Get(p.key).bytes = p.bytes;
+  RequestAlloc(d, p.key, p.bytes, std::move(granted));
+}
+
+void Residency::RequestAlloc(int d, const TensorKey& key, Bytes bytes,
+                             std::function<void()> granted) {
+  TraceTensor(key, "alloc-request", d);
+  alloc_queue_[d].push_back(AllocReq{key, bytes, std::move(granted)});
+  PumpAllocator(d);
+}
+
+void Residency::PumpAllocator(int d) {
+  if (env_.failed()) return;
+  while (!alloc_queue_[d].empty()) {
+    AllocReq& req = alloc_queue_[d].front();
+    if (mem_[d].IsResident(req.key)) {
+      TensorState& st = table_.Get(req.key);
+      if (st.evicting_gpus.count(d)) {
+        // The previous copy is on its way out (e.g. a gradient push); its
+        // completion re-pumps this queue.
+        return;
+      }
+      // Re-produced accumulation buffer whose copy survived on-device:
+      // reuse the existing allocation.
+      TraceTensor(req.key, "alloc-reuse", d);
+      mem_[d].Pin(req.key);
+      auto granted = std::move(req.granted);
+      alloc_queue_[d].pop_front();
+      granted();
+      continue;
+    }
+    if (req.bytes <= mem_[d].free_bytes()) {
+      TraceTensor(req.key, "alloc-grant", d);
+      mem_[d].AddResident(req.key, req.bytes);
+      mem_[d].Pin(req.key);
+      EmitInstant(trace::EventKind::kDeviceBytes, trace::Lane::kAlloc, d,
+                  mem_[d].used());
+      auto granted = std::move(req.granted);
+      alloc_queue_[d].pop_front();
+      granted();
+      continue;
+    }
+    const Bytes deficit = req.bytes - mem_[d].free_bytes();
+    // Harmony's memory manager evicts just enough, coldest-first. LMS-style
+    // virtualization (the per-GPU-swap baselines) instead swaps out *all*
+    // inactive tensors once the limit is hit — the eviction storms behind
+    // the paper's 100-300x baseline swap volumes (Fig 10).
+    const Bytes want = graph_.flags.smart_eviction
+                           ? deficit
+                           : std::numeric_limits<Bytes>::max();
+    const auto victims = mem_[d].PickVictims(want);
+    if (victims.empty()) {
+      if (evictions_in_flight_[d] > 0) {
+        // Retry when one lands.
+        EmitInstant(trace::EventKind::kAllocStall, trace::Lane::kAlloc, d,
+                    deficit);
+        return;
+      }
+      if (env_.steps_in_flight(d)) {
+        // Another in-flight step will finish and unpin its tensors; the
+        // allocator is re-pumped from the executor's step completion.
+        EmitInstant(trace::EventKind::kAllocStall, trace::Lane::kAlloc, d,
+                    deficit);
+        return;
+      }
+      env_.fail(Status::OutOfMemory(
+          "device " + std::to_string(d) + " cannot fit " + req.key.ToString() +
+          " (" + FormatBytes(req.bytes) + "): working set exceeds capacity"));
+      return;
+    }
+    const Bytes free_before = mem_[d].free_bytes();
+    for (const TensorKey& v : victims) StartEviction(d, v);
+    if (mem_[d].free_bytes() > free_before) continue;  // clean drops freed space
+    return;  // all victims are async transfers; resume from their completions
+  }
+}
+
+void Residency::PumpAll() {
+  for (size_t d = 0; d < mem_.size(); ++d) PumpAllocator(static_cast<int>(d));
+}
+
+void Residency::StartEviction(int d, const TensorKey& key) {
+  TensorState& st = table_.Get(key);
+  HARMONY_CHECK(st.resident_gpus.count(d))
+      << "evicting " << key.ToString() << " with no copy on device " << d;
+  TraceTensor(key, "evict-start", d);
+  mem_[d].Pin(key);  // exclude from further victim picks
+  st.evicting_gpus.insert(d);
+  // Harmony's state machine drops copies that are backed elsewhere without a
+  // transfer; LMS-style baselines always write the victim to host.
+  const bool backed = st.on_host || st.resident_gpus.size() > 1;
+  if (backed && graph_.flags.smart_eviction) {
+    // Dropped synchronously; the caller (PumpAllocator) observes the freed
+    // space — no re-entrant pump, which would double-evict from its stale
+    // victim list.
+    EmitInstant(trace::EventKind::kCleanDrop, trace::Lane::kAlloc, d, st.bytes);
+    st.resident_gpus.erase(d);
+    st.evicting_gpus.erase(d);
+    mem_[d].Unpin(key);
+    mem_[d].RemoveResident(key);
+    return;
+  }
+  ++evictions_in_flight_[d];
+  const Bytes bytes = st.bytes;
+  sim::Condition* flow_done =
+      env_.swapout[d]->Push({}, [this, d, bytes](std::function<void()> done) {
+        env_.flows->StartFlow(env_.net->SwapOutPath(d), bytes, std::move(done));
+      });
+  flow_done->OnFire([this, d, key]() {
+    TensorState& st = table_.Get(key);
+    EmitInstant(trace::EventKind::kSwapOutIssued, trace::Lane::kSwapOut, d,
+                st.bytes);
+    EmitInstant(trace::EventKind::kEvict, trace::Lane::kAlloc, d, st.bytes);
+    if (st.exists && !st.on_host) {
+      AddHostBuffer(&st);
+      st.on_host = true;
+      st.gpu_dirty = false;
+    }
+    st.resident_gpus.erase(d);
+    st.evicting_gpus.erase(d);
+    mem_[d].Unpin(key);
+    mem_[d].RemoveResident(key);
+    --evictions_in_flight_[d];
+    if (st.exists) HostArrived(key);
+    PumpAllocator(d);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Fetching
+// ---------------------------------------------------------------------------
+
+void Residency::EnsureResident(int d, const TensorKey& key, Bytes bytes,
+                               bool from_host, std::function<void()> committed,
+                               std::function<void()> arrived) {
+  if (env_.failed()) return;
+  TensorState& st = table_.Get(key);
+  auto retry = [this, d, key, bytes, from_host, committed, arrived]() {
+    EnsureResident(d, key, bytes, from_host, committed, arrived);
+  };
+  if (!st.exists) {
+    if (!AutoCreate(key, bytes)) {
+      st.creation_waiters.push_back(retry);  // wait for the producer
+      return;
+    }
+  }
+  TensorState& state = table_.Get(key);
+  if (state.UsableOn(d)) {
+    TraceTensor(key, "need-hit", d);
+    mem_[d].Pin(key);
+    mem_[d].Touch(key);
+    committed();
+    arrived();
+    return;
+  }
+  if (state.fetch_in_flight) {
+    // Another consumer is already pulling a copy; join and re-evaluate when
+    // it lands.
+    state.arrival_waiters.push_back(retry);
+    return;
+  }
+  if (state.resident_gpus.count(d)) {
+    // Our copy is being evicted; wait for the host copy and fetch it back.
+    state.host_waiters.push_back(retry);
+    return;
+  }
+  // Pick a source: the host copy when available (and mandatory for
+  // checkpoint reads via the message-passing channel), else a stable peer
+  // copy for a p2p transfer.
+  int src = -1;
+  if (!state.on_host) {
+    if (from_host) {
+      state.host_waiters.push_back(retry);  // the producer's copy is coming
+      return;
+    }
+    src = state.StableGpu();
+    if (src < 0) {
+      // All copies are mid-eviction: the data will surface on host.
+      state.host_waiters.push_back(retry);
+      return;
+    }
+  }
+  state.fetch_in_flight = true;
+  state.inflight_dst = d;
+  if (src >= 0) mem_[src].Pin(key);  // hold the source copy during transfer
+
+  RequestAlloc(d, key, state.bytes, [this, d, key, src, committed, arrived]() {
+    committed();
+    TensorState& st = table_.Get(key);
+    const Bytes bytes = st.bytes;
+    auto finish = [this, d, key, src, arrived]() {
+      TensorState& st = table_.Get(key);
+      TraceTensor(key, "fetch-arrive", d);
+      if (src >= 0) mem_[src].Unpin(key);  // source copy stays (it's a copy)
+      st.resident_gpus.insert(d);
+      st.fetch_in_flight = false;
+      st.inflight_dst = -1;
+      auto waiters = std::move(st.arrival_waiters);
+      st.arrival_waiters.clear();
+      arrived();
+      for (auto& w : waiters) w();
+    };
+    if (src < 0) {
+      // Host -> device swap-in.
+      HARMONY_CHECK(st.on_host) << key.ToString() << " has no source copy";
+      EmitInstant(trace::EventKind::kSwapInIssued, trace::Lane::kSwapIn, d,
+                  bytes);
+      env_.swapin[d]->Push({}, [this, d, bytes,
+                                finish](std::function<void()> done) {
+        env_.flows->StartFlow(env_.net->SwapInPath(d), bytes, [done, finish]() {
+          finish();
+          done();
+        });
+      });
+      return;
+    }
+    if (graph_.flags.p2p_transfers) {
+      EmitInstant(trace::EventKind::kP2pIssued, trace::Lane::kP2pIn, d, bytes);
+      env_.p2pin[d]->Push({}, [this, d, src, bytes,
+                               finish](std::function<void()> done) {
+        env_.flows->StartFlow(env_.net->P2pPath(src, d), bytes,
+                              [done, finish]() {
+                                finish();
+                                done();
+                              });
+      });
+      return;
+    }
+    // p2p disabled: bounce through host memory as two swaps.
+    EmitInstant(trace::EventKind::kSwapOutIssued, trace::Lane::kSwapOut, src,
+                bytes);
+    EmitInstant(trace::EventKind::kSwapInIssued, trace::Lane::kSwapIn, d,
+                bytes);
+    env_.swapout[src]->Push({}, [this, src, d, bytes, key,
+                                 finish](std::function<void()> done) {
+      env_.flows->StartFlow(env_.net->SwapOutPath(src), bytes,
+                            [this, d, bytes, key, finish, done]() {
+        TensorState& st = table_.Get(key);
+        if (!st.on_host) {
+          AddHostBuffer(&st);
+          st.on_host = true;
+        }
+        env_.swapin[d]->Push({}, [this, d, bytes,
+                                  finish](std::function<void()> in_done) {
+          env_.flows->StartFlow(env_.net->SwapInPath(d), bytes,
+                                [finish, in_done]() {
+                                  finish();
+                                  in_done();
+                                });
+        });
+        done();
+      });
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Step-completion actions
+// ---------------------------------------------------------------------------
+
+void Residency::UnpinNeed(int d, const TensorKey& key) {
+  TraceTensor(key, "need-unpin", d);
+  if (mem_[d].IsResident(key)) mem_[d].Unpin(key);
+}
+
+void Residency::FinalizeProduce(int d, const ProduceSpec& p) {
+  TensorState& st = table_.Get(p.key);
+  st.resident_gpus.insert(d);  // the allocator reserved this copy at issue
+  st.gpu_dirty = true;
+  if (!st.exists) {
+    st.exists = true;
+    auto it = ref_counts_->find(p.key);
+    st.refs_remaining = it == ref_counts_->end() ? 0 : it->second;
+    auto waiters = std::move(st.creation_waiters);
+    st.creation_waiters.clear();
+    for (auto& w : waiters) w();
+  }
+  TraceTensor(p.key, "produce-unpin", d);
+  mem_[d].Unpin(p.key);
+  const bool data_tensor = p.key.kind == TensorKind::kActivation ||
+                           p.key.kind == TensorKind::kGradAct ||
+                           p.key.kind == TensorKind::kStash;
+  if (data_tensor && st.refs_remaining == 0) FreeTensor(p.key);
+}
+
+void Residency::MarkDirty(const TensorKey& key) {
+  TensorState& st = table_.Get(key);
+  st.gpu_dirty = true;
+  st.on_host = false;  // host copy (if any) is stale now
+}
+
+void Residency::CopyToHost(int d, const TensorKey& key) {
+  TensorState& st = table_.Get(key);
+  TraceTensor(key, "copy-to-host", d);
+  if (!st.resident_gpus.count(d)) return;  // already freed (defensive)
+  if (st.evicting_gpus.count(d)) return;   // eviction writes host anyway
+  mem_[d].Pin(key);
+  const Bytes bytes = st.bytes;
+  EmitInstant(trace::EventKind::kSwapOutIssued, trace::Lane::kSwapOut, d,
+              bytes);
+  env_.swapout[d]->Push({}, [this, d, bytes, key](std::function<void()> done) {
+    env_.flows->StartFlow(env_.net->SwapOutPath(d), bytes, [this, d, key,
+                                                            done]() {
+      TensorState& st = table_.Get(key);
+      if (st.exists && !st.on_host) {
+        AddHostBuffer(&st);
+        st.on_host = true;
+        st.gpu_dirty = false;
+      }
+      mem_[d].Unpin(key);
+      if (!st.exists) {
+        // All consumers drained during the copy; finish the deferred free.
+        if (!mem_[d].IsPinned(key) && st.resident_gpus.count(d)) {
+          mem_[d].RemoveResident(key);
+          st.resident_gpus.erase(d);
+        }
+      } else {
+        HostArrived(key);
+      }
+      done();
+    });
+  });
+}
+
+void Residency::MoveToHost(int d, const TensorKey& key) {
+  TensorState& st = table_.Get(key);
+  if (!st.resident_gpus.count(d)) return;
+  // An LRU eviction already in flight produces the same host copy; a second
+  // transfer would double-release the residency.
+  if (st.evicting_gpus.count(d)) return;
+  mem_[d].Pin(key);
+  st.evicting_gpus.insert(d);
+  const Bytes bytes = st.bytes;
+  EmitInstant(trace::EventKind::kSwapOutIssued, trace::Lane::kSwapOut, d,
+              bytes);
+  env_.swapout[d]->Push({}, [this, d, bytes, key](std::function<void()> done) {
+    env_.flows->StartFlow(env_.net->SwapOutPath(d), bytes, [this, d, key,
+                                                            done]() {
+      TensorState& st = table_.Get(key);
+      if (st.exists && !st.on_host) {
+        AddHostBuffer(&st);
+        st.on_host = true;
+        st.gpu_dirty = false;
+      }
+      st.resident_gpus.erase(d);
+      st.evicting_gpus.erase(d);
+      mem_[d].Unpin(key);
+      mem_[d].RemoveResident(key);
+      if (st.exists) HostArrived(key);
+      PumpAllocator(d);
+      done();
+    });
+  });
+}
+
+void Residency::Deref(const TensorKey& key) {
+  TensorState& st = table_.Get(key);
+  if (--st.refs_remaining == 0) FreeTensor(key);
+}
+
+}  // namespace harmony::runtime

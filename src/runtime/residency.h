@@ -1,0 +1,154 @@
+#ifndef HARMONY_RUNTIME_RESIDENCY_H_
+#define HARMONY_RUNTIME_RESIDENCY_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/task_graph.h"
+#include "runtime/memory_manager.h"
+#include "runtime/step.h"
+#include "runtime/tensor.h"
+#include "sim/engine.h"
+#include "sim/network.h"
+#include "sim/stream.h"
+#include "trace/trace.h"
+
+namespace harmony::runtime {
+
+/// The residency layer of the execution pipeline: Harmony's tensor-lifetime
+/// state machine (Sec 4.4) over per-device memory. Owns the tensor table, the
+/// device memory managers, the allocation queues, and every host<->device /
+/// peer transfer decision: demand fetches, just-enough LRU eviction (or
+/// LMS-style evict-everything when smart_eviction is off), clean drops of
+/// host-backed copies, gradient pushes, and checkpoint write-backs.
+///
+/// The executor above it only says *what* a step needs and produces; this
+/// layer decides *where* the bytes come from and emits the byte-accounting
+/// trace events (kSwapIn/OutIssued, kP2pIssued, kEvict, kCleanDrop,
+/// kAllocStall, kHostBytes, kDeviceBytes) that MetricsSink folds into
+/// RunMetrics.
+class Residency {
+ public:
+  /// Services the residency layer borrows from the executor: the simulation
+  /// clock and transfer machinery, the run-failure channel, and a probe for
+  /// "more in-flight steps will unpin tensors soon" (which turns an empty
+  /// victim list into a wait instead of an OOM).
+  struct Env {
+    sim::Engine* engine = nullptr;
+    sim::FlowNetwork* flows = nullptr;
+    const sim::Interconnect* net = nullptr;
+    std::vector<sim::Stream*> swapin;   // per device
+    std::vector<sim::Stream*> swapout;  // per device
+    std::vector<sim::Stream*> p2pin;    // per device
+    std::function<void(Status)> fail;
+    std::function<bool()> failed;
+    std::function<bool(int)> steps_in_flight;  // >1 outstanding steps on d?
+  };
+
+  Residency(const core::TaskGraph& graph, std::vector<Bytes> capacities,
+            const std::map<TensorKey, int>* ref_counts, Env env,
+            trace::TraceBus* bus);
+
+  // --- allocation & fetching (issue side) ---------------------------------
+
+  /// Makes `key` usable on device `d`: waits for production if needed, then
+  /// pins an existing copy or allocates + fetches one (host swap-in, p2p, or
+  /// a host bounce when p2p is off). `committed` fires once the allocation is
+  /// granted (the step's issue slot can recycle); `arrived` once the bytes
+  /// are resident.
+  void EnsureResident(int d, const TensorKey& key, Bytes bytes, bool from_host,
+                      std::function<void()> committed,
+                      std::function<void()> arrived);
+
+  /// Queues an allocation of `bytes` for `key` on `d`; `granted` fires with
+  /// the tensor pinned. FIFO per device; triggers eviction on pressure.
+  void RequestAlloc(int d, const TensorKey& key, Bytes bytes,
+                    std::function<void()> granted);
+
+  /// Allocation for a tensor this step will write: records the size and
+  /// queues the allocation (residency is finalized by FinalizeProduce).
+  void AllocForProduce(int d, const ProduceSpec& p,
+                       std::function<void()> granted);
+
+  /// Drains device `d`'s allocation queue as far as memory allows.
+  void PumpAllocator(int d);
+  /// Re-pumps every device (after unpins/frees that may unblock any queue).
+  void PumpAll();
+
+  // --- step-completion actions (finish side) ------------------------------
+
+  void UnpinNeed(int d, const TensorKey& key);
+  /// Finalizes a produced tensor: residency, dirty bit, refcount seeding,
+  /// creation-waiter wakeup, and the immediate free of unconsumed data.
+  void FinalizeProduce(int d, const ProduceSpec& p);
+  /// Newest data now on GPU; any host copy is stale.
+  void MarkDirty(const TensorKey& key);
+  /// Checkpoint / master-weight write-back: async copy, GPU copy stays.
+  void CopyToHost(int d, const TensorKey& key);
+  /// Gradient push / optimizer-state write-back: async move, GPU copy
+  /// released on completion (concurrent consumers re-fetch from host).
+  void MoveToHost(int d, const TensorKey& key);
+  /// Consumer finished with a data tensor; frees it on the last reference.
+  void Deref(const TensorKey& key);
+
+  // --- host-side hooks (CPU update steps) ---------------------------------
+
+  /// True when a final host copy of `key` exists.
+  bool HostReady(const TensorKey& key);
+  /// Runs `fn` when a host copy of `key` next becomes available.
+  void AddHostWaiter(const TensorKey& key, std::function<void()> fn);
+  /// Releases a consumed host copy (gradient applied by the CPU optimizer).
+  void ReleaseHostCopy(const TensorKey& key);
+
+  /// Accounts the permanently-resident host footprint (master weights,
+  /// optimizer state, scheme overheads) before execution starts.
+  void SetStaticHostBytes(Bytes bytes);
+  Bytes host_bytes() const { return host_bytes_; }
+
+  // --- diagnostics --------------------------------------------------------
+
+  bool HasPendingAllocs(int d) const { return !alloc_queue_[d].empty(); }
+  /// Queued-but-unserved allocations on `d`, e.g. "W[L3 d0](256.0 MiB)".
+  std::string DescribePendingAllocs(int d) const;
+  /// One-line status of every unmet need of a stuck step, naming the tensors
+  /// it waits on and why ("unproduced", "evicting", "fetch-in-flight", ...).
+  std::string DescribeWait(int d, const Step& step);
+
+ private:
+  bool AutoCreate(const TensorKey& key, Bytes bytes);
+  void StartEviction(int d, const TensorKey& key);
+  void HostArrived(const TensorKey& key);
+  void AddHostBuffer(TensorState* st);
+  void DropHostBuffer(TensorState* st);
+  void FreeTensor(const TensorKey& key);
+
+  void EmitInstant(trace::EventKind kind, trace::Lane lane, int device,
+                   Bytes bytes);
+  void TraceTensor(const TensorKey& key, const char* detail, int device);
+
+  const core::TaskGraph& graph_;
+  const std::map<TensorKey, int>* ref_counts_;
+  Env env_;
+  trace::TraceBus* bus_;
+
+  std::vector<DeviceMemory> mem_;
+  TensorTable table_;
+
+  struct AllocReq {
+    TensorKey key;
+    Bytes bytes;
+    std::function<void()> granted;
+  };
+  std::vector<std::deque<AllocReq>> alloc_queue_;
+  std::vector<int> evictions_in_flight_;
+
+  Bytes host_bytes_ = 0;
+};
+
+}  // namespace harmony::runtime
+
+#endif  // HARMONY_RUNTIME_RESIDENCY_H_

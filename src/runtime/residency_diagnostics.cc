@@ -1,0 +1,79 @@
+// The cold half of the residency layer: host-copy hooks used by CPU update
+// steps, and the diagnostics that describe what a stuck device is waiting
+// for. Split from residency.cc so the per-step allocation/eviction state
+// machine stays a compact TU.
+
+#include "common/units.h"
+#include "runtime/residency.h"
+
+namespace harmony::runtime {
+
+// ---------------------------------------------------------------------------
+// Host-side hooks
+// ---------------------------------------------------------------------------
+
+bool Residency::HostReady(const TensorKey& key) {
+  const TensorState& st = table_.Get(key);
+  return st.exists && st.on_host;
+}
+
+void Residency::AddHostWaiter(const TensorKey& key, std::function<void()> fn) {
+  table_.Get(key).host_waiters.push_back(std::move(fn));
+}
+
+void Residency::ReleaseHostCopy(const TensorKey& key) {
+  TensorState& st = table_.Get(key);
+  if (st.on_host) {
+    DropHostBuffer(&st);
+    st.on_host = false;
+  }
+  if (st.resident_gpus.empty()) st.exists = false;
+}
+
+
+std::string Residency::DescribePendingAllocs(int d) const {
+  std::string out;
+  for (const AllocReq& req : alloc_queue_[d]) {
+    if (!out.empty()) out += ", ";
+    out += req.key.ToString() + "(" + FormatBytes(req.bytes) + ")";
+  }
+  return out;
+}
+
+std::string Residency::DescribeWait(int d, const Step& step) {
+  std::string out;
+  auto add = [&out](const TensorKey& key, const std::string& why) {
+    if (!out.empty()) out += ", ";
+    out += key.ToString() + " [" + why + "]";
+  };
+  for (const NeedSpec& n : step.needs) {
+    if (!table_.Contains(n.key)) {
+      add(n.key, "unproduced");
+      continue;
+    }
+    TensorState& st = table_.Get(n.key);
+    if (st.UsableOn(d)) continue;  // this need is satisfied
+    if (!st.exists) {
+      add(n.key, "unproduced");
+    } else if (st.evicting_gpus.count(d)) {
+      add(n.key, "evicting from d" + std::to_string(d));
+    } else if (st.fetch_in_flight) {
+      add(n.key, "fetch in flight to d" + std::to_string(st.inflight_dst));
+    } else if (st.on_host) {
+      add(n.key, "on host, not fetched");
+    } else if (int peer = st.StableGpu(); peer >= 0) {
+      add(n.key, "resident on d" + std::to_string(peer));
+    } else {
+      add(n.key, "no stable copy");
+    }
+  }
+  for (const ProduceSpec& p : step.produces) {
+    if (!mem_[d].IsResident(p.key)) {
+      add(p.key, "allocation not granted");
+    }
+  }
+  if (out.empty()) out = "no unmet tensor waits (join lost)";
+  return out;
+}
+
+}  // namespace harmony::runtime

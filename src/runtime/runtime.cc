@@ -1,1158 +1,40 @@
 #include "runtime/runtime.h"
 
-#include <algorithm>
-#include <deque>
-#include <limits>
-#include <map>
 #include <memory>
-#include <set>
 
-#include "common/logging.h"
-#include "model/cost_model.h"
-#include "runtime/memory_manager.h"
-#include "runtime/tensor.h"
-#include "sim/engine.h"
-#include "sim/network.h"
-#include "sim/stream.h"
+#include "runtime/executor.h"
+#include "runtime/step_compiler.h"
+#include "trace/filter_sink.h"
+#include "trace/metrics_sink.h"
+#include "trace/trace.h"
 
 namespace harmony::runtime {
-namespace {
-
-using core::MbPiece;
-using core::Task;
-using core::TaskGraph;
-using core::TaskType;
-
-struct NeedSpec {
-  TensorKey key;
-  Bytes bytes = 0;
-  /// Fetch strictly from the host copy (checkpoint reads use the message-
-  /// passing channel, Sec 4.4); never moves a peer GPU's copy.
-  bool from_host = false;
-};
-
-struct ProduceSpec {
-  TensorKey key;
-  Bytes bytes = 0;
-};
-
-/// One layer-granularity unit of GPU work, compiled from a Task. The
-/// executor issues a step's fetches/allocations, runs its compute on the
-/// compute stream, then applies the post actions.
-struct Step {
-  int task = -1;
-  TimeSec compute = 0;
-  std::vector<NeedSpec> needs;
-  std::vector<ProduceSpec> produces;
-  std::vector<TensorKey> derefs;        // consumed inputs (refcount--)
-  std::vector<TensorKey> copy_to_host;  // checkpoint / master write-back
-  std::vector<TensorKey> move_to_host;  // gradient push, optimizer state
-  std::vector<TensorKey> mark_dirty;
-};
-
-/// CPU-offloaded work (weight updates).
-struct CpuStep {
-  int task = -1;
-  TimeSec duration = 0;
-  std::vector<TensorKey> host_needs;  // wait until a valid host copy exists
-  std::vector<int> wait_tasks;        // task-completion dependencies
-  std::vector<TensorKey> host_frees;  // consumed host copies (gradients)
-};
-
-class Execution {
- public:
-  Execution(const hw::MachineSpec& machine, const model::SequentialModel& model,
-            const TaskGraph& graph, const RuntimeOptions& options)
-      : machine_(machine),
-        model_(model),
-        graph_(graph),
-        options_(options),
-        cost_(machine.gpu),
-        net_(machine),
-        flows_(&engine_, net_.capacities()) {}
-
-  Result<RunMetrics> Run();
-
- private:
-  // --- compilation -------------------------------------------------------
-  void Precompute();
-  void CompileAll();
-  void CompileForward(const Task& t);
-  void CompileBackward(const Task& t);
-  void CompileGpuUpdate(const Task& t);
-  void CompileCpuUpdate(const Task& t);
-  std::vector<NeedSpec> BoundaryInputKeys(int boundary, int replica,
-                                          const MbPiece& piece);
-  std::vector<NeedSpec> StashKeys(int layer, int replica, const MbPiece& piece);
-  void ComputeRefs();
-
-  // --- tensor & memory machinery -----------------------------------------
-  bool AutoCreate(const TensorKey& key, Bytes bytes);
-  void EnsureResident(int d, const TensorKey& key, Bytes bytes, bool from_host,
-                      std::function<void()> committed,
-                      std::function<void()> arrived);
-  void RequestAlloc(int d, const TensorKey& key, Bytes bytes,
-                    std::function<void()> granted);
-  void PumpAllocator(int d);
-  void StartEviction(int d, const TensorKey& key);
-  void HostArrived(const TensorKey& key);
-  void AddHostBuffer(TensorState* st);
-  void DropHostBuffer(TensorState* st);
-  void FreeTensor(const TensorKey& key);
-  void Fail(Status status);
-
-  // --- execution driving --------------------------------------------------
-  void TryIssue(int d);
-  void IssueStep(int d, int step_idx);
-  void FinishStep(int d, int step_idx);
-  void AdvanceCpu(int d);
-  void OnTaskStepDone(int task);
-  void WhenTaskComplete(int task, std::function<void()> fn);
-
-  Bytes opt_state_bytes(int layer) const {
-    return opt_mult_ * model_.layers[layer].spec.param_bytes;
-  }
-
-  // --- members ------------------------------------------------------------
-  const hw::MachineSpec& machine_;
-  const model::SequentialModel& model_;
-  const TaskGraph& graph_;
-  RuntimeOptions options_;
-  model::CostModel cost_;
-  sim::Engine engine_;
-  sim::Interconnect net_;
-  sim::FlowNetwork flows_;
-
-  std::vector<std::unique_ptr<sim::Stream>> compute_, swapin_, swapout_, p2pin_,
-      cpu_;
-  std::vector<DeviceMemory> mem_;
-  TensorTable table_;
-  std::deque<std::unique_ptr<sim::Condition>> conditions_;
-
-  // Compiled program.
-  std::vector<std::vector<Step>> steps_;        // per device
-  std::vector<std::vector<CpuStep>> cpu_steps_; // per process
-  std::map<TensorKey, int> ref_counts_;
-
-  // Piece layouts: [replica][boundary/layer] -> producer pieces.
-  std::vector<std::vector<std::vector<MbPiece>>> act_layout_;
-  std::vector<std::vector<std::vector<MbPiece>>> grad_layout_;
-  std::vector<std::vector<std::vector<MbPiece>>> stash_layout_;
-
-  // Cached model arrays.
-  std::vector<Bytes> boundary_bytes_;  // per-sample, index 0..R
-  std::vector<Bytes> stash_bytes_;     // per-sample, per layer
-  Bytes opt_mult_ = 2;
-
-  // Driving state.
-  std::vector<size_t> issue_next_, steps_done_;
-  std::vector<bool> issue_busy_;
-  std::vector<size_t> cpu_next_;
-  int issue_window_ = 2;
-
-  struct AllocReq {
-    TensorKey key;
-    Bytes bytes;
-    std::function<void()> granted;
-  };
-  std::vector<std::deque<AllocReq>> alloc_queue_;
-  std::vector<int> evictions_in_flight_;
-
-  std::vector<int> task_steps_remaining_;
-  std::vector<std::vector<std::function<void()>>> task_waiters_;
-
-  Bytes host_bytes_ = 0;
-  Bytes peak_host_ = 0;
-  RunMetrics metrics_;
-  bool failed_ = false;
-  Status failure_;
-};
-
-// ---------------------------------------------------------------------------
-// Compilation
-// ---------------------------------------------------------------------------
-
-void Execution::Precompute() {
-  const int R = model_.num_layers();
-  boundary_bytes_.assign(R + 1, 0);
-  boundary_bytes_[0] = model_.sample_input_bytes;
-  stash_bytes_.assign(R, 0);
-  for (int l = 0; l < R; ++l) {
-    boundary_bytes_[l + 1] = model_.layers[l].boundary_out_bytes();
-    stash_bytes_[l] = model_.layers[l].spec.stash_bytes_per_sample +
-                      model_.layers[l].relay_bytes_per_sample;
-  }
-  opt_mult_ = model::OptimizerStateBytesPerParamByte(options_.optimizer);
-
-  act_layout_.assign(graph_.num_replicas,
-                     std::vector<std::vector<MbPiece>>(R + 1));
-  grad_layout_.assign(graph_.num_replicas,
-                      std::vector<std::vector<MbPiece>>(R + 1));
-  stash_layout_.assign(graph_.num_replicas,
-                       std::vector<std::vector<MbPiece>>(R));
-  auto merge = [](std::vector<MbPiece>* dst, const std::vector<MbPiece>& src) {
-    dst->insert(dst->end(), src.begin(), src.end());
-    std::sort(dst->begin(), dst->end(),
-              [](const MbPiece& a, const MbPiece& b) { return a.begin < b.begin; });
-    dst->erase(std::unique(dst->begin(), dst->end(),
-                           [](const MbPiece& a, const MbPiece& b) {
-                             return a.begin == b.begin;
-                           }),
-               dst->end());
-  };
-  for (const Task& t : graph_.tasks) {
-    if (t.type == TaskType::kForward) {
-      for (int b = t.pack.lo + 1; b <= t.pack.hi + 1; ++b) {
-        merge(&act_layout_[t.replica][b], t.group);
-      }
-      if (t.save_full_stash) {
-        for (int l = t.pack.lo; l <= t.pack.hi; ++l) {
-          merge(&stash_layout_[t.replica][l], t.group);
-        }
-      }
-    } else if (t.type == TaskType::kBackward) {
-      grad_layout_[t.replica][t.pack.lo] = t.group;
-    }
-  }
-}
-
-std::vector<NeedSpec> Execution::BoundaryInputKeys(int boundary, int replica,
-                                                   const MbPiece& piece) {
-  std::vector<NeedSpec> out;
-  if (boundary_bytes_[boundary] == 0) return out;
-  if (boundary == 0 || act_layout_[replica][boundary].empty()) {
-    // Data loader (or an unproduced boundary, which AutoCreate rejects):
-    // keyed at consumer granularity.
-    out.push_back(NeedSpec{
-        TensorKey{TensorKind::kActivation, boundary, piece.begin, replica},
-        static_cast<Bytes>(piece.size) * boundary_bytes_[boundary]});
-    return out;
-  }
-  for (const MbPiece& p : act_layout_[replica][boundary]) {
-    if (!p.Overlaps(piece)) continue;
-    out.push_back(NeedSpec{
-        TensorKey{TensorKind::kActivation, boundary, p.begin, replica},
-        static_cast<Bytes>(p.size) * boundary_bytes_[boundary]});
-  }
-  HARMONY_CHECK(!out.empty()) << "no producer pieces for boundary " << boundary;
-  return out;
-}
-
-std::vector<NeedSpec> Execution::StashKeys(int layer, int replica,
-                                           const MbPiece& piece) {
-  std::vector<NeedSpec> out;
-  if (stash_bytes_[layer] == 0) return out;
-  HARMONY_CHECK(!stash_layout_[replica][layer].empty())
-      << "backward without recompute needs stash of layer " << layer;
-  for (const MbPiece& p : stash_layout_[replica][layer]) {
-    if (!p.Overlaps(piece)) continue;
-    out.push_back(
-        NeedSpec{TensorKey{TensorKind::kStash, layer, p.begin, replica},
-                 static_cast<Bytes>(p.size) * stash_bytes_[layer]});
-  }
-  return out;
-}
-
-void Execution::CompileForward(const Task& t) {
-  const int d = t.device;
-  for (const MbPiece& piece : t.group) {
-    for (int l = t.pack.lo; l <= t.pack.hi; ++l) {
-      Step s;
-      s.task = t.id;
-      s.compute = cost_.FwdTime(model_.layers[l].spec, piece.size);
-      const Bytes params = model_.layers[l].spec.param_bytes;
-      if (params > 0) {
-        s.needs.push_back(
-            NeedSpec{TensorKey{TensorKind::kWeight, l, -1, d}, params});
-      }
-      if (l == t.pack.lo) {
-        for (const NeedSpec& in : BoundaryInputKeys(l, t.replica, piece)) {
-          s.needs.push_back(in);
-          s.derefs.push_back(in.key);
-        }
-      } else if (boundary_bytes_[l] > 0) {
-        const TensorKey in{TensorKind::kActivation, l, piece.begin, t.replica};
-        s.needs.push_back(
-            NeedSpec{in, static_cast<Bytes>(piece.size) * boundary_bytes_[l]});
-        s.derefs.push_back(in);
-      }
-      if (boundary_bytes_[l + 1] > 0) {
-        const TensorKey out{TensorKind::kActivation, l + 1, piece.begin,
-                            t.replica};
-        s.produces.push_back(ProduceSpec{
-            out, static_cast<Bytes>(piece.size) * boundary_bytes_[l + 1]});
-        if (std::find(t.checkpoint_boundaries.begin(),
-                      t.checkpoint_boundaries.end(),
-                      l + 1) != t.checkpoint_boundaries.end()) {
-          s.copy_to_host.push_back(out);
-        }
-      }
-      if (t.save_full_stash && stash_bytes_[l] > 0) {
-        s.produces.push_back(
-            ProduceSpec{TensorKey{TensorKind::kStash, l, piece.begin, t.replica},
-                        static_cast<Bytes>(piece.size) * stash_bytes_[l]});
-      }
-      steps_[d].push_back(std::move(s));
-    }
-  }
-}
-
-void Execution::CompileBackward(const Task& t) {
-  const int d = t.device;
-  const int R = model_.num_layers();
-  const bool remat = t.recompute || t.fused_forward;
-  const bool push_grads =
-      graph_.flags.cpu_optimizer || graph_.grad_reduce_via_host;
-
-  bool first_piece = true;
-  for (const MbPiece& piece : t.group) {
-    if (remat) {
-      // Rematerialization (or the fused jit-compute forward): run the pack
-      // forward from its input, materializing the per-layer stash.
-      for (int l = t.pack.lo; l <= t.pack.hi; ++l) {
-        Step s;
-        s.task = t.id;
-        s.compute = cost_.FwdTime(model_.layers[l].spec, piece.size);
-        const Bytes params = model_.layers[l].spec.param_bytes;
-        if (params > 0) {
-          s.needs.push_back(
-              NeedSpec{TensorKey{TensorKind::kWeight, l, -1, d}, params});
-        }
-        if (l == t.pack.lo) {
-          for (NeedSpec in : BoundaryInputKeys(l, t.replica, piece)) {
-            in.from_host = t.reads_checkpoint;  // message-passing channel
-            s.needs.push_back(in);
-            s.derefs.push_back(in.key);
-          }
-        } else if (stash_bytes_[l - 1] > 0) {
-          const TensorKey in{TensorKind::kStash, l - 1, piece.begin, t.replica};
-          s.needs.push_back(
-              NeedSpec{in, static_cast<Bytes>(piece.size) * stash_bytes_[l - 1]});
-          s.derefs.push_back(in);
-        }
-        if (stash_bytes_[l] > 0) {
-          s.produces.push_back(
-              ProduceSpec{TensorKey{TensorKind::kStash, l, piece.begin, t.replica},
-                          static_cast<Bytes>(piece.size) * stash_bytes_[l]});
-        }
-        steps_[d].push_back(std::move(s));
-      }
-    }
-    for (int l = t.pack.hi; l >= t.pack.lo; --l) {
-      Step s;
-      s.task = t.id;
-      s.compute = cost_.BwdTime(model_.layers[l].spec, piece.size);
-      const Bytes params = model_.layers[l].spec.param_bytes;
-      if (params > 0) {
-        s.needs.push_back(
-            NeedSpec{TensorKey{TensorKind::kWeight, l, -1, d}, params});
-        const TensorKey g{TensorKind::kGrad, l, -1, t.replica};
-        if (first_piece) {
-          s.produces.push_back(ProduceSpec{g, params});
-        } else {
-          s.needs.push_back(NeedSpec{g, params});
-        }
-        s.mark_dirty.push_back(g);
-      }
-      // Stashed activations of this layer (rematerialized or fetched).
-      if (remat) {
-        if (stash_bytes_[l] > 0) {
-          const TensorKey st{TensorKind::kStash, l, piece.begin, t.replica};
-          s.needs.push_back(
-              NeedSpec{st, static_cast<Bytes>(piece.size) * stash_bytes_[l]});
-          s.derefs.push_back(st);
-        }
-      } else {
-        for (const NeedSpec& st : StashKeys(l, t.replica, piece)) {
-          s.needs.push_back(st);
-          s.derefs.push_back(st.key);
-        }
-      }
-      // Incoming gradient dA(l+1).
-      if (l == t.pack.hi) {
-        if (t.pack.hi + 1 <= R - 1 && boundary_bytes_[l + 1] > 0) {
-          for (const MbPiece& p : grad_layout_[t.replica][l + 1]) {
-            if (!p.Overlaps(piece)) continue;
-            const TensorKey gin{TensorKind::kGradAct, l + 1, p.begin, t.replica};
-            s.needs.push_back(NeedSpec{
-                gin, static_cast<Bytes>(p.size) * boundary_bytes_[l + 1]});
-            s.derefs.push_back(gin);
-          }
-        }
-      } else if (boundary_bytes_[l + 1] > 0) {
-        const TensorKey gin{TensorKind::kGradAct, l + 1, piece.begin, t.replica};
-        s.needs.push_back(
-            NeedSpec{gin, static_cast<Bytes>(piece.size) * boundary_bytes_[l + 1]});
-        s.derefs.push_back(gin);
-      }
-      // Outgoing gradient dA(l) (none for the model input).
-      if (l > 0 && boundary_bytes_[l] > 0) {
-        s.produces.push_back(
-            ProduceSpec{TensorKey{TensorKind::kGradAct, l, piece.begin, t.replica},
-                        static_cast<Bytes>(piece.size) * boundary_bytes_[l]});
-      }
-      steps_[d].push_back(std::move(s));
-    }
-    first_piece = false;
-  }
-  // After the group completes: push accumulated gradients to host when the
-  // update runs on CPU or gradients reduce across replicas.
-  if (push_grads && !steps_[d].empty()) {
-    Step& last = steps_[d].back();
-    for (int l = t.pack.lo; l <= t.pack.hi; ++l) {
-      if (model_.layers[l].spec.param_bytes > 0) {
-        last.move_to_host.push_back(TensorKey{TensorKind::kGrad, l, -1, t.replica});
-      }
-    }
-  }
-}
-
-void Execution::CompileGpuUpdate(const Task& t) {
-  const int d = t.device;
-  const int replica = std::max(t.replica, 0);
-  bool any = false;
-  // One step per layer: an update of a pack larger than GPU memory must
-  // stream layer by layer, exactly like forward/backward execution.
-  for (int l = t.pack.lo; l <= t.pack.hi; ++l) {
-    const Bytes params = model_.layers[l].spec.param_bytes;
-    if (params == 0) continue;
-    Step s;
-    s.task = t.id;
-    s.compute = cost_.GpuUpdateTime(model_.layers[l].spec);
-    const TensorKey w{TensorKind::kWeight, l, -1, d};
-    const TensorKey g{TensorKind::kGrad, l, -1, replica};
-    const TensorKey o{TensorKind::kOptState, l, -1, d};
-    s.needs.push_back(NeedSpec{w, params});
-    s.needs.push_back(NeedSpec{g, params});
-    s.needs.push_back(NeedSpec{o, opt_state_bytes(l)});
-    s.mark_dirty.push_back(w);
-    s.mark_dirty.push_back(o);
-    s.copy_to_host.push_back(w);   // master write-back; cached copy stays
-    s.move_to_host.push_back(o);   // persists on host for the next iteration
-    s.derefs.push_back(g);
-    steps_[d].push_back(std::move(s));
-    any = true;
-  }
-  if (!any) {
-    // Pack with no parameters at all: still emit an empty step so the task
-    // completes and dependents unblock.
-    Step s;
-    s.task = t.id;
-    steps_[d].push_back(std::move(s));
-  }
-}
-
-void Execution::CompileCpuUpdate(const Task& t) {
-  const core::DepResolver deps(graph_);
-  CpuStep s;
-  s.task = t.id;
-  const auto producers = deps.BackwardTasksForPack(t.pack, t.replica);
-  std::set<int> replicas;
-  for (int pid : producers) replicas.insert(graph_.task(pid).replica);
-  const int nrep = std::max<int>(1, replicas.size());
-  for (int l = t.pack.lo; l <= t.pack.hi; ++l) {
-    const Bytes params = model_.layers[l].spec.param_bytes;
-    if (params == 0) continue;
-    s.duration += static_cast<double>(params) * (2.0 + nrep) /
-                  machine_.cpu_update_bw;
-    for (int r : replicas) {
-      const TensorKey g{TensorKind::kGrad, l, -1, r};
-      s.host_needs.push_back(g);
-      s.host_frees.push_back(g);
-    }
-  }
-  // Gradients are only final once their backward tasks complete (an eviction
-  // can land a partial gradient on host earlier).
-  s.wait_tasks.insert(s.wait_tasks.end(), producers.begin(), producers.end());
-  if (!graph_.flags.jit_update) {
-    for (int r = 0; r < graph_.num_replicas; ++r) {
-      if (t.replica >= 0 && r != t.replica) continue;
-      const auto& all = deps.AllBackwardTasks(r);
-      s.wait_tasks.insert(s.wait_tasks.end(), all.begin(), all.end());
-    }
-  }
-  cpu_steps_[t.device].push_back(std::move(s));
-}
-
-void Execution::CompileAll() {
-  steps_.assign(graph_.num_devices, {});
-  cpu_steps_.assign(graph_.num_devices, {});
-  for (int d = 0; d < graph_.num_devices; ++d) {
-    for (int id : graph_.device_order[d]) {
-      const Task& t = graph_.task(id);
-      switch (t.type) {
-        case TaskType::kForward: CompileForward(t); break;
-        case TaskType::kBackward: CompileBackward(t); break;
-        case TaskType::kUpdate: CompileGpuUpdate(t); break;
-      }
-    }
-    if (static_cast<size_t>(d) < graph_.cpu_order.size()) {
-      for (int id : graph_.cpu_order[d]) CompileCpuUpdate(graph_.task(id));
-    }
-  }
-  ComputeRefs();
-
-  task_steps_remaining_.assign(graph_.num_tasks(), 0);
-  task_waiters_.assign(graph_.num_tasks(), {});
-  for (const auto& dev : steps_) {
-    for (const Step& s : dev) ++task_steps_remaining_[s.task];
-  }
-  for (const auto& dev : cpu_steps_) {
-    for (const CpuStep& s : dev) ++task_steps_remaining_[s.task];
-  }
-}
-
-void Execution::ComputeRefs() {
-  ref_counts_.clear();
-  for (const auto& dev : steps_) {
-    for (const Step& s : dev) {
-      for (const TensorKey& k : s.derefs) ++ref_counts_[k];
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Tensor & memory machinery
-// ---------------------------------------------------------------------------
-
-bool Execution::AutoCreate(const TensorKey& key, Bytes bytes) {
-  const bool creatable =
-      key.kind == TensorKind::kWeight || key.kind == TensorKind::kOptState ||
-      (key.kind == TensorKind::kActivation && key.layer == 0);
-  if (!creatable) return false;
-  TensorState& st = table_.Get(key);
-  st.bytes = bytes;
-  st.exists = true;
-  st.on_host = true;
-  if (key.kind == TensorKind::kActivation) {
-    // Loader data occupies host memory until consumed; persistent state
-    // (weights, optimizer) is counted in the static host footprint.
-    AddHostBuffer(&st);
-    auto it = ref_counts_.find(key);
-    st.refs_remaining = it == ref_counts_.end() ? 0 : it->second;
-  }
-  return true;
-}
-
-void Execution::AddHostBuffer(TensorState* st) {
-  host_bytes_ += st->bytes;
-  peak_host_ = std::max(peak_host_, host_bytes_);
-}
-
-void Execution::DropHostBuffer(TensorState* st) {
-  host_bytes_ -= st->bytes;
-}
-
-void Execution::Fail(Status status) {
-  if (failed_) return;
-  failed_ = true;
-  failure_ = std::move(status);
-}
-
-namespace {
-/// Diagnostic tracing: set HARMONY_RUNTIME_TRACE to a tensor key string
-/// (e.g. "A[L5,b2,o0]") to log every state transition of that tensor.
-bool Traced(const TensorKey& key) {
-  static const char* filter = getenv("HARMONY_RUNTIME_TRACE");
-  return filter != nullptr && key.ToString() == filter;
-}
-void Trace(const TensorKey& key, const char* event, int device) {
-  fprintf(stderr, "[runtime-trace] %s %s d%d\n", key.ToString().c_str(), event,
-          device);
-}
-}  // namespace
-
-void Execution::RequestAlloc(int d, const TensorKey& key, Bytes bytes,
-                             std::function<void()> granted) {
-  if (Traced(key)) Trace(key, "alloc-request", d);
-  alloc_queue_[d].push_back(AllocReq{key, bytes, std::move(granted)});
-  PumpAllocator(d);
-}
-
-void Execution::PumpAllocator(int d) {
-  if (failed_) return;
-  while (!alloc_queue_[d].empty()) {
-    AllocReq& req = alloc_queue_[d].front();
-    if (mem_[d].IsResident(req.key)) {
-      TensorState& st = table_.Get(req.key);
-      if (st.evicting_gpus.count(d)) {
-        // The previous copy is on its way out (e.g. a gradient push); its
-        // completion re-pumps this queue.
-        return;
-      }
-      // Re-produced accumulation buffer whose copy survived on-device:
-      // reuse the existing allocation.
-      if (Traced(req.key)) Trace(req.key, "alloc-reuse", d);
-      mem_[d].Pin(req.key);
-      auto granted = std::move(req.granted);
-      alloc_queue_[d].pop_front();
-      granted();
-      continue;
-    }
-    if (req.bytes <= mem_[d].free_bytes()) {
-      if (Traced(req.key)) Trace(req.key, "alloc-grant", d);
-      mem_[d].AddResident(req.key, req.bytes);
-      mem_[d].Pin(req.key);
-      metrics_.peak_device_bytes[d] =
-          std::max(metrics_.peak_device_bytes[d], mem_[d].used());
-      auto granted = std::move(req.granted);
-      alloc_queue_[d].pop_front();
-      granted();
-      continue;
-    }
-    const Bytes deficit = req.bytes - mem_[d].free_bytes();
-    // Harmony's memory manager evicts just enough, coldest-first. LMS-style
-    // virtualization (the per-GPU-swap baselines) instead swaps out *all*
-    // inactive tensors once the limit is hit — the eviction storms behind
-    // the paper's 100-300x baseline swap volumes (Fig 10).
-    const Bytes want = graph_.flags.smart_eviction
-                           ? deficit
-                           : std::numeric_limits<Bytes>::max();
-    const auto victims = mem_[d].PickVictims(want);
-    if (victims.empty()) {
-      if (evictions_in_flight_[d] > 0) return;  // retry when one lands
-      if (issue_next_[d] - steps_done_[d] > 1) {
-        // Another in-flight step will finish and unpin its tensors; the
-        // allocator is re-pumped from FinishStep.
-        return;
-      }
-      Fail(Status::OutOfMemory(
-          "device " + std::to_string(d) + " cannot fit " + req.key.ToString() +
-          " (" + FormatBytes(req.bytes) + "): working set exceeds capacity"));
-      return;
-    }
-    const Bytes free_before = mem_[d].free_bytes();
-    for (const TensorKey& v : victims) StartEviction(d, v);
-    if (mem_[d].free_bytes() > free_before) continue;  // clean drops freed space
-    return;  // all victims are async transfers; resume from their completions
-  }
-}
-
-void Execution::StartEviction(int d, const TensorKey& key) {
-  TensorState& st = table_.Get(key);
-  HARMONY_CHECK(st.resident_gpus.count(d))
-      << "evicting " << key.ToString() << " with no copy on device " << d;
-  if (Traced(key)) Trace(key, "evict-start", d);
-  mem_[d].Pin(key);  // exclude from further victim picks
-  st.evicting_gpus.insert(d);
-  // Harmony's state machine drops copies that are backed elsewhere without a
-  // transfer; LMS-style baselines always write the victim to host.
-  const bool backed = st.on_host || st.resident_gpus.size() > 1;
-  if (backed && graph_.flags.smart_eviction) {
-    // Dropped synchronously; the caller (PumpAllocator) observes the freed
-    // space — no re-entrant pump, which would double-evict from its stale
-    // victim list.
-    ++metrics_.clean_drops;
-    st.resident_gpus.erase(d);
-    st.evicting_gpus.erase(d);
-    mem_[d].Unpin(key);
-    mem_[d].RemoveResident(key);
-    return;
-  }
-  ++evictions_in_flight_[d];
-  const Bytes bytes = st.bytes;
-  sim::Condition* flow_done =
-      swapout_[d]->Push({}, [this, d, bytes](std::function<void()> done) {
-        flows_.StartFlow(net_.SwapOutPath(d), bytes, std::move(done));
-      });
-  flow_done->OnFire([this, d, key]() {
-    TensorState& st = table_.Get(key);
-    metrics_.swap_out_bytes[d] += st.bytes;
-    ++metrics_.evictions;
-    if (st.exists && !st.on_host) {
-      AddHostBuffer(&st);
-      st.on_host = true;
-      st.gpu_dirty = false;
-    }
-    st.resident_gpus.erase(d);
-    st.evicting_gpus.erase(d);
-    mem_[d].Unpin(key);
-    mem_[d].RemoveResident(key);
-    --evictions_in_flight_[d];
-    if (st.exists) HostArrived(key);
-    PumpAllocator(d);
-  });
-}
-
-void Execution::HostArrived(const TensorKey& key) {
-  TensorState& st = table_.Get(key);
-  auto waiters = std::move(st.host_waiters);
-  st.host_waiters.clear();
-  for (auto& w : waiters) w();
-}
-
-void Execution::EnsureResident(int d, const TensorKey& key, Bytes bytes,
-                               bool from_host,
-                               std::function<void()> committed,
-                               std::function<void()> arrived) {
-  if (failed_) return;
-  TensorState& st = table_.Get(key);
-  auto retry = [this, d, key, bytes, from_host, committed, arrived]() {
-    EnsureResident(d, key, bytes, from_host, committed, arrived);
-  };
-  if (!st.exists) {
-    if (!AutoCreate(key, bytes)) {
-      st.creation_waiters.push_back(retry);  // wait for the producer
-      return;
-    }
-  }
-  TensorState& state = table_.Get(key);
-  if (state.UsableOn(d)) {
-    if (Traced(key)) Trace(key, "need-hit", d);
-    mem_[d].Pin(key);
-    mem_[d].Touch(key);
-    committed();
-    arrived();
-    return;
-  }
-  if (state.fetch_in_flight) {
-    // Another consumer is already pulling a copy; join and re-evaluate when
-    // it lands.
-    state.arrival_waiters.push_back(retry);
-    return;
-  }
-  if (state.resident_gpus.count(d)) {
-    // Our copy is being evicted; wait for the host copy and fetch it back.
-    state.host_waiters.push_back(retry);
-    return;
-  }
-  // Pick a source: the host copy when available (and mandatory for
-  // checkpoint reads via the message-passing channel), else a stable peer
-  // copy for a p2p transfer.
-  int src = -1;
-  if (!state.on_host) {
-    if (from_host) {
-      state.host_waiters.push_back(retry);  // the producer's copy is coming
-      return;
-    }
-    src = state.StableGpu();
-    if (src < 0) {
-      // All copies are mid-eviction: the data will surface on host.
-      state.host_waiters.push_back(retry);
-      return;
-    }
-  }
-  state.fetch_in_flight = true;
-  state.inflight_dst = d;
-  if (src >= 0) mem_[src].Pin(key);  // hold the source copy during transfer
-
-  RequestAlloc(d, key, state.bytes, [this, d, key, src, committed, arrived]() {
-    committed();
-    TensorState& st = table_.Get(key);
-    const Bytes bytes = st.bytes;
-    auto finish = [this, d, key, src, arrived]() {
-      TensorState& st = table_.Get(key);
-      if (Traced(key)) Trace(key, "fetch-arrive", d);
-      if (src >= 0) mem_[src].Unpin(key);  // source copy stays (it's a copy)
-      st.resident_gpus.insert(d);
-      st.fetch_in_flight = false;
-      st.inflight_dst = -1;
-      auto waiters = std::move(st.arrival_waiters);
-      st.arrival_waiters.clear();
-      arrived();
-      for (auto& w : waiters) w();
-    };
-    if (src < 0) {
-      // Host -> device swap-in.
-      HARMONY_CHECK(st.on_host) << key.ToString() << " has no source copy";
-      metrics_.swap_in_bytes[d] += bytes;
-      swapin_[d]->Push({}, [this, d, bytes, finish](std::function<void()> done) {
-        flows_.StartFlow(net_.SwapInPath(d), bytes, [done, finish]() {
-          finish();
-          done();
-        });
-      });
-      return;
-    }
-    if (graph_.flags.p2p_transfers) {
-      metrics_.p2p_bytes[d] += bytes;
-      p2pin_[d]->Push({}, [this, d, src, bytes, finish](std::function<void()> done) {
-        flows_.StartFlow(net_.P2pPath(src, d), bytes, [done, finish]() {
-          finish();
-          done();
-        });
-      });
-      return;
-    }
-    // p2p disabled: bounce through host memory as two swaps.
-    metrics_.swap_out_bytes[src] += bytes;
-    metrics_.swap_in_bytes[d] += bytes;
-    swapout_[src]->Push({}, [this, src, d, bytes, key,
-                             finish](std::function<void()> done) {
-      flows_.StartFlow(net_.SwapOutPath(src), bytes, [this, d, bytes, key, finish,
-                                                      done]() {
-        TensorState& st = table_.Get(key);
-        if (!st.on_host) {
-          AddHostBuffer(&st);
-          st.on_host = true;
-        }
-        swapin_[d]->Push({}, [this, d, bytes, finish](std::function<void()> in_done) {
-          flows_.StartFlow(net_.SwapInPath(d), bytes, [finish, in_done]() {
-            finish();
-            in_done();
-          });
-        });
-        done();
-      });
-    });
-  });
-}
-
-void Execution::FreeTensor(const TensorKey& key) {
-  TensorState& st = table_.Get(key);
-  if (Traced(key)) Trace(key, "free", -1);
-  for (auto it = st.resident_gpus.begin(); it != st.resident_gpus.end();) {
-    const int d = *it;
-    if (st.evicting_gpus.count(d) || mem_[d].IsPinned(key)) {
-      // An eviction or an in-flight host-copy flow still holds this copy;
-      // its completion handler releases the residency once `exists` is
-      // false.
-      ++it;
-      continue;
-    }
-    mem_[d].RemoveResident(key);
-    it = st.resident_gpus.erase(it);
-  }
-  if (st.on_host &&
-      (key.kind == TensorKind::kActivation || key.kind == TensorKind::kGradAct ||
-       key.kind == TensorKind::kStash || key.kind == TensorKind::kGrad)) {
-    DropHostBuffer(&st);
-    st.on_host = false;
-  }
-  st.exists = false;
-}
-
-// ---------------------------------------------------------------------------
-// Execution driving
-// ---------------------------------------------------------------------------
-
-void Execution::OnTaskStepDone(int task) {
-  HARMONY_CHECK_GT(task_steps_remaining_[task], 0);
-  if (--task_steps_remaining_[task] == 0) {
-    auto waiters = std::move(task_waiters_[task]);
-    task_waiters_[task].clear();
-    for (auto& w : waiters) w();
-  }
-}
-
-void Execution::WhenTaskComplete(int task, std::function<void()> fn) {
-  if (task_steps_remaining_[task] == 0) {
-    fn();
-  } else {
-    task_waiters_[task].push_back(std::move(fn));
-  }
-}
-
-void Execution::TryIssue(int d) {
-  if (failed_ || issue_busy_[d]) return;
-  if (issue_next_[d] >= steps_[d].size()) return;
-  const size_t in_flight = issue_next_[d] - steps_done_[d];
-  if (in_flight > static_cast<size_t>(issue_window_)) return;
-  issue_busy_[d] = true;
-  const int idx = static_cast<int>(issue_next_[d]++);
-  IssueStep(d, idx);
-}
-
-void Execution::IssueStep(int d, int step_idx) {
-  Step& s = steps_[d][step_idx];
-  conditions_.push_back(std::make_unique<sim::Condition>());
-  sim::Condition* ready = conditions_.back().get();
-
-  // Join counters across needs + produces.
-  struct Join {
-    int commits_left;
-    int arrivals_left;
-  };
-  auto* join = new Join{0, 0};
-  join->commits_left = static_cast<int>(s.needs.size() + s.produces.size()) + 1;
-  join->arrivals_left = join->commits_left;
-
-  auto committed = [this, d, join]() {
-    if (--join->commits_left == 0) {
-      issue_busy_[d] = false;
-      TryIssue(d);
-    }
-  };
-  auto arrived = [join, ready]() {
-    if (--join->arrivals_left == 0) {
-      // Arrivals strictly follow their commits, so the join is finished.
-      delete join;
-      ready->Fire();
-    }
-  };
-
-  // Push the compute op first: the sentinel commit below can re-enter
-  // TryIssue and push the next step's op, and the compute stream must stay
-  // in step order.
-  compute_[d]->Push({ready}, [this, d, step_idx](std::function<void()> done) {
-    engine_.After(steps_[d][step_idx].compute, std::move(done));
-  })->OnFire([this, d, step_idx]() { FinishStep(d, step_idx); });
-
-  for (const NeedSpec& n : s.needs) {
-    EnsureResident(d, n.key, n.bytes, n.from_host, committed, arrived);
-  }
-  for (const ProduceSpec& p : s.produces) {
-    TensorState& st = table_.Get(p.key);
-    st.bytes = p.bytes;
-    RequestAlloc(d, p.key, p.bytes, [committed, arrived]() {
-      committed();
-      arrived();
-    });
-  }
-  // The +1 sentinel resolves immediately (handles empty lists).
-  committed();
-  arrived();
-}
-
-void Execution::FinishStep(int d, int step_idx) {
-  Step& s = steps_[d][step_idx];
-
-  // 1. Unpin this step's tensors.
-  for (const NeedSpec& n : s.needs) {
-    if (Traced(n.key)) Trace(n.key, "need-unpin", d);
-    if (mem_[d].IsResident(n.key)) mem_[d].Unpin(n.key);
-  }
-  // 2. Finalize produced tensors.
-  for (const ProduceSpec& p : s.produces) {
-    TensorState& st = table_.Get(p.key);
-    st.resident_gpus.insert(d);  // the allocator reserved this copy at issue
-    st.gpu_dirty = true;
-    if (!st.exists) {
-      st.exists = true;
-      auto it = ref_counts_.find(p.key);
-      st.refs_remaining = it == ref_counts_.end() ? 0 : it->second;
-      auto waiters = std::move(st.creation_waiters);
-      st.creation_waiters.clear();
-      for (auto& w : waiters) w();
-    }
-    if (Traced(p.key)) Trace(p.key, "produce-unpin", d);
-    mem_[d].Unpin(p.key);
-    const bool data_tensor = p.key.kind == TensorKind::kActivation ||
-                             p.key.kind == TensorKind::kGradAct ||
-                             p.key.kind == TensorKind::kStash;
-    if (data_tensor && st.refs_remaining == 0) FreeTensor(p.key);
-  }
-  // 3. Dirty marks (gradient accumulation, updated weights).
-  for (const TensorKey& k : s.mark_dirty) {
-    TensorState& st = table_.Get(k);
-    st.gpu_dirty = true;
-    st.on_host = false;  // host copy (if any) is stale now
-  }
-  // 4. Host copies (checkpoints, master weight write-back): tensor stays
-  //    resident; pinned for the duration of the flow.
-  for (const TensorKey& k : s.copy_to_host) {
-    TensorState& st = table_.Get(k);
-    if (Traced(k)) Trace(k, "copy-to-host", d);
-    if (!st.resident_gpus.count(d)) continue;   // already freed (defensive)
-    if (st.evicting_gpus.count(d)) continue;    // eviction writes host anyway
-    mem_[d].Pin(k);
-    const Bytes bytes = st.bytes;
-    metrics_.swap_out_bytes[d] += bytes;
-    swapout_[d]->Push({}, [this, d, bytes, k](std::function<void()> done) {
-      flows_.StartFlow(net_.SwapOutPath(d), bytes, [this, d, k, done]() {
-        TensorState& st = table_.Get(k);
-        if (st.exists && !st.on_host) {
-          AddHostBuffer(&st);
-          st.on_host = true;
-          st.gpu_dirty = false;
-        }
-        mem_[d].Unpin(k);
-        if (!st.exists) {
-          // All consumers drained during the copy; finish the deferred free.
-          if (!mem_[d].IsPinned(k) && st.resident_gpus.count(d)) {
-            mem_[d].RemoveResident(k);
-            st.resident_gpus.erase(d);
-          }
-        } else {
-          HostArrived(k);
-        }
-        done();
-      });
-    });
-  }
-  // 5. Moves to host (gradient push, optimizer state write-back). Marked
-  //    `evicting` so concurrent consumers wait for the host copy and fetch it
-  //    back (which is precisely the re-swap the paper's analysis counts).
-  for (const TensorKey& k : s.move_to_host) {
-    TensorState& st = table_.Get(k);
-    if (!st.resident_gpus.count(d)) continue;
-    // An LRU eviction already in flight produces the same host copy; a second
-    // transfer would double-release the residency.
-    if (st.evicting_gpus.count(d)) continue;
-    mem_[d].Pin(k);
-    st.evicting_gpus.insert(d);
-    const Bytes bytes = st.bytes;
-    metrics_.swap_out_bytes[d] += bytes;
-    swapout_[d]->Push({}, [this, d, bytes, k](std::function<void()> done) {
-      flows_.StartFlow(net_.SwapOutPath(d), bytes, [this, d, k, done]() {
-        TensorState& st = table_.Get(k);
-        if (st.exists && !st.on_host) {
-          AddHostBuffer(&st);
-          st.on_host = true;
-          st.gpu_dirty = false;
-        }
-        st.resident_gpus.erase(d);
-        st.evicting_gpus.erase(d);
-        mem_[d].Unpin(k);
-        mem_[d].RemoveResident(k);
-        if (st.exists) HostArrived(k);
-        PumpAllocator(d);
-        done();
-      });
-    });
-  }
-  // 6. Dereference consumed inputs.
-  for (const TensorKey& k : s.derefs) {
-    TensorState& st = table_.Get(k);
-    if (--st.refs_remaining == 0) FreeTensor(k);
-  }
-
-  ++steps_done_[d];
-  OnTaskStepDone(s.task);
-  // Unpins and frees above may unblock queued allocations anywhere.
-  for (int dev = 0; dev < graph_.num_devices; ++dev) PumpAllocator(dev);
-  TryIssue(d);
-}
-
-void Execution::AdvanceCpu(int d) {
-  if (failed_ || cpu_next_[d] >= cpu_steps_[d].size()) return;
-  CpuStep& s = cpu_steps_[d][cpu_next_[d]];
-  auto retry = [this, d]() { AdvanceCpu(d); };
-
-  // Wait for producing (and, without jit, all) backward tasks first; then
-  // re-check that every gradient actually has a final host copy — an early
-  // eviction can put a *partial* gradient on host, so the host check only
-  // counts once the producers are done.
-  for (int task : s.wait_tasks) {
-    if (task_steps_remaining_[task] != 0) {
-      WhenTaskComplete(task, retry);
-      return;
-    }
-  }
-  for (const TensorKey& k : s.host_needs) {
-    TensorState& st = table_.Get(k);
-    if (!(st.exists && st.on_host)) {
-      st.host_waiters.push_back(retry);
-      return;
-    }
-  }
-
-  cpu_[d]->Push({}, [this, d](std::function<void()> done) {
-    engine_.After(cpu_steps_[d][cpu_next_[d]].duration, std::move(done));
-  })->OnFire([this, d]() {
-    CpuStep& step = cpu_steps_[d][cpu_next_[d]];
-    for (const TensorKey& k : step.host_frees) {
-      TensorState& st = table_.Get(k);
-      if (st.on_host) {
-        DropHostBuffer(&st);
-        st.on_host = false;
-      }
-      if (st.resident_gpus.empty()) st.exists = false;
-    }
-    OnTaskStepDone(step.task);
-    ++cpu_next_[d];
-    AdvanceCpu(d);
-  });
-}
-
-Result<RunMetrics> Execution::Run() {
-  const int N = graph_.num_devices;
-  HARMONY_CHECK_LE(N, machine_.num_gpus);
-
-  Precompute();
-
-  // Static host footprint: master weights + optimizer state (+ scheme
-  // overheads like ZeRO staging buffers).
-  Bytes static_host = options_.host_static_overhead;
-  for (const auto& layer : model_.layers) {
-    static_host += layer.spec.param_bytes * (1 + opt_mult_);
-  }
-  host_bytes_ = static_host;
-  peak_host_ = host_bytes_;
-  if (options_.enforce_host_capacity && host_bytes_ > machine_.host_memory) {
-    return Status::OutOfMemory(
-        "host memory exhausted before training: static state " +
-        FormatBytes(host_bytes_) + " exceeds " +
-        FormatBytes(machine_.host_memory));
-  }
-
-  metrics_.swap_in_bytes.assign(N, 0);
-  metrics_.swap_out_bytes.assign(N, 0);
-  metrics_.p2p_bytes.assign(N, 0);
-  metrics_.compute_busy.assign(N, 0);
-  metrics_.peak_device_bytes.assign(N, 0);
-
-  for (int d = 0; d < N; ++d) {
-    Bytes reserved = d < static_cast<int>(graph_.device_reserved_bytes.size())
-                         ? graph_.device_reserved_bytes[d]
-                         : 0;
-    const Bytes capacity = machine_.gpu.usable_memory() - reserved;
-    if (capacity <= 0) {
-      return Status::OutOfMemory("device reservation exceeds GPU capacity");
-    }
-    mem_.emplace_back(capacity);
-    const std::string sd = std::to_string(d);
-    compute_.push_back(std::make_unique<sim::Stream>(&engine_, "compute" + sd));
-    swapin_.push_back(std::make_unique<sim::Stream>(&engine_, "swapin" + sd));
-    swapout_.push_back(std::make_unique<sim::Stream>(&engine_, "swapout" + sd));
-    p2pin_.push_back(std::make_unique<sim::Stream>(&engine_, "p2pin" + sd));
-    cpu_.push_back(std::make_unique<sim::Stream>(&engine_, "cpu" + sd));
-  }
-  alloc_queue_.assign(N, {});
-  evictions_in_flight_.assign(N, 0);
-  issue_next_.assign(N, 0);
-  steps_done_.assign(N, 0);
-  issue_busy_.assign(N, false);
-  cpu_next_.assign(N, 0);
-  issue_window_ = graph_.flags.prefetch ? 2 : 0;
-
-  CompileAll();
-
-  for (int d = 0; d < N; ++d) {
-    TryIssue(d);
-    AdvanceCpu(d);
-  }
-  const TimeSec end = engine_.Run();
-
-  if (failed_) return failure_;
-  for (int d = 0; d < N; ++d) {
-    if (steps_done_[d] != steps_[d].size() ||
-        cpu_next_[d] != cpu_steps_[d].size()) {
-      for (int dev = 0; dev < N; ++dev) {
-        if (!alloc_queue_[dev].empty()) {
-          // Stalled with allocations outstanding: the working set cannot fit
-          // even with everything evictable gone.
-          return Status::OutOfMemory(
-              "device " + std::to_string(dev) +
-              " wedged on allocation: working set exceeds GPU capacity");
-        }
-      }
-      return Status::Internal(
-          "device " + std::to_string(d) + " stalled: executed " +
-          std::to_string(steps_done_[d]) + "/" +
-          std::to_string(steps_[d].size()) + " steps (schedule deadlock)");
-    }
-    metrics_.compute_busy[d] = compute_[d]->busy_time();
-  }
-  if (options_.enforce_host_capacity && peak_host_ > machine_.host_memory) {
-    return Status::OutOfMemory("host memory exhausted during training: peak " +
-                               FormatBytes(peak_host_) + " exceeds " +
-                               FormatBytes(machine_.host_memory));
-  }
-  metrics_.iteration_time = end;
-  metrics_.peak_host_bytes = peak_host_;
-  return metrics_;
-}
-
-}  // namespace
 
 Runtime::Runtime(hw::MachineSpec machine, const model::SequentialModel& model)
     : machine_(std::move(machine)), model_(model) {}
 
 Result<RunMetrics> Runtime::Execute(const core::TaskGraph& graph,
                                     const RuntimeOptions& options) const {
-  Execution exec(machine_, model_, graph, options);
-  return exec.Run();
+  // The execution pipeline: compile the task graph to a step program, then
+  // drive it on the simulator with every observation routed over the trace
+  // bus. MetricsSink is always attached — RunMetrics is folded from its
+  // events rather than counted ad hoc.
+  trace::TraceBus bus;
+  trace::MetricsSink metrics(graph.num_devices);
+  bus.AddSink(&metrics);
+  std::unique_ptr<trace::FilterSink> filter;
+  if (const char* f = trace::FilterSink::EnvFilter()) {
+    filter = std::make_unique<trace::FilterSink>(f);
+    bus.AddSink(filter.get());
+  }
+  for (trace::TraceSink* sink : options.trace_sinks) {
+    if (sink != nullptr) bus.AddSink(sink);
+  }
+
+  StepCompiler compiler(machine_, model_, graph, options.optimizer);
+  Executor executor(machine_, graph, options, compiler.Compile(), &bus,
+                    &metrics);
+  return executor.Run();
 }
 
 }  // namespace harmony::runtime

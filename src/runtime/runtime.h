@@ -10,6 +10,10 @@
 #include "model/layer.h"
 #include "model/memory.h"
 
+namespace harmony::trace {
+class TraceSink;
+}  // namespace harmony::trace
+
 namespace harmony::runtime {
 
 /// Measurements from executing one training iteration.
@@ -55,6 +59,10 @@ struct RuntimeOptions {
   /// memory (Fig 15's 40B-parameter wall). Checked before execution from the
   /// static state and during execution from the dynamic peak.
   bool enforce_host_capacity = true;
+  /// Extra observers attached to the execution's trace bus (borrowed, e.g. a
+  /// ChromeTraceSink); MetricsSink and the HARMONY_RUNTIME_TRACE filter are
+  /// always attached. Null entries are ignored.
+  std::vector<trace::TraceSink*> trace_sinks;
 };
 
 /// Harmony's Runtime (Sec 4.4), generalized to execute *any* TaskGraph (the

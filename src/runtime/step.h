@@ -1,0 +1,79 @@
+#ifndef HARMONY_RUNTIME_STEP_H_
+#define HARMONY_RUNTIME_STEP_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "runtime/tensor.h"
+
+namespace harmony::runtime {
+
+/// One tensor a step must have resident before its compute launches.
+struct NeedSpec {
+  TensorKey key;
+  Bytes bytes = 0;
+  /// Fetch strictly from the host copy (checkpoint reads use the message-
+  /// passing channel, Sec 4.4); never moves a peer GPU's copy.
+  bool from_host = false;
+};
+
+/// One tensor a step allocates and writes.
+struct ProduceSpec {
+  TensorKey key;
+  Bytes bytes = 0;
+};
+
+/// One layer-granularity unit of GPU work, compiled from a Task. The
+/// executor issues a step's fetches/allocations, runs its compute on the
+/// compute stream, then applies the post actions.
+struct Step {
+  int task = -1;
+  TimeSec compute = 0;
+  std::vector<NeedSpec> needs;
+  std::vector<ProduceSpec> produces;
+  std::vector<TensorKey> derefs;        // consumed inputs (refcount--)
+  std::vector<TensorKey> copy_to_host;  // checkpoint / master write-back
+  std::vector<TensorKey> move_to_host;  // gradient push, optimizer state
+  std::vector<TensorKey> mark_dirty;
+};
+
+/// CPU-offloaded work (weight updates).
+struct CpuStep {
+  int task = -1;
+  TimeSec duration = 0;
+  std::vector<TensorKey> host_needs;  // wait until a valid host copy exists
+  std::vector<int> wait_tasks;        // task-completion dependencies
+  std::vector<TensorKey> host_frees;  // consumed host copies (gradients)
+};
+
+/// The compiled form of a TaskGraph: per-device GPU step sequences, per-
+/// process CPU step sequences, and the consumer reference counts that drive
+/// tensor lifetime. Pure data — executable by the simulator-backed Executor,
+/// and inspectable by tests without any simulation at all.
+struct StepProgram {
+  std::vector<std::vector<Step>> steps;         // per device, in issue order
+  std::vector<std::vector<CpuStep>> cpu_steps;  // per process, in order
+  std::map<TensorKey, int> ref_counts;          // consumers per data tensor
+  std::vector<int> task_step_counts;            // steps per task (GPU + CPU)
+  /// Master weights + optimizer state permanently resident on host.
+  Bytes static_host_bytes = 0;
+
+  int64_t num_steps() const {
+    int64_t n = 0;
+    for (const auto& dev : steps) n += static_cast<int64_t>(dev.size());
+    for (const auto& proc : cpu_steps) n += static_cast<int64_t>(proc.size());
+    return n;
+  }
+};
+
+/// Stable one-line renderings for golden tests and deadlock diagnostics.
+/// Compute/duration times are intentionally omitted: goldens pin the
+/// *structure* (keys, bytes, ordering), not the cost model.
+std::string DebugString(const Step& step);
+std::string DebugString(const CpuStep& step);
+
+}  // namespace harmony::runtime
+
+#endif  // HARMONY_RUNTIME_STEP_H_

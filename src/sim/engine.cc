@@ -39,21 +39,19 @@ void WhenAll(const std::vector<Condition*>& deps, std::function<void()> done) {
     int remaining;
     std::function<void()> done;
   };
-  auto* barrier = new Barrier{1, std::move(done)};
+  // Shared ownership, not self-deletion: if a dependency never fires (a
+  // wedged schedule drains the engine with waiters still registered), the
+  // barrier is released when the conditions holding its waiters are
+  // destroyed, instead of leaking.
+  auto barrier = std::make_shared<Barrier>(Barrier{1, std::move(done)});
   for (Condition* c : deps) {
     if (c == nullptr || c->fired()) continue;
     ++barrier->remaining;
     c->OnFire([barrier]() {
-      if (--barrier->remaining == 0) {
-        barrier->done();
-        delete barrier;
-      }
+      if (--barrier->remaining == 0) barrier->done();
     });
   }
-  if (--barrier->remaining == 0) {
-    barrier->done();
-    delete barrier;
-  }
+  if (--barrier->remaining == 0) barrier->done();
 }
 
 }  // namespace harmony::sim

@@ -16,6 +16,23 @@ int64_t FlowNetwork::StartFlow(const std::vector<int>& path, Bytes bytes,
                                std::function<void()> done) {
   HARMONY_CHECK_GE(bytes, 0);
   const int64_t id = next_flow_id_++;
+  if (bus_ != nullptr && bus_->active()) {
+    trace::Event e;
+    e.kind = trace::EventKind::kFlowBegin;
+    e.lane = trace::Lane::kNet;
+    e.time = engine_->now();
+    e.bytes = bytes;
+    bus_->Emit(e);
+    done = [this, bytes, done = std::move(done)]() {
+      trace::Event end;
+      end.kind = trace::EventKind::kFlowEnd;
+      end.lane = trace::Lane::kNet;
+      end.time = engine_->now();
+      end.bytes = bytes;
+      bus_->Emit(end);
+      done();
+    };
+  }
   if (bytes == 0 || path.empty()) {
     // Completes "immediately" but asynchronously, preserving callback order.
     engine_->After(0.0, std::move(done));

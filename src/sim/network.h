@@ -9,6 +9,7 @@
 #include "common/units.h"
 #include "hw/machine.h"
 #include "sim/engine.h"
+#include "trace/trace.h"
 
 namespace harmony::sim {
 
@@ -26,6 +27,9 @@ class FlowNetwork {
   /// Returns a flow id (diagnostics only).
   int64_t StartFlow(const std::vector<int>& path, Bytes bytes,
                     std::function<void()> done);
+
+  /// Emits kFlowBegin/kFlowEnd instants for every flow to `bus`.
+  void BindTrace(trace::TraceBus* bus) { bus_ = bus; }
 
   /// Total bytes moved over a link since construction.
   double link_bytes(int link) const { return link_bytes_.at(link); }
@@ -47,6 +51,7 @@ class FlowNetwork {
   void ScheduleNextCompletion();
 
   Engine* engine_;
+  trace::TraceBus* bus_ = nullptr;
   std::vector<BytesPerSec> capacities_;
   std::vector<double> link_bytes_;
   std::map<int64_t, Flow> flows_;

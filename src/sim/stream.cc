@@ -1,18 +1,51 @@
 #include "sim/stream.h"
 
+#include <utility>
+
 namespace harmony::sim {
 
 Stream::Stream(Engine* engine, std::string name)
     : engine_(engine), name_(std::move(name)) {}
 
+void Stream::BindTrace(trace::TraceBus* bus, int device, trace::Lane lane) {
+  bus_ = bus;
+  trace_device_ = device;
+  trace_lane_ = lane;
+}
+
 Condition* Stream::Push(std::vector<Condition*> deps, Body body) {
+  return Push(std::move(deps), std::string(), -1, std::move(body));
+}
+
+Condition* Stream::Push(std::vector<Condition*> deps, std::string label,
+                        int task, Body body) {
   conditions_.push_back(std::make_unique<Condition>());
   Condition* done = conditions_.back().get();
   deps.push_back(last_done_);  // in-order with the previous op (null for first)
   last_done_ = done;
-  WhenAll(deps, [this, done, body = std::move(body)]() {
+  WhenAll(deps, [this, done, label = std::move(label), task,
+                 body = std::move(body)]() {
     const TimeSec start = engine_->now();
-    body([this, done, start]() {
+    if (bus_ != nullptr && bus_->active()) {
+      trace::Event e;
+      e.kind = trace::EventKind::kOpBegin;
+      e.lane = trace_lane_;
+      e.device = trace_device_;
+      e.time = start;
+      e.task = task;
+      e.name = label;  // empty unless the pusher saw detailed()
+      bus_->Emit(e);
+    }
+    body([this, done, start, task]() {
+      if (bus_ != nullptr && bus_->active()) {
+        trace::Event e;
+        e.kind = trace::EventKind::kOpEnd;
+        e.lane = trace_lane_;
+        e.device = trace_device_;
+        e.time = engine_->now();
+        e.task = task;
+        bus_->Emit(e);
+      }
       busy_time_ += engine_->now() - start;
       ++ops_completed_;
       done->Fire();

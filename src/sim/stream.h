@@ -9,6 +9,7 @@
 
 #include "common/units.h"
 #include "sim/engine.h"
+#include "trace/trace.h"
 
 namespace harmony::sim {
 
@@ -33,8 +34,18 @@ class Stream {
   /// returned pointer stays valid for the stream's lifetime.
   Condition* Push(std::vector<Condition*> deps, Body body);
 
+  /// Same, with a trace label and task id attached to the span events. Build
+  /// the label only when the bound bus reports detailed() — it is dead weight
+  /// otherwise.
+  Condition* Push(std::vector<Condition*> deps, std::string label, int task,
+                  Body body);
+
   /// Convenience: an op that just occupies the stream for `duration`.
   Condition* PushDelay(std::vector<Condition*> deps, TimeSec duration);
+
+  /// Routes this stream's op begin/end span events to `bus`, attributed to
+  /// `device` on `lane` (one chrome-trace row per device x lane).
+  void BindTrace(trace::TraceBus* bus, int device, trace::Lane lane);
 
   /// Total time the stream spent executing op bodies.
   TimeSec busy_time() const { return busy_time_; }
@@ -44,6 +55,9 @@ class Stream {
  private:
   Engine* engine_;
   std::string name_;
+  trace::TraceBus* bus_ = nullptr;
+  int trace_device_ = -1;
+  trace::Lane trace_lane_ = trace::Lane::kCompute;
   Condition* last_done_ = nullptr;
   std::deque<std::unique_ptr<Condition>> conditions_;
   TimeSec busy_time_ = 0.0;

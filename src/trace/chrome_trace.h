@@ -1,0 +1,38 @@
+#ifndef HARMONY_TRACE_CHROME_TRACE_H_
+#define HARMONY_TRACE_CHROME_TRACE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "trace/trace.h"
+
+namespace harmony::trace {
+
+/// Records every event and renders chrome://tracing (Perfetto-compatible)
+/// "Trace Event Format" JSON: one process per device, one thread row per
+/// stream lane, duration slices for stream ops, instants for evictions /
+/// clean drops / allocation stalls / network flows, and counter tracks for
+/// host and device memory. Load the file via chrome://tracing or
+/// https://ui.perfetto.dev.
+class ChromeTraceSink : public TraceSink {
+ public:
+  void OnEvent(const Event& event) override { events_.push_back(event); }
+  bool WantsDetail() const override { return true; }
+
+  int64_t num_events() const { return static_cast<int64_t>(events_.size()); }
+
+  /// Renders the accumulated events as a JSON object {"traceEvents": [...]}.
+  void WriteJson(std::ostream& os) const;
+
+  /// Convenience: writes the JSON to `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace harmony::trace
+
+#endif  // HARMONY_TRACE_CHROME_TRACE_H_

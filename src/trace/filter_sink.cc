@@ -1,0 +1,19 @@
+#include "trace/filter_sink.h"
+
+#include <cstdlib>
+
+namespace harmony::trace {
+
+const char* FilterSink::EnvFilter() {
+  static const char* filter = std::getenv("HARMONY_RUNTIME_TRACE");
+  return filter;
+}
+
+void FilterSink::OnEvent(const Event& e) {
+  if (e.kind != EventKind::kTensor || e.name != filter_) return;
+  ++matches_;
+  std::fprintf(out_, "[runtime-trace] %s %s d%d\n", e.name.c_str(), e.detail,
+               e.device);
+}
+
+}  // namespace harmony::trace

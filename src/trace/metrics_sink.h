@@ -1,0 +1,45 @@
+#ifndef HARMONY_TRACE_METRICS_SINK_H_
+#define HARMONY_TRACE_METRICS_SINK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace harmony::trace {
+
+/// Folds the event stream into the byte/time accounting that backs
+/// runtime::RunMetrics — the single source of truth for swap volume (Fig 10),
+/// compute busy time, eviction counts, and memory high-water marks. The
+/// executor no longer keeps any counters of its own; it reads them from here
+/// after the simulation drains.
+class MetricsSink : public TraceSink {
+ public:
+  explicit MetricsSink(int num_devices);
+
+  void OnEvent(const Event& event) override;
+
+  const std::vector<Bytes>& swap_in_bytes() const { return swap_in_; }
+  const std::vector<Bytes>& swap_out_bytes() const { return swap_out_; }
+  const std::vector<Bytes>& p2p_bytes() const { return p2p_; }
+  const std::vector<TimeSec>& compute_busy() const { return busy_; }
+  const std::vector<Bytes>& peak_device_bytes() const { return peak_device_; }
+  Bytes peak_host_bytes() const { return peak_host_; }
+  int64_t evictions() const { return evictions_; }
+  int64_t clean_drops() const { return clean_drops_; }
+  int64_t alloc_stalls() const { return alloc_stalls_; }
+
+ private:
+  std::vector<Bytes> swap_in_, swap_out_, p2p_;
+  std::vector<TimeSec> busy_;
+  std::vector<TimeSec> open_;  // begin time of the in-flight compute op
+  std::vector<Bytes> peak_device_;
+  Bytes peak_host_ = 0;
+  int64_t evictions_ = 0;
+  int64_t clean_drops_ = 0;
+  int64_t alloc_stalls_ = 0;
+};
+
+}  // namespace harmony::trace
+
+#endif  // HARMONY_TRACE_METRICS_SINK_H_

@@ -1,0 +1,44 @@
+#include "trace/trace.h"
+
+namespace harmony::trace {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kOpBegin: return "op-begin";
+    case EventKind::kOpEnd: return "op-end";
+    case EventKind::kSwapInIssued: return "swap-in";
+    case EventKind::kSwapOutIssued: return "swap-out";
+    case EventKind::kP2pIssued: return "p2p";
+    case EventKind::kEvict: return "evict";
+    case EventKind::kCleanDrop: return "clean-drop";
+    case EventKind::kAllocStall: return "alloc-stall";
+    case EventKind::kFlowBegin: return "flow-begin";
+    case EventKind::kFlowEnd: return "flow-end";
+    case EventKind::kTensor: return "tensor";
+    case EventKind::kHostBytes: return "host-bytes";
+    case EventKind::kDeviceBytes: return "device-bytes";
+  }
+  return "?";
+}
+
+const char* LaneName(Lane lane) {
+  switch (lane) {
+    case Lane::kCompute: return "compute";
+    case Lane::kSwapIn: return "swapin";
+    case Lane::kSwapOut: return "swapout";
+    case Lane::kP2pIn: return "p2pin";
+    case Lane::kCpu: return "cpu";
+    case Lane::kHost: return "host";
+    case Lane::kNet: return "net";
+    case Lane::kAlloc: return "alloc";
+  }
+  return "?";
+}
+
+void TraceBus::AddSink(TraceSink* sink) {
+  sinks_.push_back(sink);
+  detailed_ = detailed_ || sink->WantsDetail();
+  tensor_events_ = tensor_events_ || sink->WantsTensorEvents();
+}
+
+}  // namespace harmony::trace

@@ -1,0 +1,113 @@
+#ifndef HARMONY_TRACE_TRACE_H_
+#define HARMONY_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace harmony::trace {
+
+/// Event taxonomy of the execution pipeline. Everything the paper measures
+/// (swap volume Fig 10, idle time, estimator-vs-runtime error Fig 14) derives
+/// from these events; RunMetrics is folded from them by MetricsSink.
+enum class EventKind : uint8_t {
+  // Span events: a stream op occupying a device x lane row. Emitted by
+  // sim::Stream (runtime) and by the estimator's lane scheduler, so predicted
+  // and simulated timelines can be diffed event-by-event.
+  kOpBegin,
+  kOpEnd,
+
+  // Byte-accounting instants, emitted where the transfer is committed.
+  kSwapInIssued,   // host -> device, `bytes` on `device`
+  kSwapOutIssued,  // device -> host, `bytes` from `device`
+  kP2pIssued,      // peer -> peer, `bytes` attributed to the receiving device
+
+  // Memory-manager instants.
+  kEvict,       // an eviction transfer completed (bytes moved to host)
+  kCleanDrop,   // eviction satisfied by dropping a host-backed copy, no bytes
+  kAllocStall,  // allocator blocked; `bytes` = unmet deficit on `device`
+
+  // Network-level instants from sim::FlowNetwork.
+  kFlowBegin,
+  kFlowEnd,
+
+  // Tensor state-machine transition (`name` = tensor key, `detail` = the
+  // transition). Only emitted when a sink opted in via WantsTensorEvents().
+  kTensor,
+
+  // Counter samples (`bytes` = current total).
+  kHostBytes,    // host buffer footprint
+  kDeviceBytes,  // device memory in use on `device`
+};
+
+const char* EventKindName(EventKind kind);
+
+/// The per-device rows of the pipeline: one per CUDA-like stream plus the
+/// process-level CPU lane and bookkeeping lanes.
+enum class Lane : uint8_t {
+  kCompute,
+  kSwapIn,
+  kSwapOut,
+  kP2pIn,
+  kCpu,
+  kHost,
+  kNet,
+  kAlloc,
+};
+
+const char* LaneName(Lane lane);
+
+/// One typed trace event. `name` is only populated when some sink asked for
+/// detail (TraceBus::detailed()), keeping the common path allocation-free.
+struct Event {
+  EventKind kind = EventKind::kOpBegin;
+  Lane lane = Lane::kCompute;
+  int device = -1;  // GPU index (or process index on the kCpu lane); -1 global
+  TimeSec time = 0;
+  Bytes bytes = 0;
+  int task = -1;        // task id, when the emitter knows it
+  const char* detail = "";  // static transition / annotation string
+  std::string name;     // tensor key or op label (detailed mode only)
+};
+
+/// Receives every event emitted on a bus. Implementations must not mutate
+/// simulation state; they observe.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnEvent(const Event& event) = 0;
+
+  /// True if this sink needs `Event::name` populated (string building on the
+  /// hot path is skipped when no sink wants it).
+  virtual bool WantsDetail() const { return false; }
+
+  /// True if this sink wants per-tensor state-machine transitions (kTensor),
+  /// which are far more frequent than the transfer/step events.
+  virtual bool WantsTensorEvents() const { return false; }
+};
+
+/// Fan-out of events to registered sinks. Sinks are borrowed, not owned; the
+/// bus must not outlive them. Single-threaded, like the simulation it traces.
+class TraceBus {
+ public:
+  void AddSink(TraceSink* sink);
+
+  bool active() const { return !sinks_.empty(); }
+  bool detailed() const { return detailed_; }
+  bool tensor_events() const { return tensor_events_; }
+
+  void Emit(const Event& event) {
+    for (TraceSink* sink : sinks_) sink->OnEvent(event);
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+  bool detailed_ = false;
+  bool tensor_events_ = false;
+};
+
+}  // namespace harmony::trace
+
+#endif  // HARMONY_TRACE_TRACE_H_
