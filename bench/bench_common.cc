@@ -1,5 +1,7 @@
 #include "bench/bench_common.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -208,6 +210,31 @@ std::string JsonObject::ToString() const {
   }
   out += "}";
   return out;
+}
+
+double Median(std::vector<double> samples) {
+  HARMONY_CHECK(!samples.empty());
+  std::sort(samples.begin(), samples.end());
+  const size_t n = samples.size();
+  return n % 2 == 1 ? samples[n / 2]
+                    : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+}
+
+double MedianSecondsPerOp(int reps, int iters,
+                          const std::function<void()>& fn) {
+  HARMONY_CHECK_GT(reps, 0);
+  HARMONY_CHECK_GT(iters, 0);
+  fn();  // warm-up (model/profile statics, allocator, branch predictors)
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    samples.push_back(dt.count() / iters);
+  }
+  return Median(std::move(samples));
 }
 
 bool JsonFlag(int argc, char** argv) {

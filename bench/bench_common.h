@@ -1,6 +1,7 @@
 #ifndef HARMONY_BENCH_BENCH_COMMON_H_
 #define HARMONY_BENCH_BENCH_COMMON_H_
 
+#include <functional>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -92,6 +93,18 @@ class JsonObject {
 /// True when argv contains `--json` — the standard bench flag selecting
 /// machine-readable output alongside the human tables.
 bool JsonFlag(int argc, char** argv);
+
+/// Standard measurement for `BENCH_*.json` baselines: one untimed warm-up
+/// call, then `reps` timed repetitions of `iters` back-to-back iterations
+/// each, reporting the *median* seconds-per-op across repetitions. The median
+/// rejects one-off scheduler/allocator hiccups that a single timed run (the
+/// previous scheme) folded straight into the checked-in baseline.
+double MedianSecondsPerOp(int reps, int iters,
+                          const std::function<void()>& fn);
+
+/// Median of `samples` (averages the two middle elements for even sizes).
+/// Exposed for benches that collect their own wall-time samples.
+double Median(std::vector<double> samples);
 
 /// Writes `records` to `path` as a pretty-printed JSON array (one object per
 /// line). Returns false (with a message on stderr) if the file can't be

@@ -19,6 +19,8 @@
 #include "core/packing.h"
 #include "core/search.h"
 #include "runtime/runtime.h"
+#include "sim/engine.h"
+#include "sim/network.h"
 
 namespace harmony::bench {
 namespace {
@@ -135,28 +137,76 @@ void BM_RuntimeExecution_Gpt2(benchmark::State& state) {
 }
 BENCHMARK(BM_RuntimeExecution_Gpt2)->Arg(16)->Unit(benchmark::kMillisecond);
 
-// --- machine-readable baseline mode (`--json`) -----------------------------
+/// Flow-heavy contention workload: the commodity 8-GPU PCIe tree carrying a
+/// steady population of ~40 concurrent flows — per-GPU swap-in + swap-out
+/// streams behind 4:1-oversubscribed switch uplinks plus same-switch and
+/// cross-switch p2p pairs — where every completion immediately launches a
+/// replacement flow. Each of the ~2.4k starts/completions triggers a full
+/// max-min recompute over the whole population, which is exactly
+/// FlowNetwork's hot path during a swap-saturated Harmony iteration.
+void FlowContentionOnce() {
+  sim::Engine e;
+  const hw::MachineSpec m = hw::MachineSpec::Commodity8Gpu();
+  const sim::Interconnect net(m);
+  sim::FlowNetwork flows(&e, net.capacities());
 
-double SecondsPerOp(int iters, const std::function<void()>& fn) {
-  const auto t0 = std::chrono::steady_clock::now();
-  for (int i = 0; i < iters; ++i) fn();
-  const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
-  return dt.count() / iters;
+  constexpr int kTotalFlows = 2400;
+  int launched = 0;
+  int drained = 0;
+  // Deterministic byte sizes staggered so completions interleave instead of
+  // draining in lock-step waves.
+  const auto bytes_for = [](int i) { return MiB(24 + 8 * (i % 7)); };
+
+  std::function<void(int)> launch = [&](int slot) {
+    if (launched >= kTotalFlows) return;
+    const int i = launched++;
+    std::vector<int> path;
+    switch (slot % 5) {
+      case 0: path = net.SwapInPath(i % m.num_gpus); break;
+      case 1: path = net.SwapOutPath((i + 3) % m.num_gpus); break;
+      case 2: path = net.SwapInPath((i + 5) % m.num_gpus); break;
+      case 3:  // same-switch p2p
+        path = net.P2pPath(i % 4, (i + 1) % 4);
+        break;
+      default:  // cross-switch p2p
+        path = net.P2pPath(i % 4, 4 + (i + 1) % 4);
+        break;
+    }
+    flows.StartFlow(path, bytes_for(i), [&, slot] {
+      ++drained;
+      launch(slot);
+    });
+  };
+  constexpr int kConcurrent = 40;
+  for (int s = 0; s < kConcurrent; ++s) launch(s);
+  e.Run();
+  HARMONY_CHECK_EQ(drained, kTotalFlows);
+  benchmark::DoNotOptimize(drained);
 }
+
+void BM_FlowContention_8Gpu(benchmark::State& state) {
+  for (auto _ : state) FlowContentionOnce();
+}
+BENCHMARK(BM_FlowContention_8Gpu)->Unit(benchmark::kMillisecond);
+
+// --- machine-readable baseline mode (`--json`) -----------------------------
 
 int RunJsonMode() {
   const auto& pm = Gpt2Model();
   const hw::MachineSpec machine = hw::MachineSpec::Commodity4Gpu();
+  constexpr int kReps = 5;
   std::vector<JsonObject> records;
   auto record = [&records](const char* name, int iters,
                            const std::function<void()>& fn) {
-    fn();  // warm-up (model/profile statics, allocator)
-    const double sec = SecondsPerOp(iters, fn);
+    const double sec = MedianSecondsPerOp(kReps, iters, fn);
     JsonObject o;
-    o.Set("benchmark", name).Set("iterations", iters).Set("seconds_per_op", sec);
+    o.Set("benchmark", name)
+        .Set("iterations", iters)
+        .Set("reps", kReps)
+        .Set("seconds_per_op", sec);
     records.push_back(o);
-    std::cout << name << ": " << FormatTime(sec) << "/op (" << iters
-              << " iters)\n";
+    std::cout << name << ": " << FormatTime(sec) << "/op (median of " << kReps
+              << " reps x " << iters << " iters)\n";
   };
 
   record("balanced_time_packing_gpt2_u4", 20, [&]() {
@@ -193,6 +243,7 @@ int RunJsonMode() {
       benchmark::DoNotOptimize(m);
     });
   }
+  record("flow_contention_8gpu_40flows", 3, FlowContentionOnce);
 
   return WriteJsonFile("BENCH_runtime.json", records) ? 0 : 1;
 }

@@ -28,6 +28,10 @@ int Run(int argc, char** argv) {
   std::cout << "Host hardware concurrency: " << cores << "\n\n";
 
   const std::vector<int> thread_counts = {1, 2, 4, 8};
+  // Each (model, threads) point is searched kReps times and reported as the
+  // median wall time: single runs jitter by tens of percent under scheduler
+  // noise, which would swamp the scaling signal the baseline pins.
+  constexpr int kReps = 5;
   std::vector<JsonObject> records;
   bool parity_ok = true;
   bool no_regression = true;
@@ -37,22 +41,33 @@ int Run(int argc, char** argv) {
   for (const std::string name : {"BERT96", "GPT2", "VGG416", "ResNet1K"}) {
     const PreparedModel pm = Prepare(name, machine);
     core::SearchResult serial;
+    double serial_wall = 0.0;
     for (int threads : thread_counts) {
       core::SearchOptions opts;
       opts.u_fwd_max = 32;
       opts.u_bwd_max = 32;
       opts.num_threads = threads;
-      const auto result = core::SearchConfiguration(
-          pm.profiles, machine, core::HarmonyMode::kPipelineParallel, 64,
-          core::OptimizationFlags{}, opts);
+      auto search = [&]() {
+        return core::SearchConfiguration(
+            pm.profiles, machine, core::HarmonyMode::kPipelineParallel, 64,
+            core::OptimizationFlags{}, opts);
+      };
+      auto result = search();
       if (!result.ok()) {
         t.AddRow({name, Table::Cell(threads), "-", "-", "-",
                   result.status().ToString()});
         continue;
       }
+      std::vector<double> walls = {result.value().search_wall_seconds};
+      for (int rep = 1; rep < kReps; ++rep) {
+        const auto again = search();
+        if (again.ok()) walls.push_back(again.value().search_wall_seconds);
+      }
+      const double wall = Median(std::move(walls));
       const auto& r = result.value();
       if (threads == thread_counts.front()) {
         serial = r;
+        serial_wall = wall;
       } else {
         // Determinism guarantee: identical winner at every thread count.
         const bool same =
@@ -70,22 +85,20 @@ int Run(int argc, char** argv) {
                     << " threads diverged from the serial search\n";
         }
       }
-      const double speedup =
-          serial.search_wall_seconds > 0
-              ? serial.search_wall_seconds / r.search_wall_seconds
-              : 1.0;
+      const double speedup = serial_wall > 0 ? serial_wall / wall : 1.0;
       // With more workers than cores the pool only adds scheduling overhead;
       // "no regression" = within 25% of the serial wall time.
       if (threads > 1 && speedup < 0.75) no_regression = false;
       t.AddRow({name, Table::Cell(threads), Table::Cell(r.configs_explored),
-                Table::Cell(r.search_wall_seconds, 4), Table::Cell(speedup),
+                Table::Cell(wall, 4), Table::Cell(speedup),
                 Table::Cell(r.best_estimate.iteration_time, 4)});
       records.push_back(
           JsonObject()
               .Set("model", name)
               .Set("threads", threads)
+              .Set("reps", kReps)
               .Set("configs_explored", r.configs_explored)
-              .Set("search_wall_seconds", r.search_wall_seconds)
+              .Set("search_wall_seconds", wall)
               .Set("best_iteration_time", r.best_estimate.iteration_time));
     }
   }

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Compare a freshly measured BENCH_*.json against the checked-in baseline.
+
+The repo pins machine-readable perf baselines (BENCH_runtime.json,
+BENCH_search.json) recorded by `bench_micro_scheduler --json` and
+`bench_search_scaling --json`. This script fails (exit 1) when any metric in
+the current measurement regresses more than --tolerance (default 25%) past
+its baseline, and reports improvements so stale baselines get re-recorded.
+
+Record formats handled:
+  runtime style: {"benchmark": name, "seconds_per_op": s, ...}
+  search style:  {"model": m, "threads": t, "search_wall_seconds": s, ...}
+
+Usage:
+  check_bench.py --baseline BENCH_runtime.json --current build/BENCH_runtime.json
+  check_bench.py --baseline B --current C --tolerance 0.25 -- <cmd to produce C>
+
+When a `--` command is given it is executed first (from the directory of
+--current, so benches that write to their CWD land in the right place).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def load_records(path):
+    with open(path) as f:
+        records = json.load(f)
+    table = {}
+    for rec in records:
+        if "benchmark" in rec:
+            key = rec["benchmark"]
+            value = rec["seconds_per_op"]
+        elif "model" in rec and "threads" in rec:
+            key = "%s@%dT" % (rec["model"], rec["threads"])
+            value = rec["search_wall_seconds"]
+        else:
+            raise ValueError("%s: unrecognized record %r" % (path, rec))
+        table[key] = value
+    return table
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in BENCH_*.json")
+    parser.add_argument("--current", required=True,
+                        help="freshly measured BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional slowdown (default 0.25)")
+    parser.add_argument("command", nargs="*",
+                        help="command run first to produce --current")
+    args = parser.parse_args()
+
+    if args.command:
+        workdir = os.path.dirname(os.path.abspath(args.current)) or "."
+        print("running:", " ".join(args.command), "(in %s)" % workdir)
+        proc = subprocess.run(args.command, cwd=workdir)
+        if proc.returncode != 0:
+            print("FAIL: benchmark command exited %d" % proc.returncode)
+            return 1
+
+    baseline = load_records(args.baseline)
+    current = load_records(args.current)
+
+    failures = []
+    improvements = []
+    for key, base in sorted(baseline.items()):
+        if key not in current:
+            failures.append("%s: missing from current measurement" % key)
+            continue
+        now = current[key]
+        ratio = now / base if base > 0 else float("inf")
+        line = "%-45s base %.6g  now %.6g  (%.2fx)" % (key, base, now, ratio)
+        if ratio > 1.0 + args.tolerance:
+            failures.append(line + "  REGRESSION")
+        else:
+            print("ok   " + line)
+            if ratio < 1.0 - args.tolerance:
+                improvements.append(key)
+    for key in sorted(set(current) - set(baseline)):
+        print("new  %-45s now %.6g  (no baseline)" % (key, current[key]))
+
+    if improvements:
+        print("\n%d metric(s) improved past tolerance — consider re-recording "
+              "the baseline: %s" % (len(improvements), ", ".join(improvements)))
+    if failures:
+        print("\nFAIL: %d metric(s) regressed beyond %.0f%% tolerance:"
+              % (len(failures), args.tolerance * 100))
+        for f in failures:
+            print("  " + f)
+        return 1
+    print("\nPASS: %d metric(s) within %.0f%% of baseline"
+          % (len(baseline), args.tolerance * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

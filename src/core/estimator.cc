@@ -17,14 +17,49 @@ struct Unit {
   TimeSec end = -1.0;
 };
 
+/// Clears the first-level entries while keeping every inner vector's
+/// capacity. Entries past `n` are cleared too (a smaller graph after a
+/// larger one must not see stale data); callers only index [0, n).
+template <typename T>
+void ResetNested(std::vector<std::vector<T>>& v, size_t n) {
+  for (auto& inner : v) inner.clear();
+  if (v.size() < n) v.resize(n);
+}
+
 }  // namespace
+
+struct EstimatorScratch::Impl {
+  std::vector<std::vector<Unit>> lanes;
+  std::vector<std::vector<std::pair<int, int>>> locate;
+  std::vector<int> lane_base;
+  std::vector<std::vector<int>> grad_units;
+  std::vector<std::vector<int>> rigid_units;
+  std::vector<std::vector<std::pair<int, int>>> stream_units;
+  std::vector<int> dep_count;
+  std::vector<std::vector<int>> dependents;
+  std::vector<int> ready;
+};
+
+EstimatorScratch::EstimatorScratch() : impl_(std::make_unique<Impl>()) {}
+EstimatorScratch::~EstimatorScratch() = default;
+EstimatorScratch::EstimatorScratch(EstimatorScratch&&) noexcept = default;
+EstimatorScratch& EstimatorScratch::operator=(EstimatorScratch&&) noexcept =
+    default;
 
 RuntimeEstimator::RuntimeEstimator(const profile::ProfileDb& profiles,
                                    const hw::MachineSpec& machine)
     : profiles_(profiles), machine_(machine) {}
 
 Estimate RuntimeEstimator::EstimateIteration(const TaskGraph& graph,
-                                             trace::TraceBus* trace) const {
+                                             trace::TraceBus* trace,
+                                             EstimatorScratch* scratch) const {
+  std::unique_ptr<EstimatorScratch> transient;
+  if (scratch == nullptr) {
+    transient = std::make_unique<EstimatorScratch>();
+    scratch = transient.get();
+  }
+  EstimatorScratch::Impl& sc = *scratch->impl_;
+
   const DepResolver deps(graph);
   const int N = graph.num_devices;
   // Effective per-GPU swap bandwidth: the host link is shared by all GPUs
@@ -44,9 +79,11 @@ Estimate RuntimeEstimator::EstimateIteration(const TaskGraph& graph,
   };
 
   // Build sequential unit lists: per GPU compute lane + per process CPU lane.
-  std::vector<std::vector<Unit>> lanes(2 * N);
+  auto& lanes = sc.lanes;
+  ResetNested(lanes, 2 * N);
   // (task, piece) -> (lane, unit index) for dependency lookups.
-  std::vector<std::vector<std::pair<int, int>>> locate(graph.num_tasks());
+  auto& locate = sc.locate;
+  ResetNested(locate, graph.num_tasks());
   for (int d = 0; d < N; ++d) {
     for (int id : graph.device_order[d]) {
       const Task& t = graph.task(id);
@@ -70,7 +107,8 @@ Estimate RuntimeEstimator::EstimateIteration(const TaskGraph& graph,
   }
 
   // Flat unit ids: uid = lane_base[lane] + position.
-  std::vector<int> lane_base(2 * N + 1, 0);
+  auto& lane_base = sc.lane_base;
+  lane_base.assign(2 * N + 1, 0);
   for (int lane_id = 0; lane_id < 2 * N; ++lane_id) {
     lane_base[lane_id + 1] =
         lane_base[lane_id] + static_cast<int>(lanes[lane_id].size());
@@ -93,10 +131,13 @@ Estimate RuntimeEstimator::EstimateIteration(const TaskGraph& graph,
   // Precompute each unit's producers (cross-lane dependencies). Updates keep
   // their gradient producers separate from the rigid-scheduling extras, since
   // only the former enter the traffic model.
-  std::vector<std::vector<int>> grad_units(total_units);
-  std::vector<std::vector<int>> rigid_units(total_units);
+  auto& grad_units = sc.grad_units;
+  ResetNested(grad_units, total_units);
+  auto& rigid_units = sc.rigid_units;
+  ResetNested(rigid_units, total_units);
   // Streaming producers of a compute unit: (producer unit, producer task).
-  std::vector<std::vector<std::pair<int, int>>> stream_units(total_units);
+  auto& stream_units = sc.stream_units;
+  ResetNested(stream_units, total_units);
 
   for (int lane_id = 0; lane_id < 2 * N; ++lane_id) {
     for (int pos = 0; pos < static_cast<int>(lanes[lane_id].size()); ++pos) {
@@ -139,8 +180,10 @@ Estimate RuntimeEstimator::EstimateIteration(const TaskGraph& graph,
   // fine — each one both increments the count and appears in the dependents
   // list. Any pop order yields the same schedule: a unit's times depend only
   // on its (finished) producers, and the byte counters are order-free sums.
-  std::vector<int> dep_count(total_units, 0);
-  std::vector<std::vector<int>> dependents(total_units);
+  auto& dep_count = sc.dep_count;
+  dep_count.assign(total_units, 0);
+  auto& dependents = sc.dependents;
+  ResetNested(dependents, total_units);
   auto add_edge = [&](int from, int to) {
     if (from == to) return;  // a task is never its own producer
     ++dep_count[to];
@@ -157,7 +200,8 @@ Estimate RuntimeEstimator::EstimateIteration(const TaskGraph& graph,
     for (const auto& edge : stream_units[uid]) add_edge(edge.first, uid);
   }
 
-  std::vector<int> ready;
+  auto& ready = sc.ready;
+  ready.clear();
   ready.reserve(total_units);
   for (int uid = 0; uid < total_units; ++uid) {
     if (dep_count[uid] == 0) ready.push_back(uid);
@@ -315,8 +359,8 @@ Estimate RuntimeEstimator::EstimateIteration(const TaskGraph& graph,
   }
 
   Estimate e;
-  for (const auto& lane : lanes) {
-    for (const Unit& u : lane) {
+  for (int lane_id = 0; lane_id < 2 * N; ++lane_id) {
+    for (const Unit& u : lanes[lane_id]) {
       e.iteration_time = std::max(e.iteration_time, u.end);
     }
   }

@@ -1,12 +1,36 @@
 #ifndef HARMONY_CORE_ESTIMATOR_H_
 #define HARMONY_CORE_ESTIMATOR_H_
 
+#include <memory>
+
 #include "core/task_graph.h"
 #include "hw/machine.h"
 #include "profile/profiler.h"
 #include "trace/trace.h"
 
 namespace harmony::core {
+
+/// Reusable working memory for RuntimeEstimator::EstimateIteration. One
+/// estimate allocates ~10 vectors (lanes, dependency lists, ready queue);
+/// the configuration search runs thousands of estimates per second across
+/// worker threads, so each worker holds one of these and the vectors are
+/// cleared — capacity retained — instead of reallocated per call.
+///
+/// Not thread-safe: one scratch per concurrent caller. The contents carry no
+/// state between calls; passing a fresh or a reused scratch yields identical
+/// estimates.
+class EstimatorScratch {
+ public:
+  EstimatorScratch();
+  ~EstimatorScratch();
+  EstimatorScratch(EstimatorScratch&&) noexcept;
+  EstimatorScratch& operator=(EstimatorScratch&&) noexcept;
+
+ private:
+  friend class RuntimeEstimator;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Result of estimating one training iteration.
 struct Estimate {
@@ -37,8 +61,12 @@ class RuntimeEstimator {
   /// is replayed onto it as kOpBegin/kOpEnd spans (compute lanes per GPU,
   /// CPU lanes per process), so a predicted timeline can be diffed against
   /// the runtime's traced one (Fig 14's error, event by event).
+  ///
+  /// `scratch` optionally supplies reusable working memory (one per caller
+  /// thread); without it a transient arena is allocated for this call.
   Estimate EstimateIteration(const TaskGraph& graph,
-                             trace::TraceBus* trace = nullptr) const;
+                             trace::TraceBus* trace = nullptr,
+                             EstimatorScratch* scratch = nullptr) const;
 
  private:
   const profile::ProfileDb& profiles_;

@@ -1,12 +1,14 @@
 #include "core/search.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
+#include <cstddef>
 #include <future>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <tuple>
+#include <unordered_map>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -42,6 +44,12 @@ struct EvalOutcome {
 /// ForwardPacks is a pure function of the key (the backward packs only enter
 /// through fwd_layers), so a lost insertion race recomputes the same value;
 /// the first inserted entry wins and all callers see an identical PackList.
+///
+/// Sharded by key hash: with one global mutex, every worker serializes on
+/// the same lock for every candidate — memo lookups dominate the parallel
+/// phase's critical section once ForwardPacks results are mostly cached.
+/// Distinct keys now contend only 1/kShards of the time, and each shard is a
+/// hash map instead of a red-black tree.
 class FwdPackMemo {
  public:
   using Key = std::tuple<int, int, int>;
@@ -49,20 +57,42 @@ class FwdPackMemo {
   const Result<PackList>& Get(const Key& key, int u_fwd, const PackList& bwd,
                               const profile::ProfileDb& profiles,
                               const PackingOptions& packing) {
+    Shard& shard = shards_[ShardOf(key)];
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      auto it = cache_.find(key);
-      if (it != cache_.end()) return *it->second;
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.cache.find(key);
+      if (it != shard.cache.end()) return *it->second;
     }
+    // Compute outside the lock: a duplicate race wastes one recompute but
+    // never blocks other shards or other keys of this shard.
     auto computed = std::make_shared<Result<PackList>>(
         ForwardPacks(u_fwd, bwd, profiles, packing));
-    std::lock_guard<std::mutex> lock(mu_);
-    return *cache_.emplace(key, std::move(computed)).first->second;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return *shard.cache.emplace(key, std::move(computed)).first->second;
   }
 
  private:
-  std::mutex mu_;
-  std::map<Key, std::shared_ptr<Result<PackList>>> cache_;
+  static constexpr size_t kShards = 16;
+
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      // FNV-1a over the three ints; good enough to spread shards.
+      size_t h = 1469598103934665603ull;
+      for (int v : {std::get<0>(k), std::get<1>(k), std::get<2>(k)}) {
+        h = (h ^ static_cast<size_t>(v)) * 1099511628211ull;
+      }
+      return h;
+    }
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<Key, std::shared_ptr<Result<PackList>>, KeyHash> cache;
+  };
+
+  static size_t ShardOf(const Key& key) { return KeyHash{}(key) % kShards; }
+
+  std::array<Shard, kShards> shards_;
 };
 
 }  // namespace
@@ -137,7 +167,8 @@ Result<SearchResult> SearchConfiguration(const profile::ProfileDb& profiles,
   // (profiles, machine, estimator, bwd_groups) are immutable from here on;
   // the forward-pack memo is the only shared mutable state.
   FwdPackMemo fwd_memo;
-  auto evaluate = [&](const GridPoint& pt) -> EvalOutcome {
+  auto evaluate = [&](const GridPoint& pt,
+                      EstimatorScratch& scratch) -> EvalOutcome {
     EvalOutcome out;
     const PackList& bwd = bwd_groups[pt.bwd_group];
     Configuration config;
@@ -163,7 +194,7 @@ Result<SearchResult> SearchConfiguration(const profile::ProfileDb& profiles,
 
     TaskGraph graph = GenerateHarmonyTaskGraph(config, mode, machine.num_gpus,
                                                minibatch, flags, profiles);
-    out.estimate = estimator.EstimateIteration(graph);
+    out.estimate = estimator.EstimateIteration(graph, nullptr, &scratch);
     out.feasible = true;
     out.config = std::move(config);
     return out;
@@ -174,11 +205,15 @@ Result<SearchResult> SearchConfiguration(const profile::ProfileDb& profiles,
                               ? common::ThreadPool::DefaultThreadCount()
                               : options.num_threads;
   if (num_threads <= 1 || points.size() <= 1) {
-    for (size_t i = 0; i < points.size(); ++i) outcomes[i] = evaluate(points[i]);
+    EstimatorScratch scratch;
+    for (size_t i = 0; i < points.size(); ++i) {
+      outcomes[i] = evaluate(points[i], scratch);
+    }
   } else {
     common::ThreadPool pool(num_threads);
     // Contiguous chunks keep per-task overhead negligible while leaving
     // enough slack (4x oversubscription) to absorb uneven candidate costs.
+    // Each chunk reuses one estimator scratch arena across its candidates.
     const size_t chunks = std::min(
         points.size(), static_cast<size_t>(num_threads) * 4);
     const size_t stride = (points.size() + chunks - 1) / chunks;
@@ -187,7 +222,10 @@ Result<SearchResult> SearchConfiguration(const profile::ProfileDb& profiles,
     for (size_t begin = 0; begin < points.size(); begin += stride) {
       const size_t end = std::min(begin + stride, points.size());
       pending.push_back(pool.Submit([&, begin, end]() {
-        for (size_t i = begin; i < end; ++i) outcomes[i] = evaluate(points[i]);
+        EstimatorScratch scratch;
+        for (size_t i = begin; i < end; ++i) {
+          outcomes[i] = evaluate(points[i], scratch);
+        }
       }));
     }
     for (auto& f : pending) f.get();

@@ -105,7 +105,7 @@ void Executor::IssueStep(int d, int step_idx) {
       ->OnFire([this, d, step_idx]() { FinishStep(d, step_idx); });
 
   for (const NeedSpec& n : s.needs) {
-    residency_->EnsureResident(d, n.key, n.bytes, n.from_host, committed,
+    residency_->EnsureResident(d, n.id, n.bytes, n.from_host, committed,
                                arrived);
   }
   for (const ProduceSpec& p : s.produces) {
@@ -123,17 +123,17 @@ void Executor::FinishStep(int d, int step_idx) {
   Step& s = program_.steps[d][step_idx];
 
   // 1. Unpin this step's tensors.
-  for (const NeedSpec& n : s.needs) residency_->UnpinNeed(d, n.key);
+  for (const NeedSpec& n : s.needs) residency_->UnpinNeed(d, n.id);
   // 2. Finalize produced tensors.
   for (const ProduceSpec& p : s.produces) residency_->FinalizeProduce(d, p);
   // 3. Dirty marks (gradient accumulation, updated weights).
-  for (const TensorKey& k : s.mark_dirty) residency_->MarkDirty(k);
+  for (const TensorId k : s.mark_dirty) residency_->MarkDirty(k);
   // 4. Host copies (checkpoints, master weight write-back).
-  for (const TensorKey& k : s.copy_to_host) residency_->CopyToHost(d, k);
+  for (const TensorId k : s.copy_to_host) residency_->CopyToHost(d, k);
   // 5. Moves to host (gradient push, optimizer state write-back).
-  for (const TensorKey& k : s.move_to_host) residency_->MoveToHost(d, k);
+  for (const TensorId k : s.move_to_host) residency_->MoveToHost(d, k);
   // 6. Dereference consumed inputs.
-  for (const TensorKey& k : s.derefs) residency_->Deref(k);
+  for (const TensorId k : s.derefs) residency_->Deref(k);
 
   ++steps_done_[d];
   OnTaskStepDone(s.task);
@@ -161,7 +161,7 @@ void Executor::AdvanceCpu(int d) {
       return;
     }
   }
-  for (const TensorKey& k : s.host_needs) {
+  for (const TensorId k : s.host_needs) {
     if (!residency_->HostReady(k)) {
       residency_->AddHostWaiter(k, retry);
       return;
@@ -180,7 +180,7 @@ void Executor::AdvanceCpu(int d) {
              })
       ->OnFire([this, d]() {
         CpuStep& step = program_.cpu_steps[d][cpu_next_[d]];
-        for (const TensorKey& k : step.host_frees) {
+        for (const TensorId k : step.host_frees) {
           residency_->ReleaseHostCopy(k);
         }
         OnTaskStepDone(step.task);
@@ -214,10 +214,10 @@ std::string Executor::DescribeStuck() {
         if (!waits.empty()) waits += ", ";
         waits += "task " + std::to_string(task);
       }
-      for (const TensorKey& k : s.host_needs) {
+      for (const TensorId k : s.host_needs) {
         if (residency_->HostReady(k)) continue;
         if (!waits.empty()) waits += ", ";
-        waits += k.ToString() + " [no host copy]";
+        waits += program_.tensors.key(k).ToString() + " [no host copy]";
       }
       if (waits.empty()) waits = "cpu stream backlog";
       out += "; cpu" + std::to_string(d) + " stuck at update (task " +
@@ -287,8 +287,7 @@ Result<RunMetrics> Executor::Run() {
     return issue_next_[d] - steps_done_[d] > 1;
   };
   residency_ = std::make_unique<Residency>(graph_, std::move(capacities),
-                                           &program_.ref_counts, std::move(env),
-                                           bus_);
+                                           &program_, std::move(env), bus_);
   residency_->SetStaticHostBytes(static_host);
 
   issue_next_.assign(N, 0);

@@ -26,76 +26,82 @@ std::string TensorKey::ToString() const {
   return s;
 }
 
-DeviceMemory::DeviceMemory(Bytes capacity) : capacity_(capacity) {
+DeviceMemory::DeviceMemory(Bytes capacity, int num_tensors)
+    : capacity_(capacity), entries_(num_tensors) {
   HARMONY_CHECK_GT(capacity, 0);
 }
 
-void DeviceMemory::AddResident(const TensorKey& key, Bytes bytes) {
+void DeviceMemory::AddResident(TensorId id, Bytes bytes) {
   HARMONY_CHECK_GE(bytes, 0);
-  HARMONY_CHECK(!resident_.count(key)) << key.ToString() << " already resident";
-  HARMONY_CHECK_LE(bytes, free_bytes()) << "allocation without space for "
-                                        << key.ToString();
-  resident_[key] = Entry{bytes, 0, ++clock_};
+  Entry& e = entries_[id];
+  HARMONY_CHECK(!e.resident) << "tensor " << id << " already resident";
+  HARMONY_CHECK_LE(bytes, free_bytes())
+      << "allocation without space for tensor " << id;
+  e.bytes = bytes;
+  e.pins = 0;
+  e.lru = ++clock_;
+  e.resident = true;
+  e.list_pos = static_cast<int>(resident_list_.size());
+  resident_list_.push_back(id);
   used_ += bytes;
   peak_used_ = std::max(peak_used_, used_);
 }
 
-void DeviceMemory::RemoveResident(const TensorKey& key) {
-  auto it = resident_.find(key);
-  HARMONY_CHECK(it != resident_.end()) << key.ToString() << " not resident";
-  used_ -= it->second.bytes;
-  resident_.erase(it);
+void DeviceMemory::RemoveResident(TensorId id) {
+  Entry& e = entries_[id];
+  HARMONY_CHECK(e.resident) << "tensor " << id << " not resident";
+  used_ -= e.bytes;
+  // Swap-remove from the compact list; fix the moved entry's back-pointer.
+  const int pos = e.list_pos;
+  const TensorId moved = resident_list_.back();
+  resident_list_[pos] = moved;
+  entries_[moved].list_pos = pos;
+  resident_list_.pop_back();
+  e.resident = false;
+  e.list_pos = -1;
 }
 
-Bytes DeviceMemory::ResidentBytes(const TensorKey& key) const {
-  auto it = resident_.find(key);
-  return it == resident_.end() ? 0 : it->second.bytes;
+void DeviceMemory::Touch(TensorId id) {
+  Entry& e = entries_[id];
+  HARMONY_CHECK(e.resident) << "touch of non-resident tensor " << id;
+  e.lru = ++clock_;
 }
 
-void DeviceMemory::Touch(const TensorKey& key) {
-  auto it = resident_.find(key);
-  HARMONY_CHECK(it != resident_.end()) << "touch of non-resident " << key.ToString();
-  it->second.lru = ++clock_;
+void DeviceMemory::Pin(TensorId id) {
+  Entry& e = entries_[id];
+  HARMONY_CHECK(e.resident) << "pin of non-resident tensor " << id;
+  ++e.pins;
 }
 
-void DeviceMemory::Pin(const TensorKey& key) {
-  auto it = resident_.find(key);
-  HARMONY_CHECK(it != resident_.end()) << "pin of non-resident " << key.ToString();
-  ++it->second.pins;
+void DeviceMemory::Unpin(TensorId id) {
+  Entry& e = entries_[id];
+  HARMONY_CHECK(e.resident) << "unpin of non-resident tensor " << id;
+  HARMONY_CHECK_GT(e.pins, 0) << "unpin of unpinned tensor " << id;
+  --e.pins;
 }
 
-void DeviceMemory::Unpin(const TensorKey& key) {
-  auto it = resident_.find(key);
-  HARMONY_CHECK(it != resident_.end()) << "unpin of non-resident " << key.ToString();
-  HARMONY_CHECK_GT(it->second.pins, 0) << "unpin of unpinned " << key.ToString();
-  --it->second.pins;
-}
-
-bool DeviceMemory::IsPinned(const TensorKey& key) const {
-  auto it = resident_.find(key);
-  return it != resident_.end() && it->second.pins > 0;
-}
-
-std::vector<TensorKey> DeviceMemory::PickVictims(Bytes needed) const {
-  std::vector<std::pair<int64_t, const TensorKey*>> candidates;
-  for (const auto& [key, entry] : resident_) {
-    if (entry.pins == 0) candidates.emplace_back(entry.lru, &key);
+std::vector<TensorId> DeviceMemory::PickVictims(Bytes needed) const {
+  std::vector<std::pair<int64_t, TensorId>> candidates;
+  for (TensorId id : resident_list_) {
+    if (entries_[id].pins == 0) candidates.emplace_back(entries_[id].lru, id);
   }
+  // The lru clock is a unique monotone counter, so this order is
+  // deterministic regardless of resident_list_'s (arbitrary) order.
   std::sort(candidates.begin(), candidates.end());
-  std::vector<TensorKey> victims;
+  std::vector<TensorId> victims;
   Bytes reclaimed = 0;
-  for (const auto& [lru, key] : candidates) {
+  for (const auto& [lru, id] : candidates) {
     if (reclaimed >= needed) break;
-    victims.push_back(*key);
-    reclaimed += resident_.at(*key).bytes;
+    victims.push_back(id);
+    reclaimed += entries_[id].bytes;
   }
   return victims;
 }
 
 Bytes DeviceMemory::EvictableBytes() const {
   Bytes total = 0;
-  for (const auto& [key, entry] : resident_) {
-    if (entry.pins == 0) total += entry.bytes;
+  for (TensorId id : resident_list_) {
+    if (entries_[id].pins == 0) total += entries_[id].bytes;
   }
   return total;
 }

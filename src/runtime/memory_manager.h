@@ -1,9 +1,6 @@
 #ifndef HARMONY_RUNTIME_MEMORY_MANAGER_H_
 #define HARMONY_RUNTIME_MEMORY_MANAGER_H_
 
-#include <functional>
-#include <list>
-#include <map>
 #include <vector>
 
 #include "common/units.h"
@@ -14,53 +11,66 @@ namespace harmony::runtime {
 /// Per-GPU memory accounting with LRU selection of eviction victims: the
 /// bookkeeping half of the Runtime's central memory manager (Sec 4.4). The
 /// executor owns the transfer side (issuing swap-out flows for victims).
+///
+/// Tensors are addressed by the program's dense TensorId: all per-tensor
+/// state lives in an id-indexed array (no tree lookups on the hot path), and
+/// a compact list of resident ids backs the eviction scans.
 class DeviceMemory {
  public:
-  explicit DeviceMemory(Bytes capacity);
+  /// `num_tensors` is the program catalog size; ids passed to every other
+  /// method must be < num_tensors.
+  DeviceMemory(Bytes capacity, int num_tensors);
 
   Bytes capacity() const { return capacity_; }
   Bytes used() const { return used_; }
   Bytes free_bytes() const { return capacity_ - used_; }
   Bytes peak_used() const { return peak_used_; }
 
-  /// Marks `key` resident, consuming `bytes`. Requires free_bytes() >= bytes.
-  void AddResident(const TensorKey& key, Bytes bytes);
+  /// Marks `id` resident, consuming `bytes`. Requires free_bytes() >= bytes.
+  void AddResident(TensorId id, Bytes bytes);
 
   /// Removes a resident tensor, releasing its bytes.
-  void RemoveResident(const TensorKey& key);
+  void RemoveResident(TensorId id);
 
-  bool IsResident(const TensorKey& key) const { return resident_.count(key) > 0; }
-  Bytes ResidentBytes(const TensorKey& key) const;
+  bool IsResident(TensorId id) const { return entries_[id].resident; }
+  Bytes ResidentBytes(TensorId id) const {
+    return entries_[id].resident ? entries_[id].bytes : 0;
+  }
 
   /// LRU bump.
-  void Touch(const TensorKey& key);
+  void Touch(TensorId id);
 
-  void Pin(const TensorKey& key);
-  void Unpin(const TensorKey& key);
-  bool IsPinned(const TensorKey& key) const;
+  void Pin(TensorId id);
+  void Unpin(TensorId id);
+  bool IsPinned(TensorId id) const {
+    return entries_[id].resident && entries_[id].pins > 0;
+  }
 
   /// Least-recently-used unpinned victims whose combined size reaches
   /// `needed` bytes (may return fewer if not enough are evictable). Does not
   /// remove them — the executor removes each once its swap-out completes.
-  std::vector<TensorKey> PickVictims(Bytes needed) const;
+  std::vector<TensorId> PickVictims(Bytes needed) const;
 
   /// Sum of evictable (unpinned resident) bytes.
   Bytes EvictableBytes() const;
 
-  int num_resident() const { return static_cast<int>(resident_.size()); }
+  int num_resident() const { return static_cast<int>(resident_list_.size()); }
 
  private:
   struct Entry {
     Bytes bytes = 0;
     int pins = 0;
     int64_t lru = 0;
+    bool resident = false;
+    int list_pos = -1;  // index into resident_list_ (swap-remove)
   };
 
   Bytes capacity_;
   Bytes used_ = 0;
   Bytes peak_used_ = 0;
   int64_t clock_ = 0;
-  std::map<TensorKey, Entry> resident_;
+  std::vector<Entry> entries_;         // indexed by TensorId
+  std::vector<TensorId> resident_list_;  // compact; order arbitrary
 };
 
 }  // namespace harmony::runtime

@@ -1,6 +1,7 @@
 #include "runtime/residency.h"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <utility>
 
@@ -9,12 +10,17 @@
 namespace harmony::runtime {
 
 Residency::Residency(const core::TaskGraph& graph,
-                     std::vector<Bytes> capacities,
-                     const std::map<TensorKey, int>* ref_counts, Env env,
-                     trace::TraceBus* bus)
-    : graph_(graph), ref_counts_(ref_counts), env_(std::move(env)), bus_(bus) {
+                     std::vector<Bytes> capacities, const StepProgram* program,
+                     Env env, trace::TraceBus* bus)
+    : graph_(graph),
+      program_(program),
+      env_(std::move(env)),
+      bus_(bus),
+      table_(program->tensors.size()) {
   mem_.reserve(capacities.size());
-  for (Bytes capacity : capacities) mem_.emplace_back(capacity);
+  for (Bytes capacity : capacities) {
+    mem_.emplace_back(capacity, program->tensors.size());
+  }
   alloc_queue_.assign(capacities.size(), {});
   evictions_in_flight_.assign(capacities.size(), 0);
 }
@@ -35,8 +41,7 @@ void Residency::EmitInstant(trace::EventKind kind, trace::Lane lane,
   bus_->Emit(e);
 }
 
-void Residency::TraceTensor(const TensorKey& key, const char* detail,
-                            int device) {
+void Residency::TraceTensor(TensorId id, const char* detail, int device) {
   if (bus_ == nullptr || !bus_->tensor_events()) return;
   trace::Event e;
   e.kind = trace::EventKind::kTensor;
@@ -44,7 +49,7 @@ void Residency::TraceTensor(const TensorKey& key, const char* detail,
   e.device = device;
   e.time = env_.engine->now();
   e.detail = detail;
-  e.name = key.ToString();
+  e.name = KeyOf(id).ToString();
   bus_->Emit(e);
 }
 
@@ -74,12 +79,13 @@ void Residency::DropHostBuffer(TensorState* st) {
 // Tensor lifetime
 // ---------------------------------------------------------------------------
 
-bool Residency::AutoCreate(const TensorKey& key, Bytes bytes) {
+bool Residency::AutoCreate(TensorId id, Bytes bytes) {
+  const TensorKey& key = KeyOf(id);
   const bool creatable =
       key.kind == TensorKind::kWeight || key.kind == TensorKind::kOptState ||
       (key.kind == TensorKind::kActivation && key.layer == 0);
   if (!creatable) return false;
-  TensorState& st = table_.Get(key);
+  TensorState& st = table_.Get(id);
   st.bytes = bytes;
   st.exists = true;
   st.on_host = true;
@@ -87,38 +93,37 @@ bool Residency::AutoCreate(const TensorKey& key, Bytes bytes) {
     // Loader data occupies host memory until consumed; persistent state
     // (weights, optimizer) is counted in the static host footprint.
     AddHostBuffer(&st);
-    auto it = ref_counts_->find(key);
-    st.refs_remaining = it == ref_counts_->end() ? 0 : it->second;
+    st.refs_remaining = RefCount(id);
   }
   return true;
 }
 
-void Residency::FreeTensor(const TensorKey& key) {
-  TensorState& st = table_.Get(key);
-  TraceTensor(key, "free", -1);
-  for (auto it = st.resident_gpus.begin(); it != st.resident_gpus.end();) {
-    const int d = *it;
-    if (st.evicting_gpus.count(d) || mem_[d].IsPinned(key)) {
+void Residency::FreeTensor(TensorId id) {
+  TensorState& st = table_.Get(id);
+  TraceTensor(id, "free", -1);
+  for (uint32_t rem = st.resident_gpus; rem != 0; rem &= rem - 1) {
+    const int d = std::countr_zero(rem);
+    if (st.EvictingOn(d) || mem_[d].IsPinned(id)) {
       // An eviction or an in-flight host-copy flow still holds this copy;
       // its completion handler releases the residency once `exists` is
       // false.
-      ++it;
       continue;
     }
-    mem_[d].RemoveResident(key);
-    it = st.resident_gpus.erase(it);
+    mem_[d].RemoveResident(id);
+    st.SetResident(d, false);
   }
+  const TensorKind kind = KeyOf(id).kind;
   if (st.on_host &&
-      (key.kind == TensorKind::kActivation || key.kind == TensorKind::kGradAct ||
-       key.kind == TensorKind::kStash || key.kind == TensorKind::kGrad)) {
+      (kind == TensorKind::kActivation || kind == TensorKind::kGradAct ||
+       kind == TensorKind::kStash || kind == TensorKind::kGrad)) {
     DropHostBuffer(&st);
     st.on_host = false;
   }
   st.exists = false;
 }
 
-void Residency::HostArrived(const TensorKey& key) {
-  TensorState& st = table_.Get(key);
+void Residency::HostArrived(TensorId id) {
+  TensorState& st = table_.Get(id);
   auto waiters = std::move(st.host_waiters);
   st.host_waiters.clear();
   for (auto& w : waiters) w();
@@ -130,14 +135,14 @@ void Residency::HostArrived(const TensorKey& key) {
 
 void Residency::AllocForProduce(int d, const ProduceSpec& p,
                                 std::function<void()> granted) {
-  table_.Get(p.key).bytes = p.bytes;
-  RequestAlloc(d, p.key, p.bytes, std::move(granted));
+  table_.Get(p.id).bytes = p.bytes;
+  RequestAlloc(d, p.id, p.bytes, std::move(granted));
 }
 
-void Residency::RequestAlloc(int d, const TensorKey& key, Bytes bytes,
+void Residency::RequestAlloc(int d, TensorId id, Bytes bytes,
                              std::function<void()> granted) {
-  TraceTensor(key, "alloc-request", d);
-  alloc_queue_[d].push_back(AllocReq{key, bytes, std::move(granted)});
+  TraceTensor(id, "alloc-request", d);
+  alloc_queue_[d].push_back(AllocReq{id, bytes, std::move(granted)});
   PumpAllocator(d);
 }
 
@@ -145,26 +150,26 @@ void Residency::PumpAllocator(int d) {
   if (env_.failed()) return;
   while (!alloc_queue_[d].empty()) {
     AllocReq& req = alloc_queue_[d].front();
-    if (mem_[d].IsResident(req.key)) {
-      TensorState& st = table_.Get(req.key);
-      if (st.evicting_gpus.count(d)) {
+    if (mem_[d].IsResident(req.id)) {
+      TensorState& st = table_.Get(req.id);
+      if (st.EvictingOn(d)) {
         // The previous copy is on its way out (e.g. a gradient push); its
         // completion re-pumps this queue.
         return;
       }
       // Re-produced accumulation buffer whose copy survived on-device:
       // reuse the existing allocation.
-      TraceTensor(req.key, "alloc-reuse", d);
-      mem_[d].Pin(req.key);
+      TraceTensor(req.id, "alloc-reuse", d);
+      mem_[d].Pin(req.id);
       auto granted = std::move(req.granted);
       alloc_queue_[d].pop_front();
       granted();
       continue;
     }
     if (req.bytes <= mem_[d].free_bytes()) {
-      TraceTensor(req.key, "alloc-grant", d);
-      mem_[d].AddResident(req.key, req.bytes);
-      mem_[d].Pin(req.key);
+      TraceTensor(req.id, "alloc-grant", d);
+      mem_[d].AddResident(req.id, req.bytes);
+      mem_[d].Pin(req.id);
       EmitInstant(trace::EventKind::kDeviceBytes, trace::Lane::kAlloc, d,
                   mem_[d].used());
       auto granted = std::move(req.granted);
@@ -196,12 +201,13 @@ void Residency::PumpAllocator(int d) {
         return;
       }
       env_.fail(Status::OutOfMemory(
-          "device " + std::to_string(d) + " cannot fit " + req.key.ToString() +
-          " (" + FormatBytes(req.bytes) + "): working set exceeds capacity"));
+          "device " + std::to_string(d) + " cannot fit " +
+          KeyOf(req.id).ToString() + " (" + FormatBytes(req.bytes) +
+          "): working set exceeds capacity"));
       return;
     }
     const Bytes free_before = mem_[d].free_bytes();
-    for (const TensorKey& v : victims) StartEviction(d, v);
+    for (const TensorId v : victims) StartEviction(d, v);
     if (mem_[d].free_bytes() > free_before) continue;  // clean drops freed space
     return;  // all victims are async transfers; resume from their completions
   }
@@ -211,25 +217,25 @@ void Residency::PumpAll() {
   for (size_t d = 0; d < mem_.size(); ++d) PumpAllocator(static_cast<int>(d));
 }
 
-void Residency::StartEviction(int d, const TensorKey& key) {
-  TensorState& st = table_.Get(key);
-  HARMONY_CHECK(st.resident_gpus.count(d))
-      << "evicting " << key.ToString() << " with no copy on device " << d;
-  TraceTensor(key, "evict-start", d);
-  mem_[d].Pin(key);  // exclude from further victim picks
-  st.evicting_gpus.insert(d);
+void Residency::StartEviction(int d, TensorId id) {
+  TensorState& st = table_.Get(id);
+  HARMONY_CHECK(st.ResidentOn(d))
+      << "evicting " << KeyOf(id).ToString() << " with no copy on device " << d;
+  TraceTensor(id, "evict-start", d);
+  mem_[d].Pin(id);  // exclude from further victim picks
+  st.SetEvicting(d, true);
   // Harmony's state machine drops copies that are backed elsewhere without a
   // transfer; LMS-style baselines always write the victim to host.
-  const bool backed = st.on_host || st.resident_gpus.size() > 1;
+  const bool backed = st.on_host || st.NumResident() > 1;
   if (backed && graph_.flags.smart_eviction) {
     // Dropped synchronously; the caller (PumpAllocator) observes the freed
     // space — no re-entrant pump, which would double-evict from its stale
     // victim list.
     EmitInstant(trace::EventKind::kCleanDrop, trace::Lane::kAlloc, d, st.bytes);
-    st.resident_gpus.erase(d);
-    st.evicting_gpus.erase(d);
-    mem_[d].Unpin(key);
-    mem_[d].RemoveResident(key);
+    st.SetResident(d, false);
+    st.SetEvicting(d, false);
+    mem_[d].Unpin(id);
+    mem_[d].RemoveResident(id);
     return;
   }
   ++evictions_in_flight_[d];
@@ -238,8 +244,8 @@ void Residency::StartEviction(int d, const TensorKey& key) {
       env_.swapout[d]->Push({}, [this, d, bytes](std::function<void()> done) {
         env_.flows->StartFlow(env_.net->SwapOutPath(d), bytes, std::move(done));
       });
-  flow_done->OnFire([this, d, key]() {
-    TensorState& st = table_.Get(key);
+  flow_done->OnFire([this, d, id]() {
+    TensorState& st = table_.Get(id);
     EmitInstant(trace::EventKind::kSwapOutIssued, trace::Lane::kSwapOut, d,
                 st.bytes);
     EmitInstant(trace::EventKind::kEvict, trace::Lane::kAlloc, d, st.bytes);
@@ -248,12 +254,12 @@ void Residency::StartEviction(int d, const TensorKey& key) {
       st.on_host = true;
       st.gpu_dirty = false;
     }
-    st.resident_gpus.erase(d);
-    st.evicting_gpus.erase(d);
-    mem_[d].Unpin(key);
-    mem_[d].RemoveResident(key);
+    st.SetResident(d, false);
+    st.SetEvicting(d, false);
+    mem_[d].Unpin(id);
+    mem_[d].RemoveResident(id);
     --evictions_in_flight_[d];
-    if (st.exists) HostArrived(key);
+    if (st.exists) HostArrived(id);
     PumpAllocator(d);
   });
 }
@@ -262,25 +268,25 @@ void Residency::StartEviction(int d, const TensorKey& key) {
 // Fetching
 // ---------------------------------------------------------------------------
 
-void Residency::EnsureResident(int d, const TensorKey& key, Bytes bytes,
-                               bool from_host, std::function<void()> committed,
+void Residency::EnsureResident(int d, TensorId id, Bytes bytes, bool from_host,
+                               std::function<void()> committed,
                                std::function<void()> arrived) {
   if (env_.failed()) return;
-  TensorState& st = table_.Get(key);
-  auto retry = [this, d, key, bytes, from_host, committed, arrived]() {
-    EnsureResident(d, key, bytes, from_host, committed, arrived);
+  TensorState& st = table_.Get(id);
+  auto retry = [this, d, id, bytes, from_host, committed, arrived]() {
+    EnsureResident(d, id, bytes, from_host, committed, arrived);
   };
   if (!st.exists) {
-    if (!AutoCreate(key, bytes)) {
+    if (!AutoCreate(id, bytes)) {
       st.creation_waiters.push_back(retry);  // wait for the producer
       return;
     }
   }
-  TensorState& state = table_.Get(key);
+  TensorState& state = table_.Get(id);
   if (state.UsableOn(d)) {
-    TraceTensor(key, "need-hit", d);
-    mem_[d].Pin(key);
-    mem_[d].Touch(key);
+    TraceTensor(id, "need-hit", d);
+    mem_[d].Pin(id);
+    mem_[d].Touch(id);
     committed();
     arrived();
     return;
@@ -291,7 +297,7 @@ void Residency::EnsureResident(int d, const TensorKey& key, Bytes bytes,
     state.arrival_waiters.push_back(retry);
     return;
   }
-  if (state.resident_gpus.count(d)) {
+  if (state.ResidentOn(d)) {
     // Our copy is being evicted; wait for the host copy and fetch it back.
     state.host_waiters.push_back(retry);
     return;
@@ -314,17 +320,17 @@ void Residency::EnsureResident(int d, const TensorKey& key, Bytes bytes,
   }
   state.fetch_in_flight = true;
   state.inflight_dst = d;
-  if (src >= 0) mem_[src].Pin(key);  // hold the source copy during transfer
+  if (src >= 0) mem_[src].Pin(id);  // hold the source copy during transfer
 
-  RequestAlloc(d, key, state.bytes, [this, d, key, src, committed, arrived]() {
+  RequestAlloc(d, id, state.bytes, [this, d, id, src, committed, arrived]() {
     committed();
-    TensorState& st = table_.Get(key);
+    TensorState& st = table_.Get(id);
     const Bytes bytes = st.bytes;
-    auto finish = [this, d, key, src, arrived]() {
-      TensorState& st = table_.Get(key);
-      TraceTensor(key, "fetch-arrive", d);
-      if (src >= 0) mem_[src].Unpin(key);  // source copy stays (it's a copy)
-      st.resident_gpus.insert(d);
+    auto finish = [this, d, id, src, arrived]() {
+      TensorState& st = table_.Get(id);
+      TraceTensor(id, "fetch-arrive", d);
+      if (src >= 0) mem_[src].Unpin(id);  // source copy stays (it's a copy)
+      st.SetResident(d, true);
       st.fetch_in_flight = false;
       st.inflight_dst = -1;
       auto waiters = std::move(st.arrival_waiters);
@@ -334,7 +340,7 @@ void Residency::EnsureResident(int d, const TensorKey& key, Bytes bytes,
     };
     if (src < 0) {
       // Host -> device swap-in.
-      HARMONY_CHECK(st.on_host) << key.ToString() << " has no source copy";
+      HARMONY_CHECK(st.on_host) << KeyOf(id).ToString() << " has no source copy";
       EmitInstant(trace::EventKind::kSwapInIssued, trace::Lane::kSwapIn, d,
                   bytes);
       env_.swapin[d]->Push({}, [this, d, bytes,
@@ -363,11 +369,11 @@ void Residency::EnsureResident(int d, const TensorKey& key, Bytes bytes,
                 bytes);
     EmitInstant(trace::EventKind::kSwapInIssued, trace::Lane::kSwapIn, d,
                 bytes);
-    env_.swapout[src]->Push({}, [this, src, d, bytes, key,
+    env_.swapout[src]->Push({}, [this, src, d, bytes, id,
                                  finish](std::function<void()> done) {
       env_.flows->StartFlow(env_.net->SwapOutPath(src), bytes,
-                            [this, d, bytes, key, finish, done]() {
-        TensorState& st = table_.Get(key);
+                            [this, d, bytes, id, finish, done]() {
+        TensorState& st = table_.Get(id);
         if (!st.on_host) {
           AddHostBuffer(&st);
           st.on_host = true;
@@ -390,104 +396,104 @@ void Residency::EnsureResident(int d, const TensorKey& key, Bytes bytes,
 // Step-completion actions
 // ---------------------------------------------------------------------------
 
-void Residency::UnpinNeed(int d, const TensorKey& key) {
-  TraceTensor(key, "need-unpin", d);
-  if (mem_[d].IsResident(key)) mem_[d].Unpin(key);
+void Residency::UnpinNeed(int d, TensorId id) {
+  TraceTensor(id, "need-unpin", d);
+  if (mem_[d].IsResident(id)) mem_[d].Unpin(id);
 }
 
 void Residency::FinalizeProduce(int d, const ProduceSpec& p) {
-  TensorState& st = table_.Get(p.key);
-  st.resident_gpus.insert(d);  // the allocator reserved this copy at issue
+  TensorState& st = table_.Get(p.id);
+  st.SetResident(d, true);  // the allocator reserved this copy at issue
   st.gpu_dirty = true;
   if (!st.exists) {
     st.exists = true;
-    auto it = ref_counts_->find(p.key);
-    st.refs_remaining = it == ref_counts_->end() ? 0 : it->second;
+    st.refs_remaining = RefCount(p.id);
     auto waiters = std::move(st.creation_waiters);
     st.creation_waiters.clear();
     for (auto& w : waiters) w();
   }
-  TraceTensor(p.key, "produce-unpin", d);
-  mem_[d].Unpin(p.key);
-  const bool data_tensor = p.key.kind == TensorKind::kActivation ||
-                           p.key.kind == TensorKind::kGradAct ||
-                           p.key.kind == TensorKind::kStash;
-  if (data_tensor && st.refs_remaining == 0) FreeTensor(p.key);
+  TraceTensor(p.id, "produce-unpin", d);
+  mem_[d].Unpin(p.id);
+  const TensorKind kind = KeyOf(p.id).kind;
+  const bool data_tensor = kind == TensorKind::kActivation ||
+                           kind == TensorKind::kGradAct ||
+                           kind == TensorKind::kStash;
+  if (data_tensor && st.refs_remaining == 0) FreeTensor(p.id);
 }
 
-void Residency::MarkDirty(const TensorKey& key) {
-  TensorState& st = table_.Get(key);
+void Residency::MarkDirty(TensorId id) {
+  TensorState& st = table_.Get(id);
   st.gpu_dirty = true;
   st.on_host = false;  // host copy (if any) is stale now
 }
 
-void Residency::CopyToHost(int d, const TensorKey& key) {
-  TensorState& st = table_.Get(key);
-  TraceTensor(key, "copy-to-host", d);
-  if (!st.resident_gpus.count(d)) return;  // already freed (defensive)
-  if (st.evicting_gpus.count(d)) return;   // eviction writes host anyway
-  mem_[d].Pin(key);
+void Residency::CopyToHost(int d, TensorId id) {
+  TensorState& st = table_.Get(id);
+  TraceTensor(id, "copy-to-host", d);
+  if (!st.ResidentOn(d)) return;  // already freed (defensive)
+  if (st.EvictingOn(d)) return;   // eviction writes host anyway
+  mem_[d].Pin(id);
   const Bytes bytes = st.bytes;
   EmitInstant(trace::EventKind::kSwapOutIssued, trace::Lane::kSwapOut, d,
               bytes);
-  env_.swapout[d]->Push({}, [this, d, bytes, key](std::function<void()> done) {
-    env_.flows->StartFlow(env_.net->SwapOutPath(d), bytes, [this, d, key,
+  env_.swapout[d]->Push({}, [this, d, bytes, id](std::function<void()> done) {
+    env_.flows->StartFlow(env_.net->SwapOutPath(d), bytes, [this, d, id,
                                                             done]() {
-      TensorState& st = table_.Get(key);
+      TensorState& st = table_.Get(id);
       if (st.exists && !st.on_host) {
         AddHostBuffer(&st);
         st.on_host = true;
         st.gpu_dirty = false;
       }
-      mem_[d].Unpin(key);
+      mem_[d].Unpin(id);
       if (!st.exists) {
         // All consumers drained during the copy; finish the deferred free.
-        if (!mem_[d].IsPinned(key) && st.resident_gpus.count(d)) {
-          mem_[d].RemoveResident(key);
-          st.resident_gpus.erase(d);
+        if (!mem_[d].IsPinned(id) && st.ResidentOn(d)) {
+          mem_[d].RemoveResident(id);
+          st.SetResident(d, false);
         }
       } else {
-        HostArrived(key);
+        HostArrived(id);
       }
       done();
     });
   });
 }
 
-void Residency::MoveToHost(int d, const TensorKey& key) {
-  TensorState& st = table_.Get(key);
-  if (!st.resident_gpus.count(d)) return;
+void Residency::MoveToHost(int d, TensorId id) {
+  TensorState& st = table_.Get(id);
+  if (!st.ResidentOn(d)) return;
   // An LRU eviction already in flight produces the same host copy; a second
   // transfer would double-release the residency.
-  if (st.evicting_gpus.count(d)) return;
-  mem_[d].Pin(key);
-  st.evicting_gpus.insert(d);
+  if (st.EvictingOn(d)) return;
+  mem_[d].Pin(id);
+  st.SetEvicting(d, true);
   const Bytes bytes = st.bytes;
   EmitInstant(trace::EventKind::kSwapOutIssued, trace::Lane::kSwapOut, d,
               bytes);
-  env_.swapout[d]->Push({}, [this, d, bytes, key](std::function<void()> done) {
-    env_.flows->StartFlow(env_.net->SwapOutPath(d), bytes, [this, d, key,
+  env_.swapout[d]->Push({}, [this, d, bytes, id](std::function<void()> done) {
+    env_.flows->StartFlow(env_.net->SwapOutPath(d), bytes, [this, d, id,
                                                             done]() {
-      TensorState& st = table_.Get(key);
+      TensorState& st = table_.Get(id);
       if (st.exists && !st.on_host) {
         AddHostBuffer(&st);
         st.on_host = true;
         st.gpu_dirty = false;
       }
-      st.resident_gpus.erase(d);
-      st.evicting_gpus.erase(d);
-      mem_[d].Unpin(key);
-      mem_[d].RemoveResident(key);
-      if (st.exists) HostArrived(key);
+      st.SetResident(d, false);
+      st.SetEvicting(d, false);
+      mem_[d].Unpin(id);
+      mem_[d].RemoveResident(id);
+      if (st.exists) HostArrived(id);
       PumpAllocator(d);
       done();
     });
   });
 }
 
-void Residency::Deref(const TensorKey& key) {
-  TensorState& st = table_.Get(key);
-  if (--st.refs_remaining == 0) FreeTensor(key);
+void Residency::Deref(TensorId id) {
+  TensorState& st = table_.Get(id);
+  if (--st.refs_remaining == 0) FreeTensor(id);
 }
 
 }  // namespace harmony::runtime

@@ -3,7 +3,6 @@
 
 #include <deque>
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -31,6 +30,9 @@ namespace harmony::runtime {
 /// trace events (kSwapIn/OutIssued, kP2pIssued, kEvict, kCleanDrop,
 /// kAllocStall, kHostBytes, kDeviceBytes) that MetricsSink folds into
 /// RunMetrics.
+///
+/// All tensors are addressed by the program's dense TensorId; the program's
+/// catalog resolves ids back to structural keys for diagnostics only.
 class Residency {
  public:
   /// Services the residency layer borrows from the executor: the simulation
@@ -49,24 +51,25 @@ class Residency {
     std::function<bool(int)> steps_in_flight;  // >1 outstanding steps on d?
   };
 
+  /// `program` must outlive the Residency; its catalog sizes the tensor
+  /// table and its ref_counts seed consumer counts.
   Residency(const core::TaskGraph& graph, std::vector<Bytes> capacities,
-            const std::map<TensorKey, int>* ref_counts, Env env,
-            trace::TraceBus* bus);
+            const StepProgram* program, Env env, trace::TraceBus* bus);
 
   // --- allocation & fetching (issue side) ---------------------------------
 
-  /// Makes `key` usable on device `d`: waits for production if needed, then
+  /// Makes `id` usable on device `d`: waits for production if needed, then
   /// pins an existing copy or allocates + fetches one (host swap-in, p2p, or
   /// a host bounce when p2p is off). `committed` fires once the allocation is
   /// granted (the step's issue slot can recycle); `arrived` once the bytes
   /// are resident.
-  void EnsureResident(int d, const TensorKey& key, Bytes bytes, bool from_host,
+  void EnsureResident(int d, TensorId id, Bytes bytes, bool from_host,
                       std::function<void()> committed,
                       std::function<void()> arrived);
 
-  /// Queues an allocation of `bytes` for `key` on `d`; `granted` fires with
+  /// Queues an allocation of `bytes` for `id` on `d`; `granted` fires with
   /// the tensor pinned. FIFO per device; triggers eviction on pressure.
-  void RequestAlloc(int d, const TensorKey& key, Bytes bytes,
+  void RequestAlloc(int d, TensorId id, Bytes bytes,
                     std::function<void()> granted);
 
   /// Allocation for a tensor this step will write: records the size and
@@ -81,28 +84,28 @@ class Residency {
 
   // --- step-completion actions (finish side) ------------------------------
 
-  void UnpinNeed(int d, const TensorKey& key);
+  void UnpinNeed(int d, TensorId id);
   /// Finalizes a produced tensor: residency, dirty bit, refcount seeding,
   /// creation-waiter wakeup, and the immediate free of unconsumed data.
   void FinalizeProduce(int d, const ProduceSpec& p);
   /// Newest data now on GPU; any host copy is stale.
-  void MarkDirty(const TensorKey& key);
+  void MarkDirty(TensorId id);
   /// Checkpoint / master-weight write-back: async copy, GPU copy stays.
-  void CopyToHost(int d, const TensorKey& key);
+  void CopyToHost(int d, TensorId id);
   /// Gradient push / optimizer-state write-back: async move, GPU copy
   /// released on completion (concurrent consumers re-fetch from host).
-  void MoveToHost(int d, const TensorKey& key);
+  void MoveToHost(int d, TensorId id);
   /// Consumer finished with a data tensor; frees it on the last reference.
-  void Deref(const TensorKey& key);
+  void Deref(TensorId id);
 
   // --- host-side hooks (CPU update steps) ---------------------------------
 
-  /// True when a final host copy of `key` exists.
-  bool HostReady(const TensorKey& key);
-  /// Runs `fn` when a host copy of `key` next becomes available.
-  void AddHostWaiter(const TensorKey& key, std::function<void()> fn);
+  /// True when a final host copy of `id` exists.
+  bool HostReady(TensorId id);
+  /// Runs `fn` when a host copy of `id` next becomes available.
+  void AddHostWaiter(TensorId id, std::function<void()> fn);
   /// Releases a consumed host copy (gradient applied by the CPU optimizer).
-  void ReleaseHostCopy(const TensorKey& key);
+  void ReleaseHostCopy(TensorId id);
 
   /// Accounts the permanently-resident host footprint (master weights,
   /// optimizer state, scheme overheads) before execution starts.
@@ -117,21 +120,24 @@ class Residency {
   /// One-line status of every unmet need of a stuck step, naming the tensors
   /// it waits on and why ("unproduced", "evicting", "fetch-in-flight", ...).
   std::string DescribeWait(int d, const Step& step);
+  /// Structural key for `id` (diagnostics / trace detail).
+  const TensorKey& KeyOf(TensorId id) const { return program_->tensors.key(id); }
 
  private:
-  bool AutoCreate(const TensorKey& key, Bytes bytes);
-  void StartEviction(int d, const TensorKey& key);
-  void HostArrived(const TensorKey& key);
+  bool AutoCreate(TensorId id, Bytes bytes);
+  void StartEviction(int d, TensorId id);
+  void HostArrived(TensorId id);
   void AddHostBuffer(TensorState* st);
   void DropHostBuffer(TensorState* st);
-  void FreeTensor(const TensorKey& key);
+  void FreeTensor(TensorId id);
+  int RefCount(TensorId id) const { return program_->ref_counts[id]; }
 
   void EmitInstant(trace::EventKind kind, trace::Lane lane, int device,
                    Bytes bytes);
-  void TraceTensor(const TensorKey& key, const char* detail, int device);
+  void TraceTensor(TensorId id, const char* detail, int device);
 
   const core::TaskGraph& graph_;
-  const std::map<TensorKey, int>* ref_counts_;
+  const StepProgram* program_;
   Env env_;
   trace::TraceBus* bus_;
 
@@ -139,7 +145,7 @@ class Residency {
   TensorTable table_;
 
   struct AllocReq {
-    TensorKey key;
+    TensorId id;
     Bytes bytes;
     std::function<void()> granted;
   };

@@ -12,22 +12,22 @@ namespace harmony::runtime {
 // Host-side hooks
 // ---------------------------------------------------------------------------
 
-bool Residency::HostReady(const TensorKey& key) {
-  const TensorState& st = table_.Get(key);
+bool Residency::HostReady(TensorId id) {
+  const TensorState& st = table_.Get(id);
   return st.exists && st.on_host;
 }
 
-void Residency::AddHostWaiter(const TensorKey& key, std::function<void()> fn) {
-  table_.Get(key).host_waiters.push_back(std::move(fn));
+void Residency::AddHostWaiter(TensorId id, std::function<void()> fn) {
+  table_.Get(id).host_waiters.push_back(std::move(fn));
 }
 
-void Residency::ReleaseHostCopy(const TensorKey& key) {
-  TensorState& st = table_.Get(key);
+void Residency::ReleaseHostCopy(TensorId id) {
+  TensorState& st = table_.Get(id);
   if (st.on_host) {
     DropHostBuffer(&st);
     st.on_host = false;
   }
-  if (st.resident_gpus.empty()) st.exists = false;
+  if (st.resident_gpus == 0) st.exists = false;
 }
 
 
@@ -35,41 +35,37 @@ std::string Residency::DescribePendingAllocs(int d) const {
   std::string out;
   for (const AllocReq& req : alloc_queue_[d]) {
     if (!out.empty()) out += ", ";
-    out += req.key.ToString() + "(" + FormatBytes(req.bytes) + ")";
+    out += KeyOf(req.id).ToString() + "(" + FormatBytes(req.bytes) + ")";
   }
   return out;
 }
 
 std::string Residency::DescribeWait(int d, const Step& step) {
   std::string out;
-  auto add = [&out](const TensorKey& key, const std::string& why) {
+  auto add = [&out, this](TensorId id, const std::string& why) {
     if (!out.empty()) out += ", ";
-    out += key.ToString() + " [" + why + "]";
+    out += KeyOf(id).ToString() + " [" + why + "]";
   };
   for (const NeedSpec& n : step.needs) {
-    if (!table_.Contains(n.key)) {
-      add(n.key, "unproduced");
-      continue;
-    }
-    TensorState& st = table_.Get(n.key);
+    TensorState& st = table_.Get(n.id);
     if (st.UsableOn(d)) continue;  // this need is satisfied
     if (!st.exists) {
-      add(n.key, "unproduced");
-    } else if (st.evicting_gpus.count(d)) {
-      add(n.key, "evicting from d" + std::to_string(d));
+      add(n.id, "unproduced");
+    } else if (st.EvictingOn(d)) {
+      add(n.id, "evicting from d" + std::to_string(d));
     } else if (st.fetch_in_flight) {
-      add(n.key, "fetch in flight to d" + std::to_string(st.inflight_dst));
+      add(n.id, "fetch in flight to d" + std::to_string(st.inflight_dst));
     } else if (st.on_host) {
-      add(n.key, "on host, not fetched");
+      add(n.id, "on host, not fetched");
     } else if (int peer = st.StableGpu(); peer >= 0) {
-      add(n.key, "resident on d" + std::to_string(peer));
+      add(n.id, "resident on d" + std::to_string(peer));
     } else {
-      add(n.key, "no stable copy");
+      add(n.id, "no stable copy");
     }
   }
   for (const ProduceSpec& p : step.produces) {
-    if (!mem_[d].IsResident(p.key)) {
-      add(p.key, "allocation not granted");
+    if (!mem_[d].IsResident(p.id)) {
+      add(p.id, "allocation not granted");
     }
   }
   if (out.empty()) out = "no unmet tensor waits (join lost)";

@@ -1,7 +1,6 @@
 #ifndef HARMONY_RUNTIME_STEP_H_
 #define HARMONY_RUNTIME_STEP_H_
 
-#include <map>
 #include <string>
 #include <vector>
 
@@ -12,7 +11,7 @@ namespace harmony::runtime {
 
 /// One tensor a step must have resident before its compute launches.
 struct NeedSpec {
-  TensorKey key;
+  TensorId id = kInvalidTensorId;
   Bytes bytes = 0;
   /// Fetch strictly from the host copy (checkpoint reads use the message-
   /// passing channel, Sec 4.4); never moves a peer GPU's copy.
@@ -21,41 +20,46 @@ struct NeedSpec {
 
 /// One tensor a step allocates and writes.
 struct ProduceSpec {
-  TensorKey key;
+  TensorId id = kInvalidTensorId;
   Bytes bytes = 0;
 };
 
 /// One layer-granularity unit of GPU work, compiled from a Task. The
 /// executor issues a step's fetches/allocations, runs its compute on the
-/// compute stream, then applies the post actions.
+/// compute stream, then applies the post actions. Tensors are referenced by
+/// the dense TensorId interned at lowering time; the program's catalog maps
+/// ids back to structural TensorKeys for diagnostics.
 struct Step {
   int task = -1;
   TimeSec compute = 0;
   std::vector<NeedSpec> needs;
   std::vector<ProduceSpec> produces;
-  std::vector<TensorKey> derefs;        // consumed inputs (refcount--)
-  std::vector<TensorKey> copy_to_host;  // checkpoint / master write-back
-  std::vector<TensorKey> move_to_host;  // gradient push, optimizer state
-  std::vector<TensorKey> mark_dirty;
+  std::vector<TensorId> derefs;        // consumed inputs (refcount--)
+  std::vector<TensorId> copy_to_host;  // checkpoint / master write-back
+  std::vector<TensorId> move_to_host;  // gradient push, optimizer state
+  std::vector<TensorId> mark_dirty;
 };
 
 /// CPU-offloaded work (weight updates).
 struct CpuStep {
   int task = -1;
   TimeSec duration = 0;
-  std::vector<TensorKey> host_needs;  // wait until a valid host copy exists
-  std::vector<int> wait_tasks;        // task-completion dependencies
-  std::vector<TensorKey> host_frees;  // consumed host copies (gradients)
+  std::vector<TensorId> host_needs;  // wait until a valid host copy exists
+  std::vector<int> wait_tasks;       // task-completion dependencies
+  std::vector<TensorId> host_frees;  // consumed host copies (gradients)
 };
 
 /// The compiled form of a TaskGraph: per-device GPU step sequences, per-
-/// process CPU step sequences, and the consumer reference counts that drive
-/// tensor lifetime. Pure data — executable by the simulator-backed Executor,
-/// and inspectable by tests without any simulation at all.
+/// process CPU step sequences, the tensor catalog interning every TensorKey
+/// the program touches, and the consumer reference counts (indexed by
+/// TensorId) that drive tensor lifetime. Pure data — executable by the
+/// simulator-backed Executor, and inspectable by tests without any
+/// simulation at all.
 struct StepProgram {
   std::vector<std::vector<Step>> steps;         // per device, in issue order
   std::vector<std::vector<CpuStep>> cpu_steps;  // per process, in order
-  std::map<TensorKey, int> ref_counts;          // consumers per data tensor
+  TensorCatalog tensors;
+  std::vector<int> ref_counts;                  // per TensorId; consumers
   std::vector<int> task_step_counts;            // steps per task (GPU + CPU)
   /// Master weights + optimizer state permanently resident on host.
   Bytes static_host_bytes = 0;
@@ -70,9 +74,10 @@ struct StepProgram {
 
 /// Stable one-line renderings for golden tests and deadlock diagnostics.
 /// Compute/duration times are intentionally omitted: goldens pin the
-/// *structure* (keys, bytes, ordering), not the cost model.
-std::string DebugString(const Step& step);
-std::string DebugString(const CpuStep& step);
+/// *structure* (keys, bytes, ordering), not the cost model. The catalog
+/// resolves ids back to the key renderings the goldens were recorded with.
+std::string DebugString(const Step& step, const TensorCatalog& tensors);
+std::string DebugString(const CpuStep& step, const TensorCatalog& tensors);
 
 }  // namespace harmony::runtime
 

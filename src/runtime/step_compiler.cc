@@ -76,14 +76,14 @@ std::vector<NeedSpec> StepCompiler::BoundaryInputKeys(int boundary, int replica,
     // Data loader (or an unproduced boundary, which AutoCreate rejects):
     // keyed at consumer granularity.
     out.push_back(NeedSpec{
-        TensorKey{TensorKind::kActivation, boundary, piece.begin, replica},
+        Id(TensorKey{TensorKind::kActivation, boundary, piece.begin, replica}),
         static_cast<Bytes>(piece.size) * boundary_bytes_[boundary]});
     return out;
   }
   for (const MbPiece& p : act_layout_[replica][boundary]) {
     if (!p.Overlaps(piece)) continue;
     out.push_back(NeedSpec{
-        TensorKey{TensorKind::kActivation, boundary, p.begin, replica},
+        Id(TensorKey{TensorKind::kActivation, boundary, p.begin, replica}),
         static_cast<Bytes>(p.size) * boundary_bytes_[boundary]});
   }
   HARMONY_CHECK(!out.empty()) << "no producer pieces for boundary " << boundary;
@@ -99,7 +99,7 @@ std::vector<NeedSpec> StepCompiler::StashKeys(int layer, int replica,
   for (const MbPiece& p : stash_layout_[replica][layer]) {
     if (!p.Overlaps(piece)) continue;
     out.push_back(
-        NeedSpec{TensorKey{TensorKind::kStash, layer, p.begin, replica},
+        NeedSpec{Id(TensorKey{TensorKind::kStash, layer, p.begin, replica}),
                  static_cast<Bytes>(p.size) * stash_bytes_[layer]});
   }
   return out;
@@ -115,22 +115,23 @@ void StepCompiler::CompileForward(const Task& t) {
       const Bytes params = model_.layers[l].spec.param_bytes;
       if (params > 0) {
         s.needs.push_back(
-            NeedSpec{TensorKey{TensorKind::kWeight, l, -1, d}, params});
+            NeedSpec{Id(TensorKey{TensorKind::kWeight, l, -1, d}), params});
       }
       if (l == t.pack.lo) {
         for (const NeedSpec& in : BoundaryInputKeys(l, t.replica, piece)) {
           s.needs.push_back(in);
-          s.derefs.push_back(in.key);
+          s.derefs.push_back(in.id);
         }
       } else if (boundary_bytes_[l] > 0) {
-        const TensorKey in{TensorKind::kActivation, l, piece.begin, t.replica};
+        const TensorId in =
+            Id(TensorKey{TensorKind::kActivation, l, piece.begin, t.replica});
         s.needs.push_back(
             NeedSpec{in, static_cast<Bytes>(piece.size) * boundary_bytes_[l]});
         s.derefs.push_back(in);
       }
       if (boundary_bytes_[l + 1] > 0) {
-        const TensorKey out{TensorKind::kActivation, l + 1, piece.begin,
-                            t.replica};
+        const TensorId out = Id(
+            TensorKey{TensorKind::kActivation, l + 1, piece.begin, t.replica});
         s.produces.push_back(ProduceSpec{
             out, static_cast<Bytes>(piece.size) * boundary_bytes_[l + 1]});
         if (std::find(t.checkpoint_boundaries.begin(),
@@ -140,9 +141,9 @@ void StepCompiler::CompileForward(const Task& t) {
         }
       }
       if (t.save_full_stash && stash_bytes_[l] > 0) {
-        s.produces.push_back(
-            ProduceSpec{TensorKey{TensorKind::kStash, l, piece.begin, t.replica},
-                        static_cast<Bytes>(piece.size) * stash_bytes_[l]});
+        s.produces.push_back(ProduceSpec{
+            Id(TensorKey{TensorKind::kStash, l, piece.begin, t.replica}),
+            static_cast<Bytes>(piece.size) * stash_bytes_[l]});
       }
       program_.steps[d].push_back(std::move(s));
     }
@@ -168,24 +169,25 @@ void StepCompiler::CompileBackward(const Task& t) {
         const Bytes params = model_.layers[l].spec.param_bytes;
         if (params > 0) {
           s.needs.push_back(
-              NeedSpec{TensorKey{TensorKind::kWeight, l, -1, d}, params});
+              NeedSpec{Id(TensorKey{TensorKind::kWeight, l, -1, d}), params});
         }
         if (l == t.pack.lo) {
           for (NeedSpec in : BoundaryInputKeys(l, t.replica, piece)) {
             in.from_host = t.reads_checkpoint;  // message-passing channel
             s.needs.push_back(in);
-            s.derefs.push_back(in.key);
+            s.derefs.push_back(in.id);
           }
         } else if (stash_bytes_[l - 1] > 0) {
-          const TensorKey in{TensorKind::kStash, l - 1, piece.begin, t.replica};
+          const TensorId in =
+              Id(TensorKey{TensorKind::kStash, l - 1, piece.begin, t.replica});
           s.needs.push_back(
               NeedSpec{in, static_cast<Bytes>(piece.size) * stash_bytes_[l - 1]});
           s.derefs.push_back(in);
         }
         if (stash_bytes_[l] > 0) {
-          s.produces.push_back(
-              ProduceSpec{TensorKey{TensorKind::kStash, l, piece.begin, t.replica},
-                          static_cast<Bytes>(piece.size) * stash_bytes_[l]});
+          s.produces.push_back(ProduceSpec{
+              Id(TensorKey{TensorKind::kStash, l, piece.begin, t.replica}),
+              static_cast<Bytes>(piece.size) * stash_bytes_[l]});
         }
         program_.steps[d].push_back(std::move(s));
       }
@@ -197,8 +199,8 @@ void StepCompiler::CompileBackward(const Task& t) {
       const Bytes params = model_.layers[l].spec.param_bytes;
       if (params > 0) {
         s.needs.push_back(
-            NeedSpec{TensorKey{TensorKind::kWeight, l, -1, d}, params});
-        const TensorKey g{TensorKind::kGrad, l, -1, t.replica};
+            NeedSpec{Id(TensorKey{TensorKind::kWeight, l, -1, d}), params});
+        const TensorId g = Id(TensorKey{TensorKind::kGrad, l, -1, t.replica});
         if (first_piece) {
           s.produces.push_back(ProduceSpec{g, params});
         } else {
@@ -209,7 +211,8 @@ void StepCompiler::CompileBackward(const Task& t) {
       // Stashed activations of this layer (rematerialized or fetched).
       if (remat) {
         if (stash_bytes_[l] > 0) {
-          const TensorKey st{TensorKind::kStash, l, piece.begin, t.replica};
+          const TensorId st =
+              Id(TensorKey{TensorKind::kStash, l, piece.begin, t.replica});
           s.needs.push_back(
               NeedSpec{st, static_cast<Bytes>(piece.size) * stash_bytes_[l]});
           s.derefs.push_back(st);
@@ -217,7 +220,7 @@ void StepCompiler::CompileBackward(const Task& t) {
       } else {
         for (const NeedSpec& st : StashKeys(l, t.replica, piece)) {
           s.needs.push_back(st);
-          s.derefs.push_back(st.key);
+          s.derefs.push_back(st.id);
         }
       }
       // Incoming gradient dA(l+1).
@@ -225,23 +228,25 @@ void StepCompiler::CompileBackward(const Task& t) {
         if (t.pack.hi + 1 <= R - 1 && boundary_bytes_[l + 1] > 0) {
           for (const MbPiece& p : grad_layout_[t.replica][l + 1]) {
             if (!p.Overlaps(piece)) continue;
-            const TensorKey gin{TensorKind::kGradAct, l + 1, p.begin, t.replica};
+            const TensorId gin =
+                Id(TensorKey{TensorKind::kGradAct, l + 1, p.begin, t.replica});
             s.needs.push_back(NeedSpec{
                 gin, static_cast<Bytes>(p.size) * boundary_bytes_[l + 1]});
             s.derefs.push_back(gin);
           }
         }
       } else if (boundary_bytes_[l + 1] > 0) {
-        const TensorKey gin{TensorKind::kGradAct, l + 1, piece.begin, t.replica};
+        const TensorId gin =
+            Id(TensorKey{TensorKind::kGradAct, l + 1, piece.begin, t.replica});
         s.needs.push_back(
             NeedSpec{gin, static_cast<Bytes>(piece.size) * boundary_bytes_[l + 1]});
         s.derefs.push_back(gin);
       }
       // Outgoing gradient dA(l) (none for the model input).
       if (l > 0 && boundary_bytes_[l] > 0) {
-        s.produces.push_back(
-            ProduceSpec{TensorKey{TensorKind::kGradAct, l, piece.begin, t.replica},
-                        static_cast<Bytes>(piece.size) * boundary_bytes_[l]});
+        s.produces.push_back(ProduceSpec{
+            Id(TensorKey{TensorKind::kGradAct, l, piece.begin, t.replica}),
+            static_cast<Bytes>(piece.size) * boundary_bytes_[l]});
       }
       program_.steps[d].push_back(std::move(s));
     }
@@ -253,7 +258,8 @@ void StepCompiler::CompileBackward(const Task& t) {
     Step& last = program_.steps[d].back();
     for (int l = t.pack.lo; l <= t.pack.hi; ++l) {
       if (model_.layers[l].spec.param_bytes > 0) {
-        last.move_to_host.push_back(TensorKey{TensorKind::kGrad, l, -1, t.replica});
+        last.move_to_host.push_back(
+            Id(TensorKey{TensorKind::kGrad, l, -1, t.replica}));
       }
     }
   }
@@ -271,9 +277,9 @@ void StepCompiler::CompileGpuUpdate(const Task& t) {
     Step s;
     s.task = t.id;
     s.compute = cost_.GpuUpdateTime(model_.layers[l].spec);
-    const TensorKey w{TensorKind::kWeight, l, -1, d};
-    const TensorKey g{TensorKind::kGrad, l, -1, replica};
-    const TensorKey o{TensorKind::kOptState, l, -1, d};
+    const TensorId w = Id(TensorKey{TensorKind::kWeight, l, -1, d});
+    const TensorId g = Id(TensorKey{TensorKind::kGrad, l, -1, replica});
+    const TensorId o = Id(TensorKey{TensorKind::kOptState, l, -1, d});
     s.needs.push_back(NeedSpec{w, params});
     s.needs.push_back(NeedSpec{g, params});
     s.needs.push_back(NeedSpec{o, opt_state_bytes(l)});
@@ -308,7 +314,7 @@ void StepCompiler::CompileCpuUpdate(const Task& t) {
     s.duration += static_cast<double>(params) * (2.0 + nrep) /
                   machine_.cpu_update_bw;
     for (int r : replicas) {
-      const TensorKey g{TensorKind::kGrad, l, -1, r};
+      const TensorId g = Id(TensorKey{TensorKind::kGrad, l, -1, r});
       s.host_needs.push_back(g);
       s.host_frees.push_back(g);
     }
@@ -327,10 +333,10 @@ void StepCompiler::CompileCpuUpdate(const Task& t) {
 }
 
 void StepCompiler::ComputeRefs() {
-  program_.ref_counts.clear();
+  program_.ref_counts.assign(program_.tensors.size(), 0);
   for (const auto& dev : program_.steps) {
     for (const Step& s : dev) {
-      for (const TensorKey& k : s.derefs) ++program_.ref_counts[k];
+      for (const TensorId id : s.derefs) ++program_.ref_counts[id];
     }
   }
 }
@@ -371,46 +377,48 @@ StepProgram StepCompiler::Compile() {
 namespace {
 
 void AppendKeys(std::string* out, const char* tag,
-                const std::vector<TensorKey>& keys) {
-  if (keys.empty()) return;
+                const std::vector<TensorId>& ids,
+                const TensorCatalog& tensors) {
+  if (ids.empty()) return;
   *out += " ";
   *out += tag;
   *out += "=[";
-  for (size_t i = 0; i < keys.size(); ++i) {
+  for (size_t i = 0; i < ids.size(); ++i) {
     if (i) *out += " ";
-    *out += keys[i].ToString();
+    *out += tensors.key(ids[i]).ToString();
   }
   *out += "]";
 }
 
 }  // namespace
 
-std::string DebugString(const Step& s) {
+std::string DebugString(const Step& s, const TensorCatalog& tensors) {
   std::string out = "t" + std::to_string(s.task);
   out += " needs=[";
   for (size_t i = 0; i < s.needs.size(); ++i) {
     if (i) out += " ";
-    out += s.needs[i].key.ToString() + ":" + std::to_string(s.needs[i].bytes);
+    out += tensors.key(s.needs[i].id).ToString() + ":" +
+           std::to_string(s.needs[i].bytes);
     if (s.needs[i].from_host) out += "@host";
   }
   out += "] produces=[";
   for (size_t i = 0; i < s.produces.size(); ++i) {
     if (i) out += " ";
-    out += s.produces[i].key.ToString() + ":" +
+    out += tensors.key(s.produces[i].id).ToString() + ":" +
            std::to_string(s.produces[i].bytes);
   }
   out += "]";
-  AppendKeys(&out, "derefs", s.derefs);
-  AppendKeys(&out, "copy", s.copy_to_host);
-  AppendKeys(&out, "move", s.move_to_host);
-  AppendKeys(&out, "dirty", s.mark_dirty);
+  AppendKeys(&out, "derefs", s.derefs, tensors);
+  AppendKeys(&out, "copy", s.copy_to_host, tensors);
+  AppendKeys(&out, "move", s.move_to_host, tensors);
+  AppendKeys(&out, "dirty", s.mark_dirty, tensors);
   return out;
 }
 
-std::string DebugString(const CpuStep& s) {
+std::string DebugString(const CpuStep& s, const TensorCatalog& tensors) {
   std::string out = "t" + std::to_string(s.task) + " cpu";
-  AppendKeys(&out, "host_needs", s.host_needs);
-  AppendKeys(&out, "host_frees", s.host_frees);
+  AppendKeys(&out, "host_needs", s.host_needs, tensors);
+  AppendKeys(&out, "host_frees", s.host_frees, tensors);
   if (!s.wait_tasks.empty()) {
     out += " waits=[";
     for (size_t i = 0; i < s.wait_tasks.size(); ++i) {

@@ -45,6 +45,9 @@ class StepCompiler {
     return opt_mult_ * model_.layers[layer].spec.param_bytes;
   }
 
+  /// Interns `key` into the program's catalog, returning its dense id.
+  TensorId Id(const TensorKey& key) { return program_.tensors.Intern(key); }
+
   const hw::MachineSpec& machine_;
   const model::SequentialModel& model_;
   const core::TaskGraph& graph_;

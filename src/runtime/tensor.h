@@ -1,10 +1,10 @@
 #ifndef HARMONY_RUNTIME_TENSOR_H_
 #define HARMONY_RUNTIME_TENSOR_H_
 
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <set>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -43,30 +43,70 @@ struct TensorKey {
   std::string ToString() const;
 };
 
+/// Dense handle for a tensor instance, assigned by the StepCompiler when it
+/// interns every TensorKey appearing in a program. All hot-path state
+/// (residency, memory accounting, reference counts) is indexed by TensorId;
+/// the structural TensorKey survives only in the catalog, for diagnostics
+/// and golden renderings.
+using TensorId = int32_t;
+inline constexpr TensorId kInvalidTensorId = -1;
+
+/// Bidirectional TensorKey <-> TensorId mapping for one compiled program.
+/// Ids are dense, assigned in first-intern order.
+class TensorCatalog {
+ public:
+  TensorId Intern(const TensorKey& key) {
+    auto [it, inserted] =
+        index_.try_emplace(key, static_cast<TensorId>(keys_.size()));
+    if (inserted) keys_.push_back(key);
+    return it->second;
+  }
+  /// kInvalidTensorId when `key` was never interned.
+  TensorId Find(const TensorKey& key) const {
+    auto it = index_.find(key);
+    return it == index_.end() ? kInvalidTensorId : it->second;
+  }
+  const TensorKey& key(TensorId id) const { return keys_[id]; }
+  int size() const { return static_cast<int>(keys_.size()); }
+
+ private:
+  std::vector<TensorKey> keys_;
+  std::map<TensorKey, TensorId> index_;
+};
+
 /// Where a tensor's bytes live and how they may move. A tensor has at most
-/// one GPU-resident copy; `on_host` records whether a valid host copy exists,
-/// so a clean eviction can drop the GPU copy without a transfer — the
-/// tensor-lifetime state machine of Harmony's memory manager (Sec 4.4).
+/// one GPU-resident copy per device; `on_host` records whether a valid host
+/// copy exists, so a clean eviction can drop the GPU copy without a transfer
+/// — the tensor-lifetime state machine of Harmony's memory manager (Sec 4.4).
+/// Device sets are bitmasks (bit d = device d), bounding the runtime to 32
+/// GPUs per machine — far above the paper's 4/8-GPU commodity servers.
 struct TensorState {
   Bytes bytes = 0;
   bool exists = false;        // has been produced (or auto-created host state)
   bool on_host = false;       // valid copy in host memory
-  std::set<int> resident_gpus;  // GPUs holding a copy
-  std::set<int> evicting_gpus;  // copies with an eviction/move in progress
+  uint32_t resident_gpus = 0;  // GPUs holding a copy
+  uint32_t evicting_gpus = 0;  // copies with an eviction/move in progress
   bool gpu_dirty = false;     // newest data is on a GPU (host copy stale/absent)
   bool fetch_in_flight = false;
   int inflight_dst = -1;
   int refs_remaining = 0;     // consumers yet to use it (data tensors)
 
-  bool UsableOn(int d) const {
-    return resident_gpus.count(d) > 0 && evicting_gpus.count(d) == 0;
+  bool ResidentOn(int d) const { return (resident_gpus >> d) & 1u; }
+  bool EvictingOn(int d) const { return (evicting_gpus >> d) & 1u; }
+  void SetResident(int d, bool v) {
+    resident_gpus = v ? resident_gpus | (1u << d) : resident_gpus & ~(1u << d);
   }
-  /// A GPU that currently holds a stable copy (-1 if none).
+  void SetEvicting(int d, bool v) {
+    evicting_gpus = v ? evicting_gpus | (1u << d) : evicting_gpus & ~(1u << d);
+  }
+  int NumResident() const { return std::popcount(resident_gpus); }
+
+  bool UsableOn(int d) const { return ResidentOn(d) && !EvictingOn(d); }
+  /// A GPU that currently holds a stable copy (-1 if none). Lowest device
+  /// first, matching the former std::set<int> iteration order.
   int StableGpu() const {
-    for (int d : resident_gpus) {
-      if (evicting_gpus.count(d) == 0) return d;
-    }
-    return -1;
+    const uint32_t stable = resident_gpus & ~evicting_gpus;
+    return stable == 0 ? -1 : std::countr_zero(stable);
   }
 
   /// Continuations: fired (and cleared) on production, on GPU arrival, and on
@@ -76,15 +116,19 @@ struct TensorState {
   std::vector<std::function<void()>> host_waiters;
 };
 
-/// Registry of all tensor instances in a run.
+/// Registry of all tensor instances in a run, indexed by TensorId. Every id
+/// of the program's catalog has a (lazily meaningful) slot from the start;
+/// `exists` distinguishes produced tensors.
 class TensorTable {
  public:
-  TensorState& Get(const TensorKey& key) { return states_[key]; }
-  bool Contains(const TensorKey& key) const { return states_.count(key) > 0; }
-  const std::map<TensorKey, TensorState>& all() const { return states_; }
+  explicit TensorTable(int num_tensors) : states_(num_tensors) {}
+
+  TensorState& Get(TensorId id) { return states_[id]; }
+  const TensorState& Get(TensorId id) const { return states_[id]; }
+  int size() const { return static_cast<int>(states_.size()); }
 
  private:
-  std::map<TensorKey, TensorState> states_;
+  std::vector<TensorState> states_;
 };
 
 }  // namespace harmony::runtime

@@ -8,7 +8,10 @@ namespace harmony::sim {
 FlowNetwork::FlowNetwork(Engine* engine, std::vector<BytesPerSec> link_capacities)
     : engine_(engine),
       capacities_(std::move(link_capacities)),
-      link_bytes_(capacities_.size(), 0.0) {
+      link_bytes_(capacities_.size(), 0.0),
+      link_flows_(capacities_.size()),
+      residual_(capacities_.size(), 0.0),
+      nflows_(capacities_.size(), 0) {
   for (BytesPerSec c : capacities_) HARMONY_CHECK_GT(c, 0.0);
 }
 
@@ -43,7 +46,27 @@ int64_t FlowNetwork::StartFlow(const std::vector<int>& path, Bytes bytes,
     HARMONY_CHECK_LT(link, static_cast<int>(capacities_.size()));
   }
   AdvanceToNow();
-  flows_.emplace(id, Flow{path, static_cast<double>(bytes), 0.0, std::move(done)});
+
+  int slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<int>(slots_.size());
+    slots_.emplace_back();
+    frozen_epoch_.push_back(0);
+  }
+  Flow& flow = slots_[slot];
+  flow.id = id;
+  flow.path.assign(path.begin(), path.end());
+  flow.remaining = static_cast<double>(bytes);
+  flow.rate = 0.0;
+  flow.done = std::move(done);
+  // The new flow's id is the largest, so appending keeps every list sorted
+  // by flow id.
+  active_.push_back(slot);
+  for (int link : path) link_flows_[link].push_back(slot);
+
   RecomputeRates();
   return id;
 }
@@ -53,7 +76,8 @@ void FlowNetwork::AdvanceToNow() {
   const double dt = now - last_update_;
   last_update_ = now;
   if (dt <= 0.0) return;
-  for (auto& [id, flow] : flows_) {
+  for (int slot : active_) {
+    Flow& flow = slots_[slot];
     const double moved = flow.rate * dt;
     flow.remaining = std::max(0.0, flow.remaining - moved);
     for (int link : flow.path) link_bytes_[link] += moved;
@@ -63,74 +87,101 @@ void FlowNetwork::AdvanceToNow() {
 void FlowNetwork::RecomputeRates() {
   // Progressive filling (max-min fairness): repeatedly saturate the most
   // constrained link, freezing the rates of the flows that traverse it.
-  std::vector<double> residual = capacities_;
-  std::vector<int> flows_on_link(capacities_.size(), 0);
-  std::map<int64_t, bool> frozen;
-  for (auto& [id, flow] : flows_) {
-    frozen[id] = false;
-    for (int link : flow.path) ++flows_on_link[link];
+  // All scratch (residual_, nflows_, frozen_epoch_) is reused; the only
+  // per-round work is an O(links) scan plus the flows actually frozen.
+  residual_.assign(capacities_.begin(), capacities_.end());
+  for (size_t l = 0; l < link_flows_.size(); ++l) {
+    nflows_[l] = static_cast<int>(link_flows_[l].size());
   }
-  int unfrozen = static_cast<int>(flows_.size());
+  ++fill_epoch_;
+  int unfrozen = static_cast<int>(active_.size());
+  double min_dt = std::numeric_limits<double>::infinity();
+  double prev_share = 0.0;
   while (unfrozen > 0) {
     // The binding link is the one offering the least residual share per flow.
     double best_share = std::numeric_limits<double>::infinity();
     int best_link = -1;
-    for (size_t l = 0; l < residual.size(); ++l) {
-      if (flows_on_link[l] == 0) continue;
-      const double share = residual[l] / flows_on_link[l];
+    for (size_t l = 0; l < residual_.size(); ++l) {
+      if (nflows_[l] == 0) continue;
+      const double share = residual_[l] / nflows_[l];
       if (share < best_share) {
         best_share = share;
         best_link = static_cast<int>(l);
       }
     }
     HARMONY_CHECK_GE(best_link, 0);
-    for (auto& [id, flow] : flows_) {
-      if (frozen[id]) continue;
-      if (std::find(flow.path.begin(), flow.path.end(), best_link) ==
-          flow.path.end()) {
-        continue;
-      }
+    // Fair-share floor: in exact arithmetic the binding share never decreases
+    // across fill rounds (removing k flows at share s from a link with
+    // residual r >= n*s leaves (r - k*s)/(n - k) >= s), so a later round's
+    // share can only dip below an earlier one — in the worst case collapsing
+    // to 0.0 on a link whose residual was eaten by repeated subtraction — via
+    // floating-point error. Clamping to the previous round's share restores
+    // the invariant and keeps every rate strictly positive.
+    best_share = std::max(best_share, prev_share);
+    HARMONY_CHECK_GT(best_share, 0.0);
+    prev_share = best_share;
+    for (int slot : link_flows_[best_link]) {
+      // Skip flows frozen in an earlier round — and, for paths that traverse
+      // the binding link more than once, duplicate entries within this round.
+      if (frozen_epoch_[slot] == fill_epoch_) continue;
+      frozen_epoch_[slot] = fill_epoch_;
+      Flow& flow = slots_[slot];
       flow.rate = best_share;
-      frozen[id] = true;
       --unfrozen;
+      // Every flow freezes exactly once per recompute, so the projected
+      // next-completion time is a by-product of the fill loop.
+      min_dt = std::min(min_dt, flow.remaining / flow.rate);
       for (int link : flow.path) {
-        residual[link] -= best_share;
-        --flows_on_link[link];
+        residual_[link] -= best_share;
+        --nflows_[link];
       }
     }
     // Numerical safety: residual can go slightly negative from fp error.
-    for (double& r : residual) r = std::max(r, 0.0);
+    for (double& r : residual_) r = std::max(r, 0.0);
   }
-  ScheduleNextCompletion();
+
+  const int64_t epoch = ++completion_epoch_;
+  if (active_.empty()) return;
+  engine_->After(min_dt, [this, epoch]() { OnCompletionEvent(epoch); });
 }
 
-void FlowNetwork::ScheduleNextCompletion() {
-  const int64_t epoch = ++completion_epoch_;
-  if (flows_.empty()) return;
-  double min_dt = std::numeric_limits<double>::infinity();
-  for (const auto& [id, flow] : flows_) {
-    HARMONY_CHECK_GT(flow.rate, 0.0);
-    min_dt = std::min(min_dt, flow.remaining / flow.rate);
-  }
-  engine_->After(min_dt, [this, epoch]() {
-    if (epoch != completion_epoch_) return;  // stale: rates changed since
-    AdvanceToNow();
-    // Collect and complete all flows that have drained (fp tolerance).
-    std::vector<std::function<void()>> done_fns;
-    for (auto it = flows_.begin(); it != flows_.end();) {
-      // Sub-byte residue is floating-point error, not payload: a GB-scale
-      // flow integrates with ~1e-7 relative error, so an absolute epsilon
-      // below one byte would spin the engine on infinitesimal completions.
-      if (it->second.remaining <= 1.0) {
-        done_fns.push_back(std::move(it->second.done));
-        it = flows_.erase(it);
-      } else {
-        ++it;
-      }
+void FlowNetwork::OnCompletionEvent(int64_t epoch) {
+  if (epoch != completion_epoch_) return;  // stale: rates changed since
+  AdvanceToNow();
+  // Collect and complete all flows that have drained (fp tolerance), keeping
+  // the survivors' relative order (ascending flow id).
+  done_scratch_.clear();
+  size_t keep = 0;
+  for (size_t i = 0; i < active_.size(); ++i) {
+    const int slot = active_[i];
+    Flow& flow = slots_[slot];
+    // Sub-byte residue is floating-point error, not payload: a GB-scale
+    // flow integrates with ~1e-7 relative error, so an absolute epsilon
+    // below one byte would spin the engine on infinitesimal completions.
+    if (flow.remaining <= 1.0) {
+      done_scratch_.push_back(std::move(flow.done));
+      RemoveFromLinks(slot);
+      flow.done = nullptr;
+      flow.path.clear();
+      free_slots_.push_back(slot);
+    } else {
+      active_[keep++] = slot;
     }
-    RecomputeRates();
-    for (auto& fn : done_fns) fn();
-  });
+  }
+  active_.resize(keep);
+  RecomputeRates();
+  for (auto& fn : done_scratch_) fn();
+  done_scratch_.clear();
+}
+
+void FlowNetwork::RemoveFromLinks(int slot) {
+  for (int link : slots_[slot].path) {
+    auto& on_link = link_flows_[link];
+    // One entry per traversal; erase the first match, preserving order.
+    auto it = std::find(on_link.begin(), on_link.end(), slot);
+    HARMONY_CHECK(it != on_link.end());
+    on_link.erase(it);
+  }
 }
 
 // ---------------------------------------------------------------------------

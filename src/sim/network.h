@@ -1,8 +1,8 @@
 #ifndef HARMONY_SIM_NETWORK_H_
 #define HARMONY_SIM_NETWORK_H_
 
+#include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -18,6 +18,14 @@ namespace harmony::sim {
 /// fairly (progressive filling); rates are recomputed whenever a flow starts
 /// or finishes. This is what turns the paper's "bottleneck PCIe link" and
 /// "4:1 oversubscription" into emergent slowdowns (Fig 2).
+///
+/// The implementation is allocation-free on the steady-state path: flows live
+/// in reusable slots, each link keeps a persistent list of the flow slots
+/// traversing it, and the progressive-filling pass uses epoch-stamped freeze
+/// marks plus per-link residual/count scratch that is reused across
+/// recomputes. The projected next-completion time falls out of the fill loop
+/// itself (every flow is frozen exactly once per recompute), so no separate
+/// scan over the flow population is needed to schedule the next event.
 class FlowNetwork {
  public:
   FlowNetwork(Engine* engine, std::vector<BytesPerSec> link_capacities);
@@ -34,13 +42,14 @@ class FlowNetwork {
   /// Total bytes moved over a link since construction.
   double link_bytes(int link) const { return link_bytes_.at(link); }
 
-  int num_active_flows() const { return static_cast<int>(flows_.size()); }
+  int num_active_flows() const { return static_cast<int>(active_.size()); }
 
  private:
   struct Flow {
-    std::vector<int> path;
-    double remaining;             // bytes
-    double rate = 0.0;            // bytes/sec, set by Recompute()
+    int64_t id = -1;
+    std::vector<int> path;        // capacity reused across slot reuse
+    double remaining = 0.0;       // bytes
+    double rate = 0.0;            // bytes/sec, set by RecomputeRates()
     std::function<void()> done;
   };
 
@@ -48,13 +57,35 @@ class FlowNetwork {
   void AdvanceToNow();
   /// Max-min fair rate assignment + schedules the next completion event.
   void RecomputeRates();
-  void ScheduleNextCompletion();
+  /// Drains finished flows, reassigns rates, then fires callbacks in flow-id
+  /// order (matching the pre-slot std::map iteration order).
+  void OnCompletionEvent(int64_t epoch);
+  /// Unlinks `slot` from every per-link flow list along its path.
+  void RemoveFromLinks(int slot);
 
   Engine* engine_;
   trace::TraceBus* bus_ = nullptr;
   std::vector<BytesPerSec> capacities_;
   std::vector<double> link_bytes_;
-  std::map<int64_t, Flow> flows_;
+
+  // Slot-based flow storage. `active_` and every `link_flows_[l]` hold slot
+  // indices in ascending flow-id order (new flows always get the largest id,
+  // removals preserve order), which keeps freeze/integration/callback order
+  // identical to the former id-keyed std::map.
+  std::vector<Flow> slots_;
+  std::vector<int> free_slots_;
+  std::vector<int> active_;
+  std::vector<std::vector<int>> link_flows_;  // one entry per path traversal
+
+  // Progressive-filling scratch, reused across recomputes (no per-recompute
+  // allocation). `frozen_epoch_[slot] == fill_epoch_` marks a frozen flow;
+  // bumping the epoch invalidates all marks in O(1).
+  std::vector<double> residual_;
+  std::vector<int> nflows_;
+  std::vector<uint32_t> frozen_epoch_;
+  uint32_t fill_epoch_ = 0;
+  std::vector<std::function<void()>> done_scratch_;
+
   int64_t next_flow_id_ = 0;
   TimeSec last_update_ = 0.0;
   int64_t completion_epoch_ = 0;  // lazy cancellation of stale completion events

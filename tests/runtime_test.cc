@@ -20,54 +20,52 @@ using core::TaskGraph;
 // DeviceMemory unit tests
 // ---------------------------------------------------------------------------
 
-TensorKey Key(int layer) { return TensorKey{TensorKind::kWeight, layer, -1, 0}; }
-
 TEST(DeviceMemory, AccountingAndPeak) {
-  DeviceMemory mem(1000);
-  mem.AddResident(Key(0), 400);
-  mem.AddResident(Key(1), 300);
+  DeviceMemory mem(1000, 4);
+  mem.AddResident(0, 400);
+  mem.AddResident(1, 300);
   EXPECT_EQ(mem.used(), 700);
   EXPECT_EQ(mem.free_bytes(), 300);
-  mem.RemoveResident(Key(0));
+  mem.RemoveResident(0);
   EXPECT_EQ(mem.used(), 300);
   EXPECT_EQ(mem.peak_used(), 700);
   EXPECT_EQ(mem.num_resident(), 1);
 }
 
 TEST(DeviceMemory, LruVictimOrder) {
-  DeviceMemory mem(1000);
-  mem.AddResident(Key(0), 300);
-  mem.AddResident(Key(1), 300);
-  mem.AddResident(Key(2), 300);
-  mem.Touch(Key(0));  // 0 becomes most recently used
+  DeviceMemory mem(1000, 4);
+  mem.AddResident(0, 300);
+  mem.AddResident(1, 300);
+  mem.AddResident(2, 300);
+  mem.Touch(0);  // 0 becomes most recently used
   const auto victims = mem.PickVictims(400);
   ASSERT_EQ(victims.size(), 2u);
-  EXPECT_EQ(victims[0], Key(1));
-  EXPECT_EQ(victims[1], Key(2));
+  EXPECT_EQ(victims[0], 1);
+  EXPECT_EQ(victims[1], 2);
 }
 
 TEST(DeviceMemory, PinnedTensorsNotEvicted) {
-  DeviceMemory mem(1000);
-  mem.AddResident(Key(0), 500);
-  mem.AddResident(Key(1), 500);
-  mem.Pin(Key(0));
+  DeviceMemory mem(1000, 4);
+  mem.AddResident(0, 500);
+  mem.AddResident(1, 500);
+  mem.Pin(0);
   const auto victims = mem.PickVictims(600);
   ASSERT_EQ(victims.size(), 1u);
-  EXPECT_EQ(victims[0], Key(1));
+  EXPECT_EQ(victims[0], 1);
   EXPECT_EQ(mem.EvictableBytes(), 500);
-  mem.Unpin(Key(0));
+  mem.Unpin(0);
   EXPECT_EQ(mem.EvictableBytes(), 1000);
 }
 
 TEST(DeviceMemory, NestedPins) {
-  DeviceMemory mem(100);
-  mem.AddResident(Key(0), 50);
-  mem.Pin(Key(0));
-  mem.Pin(Key(0));
-  mem.Unpin(Key(0));
-  EXPECT_TRUE(mem.IsPinned(Key(0)));
-  mem.Unpin(Key(0));
-  EXPECT_FALSE(mem.IsPinned(Key(0)));
+  DeviceMemory mem(100, 4);
+  mem.AddResident(0, 50);
+  mem.Pin(0);
+  mem.Pin(0);
+  mem.Unpin(0);
+  EXPECT_TRUE(mem.IsPinned(0));
+  mem.Unpin(0);
+  EXPECT_FALSE(mem.IsPinned(0));
 }
 
 // ---------------------------------------------------------------------------

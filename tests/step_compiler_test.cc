@@ -64,6 +64,15 @@ const Compiled& Gpt2Pp() {
   return *c;
 }
 
+// Number of tensors with at least one consumer (the old map-based
+// ref_counts only held referenced tensors; the dense vector holds a slot
+// per catalog entry).
+int NumReferenced(const StepProgram& p) {
+  int n = 0;
+  for (int refs : p.ref_counts) n += refs > 0;
+  return n;
+}
+
 // Every StepProgram, regardless of model or mode, must satisfy these.
 void CheckInvariants(const Compiled& c) {
   const StepProgram& p = c.program;
@@ -74,21 +83,25 @@ void CheckInvariants(const Compiled& c) {
     counted += n;
   }
   EXPECT_EQ(counted, p.num_steps());
-  for (const auto& [key, refs] : p.ref_counts) EXPECT_GT(refs, 0);
+  // Dense ref_counts: one slot per interned tensor, never negative.
+  ASSERT_EQ(static_cast<int>(p.ref_counts.size()), p.tensors.size());
+  for (int refs : p.ref_counts) EXPECT_GE(refs, 0);
   for (const auto& dev : p.steps) {
     for (const Step& s : dev) {
       ASSERT_GE(s.task, 0);
       ASSERT_LT(s.task, c.graph.num_tasks());
-      std::set<TensorKey> needed;
+      std::set<TensorId> needed;
       for (const NeedSpec& n : s.needs) {
-        EXPECT_GT(n.bytes, 0) << DebugString(s);
-        needed.insert(n.key);
+        ASSERT_GE(n.id, 0);
+        ASSERT_LT(n.id, p.tensors.size());
+        EXPECT_GT(n.bytes, 0) << DebugString(s, p.tensors);
+        needed.insert(n.id);
       }
       for (const ProduceSpec& pr : s.produces)
-        EXPECT_GT(pr.bytes, 0) << DebugString(s);
+        EXPECT_GT(pr.bytes, 0) << DebugString(s, p.tensors);
       // A step may only consume (deref) tensors it declared as needs.
-      for (const TensorKey& d : s.derefs)
-        EXPECT_TRUE(needed.count(d)) << DebugString(s);
+      for (const TensorId d : s.derefs)
+        EXPECT_TRUE(needed.count(d)) << DebugString(s, p.tensors);
     }
   }
   for (const auto& proc : p.cpu_steps) {
@@ -122,7 +135,7 @@ TEST(StepCompiler, Bert96PpGoldenShape) {
   EXPECT_EQ(p.cpu_steps[1].size(), 1u);
   EXPECT_EQ(p.cpu_steps[2].size(), 1u);
   EXPECT_EQ(p.cpu_steps[3].size(), 0u);
-  EXPECT_EQ(p.ref_counts.size(), 530u);
+  EXPECT_EQ(NumReferenced(p), 530);
   // Master weights + Adam state (2x) permanently on host.
   EXPECT_EQ(p.static_host_bytes, 14904815640);
 }
@@ -131,13 +144,13 @@ TEST(StepCompiler, Bert96PpGoldenSteps) {
   const StepProgram& p = Bert96Pp().program;
   // First forward steps on device 0: weights + boundary activation in,
   // next activation out, input consumed.
-  EXPECT_EQ(DebugString(p.steps[0][0]),
+  EXPECT_EQ(DebugString(p.steps[0][0], p.tensors),
             "t0 needs=[W[L0,o0]:127115264 A[L0,b0,o0]:8192] "
             "produces=[A[L1,b0,o0]:8388608] derefs=[A[L0,b0,o0]]");
-  EXPECT_EQ(DebugString(p.steps[0][1]),
+  EXPECT_EQ(DebugString(p.steps[0][1], p.tensors),
             "t0 needs=[W[L1,o0]:50384896 A[L1,b0,o0]:8388608] "
             "produces=[A[L2,b0,o0]:8388608] derefs=[A[L1,b0,o0]]");
-  EXPECT_EQ(DebugString(p.steps[0][2]),
+  EXPECT_EQ(DebugString(p.steps[0][2], p.tensors),
             "t0 needs=[W[L2,o0]:50384896 A[L2,b0,o0]:8388608] "
             "produces=[A[L3,b0,o0]:8388608] derefs=[A[L2,b0,o0]]");
   // Last backward step on device 0: the final microbatch's first layer of
@@ -146,7 +159,7 @@ TEST(StepCompiler, Bert96PpGoldenSteps) {
   const Step& last = p.steps[0].back();
   EXPECT_EQ(last.task, 4);
   ASSERT_EQ(last.move_to_host.size(), 34u);
-  const std::string rendered = DebugString(last);
+  const std::string rendered = DebugString(last, p.tensors);
   EXPECT_EQ(rendered.substr(0, rendered.find(" move=")),
             "t4 needs=[W[L65,o0]:50384896 G[L65,o0]:50384896 "
             "S[L65,b4,o0]:150994944 dA[L66,b4,o0]:8388608] "
@@ -159,7 +172,7 @@ TEST(StepCompiler, Bert96PpGoldenSteps) {
   EXPECT_EQ(cpu.wait_tasks, std::vector<int>{4});
   ASSERT_EQ(cpu.host_needs.size(), 34u);
   EXPECT_EQ(cpu.host_needs, cpu.host_frees);
-  EXPECT_EQ(DebugString(cpu).substr(0, 30), "t7 cpu host_needs=[G[L65,o0] G");
+  EXPECT_EQ(DebugString(cpu, p.tensors).substr(0, 30), "t7 cpu host_needs=[G[L65,o0] G");
 }
 
 TEST(StepCompiler, Bert96PpInvariants) { CheckInvariants(Bert96Pp()); }
@@ -183,19 +196,19 @@ TEST(StepCompiler, Gpt2PpGoldenShape) {
   EXPECT_EQ(p.cpu_steps[1].size(), 2u);
   EXPECT_EQ(p.cpu_steps[2].size(), 1u);
   EXPECT_EQ(p.cpu_steps[3].size(), 1u);
-  EXPECT_EQ(p.ref_counts.size(), 294u);
+  EXPECT_EQ(NumReferenced(p), 294);
   EXPECT_EQ(p.static_host_bytes, 18691334400);
 }
 
 TEST(StepCompiler, Gpt2PpGoldenSteps) {
   const StepProgram& p = Gpt2Pp().program;
-  EXPECT_EQ(DebugString(p.steps[0][0]),
+  EXPECT_EQ(DebugString(p.steps[0][0], p.tensors),
             "t0 needs=[W[L0,o0]:328198400 A[L0,b0,o0]:16384] "
             "produces=[A[L1,b0,o0]:26214400] derefs=[A[L0,b0,o0]]");
-  EXPECT_EQ(DebugString(p.steps[0][1]),
+  EXPECT_EQ(DebugString(p.steps[0][1], p.tensors),
             "t0 needs=[W[L1,o0]:122963200 A[L1,b0,o0]:26214400] "
             "produces=[A[L2,b0,o0]:26214400] derefs=[A[L1,b0,o0]]");
-  EXPECT_EQ(DebugString(p.steps[0][2]),
+  EXPECT_EQ(DebugString(p.steps[0][2], p.tensors),
             "t0 needs=[W[L2,o0]:122963200 A[L2,b0,o0]:26214400] "
             "produces=[A[L3,b0,o0]:26214400] derefs=[A[L2,b0,o0]]");
   const Step& last = p.steps[0].back();
@@ -226,13 +239,13 @@ TEST(StepCompiler, CompileIsDeterministic) {
   for (size_t d = 0; d < a.program.steps.size(); ++d) {
     ASSERT_EQ(a.program.steps[d].size(), b.program.steps[d].size());
     for (size_t i = 0; i < a.program.steps[d].size(); ++i)
-      EXPECT_EQ(DebugString(a.program.steps[d][i]),
-                DebugString(b.program.steps[d][i]));
+      EXPECT_EQ(DebugString(a.program.steps[d][i], a.program.tensors),
+                DebugString(b.program.steps[d][i], b.program.tensors));
   }
   for (size_t d = 0; d < a.program.cpu_steps.size(); ++d)
     for (size_t i = 0; i < a.program.cpu_steps[d].size(); ++i)
-      EXPECT_EQ(DebugString(a.program.cpu_steps[d][i]),
-                DebugString(b.program.cpu_steps[d][i]));
+      EXPECT_EQ(DebugString(a.program.cpu_steps[d][i], a.program.tensors),
+                DebugString(b.program.cpu_steps[d][i], b.program.tensors));
   EXPECT_EQ(a.program.ref_counts, b.program.ref_counts);
   EXPECT_EQ(a.program.static_host_bytes, b.program.static_host_bytes);
 }
