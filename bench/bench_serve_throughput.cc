@@ -1,0 +1,184 @@
+// Serving-layer performance baseline: what does fronting Algorithm 1 with
+// the content-addressed plan cache buy, and how does the service scale with
+// concurrent closed-loop clients?
+//
+// Measures, in-process (no socket, so the numbers isolate the service):
+//   * cold plan latency  — every request forced past the cache
+//     (bypass_cache), i.e. a full configuration search;
+//   * warm hit latency   — the identical request answered from the cache;
+//   * closed-loop warm throughput at 1/4/8 client threads (req/s, p50/p99).
+//
+// `--json` writes BENCH_serve.json (CWD) in the `benchmark`/`seconds_per_op`
+// record format scripts/check_bench.py understands. The cold/warm ratio and
+// the bit-identity of the warm config are attached to the warm record — the
+// paper's planner is deterministic, so a cache hit must return byte-for-byte
+// the plan a fresh search would.
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "serve/plan_service.h"
+#include "serve/wire.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using harmony::bench::JsonObject;
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t idx =
+      static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+struct LoadResult {
+  double seconds_per_op = 0;
+  double requests_per_second = 0;
+  double p50 = 0, p99 = 0;
+};
+
+/// Closed loop: `threads` callers, each keeping one request in flight,
+/// `iters` warm requests per caller.
+LoadResult RunClosedLoop(harmony::serve::PlanService* service,
+                         const harmony::serve::PlanRequest& request,
+                         int threads, int iters) {
+  std::mutex mu;
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<size_t>(threads) * iters);
+  const auto start = Clock::now();
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&]() {
+      for (int i = 0; i < iters; ++i) {
+        const auto begin = Clock::now();
+        const harmony::serve::PlanResponse r = service->Plan(request);
+        const double s =
+            std::chrono::duration<double>(Clock::now() - begin).count();
+        HARMONY_CHECK(r.status.ok()) << r.status.ToString();
+        std::lock_guard<std::mutex> lock(mu);
+        latencies.push_back(s);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  const double wall = std::chrono::duration<double>(Clock::now() - start).count();
+  std::sort(latencies.begin(), latencies.end());
+  LoadResult out;
+  const double total = static_cast<double>(latencies.size());
+  out.seconds_per_op = wall / total;
+  out.requests_per_second = total / wall;
+  out.p50 = Percentile(latencies, 0.50);
+  out.p99 = Percentile(latencies, 0.99);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace harmony;
+  const bool as_json = bench::JsonFlag(argc, argv);
+  bench::PrintHeader("Plan-as-a-service: cache & concurrency",
+                     "serving layer (DESIGN.md §9)");
+
+  serve::ServeOptions options;
+  options.num_workers = 4;
+  options.max_pending = 64;
+  serve::PlanService service(options);
+
+  serve::PlanRequest request;
+  request.model = serve::ModelSpec::FromName("GPT2").value();
+  request.machine = hw::MachineSpec::Commodity4Gpu();
+  request.mode = core::HarmonyMode::kPipelineParallel;
+  request.minibatch = 64;
+
+  // Prime the profile memo and the cache: the first request pays profiling,
+  // which is amortized state, not per-request work.
+  const serve::PlanResponse primed = service.Plan(request);
+  HARMONY_CHECK(primed.status.ok()) << primed.status.ToString();
+  const std::string cold_config = serve::ConfigurationToJson(primed.config).Dump();
+
+  // Cold: force past the cache so every call is a full search.
+  serve::PlanRequest cold = request;
+  cold.bypass_cache = true;
+  constexpr int kColdReps = 7;
+  std::vector<double> cold_samples;
+  for (int i = 0; i < kColdReps; ++i) {
+    const auto begin = Clock::now();
+    const serve::PlanResponse r = service.Plan(cold);
+    cold_samples.push_back(
+        std::chrono::duration<double>(Clock::now() - begin).count());
+    HARMONY_CHECK(r.status.ok()) << r.status.ToString();
+  }
+  const double cold_s = bench::Median(cold_samples);
+
+  // Warm: identical request, answered from the cache. Time batches — a
+  // single hit is sub-microsecond-noisy.
+  constexpr int kWarmReps = 5, kWarmBatch = 2000;
+  std::vector<double> warm_samples;
+  std::string warm_config;
+  bool all_hits = true;
+  for (int i = 0; i < kWarmReps; ++i) {
+    const auto begin = Clock::now();
+    for (int j = 0; j < kWarmBatch; ++j) {
+      const serve::PlanResponse r = service.Plan(request);
+      all_hits = all_hits && r.cache_hit && r.status.ok();
+      if (warm_config.empty()) {
+        warm_config = serve::ConfigurationToJson(r.config).Dump();
+      }
+    }
+    warm_samples.push_back(
+        std::chrono::duration<double>(Clock::now() - begin).count() /
+        kWarmBatch);
+  }
+  const double warm_s = bench::Median(warm_samples);
+  HARMONY_CHECK(all_hits) << "warm requests missed the cache";
+  const bool bit_identical = warm_config == cold_config;
+  const double speedup = warm_s > 0 ? cold_s / warm_s : 0;
+
+  std::cout << "cold plan (full search): " << cold_s * 1e3 << " ms\n"
+            << "warm plan (cache hit):   " << warm_s * 1e6 << " us  ("
+            << speedup << "x faster, config bit-identical: "
+            << (bit_identical ? "yes" : "NO") << ")\n\n";
+
+  std::vector<JsonObject> records;
+  records.push_back(JsonObject()
+                        .Set("benchmark", "serve_cold_plan_gpt2_pp64")
+                        .Set("seconds_per_op", cold_s));
+  records.push_back(JsonObject()
+                        .Set("benchmark", "serve_warm_hit_gpt2_pp64")
+                        .Set("seconds_per_op", warm_s)
+                        .Set("cold_over_warm", speedup)
+                        .Set("config_bit_identical", bit_identical ? 1 : 0));
+
+  for (const int threads : {1, 4, 8}) {
+    const int iters = 4000 / threads;
+    const LoadResult r = RunClosedLoop(&service, request, threads, iters);
+    std::cout << threads << " client thread(s): " << r.requests_per_second
+              << " req/s  (p50 " << r.p50 * 1e6 << " us, p99 " << r.p99 * 1e6
+              << " us)\n";
+    records.push_back(
+        JsonObject()
+            .Set("benchmark",
+                 "serve_warm_throughput_" + std::to_string(threads) + "t")
+            .Set("seconds_per_op", r.seconds_per_op)
+            .Set("requests_per_second", r.requests_per_second)
+            .Set("p50_seconds", r.p50)
+            .Set("p99_seconds", r.p99));
+  }
+
+  const serve::ServiceStats stats = service.stats();
+  const serve::CacheStats cache = service.cache_stats();
+  std::cout << "\nservice: " << stats.completed << " responses, "
+            << stats.searches << " searches, " << stats.cache_hits
+            << " direct cache hits; cache " << cache.entries << " entries / "
+            << cache.bytes << " bytes\n";
+
+  if (as_json && !bench::WriteJsonFile("BENCH_serve.json", records)) return 1;
+  return bit_identical ? 0 : 1;
+}

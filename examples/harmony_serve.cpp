@@ -1,0 +1,104 @@
+// harmony_serve: the plan-as-a-service daemon. Listens on a Unix-domain or
+// loopback TCP socket, answers length-prefixed JSON planning requests, and
+// fronts Algorithm 1 with the sharded content-addressed plan cache — repeat
+// requests for the same (model, machine, search knobs) are answered from the
+// cache in microseconds instead of re-running the search.
+//
+//   ./build/examples/harmony_serve --unix=/tmp/harmony.sock
+//   ./build/examples/harmony_serve --tcp=7077 --workers=4 --cache-mb=128
+//
+// Stop it with SIGINT/SIGTERM or a client's --shutdown; both drain in-flight
+// searches before exiting.
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "serve/server.h"
+
+namespace {
+
+std::atomic<bool> g_interrupted{false};
+
+void OnSignal(int) { g_interrupted.store(true); }
+
+int Usage() {
+  std::cerr
+      << "usage: harmony_serve (--unix=<path> | --tcp=<port>)\n"
+         "                     [--workers=N] [--cache-mb=N] [--max-pending=N]\n"
+         "  --unix        listen on a Unix-domain socket at <path>\n"
+         "  --tcp         listen on loopback TCP <port> (0 picks a free port)\n"
+         "  --workers     search worker threads (default 2)\n"
+         "  --cache-mb    plan cache budget in MiB (default 64; 0 disables)\n"
+         "  --max-pending admission bound before load-shedding (default 64)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace harmony;
+  serve::ServeOptions service_options;
+  serve::ServerOptions server_options;
+  bool have_endpoint = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--unix=", 7) == 0) {
+      server_options.unix_path = argv[i] + 7;
+      have_endpoint = true;
+    } else if (std::strncmp(argv[i], "--tcp=", 6) == 0) {
+      server_options.use_tcp = true;
+      server_options.tcp_port = std::atoi(argv[i] + 6);
+      have_endpoint = true;
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      service_options.num_workers = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--cache-mb=", 11) == 0) {
+      const long mb = std::atol(argv[i] + 11);
+      service_options.enable_cache = mb > 0;
+      service_options.cache_bytes = static_cast<size_t>(mb) << 20;
+    } else if (std::strncmp(argv[i], "--max-pending=", 14) == 0) {
+      service_options.max_pending = std::atoi(argv[i] + 14);
+    } else {
+      return Usage();
+    }
+  }
+  if (!have_endpoint) return Usage();
+
+  serve::PlanService service(service_options);
+  serve::PlanServer server(&service, server_options);
+  const Status listening = server.Listen();
+  if (!listening.ok()) {
+    std::cerr << "listen failed: " << listening << "\n";
+    return 1;
+  }
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  server.Start();
+  if (!server_options.unix_path.empty()) {
+    std::cout << "harmony_serve: listening on " << server_options.unix_path
+              << std::endl;
+  } else {
+    std::cout << "harmony_serve: listening on 127.0.0.1:"
+              << server.bound_port() << std::endl;
+  }
+
+  // The acceptor runs on its own thread; this thread only watches for a
+  // signal or a client-initiated shutdown request, then performs the stop
+  // itself (a connection thread cannot join its own teardown).
+  while (!g_interrupted.load() && !server.stop_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+
+  const serve::ServiceStats stats = service.stats();
+  const serve::CacheStats cache = service.cache_stats();
+  std::cout << "harmony_serve: drained. " << stats.completed
+            << " responses (" << stats.cache_hits << " cache hits, "
+            << stats.searches << " searches, " << stats.rejected
+            << " rejected); cache " << cache.entries << " entries / "
+            << cache.bytes << " bytes, " << cache.evictions << " evictions\n";
+  return 0;
+}

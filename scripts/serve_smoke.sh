@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Smoke test for the serving daemon: boot harmony_serve on a Unix-domain
+# socket, issue a cold plan and warm repeats through harmony_client, verify
+# the repeats hit the cache, then drain via --shutdown and check the daemon
+# exits cleanly. Usage:
+#
+#   serve_smoke.sh <harmony_serve-binary> <harmony_client-binary>
+#
+# Registered in CI (and as `ctest -R serve_smoke`); also runnable by hand.
+set -euo pipefail
+
+SERVE_BIN=${1:?usage: serve_smoke.sh <harmony_serve> <harmony_client>}
+CLIENT_BIN=${2:?usage: serve_smoke.sh <harmony_serve> <harmony_client>}
+
+WORKDIR=$(mktemp -d)
+SOCK="$WORKDIR/harmony.sock"
+LOG="$WORKDIR/serve.log"
+cleanup() {
+  kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+"$SERVE_BIN" --unix="$SOCK" --workers=2 >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the daemon to bind (up to ~5s).
+for _ in $(seq 50); do
+  [ -S "$SOCK" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { echo "FAIL: daemon died at startup"; cat "$LOG"; exit 1; }
+  sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "FAIL: socket never appeared"; cat "$LOG"; exit 1; }
+
+echo "--- ping"
+"$CLIENT_BIN" --ping --unix="$SOCK"
+
+echo "--- cold plan + warm repeats"
+OUT=$("$CLIENT_BIN" BERT96 pp 8 --unix="$SOCK" --repeat=5 --json)
+echo "$OUT"
+python3 - "$OUT" <<'EOF'
+import json, sys
+r = json.loads(sys.argv[1])
+assert r["ok"] == 5, f"expected 5 ok responses, got {r['ok']}"
+assert r["failed"] == 0, f"unexpected failures: {r['failed']}"
+assert r["cache_hits"] >= 4, f"warm repeats missed the cache: {r['cache_hits']}"
+EOF
+
+echo "--- stats"
+"$CLIENT_BIN" --stats --unix="$SOCK"
+
+echo "--- graceful shutdown"
+"$CLIENT_BIN" --shutdown --unix="$SOCK"
+wait "$SERVER_PID"
+STATUS=$?
+[ "$STATUS" -eq 0 ] || { echo "FAIL: daemon exited $STATUS"; cat "$LOG"; exit 1; }
+grep -q "drained" "$LOG" || { echo "FAIL: daemon did not report a drain"; cat "$LOG"; exit 1; }
+
+echo "PASS: serve smoke"

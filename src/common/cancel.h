@@ -1,0 +1,55 @@
+#ifndef HARMONY_COMMON_CANCEL_H_
+#define HARMONY_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+
+namespace harmony::common {
+
+/// Cooperative cancellation for long-running planner work. A token is armed
+/// either explicitly (`Cancel()`, e.g. service shutdown) or implicitly by a
+/// deadline; workers poll `Cancelled()` at natural safepoints (the search
+/// checks between candidate evaluations) and unwind with a Cancelled status.
+///
+/// Thread-safe: any thread may call `Cancel()` while workers poll. The flag
+/// uses relaxed ordering — cancellation is advisory, a worker that misses one
+/// poll simply cancels at the next — but a worker that *does* observe it can
+/// rely on it staying set (the flag is never cleared).
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+
+  /// Arms a wall-clock deadline; `Cancelled()` turns true once it passes.
+  void SetDeadline(Clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+  void SetDeadlineAfter(std::chrono::nanoseconds delay) {
+    SetDeadline(Clock::now() + delay);
+  }
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool Cancelled() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    return d != 0 && Clock::now().time_since_epoch().count() >= d;
+  }
+
+  /// True when the token tripped because the deadline passed (vs an explicit
+  /// Cancel) — lets callers report DeadlineExceeded instead of Cancelled.
+  bool DeadlinePassed() const {
+    const int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    return d != 0 && Clock::now().time_since_epoch().count() >= d;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{0};  // 0 = no deadline
+};
+
+}  // namespace harmony::common
+
+#endif  // HARMONY_COMMON_CANCEL_H_

@@ -1,0 +1,375 @@
+#include "common/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace harmony::json {
+
+const Value* Value::Find(std::string_view key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(double d, std::string* out) {
+  if (!std::isfinite(d)) {
+    // JSON has no inf/nan; the planner never produces them, but a canonical
+    // fallback beats undefined bytes.
+    *out += "null";
+    return;
+  }
+  constexpr double kMaxExact = 9007199254740992.0;  // 2^53
+  if (d == std::floor(d) && std::fabs(d) < kMaxExact) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    *out += buf;
+    return;
+  }
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  (void)ec;  // 64 bytes always suffice for shortest round-trip doubles
+  out->append(buf, ptr);
+}
+
+}  // namespace
+
+void Value::DumpTo(std::string* out) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      AppendNumber(number_, out);
+      break;
+    case Type::kString:
+      AppendEscaped(string_, out);
+      break;
+    case Type::kArray: {
+      out->push_back('[');
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i) out->push_back(',');
+        items_[i].DumpTo(out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out->push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i) out->push_back(',');
+        AppendEscaped(members_[i].first, out);
+        out->push_back(':');
+        members_[i].second.DumpTo(out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Value::Dump() const {
+  std::string out;
+  out.reserve(256);
+  DumpTo(&out);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser. Depth-capped so hostile input can't blow the
+/// stack of a daemon thread.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> Run() {
+    SkipWs();
+    Value v;
+    HARMONY_RETURN_IF_ERROR(ParseValue(&v, 0));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument(Context("trailing characters"));
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  std::string Context(const std::string& what) const {
+    return "json: " + what + " at offset " + std::to_string(pos_);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(Value* out, int depth) {
+    if (depth > kMaxDepth) return Status::InvalidArgument(Context("nesting too deep"));
+    if (pos_ >= text_.size()) return Status::InvalidArgument(Context("unexpected end"));
+    switch (text_[pos_]) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        HARMONY_RETURN_IF_ERROR(ParseString(&s));
+        *out = Value::Str(std::move(s));
+        return Status::Ok();
+      }
+      case 't':
+        if (ConsumeWord("true")) {
+          *out = Value::Bool(true);
+          return Status::Ok();
+        }
+        return Status::InvalidArgument(Context("bad literal"));
+      case 'f':
+        if (ConsumeWord("false")) {
+          *out = Value::Bool(false);
+          return Status::Ok();
+        }
+        return Status::InvalidArgument(Context("bad literal"));
+      case 'n':
+        if (ConsumeWord("null")) {
+          *out = Value::Null();
+          return Status::Ok();
+        }
+        return Status::InvalidArgument(Context("bad literal"));
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(Value* out, int depth) {
+    Consume('{');
+    *out = Value::Object();
+    SkipWs();
+    if (Consume('}')) return Status::Ok();
+    for (;;) {
+      SkipWs();
+      std::string key;
+      HARMONY_RETURN_IF_ERROR(ParseString(&key));
+      SkipWs();
+      if (!Consume(':')) return Status::InvalidArgument(Context("expected ':'"));
+      SkipWs();
+      Value v;
+      HARMONY_RETURN_IF_ERROR(ParseValue(&v, depth + 1));
+      out->Set(std::move(key), std::move(v));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::Ok();
+      return Status::InvalidArgument(Context("expected ',' or '}'"));
+    }
+  }
+
+  Status ParseArray(Value* out, int depth) {
+    Consume('[');
+    *out = Value::Array();
+    SkipWs();
+    if (Consume(']')) return Status::Ok();
+    for (;;) {
+      SkipWs();
+      Value v;
+      HARMONY_RETURN_IF_ERROR(ParseValue(&v, depth + 1));
+      out->Append(std::move(v));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::Ok();
+      return Status::InvalidArgument(Context("expected ',' or ']'"));
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Status::InvalidArgument(Context("expected string"));
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'r': out->push_back('\r'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Status::InvalidArgument(Context("truncated \\u escape"));
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Status::InvalidArgument(Context("bad \\u escape"));
+          }
+          if (code > 0x7f) {
+            return Status::InvalidArgument(
+                Context("non-ASCII \\u escape unsupported"));
+          }
+          out->push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return Status::InvalidArgument(Context("bad escape"));
+      }
+    }
+    return Status::InvalidArgument(Context("unterminated string"));
+  }
+
+  Status ParseNumber(Value* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    auto eat_digits = [&]() {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        digits = true;
+      }
+    };
+    eat_digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      eat_digits();
+    }
+    if (digits && pos_ < text_.size() &&
+        (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+      eat_digits();
+    }
+    if (!digits) return Status::InvalidArgument(Context("expected value"));
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Status::InvalidArgument(Context("bad number"));
+    }
+    *out = Value::Number(d);
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Parse(std::string_view text) { return Parser(text).Run(); }
+
+uint64_t Fnv1a(std::string_view bytes) {
+  uint64_t h = 14695981039346656037ull;  // FNV-1a 64-bit offset basis
+  for (char c : bytes) {
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+  }
+  return h;
+}
+
+std::string FingerprintHex(uint64_t fp) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+namespace {
+Status MissingOrMistyped(std::string_view key, const char* want) {
+  return Status::InvalidArgument("json: field '" + std::string(key) +
+                                 "' missing or not a " + want);
+}
+}  // namespace
+
+Status ReadBool(const Value& obj, std::string_view key, bool* out) {
+  const Value* v = obj.Find(key);
+  if (v == nullptr || !v->is_bool()) return MissingOrMistyped(key, "bool");
+  *out = v->AsBool();
+  return Status::Ok();
+}
+
+Status ReadInt(const Value& obj, std::string_view key, int* out) {
+  const Value* v = obj.Find(key);
+  if (v == nullptr || !v->is_number()) return MissingOrMistyped(key, "number");
+  *out = static_cast<int>(v->AsInt());
+  return Status::Ok();
+}
+
+Status ReadInt64(const Value& obj, std::string_view key, int64_t* out) {
+  const Value* v = obj.Find(key);
+  if (v == nullptr || !v->is_number()) return MissingOrMistyped(key, "number");
+  *out = v->AsInt();
+  return Status::Ok();
+}
+
+Status ReadDouble(const Value& obj, std::string_view key, double* out) {
+  const Value* v = obj.Find(key);
+  if (v == nullptr || !v->is_number()) return MissingOrMistyped(key, "number");
+  *out = v->AsDouble();
+  return Status::Ok();
+}
+
+Status ReadString(const Value& obj, std::string_view key, std::string* out) {
+  const Value* v = obj.Find(key);
+  if (v == nullptr || !v->is_string()) return MissingOrMistyped(key, "string");
+  *out = v->AsString();
+  return Status::Ok();
+}
+
+}  // namespace harmony::json

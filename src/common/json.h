@@ -1,0 +1,142 @@
+#ifndef HARMONY_COMMON_JSON_H_
+#define HARMONY_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace harmony::json {
+
+/// A small JSON document model built for the serving layer's wire format.
+/// Two properties matter more than generality:
+///
+///  * **Canonical output.** `Dump()` emits no whitespace, keeps object keys
+///    in insertion order, renders integral doubles below 2^53 as integers,
+///    and renders everything else with the shortest round-trip form
+///    (std::to_chars). The same Value always dumps to the same bytes, on any
+///    host — which is what makes FNV-1a over the dump a stable cache key.
+///  * **Order-preserving objects.** Members are a flat vector of pairs, not
+///    a hash map, so serialize -> parse -> serialize is byte-identical
+///    (golden-tested in wire_test).
+///
+/// Numbers are stored as double. Every quantity in the planner fits: byte
+/// counts stay far below 2^53 and bandwidths are doubles to begin with.
+class Value {
+ public:
+  enum class Type : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : type_(Type::kNull) {}
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) {
+    Value v;
+    v.type_ = Type::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static Value Number(double d) {
+    Value v;
+    v.type_ = Type::kNumber;
+    v.number_ = d;
+    return v;
+  }
+  static Value Int(int64_t i) { return Number(static_cast<double>(i)); }
+  static Value Str(std::string s) {
+    Value v;
+    v.type_ = Type::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static Value Array() {
+    Value v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static Value Object() {
+    Value v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return number_; }
+  int64_t AsInt() const { return static_cast<int64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+
+  // --- array interface -----------------------------------------------------
+  size_t size() const { return items_.size(); }
+  const Value& at(size_t i) const { return items_.at(i); }
+  Value& Append(Value v) {
+    items_.push_back(std::move(v));
+    return items_.back();
+  }
+  const std::vector<Value>& items() const { return items_; }
+
+  // --- object interface (insertion-ordered) --------------------------------
+  Value& Set(std::string key, Value v) {
+    members_.emplace_back(std::move(key), std::move(v));
+    return members_.back().second;
+  }
+  Value& Set(std::string key, bool b) { return Set(std::move(key), Bool(b)); }
+  Value& Set(std::string key, double d) { return Set(std::move(key), Number(d)); }
+  Value& Set(std::string key, int64_t i) { return Set(std::move(key), Int(i)); }
+  Value& Set(std::string key, int i) { return Set(std::move(key), Int(i)); }
+  Value& Set(std::string key, const char* s) { return Set(std::move(key), Str(s)); }
+  Value& Set(std::string key, std::string s) {
+    return Set(std::move(key), Str(std::move(s)));
+  }
+
+  /// Returns the first member with `key`, or nullptr. Linear scan — wire
+  /// objects have a dozen members, not thousands.
+  const Value* Find(std::string_view key) const;
+
+  const std::vector<std::pair<std::string, Value>>& members() const {
+    return members_;
+  }
+
+  /// Canonical serialization (see class comment).
+  std::string Dump() const;
+  void DumpTo(std::string* out) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Value> items_;                             // kArray
+  std::vector<std::pair<std::string, Value>> members_;   // kObject
+};
+
+/// Parses a JSON document (UTF-8 passed through uncheck-ed; \uXXXX escapes
+/// outside ASCII are rejected rather than decoded — the wire format never
+/// produces them). Trailing garbage after the document is an error.
+Result<Value> Parse(std::string_view text);
+
+/// 64-bit FNV-1a over a byte string; the serving layer's content-address.
+uint64_t Fnv1a(std::string_view bytes);
+
+/// Lower-case 16-digit hex rendering of a fingerprint.
+std::string FingerprintHex(uint64_t fp);
+
+// Typed field accessors: read `key` from object `obj` into `out`, failing
+// with a descriptive InvalidArgument when the key is missing or mistyped.
+Status ReadBool(const Value& obj, std::string_view key, bool* out);
+Status ReadInt(const Value& obj, std::string_view key, int* out);
+Status ReadInt64(const Value& obj, std::string_view key, int64_t* out);
+Status ReadDouble(const Value& obj, std::string_view key, double* out);
+Status ReadString(const Value& obj, std::string_view key, std::string* out);
+
+}  // namespace harmony::json
+
+#endif  // HARMONY_COMMON_JSON_H_

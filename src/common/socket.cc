@@ -1,0 +1,192 @@
+#include "common/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace harmony::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<int> ListenUnix(const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_UNIX)");
+  ::unlink(path.c_str());  // stale socket from a previous daemon run
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    CloseFd(fd);
+    return Errno("bind(" + path + ")");
+  }
+  if (::listen(fd, 128) != 0) {
+    CloseFd(fd);
+    return Errno("listen(" + path + ")");
+  }
+  return fd;
+}
+
+Result<int> ListenTcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    CloseFd(fd);
+    return Errno("bind(port " + std::to_string(port) + ")");
+  }
+  if (::listen(fd, 128) != 0) {
+    CloseFd(fd);
+    return Errno("listen");
+  }
+  return fd;
+}
+
+Result<int> BoundPort(int listen_fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+Result<int> ConnectUnix(const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_UNIX)");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    CloseFd(fd);
+    return Errno("connect(" + path + ")");
+  }
+  return fd;
+}
+
+Result<int> ConnectTcp(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_INET)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    CloseFd(fd);
+    return Status::InvalidArgument("bad IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    CloseFd(fd);
+    return Errno("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Result<int> Accept(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    return Errno("accept");
+  }
+}
+
+namespace {
+
+Status WriteAll(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write");
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+/// Reads exactly `len` bytes. `*clean_eof` is set when EOF arrives before
+/// the first byte (only meaningful when nothing has been read yet).
+Status ReadAll(int fd, char* data, size_t len, bool* clean_eof) {
+  if (clean_eof != nullptr) *clean_eof = false;
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, data + got, len - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read");
+    }
+    if (n == 0) {
+      if (got == 0 && clean_eof != nullptr) {
+        *clean_eof = true;
+        return Status::NotFound("peer closed connection");
+      }
+      return Status::Internal("connection closed mid-frame");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SendFrame(int fd, std::string_view payload) {
+  if (payload.size() > 0xffffffffull) {
+    return Status::InvalidArgument("frame payload exceeds 4 GiB");
+  }
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  char prefix[4] = {static_cast<char>(len >> 24), static_cast<char>(len >> 16),
+                    static_cast<char>(len >> 8), static_cast<char>(len)};
+  HARMONY_RETURN_IF_ERROR(WriteAll(fd, prefix, sizeof(prefix)));
+  return WriteAll(fd, payload.data(), payload.size());
+}
+
+Result<std::string> RecvFrame(int fd, size_t max_payload) {
+  char prefix[4];
+  bool clean_eof = false;
+  const Status head = ReadAll(fd, prefix, sizeof(prefix), &clean_eof);
+  if (!head.ok()) return head;
+  const uint32_t len = (static_cast<uint32_t>(static_cast<unsigned char>(prefix[0])) << 24) |
+                       (static_cast<uint32_t>(static_cast<unsigned char>(prefix[1])) << 16) |
+                       (static_cast<uint32_t>(static_cast<unsigned char>(prefix[2])) << 8) |
+                       static_cast<uint32_t>(static_cast<unsigned char>(prefix[3]));
+  if (len > max_payload) {
+    return Status::InvalidArgument("frame of " + std::to_string(len) +
+                                   " bytes exceeds cap of " +
+                                   std::to_string(max_payload));
+  }
+  std::string payload(len, '\0');
+  if (len > 0) {
+    HARMONY_RETURN_IF_ERROR(ReadAll(fd, payload.data(), len, nullptr));
+  }
+  return payload;
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace harmony::net

@@ -1,0 +1,52 @@
+#ifndef HARMONY_COMMON_SOCKET_H_
+#define HARMONY_COMMON_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace harmony::net {
+
+/// Thin POSIX socket helpers for the serving layer: Unix-domain or loopback
+/// TCP listeners, blocking connects, and a length-prefixed frame transport.
+///
+/// Frame format (DESIGN.md §9): a 4-byte big-endian unsigned payload length
+/// followed by that many bytes of UTF-8 JSON. Big-endian so a hexdump reads
+/// naturally; 4 bytes bounds a frame at 4 GiB, and `RecvFrame` enforces a
+/// far smaller application cap so a corrupt or hostile peer can't balloon
+/// the daemon's memory.
+
+/// Creates, binds and listens on a Unix-domain socket at `path`, unlinking
+/// any stale socket file first. Returns the listening fd.
+Result<int> ListenUnix(const std::string& path);
+
+/// Listens on loopback TCP `port` (0 picks a free port; use BoundPort to
+/// discover it). SO_REUSEADDR is set for fast daemon restarts.
+Result<int> ListenTcp(int port);
+
+/// Port a TCP listener actually bound (for ListenTcp(0)).
+Result<int> BoundPort(int listen_fd);
+
+Result<int> ConnectUnix(const std::string& path);
+Result<int> ConnectTcp(const std::string& host, int port);
+
+/// Accepts one connection; blocks. Returns the connection fd.
+Result<int> Accept(int listen_fd);
+
+/// Writes one frame (length prefix + payload), looping over partial writes.
+Status SendFrame(int fd, std::string_view payload);
+
+/// Reads one frame. Returns NotFound on clean EOF before any byte of the
+/// length prefix (the peer hung up between frames — the daemon's normal
+/// end-of-connection), InvalidArgument for oversized frames, Internal for
+/// I/O errors or mid-frame EOF.
+Result<std::string> RecvFrame(int fd, size_t max_payload = 64ull << 20);
+
+/// close(2) wrapper, ignoring EINTR/EBADF noise.
+void CloseFd(int fd);
+
+}  // namespace harmony::net
+
+#endif  // HARMONY_COMMON_SOCKET_H_

@@ -17,6 +17,12 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  // Serving-layer conditions (src/serve): requests can now be cancelled,
+  // deadline-bounded, load-shed or refused during shutdown.
+  kCancelled,          // cooperative cancellation tripped mid-search
+  kDeadlineExceeded,   // per-request deadline passed
+  kResourceExhausted,  // admission queue full; retry after backoff
+  kUnavailable,        // service draining / shut down
 };
 
 /// Error-or-success result for recoverable conditions (no exceptions in this
@@ -42,6 +48,18 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -19,10 +19,13 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (shutting_down_) return;
     shutting_down_ = true;
   }
   wake_.notify_all();
+  // All callers funnel through join_mu_: the first joins the workers, later
+  // (or concurrent) callers block here until that join finished, so *every*
+  // Shutdown return means "queue drained, workers gone".
+  std::lock_guard<std::mutex> join_lock(join_mu_);
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }

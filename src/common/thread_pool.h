@@ -6,6 +6,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -27,6 +28,16 @@ namespace harmony::common {
 ///  * Thread-safe: `Submit` may be called concurrently from any thread,
 ///    including from inside a running task (tasks must not block on futures
 ///    of tasks queued behind them, the usual pool-deadlock caveat).
+///  * Task exceptions propagate to the submitter: a callable that throws
+///    stores the exception in its future (rethrown by `future::get()`), the
+///    worker thread survives, and subsequent tasks run normally. Nothing a
+///    task throws can terminate the process via the pool.
+///  * Shutdown is well-defined under races: `Shutdown` is idempotent, and a
+///    concurrent second caller blocks until the drain completes rather than
+///    returning while workers are still running. `Submit` after (or
+///    concurrent with) `Shutdown` never enqueues work that would be silently
+///    dropped — it either runs normally (it won the race) or returns a
+///    future carrying a `ThreadPool::ShutdownError` exception.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers. `num_threads` <= 0 selects the hardware
@@ -39,7 +50,15 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
-  /// Enqueues `fn(args...)` and returns a future for its result.
+  /// Exception delivered through the future when a task is submitted to a
+  /// pool that has already begun shutting down.
+  struct ShutdownError : std::runtime_error {
+    ShutdownError() : std::runtime_error("ThreadPool::Submit after Shutdown") {}
+  };
+
+  /// Enqueues `fn(args...)` and returns a future for its result. If the
+  /// callable throws, the exception is captured into the future. If the pool
+  /// is already shutting down, returns a future holding `ShutdownError`.
   template <typename F, typename... Args>
   auto Submit(F&& fn, Args&&... args)
       -> std::future<std::invoke_result_t<F, Args...>> {
@@ -50,14 +69,21 @@ class ThreadPool {
     std::future<R> result = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (shutting_down_) {
+        std::promise<R> rejected;
+        rejected.set_exception(std::make_exception_ptr(ShutdownError()));
+        return rejected.get_future();
+      }
       queue_.emplace_back([task]() { (*task)(); });
     }
     wake_.notify_one();
     return result;
   }
 
-  /// Drains the queue and joins all workers. Idempotent; called by the
-  /// destructor. After shutdown, `Submit` must not be called again.
+  /// Drains the queue and joins all workers. Idempotent and safe to race:
+  /// every caller (including the destructor) returns only after the drain
+  /// has completed. Subsequent `Submit` calls are rejected via the future
+  /// (see ShutdownError) instead of being undefined behaviour.
   void Shutdown();
 
   /// Best-effort default worker count for CPU-bound work on this host.
@@ -70,6 +96,10 @@ class ThreadPool {
   std::condition_variable wake_;
   std::deque<std::function<void()>> queue_;
   bool shutting_down_ = false;
+  /// Serializes the join phase so concurrent Shutdown callers all block
+  /// until the workers have actually exited (the flag alone would let the
+  /// loser return early while tasks are still draining).
+  std::mutex join_mu_;
   std::vector<std::thread> workers_;
 };
 

@@ -130,6 +130,9 @@ Result<SearchResult> SearchConfiguration(const profile::ProfileDb& profiles,
     bwd_floors = {1, n};
   }
 
+  const common::CancelToken* cancel = options.cancel;
+  auto cancelled = [cancel]() { return cancel != nullptr && cancel->Cancelled(); };
+
   SearchResult result;
 
   // Phase 1 (serial, cheap): enumerate backward-pack groups — BackwardPacks
@@ -137,7 +140,7 @@ Result<SearchResult> SearchConfiguration(const profile::ProfileDb& profiles,
   // grid into a canonically ordered candidate list.
   std::vector<PackList> bwd_groups;
   std::vector<GridPoint> points;
-  for (int u_bwd = 1; u_bwd <= u_bwd_max; ++u_bwd) {
+  for (int u_bwd = 1; u_bwd <= u_bwd_max && !cancelled(); ++u_bwd) {
     for (int bwd_floor : bwd_floors) {
       PackingOptions bwd_packing = packing;
       bwd_packing.min_packs = bwd_floor;
@@ -206,7 +209,7 @@ Result<SearchResult> SearchConfiguration(const profile::ProfileDb& profiles,
                               : options.num_threads;
   if (num_threads <= 1 || points.size() <= 1) {
     EstimatorScratch scratch;
-    for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t i = 0; i < points.size() && !cancelled(); ++i) {
       outcomes[i] = evaluate(points[i], scratch);
     }
   } else {
@@ -223,7 +226,9 @@ Result<SearchResult> SearchConfiguration(const profile::ProfileDb& profiles,
       const size_t end = std::min(begin + stride, points.size());
       pending.push_back(pool.Submit([&, begin, end]() {
         EstimatorScratch scratch;
-        for (size_t i = begin; i < end; ++i) {
+        // A tripped token leaves the remaining outcomes infeasible; the
+        // cancellation check after the merge discards the partial result.
+        for (size_t i = begin; i < end && !cancelled(); ++i) {
           outcomes[i] = evaluate(points[i], scratch);
         }
       }));
@@ -260,6 +265,14 @@ Result<SearchResult> SearchConfiguration(const profile::ProfileDb& profiles,
   result.search_wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
           .count();
+  if (cancelled()) {
+    // Partial sweeps are never returned (and never cached upstream): a
+    // cancelled search is indistinguishable from one that never ran.
+    if (cancel->DeadlinePassed()) {
+      return Status::DeadlineExceeded("configuration search deadline passed");
+    }
+    return Status::Cancelled("configuration search cancelled");
+  }
   if (best_time < 0) {
     return Status::InvalidArgument(
         "no feasible configuration: model layers too large for GPU memory "

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "core/estimator.h"
 #include "core/task_graph.h"
@@ -32,6 +33,14 @@ struct SearchOptions {
   /// search path only needs the best configuration, and retaining the full
   /// pack lists of every candidate is pure overhead there.
   bool keep_explored = false;
+  /// Optional cooperative cancellation (borrowed; may be armed from another
+  /// thread). Polled between candidate evaluations; a tripped token makes
+  /// the search unwind promptly and return Cancelled (or DeadlineExceeded
+  /// when the token tripped on its deadline) instead of a partial result.
+  /// Never affects the returned configuration: a search either completes
+  /// bit-identically to an uncancelled run or fails. Used by serve's
+  /// PlanService for per-request deadlines and shutdown aborts.
+  const common::CancelToken* cancel = nullptr;
 };
 
 /// One explored configuration and its estimated iteration time (kept for

@@ -1,0 +1,81 @@
+#include "serve/client.h"
+
+namespace harmony::serve {
+
+Status ServeClient::ConnectUnix(const std::string& path) {
+  Close();
+  auto fd = net::ConnectUnix(path);
+  HARMONY_RETURN_IF_ERROR(fd.status());
+  fd_ = fd.value();
+  return Status::Ok();
+}
+
+Status ServeClient::ConnectTcp(const std::string& host, int port) {
+  Close();
+  auto fd = net::ConnectTcp(host, port);
+  HARMONY_RETURN_IF_ERROR(fd.status());
+  fd_ = fd.value();
+  return Status::Ok();
+}
+
+void ServeClient::Close() {
+  if (fd_ >= 0) {
+    net::CloseFd(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<json::Value> ServeClient::RoundTrip(const json::Value& envelope,
+                                           const std::string& expect_type) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  HARMONY_RETURN_IF_ERROR(net::SendFrame(fd_, envelope.Dump()));
+  auto frame = net::RecvFrame(fd_);
+  HARMONY_RETURN_IF_ERROR(frame.status());
+  auto reply = json::Parse(frame.value());
+  HARMONY_RETURN_IF_ERROR(reply.status());
+  std::string type;
+  HARMONY_RETURN_IF_ERROR(json::ReadString(reply.value(), "type", &type));
+  if (type == "error") {
+    std::string error = "(no detail)";
+    (void)json::ReadString(reply.value(), "error", &error);
+    return Status::Internal("server error: " + error);
+  }
+  if (type != expect_type) {
+    return Status::Internal("unexpected reply type \"" + type +
+                            "\" (wanted \"" + expect_type + "\")");
+  }
+  return std::move(reply).value();
+}
+
+Result<PlanResponse> ServeClient::Plan(const PlanRequest& request) {
+  json::Value envelope = json::Value::Object();
+  envelope.Set("type", "plan");
+  envelope.Set("request", PlanRequestToJson(request));
+  auto reply = RoundTrip(envelope, "plan");
+  HARMONY_RETURN_IF_ERROR(reply.status());
+  const json::Value* response = reply.value().Find("response");
+  if (response == nullptr) {
+    return Status::Internal("plan reply missing \"response\"");
+  }
+  return PlanResponseFromJson(*response);
+}
+
+Result<json::Value> ServeClient::Stats() {
+  json::Value envelope = json::Value::Object();
+  envelope.Set("type", "stats");
+  return RoundTrip(envelope, "stats");
+}
+
+Status ServeClient::Ping() {
+  json::Value envelope = json::Value::Object();
+  envelope.Set("type", "ping");
+  return RoundTrip(envelope, "pong").status();
+}
+
+Status ServeClient::Shutdown() {
+  json::Value envelope = json::Value::Object();
+  envelope.Set("type", "shutdown");
+  return RoundTrip(envelope, "ok").status();
+}
+
+}  // namespace harmony::serve

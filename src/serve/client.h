@@ -1,0 +1,55 @@
+#ifndef HARMONY_SERVE_CLIENT_H_
+#define HARMONY_SERVE_CLIENT_H_
+
+#include <string>
+
+#include "common/json.h"
+#include "common/socket.h"
+#include "serve/wire.h"
+
+namespace harmony::serve {
+
+/// A blocking client for one PlanServer connection. Speaks the envelope
+/// protocol of server.h over the length-prefixed frame transport; used by
+/// harmony_client, the serve smoke test and the e2e test.
+///
+/// Not thread-safe: a connection carries one request/response exchange at a
+/// time. Load generators open one ServeClient per client thread — which is
+/// exactly how the admission bound is meant to be exercised.
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient() { Close(); }
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  Status ConnectUnix(const std::string& path);
+  Status ConnectTcp(const std::string& host, int port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends a plan request and blocks for the response. Transport failures
+  /// surface here; planning failures travel inside PlanResponse::status.
+  Result<PlanResponse> Plan(const PlanRequest& request);
+
+  /// {"type":"stats"} — returns the reply envelope (service/cache members).
+  Result<json::Value> Stats();
+
+  /// {"type":"ping"} — liveness check.
+  Status Ping();
+
+  /// Asks the daemon to stop (it drains in-flight requests first).
+  Status Shutdown();
+
+ private:
+  /// One request/response round trip; checks the reply's envelope type.
+  Result<json::Value> RoundTrip(const json::Value& envelope,
+                                const std::string& expect_type);
+
+  int fd_ = -1;
+};
+
+}  // namespace harmony::serve
+
+#endif  // HARMONY_SERVE_CLIENT_H_

@@ -1,0 +1,92 @@
+#include "serve/plan_cache.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace harmony::serve {
+
+size_t CachedPlan::ApproxBytes() const {
+  size_t bytes = sizeof(CachedPlan);
+  bytes += (config.fwd_packs.capacity() + config.bwd_packs.capacity()) *
+           sizeof(core::Pack);
+  if (has_metrics) {
+    bytes += (metrics.swap_in_bytes.capacity() +
+              metrics.swap_out_bytes.capacity() +
+              metrics.p2p_bytes.capacity() +
+              metrics.peak_device_bytes.capacity()) * sizeof(Bytes);
+    bytes += metrics.compute_busy.capacity() * sizeof(TimeSec);
+  }
+  return bytes;
+}
+
+PlanCache::PlanCache(size_t byte_budget, int num_shards)
+    : shards_(static_cast<size_t>(num_shards)) {
+  HARMONY_CHECK_GT(num_shards, 0);
+  HARMONY_CHECK_EQ(num_shards & (num_shards - 1), 0)
+      << "num_shards must be a power of two";
+  per_shard_budget_ = byte_budget / static_cast<size_t>(num_shards);
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::Lookup(uint64_t fingerprint) {
+  Shard& shard = ShardOf(fingerprint);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(fingerprint);
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+  return it->second.plan;
+}
+
+void PlanCache::Insert(uint64_t fingerprint,
+                       std::shared_ptr<const CachedPlan> plan) {
+  const size_t cost = plan->ApproxBytes();
+  Shard& shard = ShardOf(fingerprint);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.map.count(fingerprint) != 0) return;  // lost race: identical plan
+  if (cost > per_shard_budget_) return;           // larger than the shard: skip
+  while (shard.bytes + cost > per_shard_budget_ && !shard.lru.empty()) {
+    const uint64_t victim = shard.lru.back();
+    shard.lru.pop_back();
+    auto vit = shard.map.find(victim);
+    shard.bytes -= vit->second.bytes;
+    shard.map.erase(vit);
+    ++shard.evictions;
+  }
+  shard.lru.push_front(fingerprint);
+  Entry entry;
+  entry.plan = std::move(plan);
+  entry.bytes = cost;
+  entry.lru_pos = shard.lru.begin();
+  shard.map.emplace(fingerprint, std::move(entry));
+  shard.bytes += cost;
+  ++shard.insertions;
+}
+
+void PlanCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+    shard.lru.clear();
+    shard.bytes = 0;
+  }
+}
+
+CacheStats PlanCache::stats() const {
+  CacheStats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.insertions += shard.insertions;
+    total.evictions += shard.evictions;
+    total.entries += shard.map.size();
+    total.bytes += shard.bytes;
+  }
+  return total;
+}
+
+}  // namespace harmony::serve

@@ -1,0 +1,100 @@
+#ifndef HARMONY_SERVE_PLAN_CACHE_H_
+#define HARMONY_SERVE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/wire.h"
+
+namespace harmony::serve {
+
+/// A completed plan as the cache stores it: the search outcome stripped of
+/// per-request envelope fields (latency, cache_hit — those are stamped per
+/// response). Immutable once inserted; shared by pointer so a hit never
+/// copies pack lists under the shard lock.
+struct CachedPlan {
+  core::Configuration config;
+  core::Estimate estimate;
+  int configs_explored = 0;
+  int configs_feasible = 0;
+  double search_seconds = 0;  // wall time of the search that produced it
+  bool has_metrics = false;
+  runtime::RunMetrics metrics;
+
+  /// Approximate heap footprint, used against the cache's byte budget.
+  size_t ApproxBytes() const;
+};
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;   // LRU entries displaced by the byte budget
+  uint64_t entries = 0;     // currently cached plans
+  uint64_t bytes = 0;       // current ApproxBytes total
+};
+
+/// Sharded, LRU-bounded, content-addressed plan store. Keys are the FNV-1a
+/// fingerprints of canonical request JSON (wire.h), so "the same plan" is
+/// decided by request *content*, never by connection or arrival order.
+///
+/// Concurrency: the key's shard is picked by fingerprint bits; each shard
+/// has its own mutex, LRU list and map, so concurrent lookups of different
+/// requests contend 1/num_shards of the time. The byte budget is enforced
+/// per shard (budget/num_shards each) — global-budget precision is not worth
+/// a global lock on the hit path.
+///
+/// Semantics: Lookup refreshes LRU recency. Insert displaces least-recently
+/// used entries of its shard until the new entry fits; a plan larger than a
+/// whole shard's budget is not cached (the search still served the caller —
+/// caching is an optimization, never a requirement). Re-inserting an
+/// existing key (a lost single-flight race upstream) keeps the first entry:
+/// searches are deterministic, both copies are identical.
+class PlanCache {
+ public:
+  /// `byte_budget` bounds the summed ApproxBytes across all shards;
+  /// `num_shards` must be a power of two.
+  explicit PlanCache(size_t byte_budget, int num_shards = 16);
+
+  /// Returns the cached plan or nullptr; counts a hit/miss either way.
+  std::shared_ptr<const CachedPlan> Lookup(uint64_t fingerprint);
+
+  void Insert(uint64_t fingerprint, std::shared_ptr<const CachedPlan> plan);
+
+  /// Drops every entry (stats counters survive).
+  void Clear();
+
+  /// Aggregated over shards; counters are monotonic, entries/bytes current.
+  CacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CachedPlan> plan;
+    size_t bytes = 0;
+    std::list<uint64_t>::iterator lru_pos;  // into Shard::lru
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, Entry> map;
+    std::list<uint64_t> lru;  // front = most recent
+    size_t bytes = 0;
+    uint64_t hits = 0, misses = 0, insertions = 0, evictions = 0;
+  };
+
+  Shard& ShardOf(uint64_t fingerprint) {
+    // High bits: FNV-1a mixes the low bits last, the high bits spread well.
+    return shards_[(fingerprint >> 48) & (shards_.size() - 1)];
+  }
+
+  size_t per_shard_budget_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace harmony::serve
+
+#endif  // HARMONY_SERVE_PLAN_CACHE_H_

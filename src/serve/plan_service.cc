@@ -1,0 +1,305 @@
+#include "serve/plan_service.h"
+
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/task_graph.h"
+#include "model/layer.h"
+#include "runtime/runtime.h"
+
+namespace harmony::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+TimeSec Seconds(Clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+int64_t Nanos(Clock::duration d) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+}
+
+}  // namespace
+
+PlanService::PlanService(ServeOptions options)
+    : options_(options),
+      cache_(options.enable_cache ? options.cache_bytes : 0,
+             options.cache_shards),
+      pool_(options.num_workers),
+      epoch_(Clock::now()) {}
+
+PlanService::~PlanService() { Shutdown(/*cancel_inflight=*/false); }
+
+TimeSec PlanService::Now() const { return Seconds(Clock::now() - epoch_); }
+
+void PlanService::EmitEvent(trace::EventKind kind, int request_id,
+                            int64_t latency_ns) {
+  if (options_.bus == nullptr || !options_.bus->active()) return;
+  trace::Event e;
+  e.kind = kind;
+  e.lane = trace::Lane::kServe;
+  e.device = -1;
+  e.time = Now();
+  e.task = request_id;
+  e.bytes = latency_ns;
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  options_.bus->Emit(e);
+}
+
+std::shared_future<PlanResponse> PlanService::Submit(
+    const PlanRequest& request) {
+  const auto admit_time = Clock::now();
+  const uint64_t fingerprint = RequestFingerprint(request);
+
+  auto immediate = [&](PlanResponse response) {
+    response.fingerprint = fingerprint;
+    response.latency_seconds = Seconds(Clock::now() - admit_time);
+    std::promise<PlanResponse> p;
+    p.set_value(std::move(response));
+    return p.get_future().share();
+  };
+
+  // Fast path: content-addressed hit, no service lock taken.
+  if (options_.enable_cache && !request.bypass_cache) {
+    if (std::shared_ptr<const CachedPlan> plan = cache_.Lookup(fingerprint)) {
+      PlanResponse response;
+      response.cache_hit = true;
+      response.config = plan->config;
+      response.estimate = plan->estimate;
+      response.configs_explored = plan->configs_explored;
+      response.configs_feasible = plan->configs_feasible;
+      response.search_seconds = plan->search_seconds;
+      response.has_metrics = plan->has_metrics;
+      if (plan->has_metrics) response.metrics = plan->metrics;
+      int id;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        id = next_request_id_++;
+        ++stats_.cache_hits;
+        ++stats_.completed;
+      }
+      EmitEvent(trace::EventKind::kServeCacheHit, id,
+                Nanos(Clock::now() - admit_time));
+      return immediate(std::move(response));
+    }
+  }
+
+  std::shared_ptr<Inflight> inflight;
+  int id;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (draining_) {
+      id = next_request_id_++;
+      ++stats_.rejected;
+      lock.unlock();
+      EmitEvent(trace::EventKind::kServeReject, id, 0);
+      PlanResponse response;
+      response.status = Status::Unavailable("plan service is shutting down");
+      return immediate(std::move(response));
+    }
+
+    // Single-flight: identical request already being searched — attach.
+    if (!request.bypass_cache) {
+      auto it = inflight_.find(fingerprint);
+      if (it != inflight_.end()) {
+        ++stats_.coalesced;
+        return it->second->future;
+      }
+    }
+
+    // Admission control: explicit load-shedding over unbounded queueing.
+    if (pending_ >= options_.max_pending) {
+      id = next_request_id_++;
+      ++stats_.rejected;
+      lock.unlock();
+      EmitEvent(trace::EventKind::kServeReject, id, 0);
+      PlanResponse response;
+      response.status = Status::ResourceExhausted(
+          "admission queue full (" + std::to_string(options_.max_pending) +
+          " pending)");
+      response.retry_after_ms = options_.retry_after_ms;
+      return immediate(std::move(response));
+    }
+
+    id = next_request_id_++;
+    ++stats_.admitted;
+    ++pending_;
+    inflight = std::make_shared<Inflight>();
+    inflight->future = inflight->promise.get_future().share();
+    inflight->cancel = std::make_shared<common::CancelToken>();
+    if (request.deadline_ms > 0) {
+      inflight->cancel->SetDeadlineAfter(
+          std::chrono::milliseconds(request.deadline_ms));
+    }
+    if (!request.bypass_cache) inflight_[fingerprint] = inflight;
+  }
+
+  EmitEvent(trace::EventKind::kServeAdmit, id, 0);
+  std::shared_future<PlanResponse> future = inflight->future;
+  pool_.Submit([this, request, fingerprint, id, admit_time,
+                inflight = std::move(inflight)]() mutable {
+    std::shared_ptr<common::CancelToken> cancel = inflight->cancel;
+    RunRequest(std::move(request), fingerprint, id, std::move(cancel),
+               admit_time, std::move(inflight));
+  });
+  return future;
+}
+
+Result<std::shared_ptr<const PlanService::ProfiledModel>>
+PlanService::ResolveModel(const ModelSpec& spec, const hw::GpuSpec& gpu) {
+  // Key the memo by the canonical spec bytes: the profile is a pure function
+  // of (model builder inputs, GPU), so two requests that hash alike share one
+  // profiling run — and two that differ (even by usable_fraction) never mix.
+  json::Value key = json::Value::Object();
+  key.Set("model", ModelSpecToJson(spec));
+  json::Value g = json::Value::Object();
+  g.Set("name", gpu.name);
+  g.Set("memory_capacity", gpu.memory_capacity);
+  g.Set("peak_flops", gpu.peak_flops);
+  g.Set("usable_fraction", gpu.usable_fraction);
+  key.Set("gpu", std::move(g));
+  const uint64_t fp = json::Fnv1a(key.Dump());
+
+  {
+    std::lock_guard<std::mutex> lock(profile_mu_);
+    auto it = profiles_.find(fp);
+    if (it != profiles_.end()) return it->second;
+  }
+  auto graph = BuildModel(spec);
+  HARMONY_RETURN_IF_ERROR(graph.status());
+  model::SequentialModel seq = model::Sequentialize(graph.value());
+  const profile::Profiler profiler(gpu, profile::ProfilerOptions{});
+  profile::ProfileDb db = profiler.Profile(seq);
+  auto entry = std::make_shared<const ProfiledModel>(
+      std::move(seq), std::move(db), DefaultOptimizer(spec));
+  std::lock_guard<std::mutex> lock(profile_mu_);
+  // A racing resolver may have inserted first; keep the existing entry so
+  // outstanding references stay unique per key.
+  return profiles_.emplace(fp, std::move(entry)).first->second;
+}
+
+PlanResponse PlanService::ComputePlan(const PlanRequest& request,
+                                      uint64_t fingerprint,
+                                      const common::CancelToken* cancel) {
+  PlanResponse response;
+  response.fingerprint = fingerprint;
+
+  auto resolved = ResolveModel(request.model, request.machine.gpu);
+  if (!resolved.ok()) {
+    response.status = resolved.status();
+    return response;
+  }
+  const ProfiledModel& pm = *resolved.value();
+
+  core::SearchOptions search = request.options;
+  search.cancel = cancel;
+  auto found = core::SearchConfiguration(pm.profiles, request.machine,
+                                         request.mode, request.minibatch,
+                                         request.flags, search);
+  if (!found.ok()) {
+    response.status = found.status();
+    return response;
+  }
+  const core::SearchResult& result = found.value();
+  response.config = result.best;
+  response.estimate = result.best_estimate;
+  response.configs_explored = result.configs_explored;
+  response.configs_feasible = result.configs_feasible;
+  response.search_seconds = result.search_wall_seconds;
+
+  if (request.run_iteration) {
+    const core::TaskGraph graph = core::GenerateHarmonyTaskGraph(
+        response.config, request.mode, request.machine.num_gpus,
+        request.minibatch, request.flags, pm.profiles);
+    const runtime::Runtime rt(request.machine, pm.model);
+    runtime::RuntimeOptions run_opts;
+    run_opts.optimizer = pm.optimizer;
+    auto metrics = rt.Execute(graph, run_opts);
+    if (!metrics.ok()) {
+      response.status = metrics.status();
+      return response;
+    }
+    response.metrics = metrics.value();
+    response.has_metrics = true;
+  }
+  return response;
+}
+
+void PlanService::RunRequest(PlanRequest request, uint64_t fingerprint,
+                             int request_id,
+                             std::shared_ptr<common::CancelToken> cancel,
+                             Clock::time_point admit_time,
+                             std::shared_ptr<Inflight> inflight) {
+  if (options_.stall_for_test > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options_.stall_for_test));
+  }
+
+  PlanResponse response;
+  if (cancel->Cancelled()) {
+    // Sat in the queue past its deadline (or the service is aborting):
+    // don't start a search that would be thrown away.
+    response.fingerprint = fingerprint;
+    response.status = cancel->DeadlinePassed()
+                          ? Status::DeadlineExceeded(
+                                "request expired before the search started")
+                          : Status::Cancelled("request cancelled");
+  } else {
+    EmitEvent(trace::EventKind::kServeSearchBegin, request_id, 0);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.searches;
+    }
+    response = ComputePlan(request, fingerprint, cancel.get());
+  }
+  response.latency_seconds = Seconds(Clock::now() - admit_time);
+
+  if (response.status.ok() && options_.enable_cache && !request.bypass_cache) {
+    auto plan = std::make_shared<CachedPlan>();
+    plan->config = response.config;
+    plan->estimate = response.estimate;
+    plan->configs_explored = response.configs_explored;
+    plan->configs_feasible = response.configs_feasible;
+    plan->search_seconds = response.search_seconds;
+    plan->has_metrics = response.has_metrics;
+    if (response.has_metrics) plan->metrics = response.metrics;
+    cache_.Insert(fingerprint, std::move(plan));
+  }
+
+  EmitEvent(trace::EventKind::kServeComplete, request_id,
+            Nanos(Clock::now() - admit_time));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inflight_.find(fingerprint);
+    if (it != inflight_.end() && it->second == inflight) inflight_.erase(it);
+    --pending_;
+    ++stats_.completed;
+    if (response.status.code() == StatusCode::kDeadlineExceeded) {
+      ++stats_.deadline_exceeded;
+    }
+  }
+  drained_.notify_all();
+  inflight->promise.set_value(std::move(response));
+}
+
+void PlanService::Shutdown(bool cancel_inflight) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    draining_ = true;
+    if (cancel_inflight) {
+      for (auto& [fp, inflight] : inflight_) inflight->cancel->Cancel();
+    }
+    drained_.wait(lock, [this]() { return pending_ == 0; });
+  }
+  pool_.Shutdown();
+}
+
+ServiceStats PlanService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace harmony::serve

@@ -1,0 +1,157 @@
+#ifndef HARMONY_SERVE_PLAN_SERVICE_H_
+#define HARMONY_SERVE_PLAN_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/cancel.h"
+#include "common/thread_pool.h"
+#include "profile/profiler.h"
+#include "serve/plan_cache.h"
+#include "serve/wire.h"
+#include "trace/trace.h"
+
+namespace harmony::serve {
+
+struct ServeOptions {
+  /// Worker threads running searches. Each search itself honours its
+  /// request's SearchOptions::num_threads; for a serving workload the useful
+  /// parallelism is across requests, so requests default to serial searches.
+  int num_workers = 2;
+  /// Plan cache byte budget (0 with enable_cache=false for a pure planner).
+  size_t cache_bytes = 64ull << 20;
+  int cache_shards = 16;
+  bool enable_cache = true;
+  /// Admission bound: maximum requests admitted but not yet completed
+  /// (queued + running). Beyond it, Submit load-sheds with an explicit
+  /// ResourceExhausted + retry_after_ms response instead of queueing without
+  /// bound — a closed feedback loop rather than an OOM three minutes later.
+  int max_pending = 64;
+  int retry_after_ms = 50;
+  /// Optional observer (borrowed). The service serializes its emissions, so
+  /// single-threaded sinks (ChromeTraceSink, MetricsSink) work unchanged;
+  /// event times are wall-clock seconds since service construction.
+  trace::TraceBus* bus = nullptr;
+  /// Test hook: every search worker sleeps this long before searching,
+  /// letting tests fill the admission queue / observe in-flight state
+  /// deterministically. Zero in production.
+  TimeSec stall_for_test = 0;
+};
+
+struct ServiceStats {
+  uint64_t admitted = 0;        // entered the search pipeline
+  uint64_t coalesced = 0;       // single-flight: attached to a running search
+  uint64_t cache_hits = 0;      // served straight from the plan cache
+  uint64_t searches = 0;        // searches actually started
+  uint64_t completed = 0;       // responses delivered (any status)
+  uint64_t rejected = 0;        // load-shed or refused while draining
+  uint64_t deadline_exceeded = 0;
+};
+
+/// The plan-as-a-service engine: resolves profiles, runs Algorithm 1 on a
+/// worker pool, and fronts everything with the content-addressed PlanCache.
+///
+/// Request lifecycle (each step emits a typed trace event):
+///   Submit -> cache hit -> ready future                     [serve-cache-hit]
+///          -> single-flight attach to identical in-flight request
+///          -> queue full / draining -> explicit rejection   [serve-reject]
+///          -> admitted [serve-admit] -> worker searches     [serve-search-begin]
+///          -> response (plan | error), cache insert         [serve-complete]
+///
+/// Deadlines & cancellation: a request's deadline arms a CancelToken polled
+/// by the search between candidates; Shutdown(cancel_inflight=true) trips
+/// every token. A cancelled search *never* yields a partial plan — callers
+/// see DeadlineExceeded/Cancelled, and nothing is cached.
+///
+/// Thread-safe throughout; futures may be waited on from any thread.
+class PlanService {
+ public:
+  explicit PlanService(ServeOptions options);
+  /// Graceful drain (equivalent to Shutdown(false)).
+  ~PlanService();
+
+  PlanService(const PlanService&) = delete;
+  PlanService& operator=(const PlanService&) = delete;
+
+  /// Asynchronous entry point. The returned future is always eventually
+  /// satisfied — rejections and failures travel as PlanResponse::status,
+  /// never as exceptions.
+  std::shared_future<PlanResponse> Submit(const PlanRequest& request);
+
+  /// Synchronous convenience wrapper.
+  PlanResponse Plan(const PlanRequest& request) { return Submit(request).get(); }
+
+  /// Stops admitting (new Submits get Unavailable), waits for every admitted
+  /// request to complete, then joins the pool. Idempotent and safe to race.
+  /// `cancel_inflight` additionally trips the in-flight searches' tokens so
+  /// the drain is prompt; their callers see Cancelled.
+  void Shutdown(bool cancel_inflight = false);
+
+  CacheStats cache_stats() const { return cache_.stats(); }
+  ServiceStats stats() const;
+
+  /// Seconds since service construction (the timebase of emitted events).
+  TimeSec Now() const;
+
+ private:
+  struct Inflight {
+    std::promise<PlanResponse> promise;
+    std::shared_future<PlanResponse> future;
+    std::shared_ptr<common::CancelToken> cancel;
+  };
+
+  /// Profiles are pure functions of (model spec, GPU spec) and expensive
+  /// enough to amortize across requests — the profile-DB sharing that vDNN
+  /// observes pays off across runs. Entries are immutable once built.
+  struct ProfiledModel {
+    model::SequentialModel model;
+    profile::ProfileDb profiles;
+    model::Optimizer optimizer;
+    ProfiledModel(model::SequentialModel m, profile::ProfileDb p,
+                  model::Optimizer o)
+        : model(std::move(m)), profiles(std::move(p)), optimizer(o) {}
+  };
+
+  Result<std::shared_ptr<const ProfiledModel>> ResolveModel(
+      const ModelSpec& spec, const hw::GpuSpec& gpu);
+
+  /// Runs on a pool worker: search (+ optional iteration), cache insert,
+  /// bookkeeping, promise fulfilment.
+  void RunRequest(PlanRequest request, uint64_t fingerprint, int request_id,
+                  std::shared_ptr<common::CancelToken> cancel,
+                  std::chrono::steady_clock::time_point admit_time,
+                  std::shared_ptr<Inflight> inflight);
+
+  PlanResponse ComputePlan(const PlanRequest& request, uint64_t fingerprint,
+                           const common::CancelToken* cancel);
+
+  void EmitEvent(trace::EventKind kind, int request_id, int64_t latency_ns);
+
+  ServeOptions options_;
+  PlanCache cache_;
+  common::ThreadPool pool_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_;
+  std::unordered_map<uint64_t, std::shared_ptr<Inflight>> inflight_;
+  int pending_ = 0;
+  bool draining_ = false;
+  int next_request_id_ = 0;
+  ServiceStats stats_;
+
+  std::mutex profile_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<const ProfiledModel>> profiles_;
+
+  std::mutex trace_mu_;  // serializes bus emissions from worker threads
+};
+
+}  // namespace harmony::serve
+
+#endif  // HARMONY_SERVE_PLAN_SERVICE_H_

@@ -1,0 +1,238 @@
+#include "serve/server.h"
+
+#include <poll.h>
+
+#include <utility>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "serve/wire.h"
+
+namespace harmony::serve {
+
+namespace {
+
+json::Value ServiceStatsToJson(const ServiceStats& s) {
+  json::Value v = json::Value::Object();
+  v.Set("admitted", static_cast<int64_t>(s.admitted));
+  v.Set("coalesced", static_cast<int64_t>(s.coalesced));
+  v.Set("cache_hits", static_cast<int64_t>(s.cache_hits));
+  v.Set("searches", static_cast<int64_t>(s.searches));
+  v.Set("completed", static_cast<int64_t>(s.completed));
+  v.Set("rejected", static_cast<int64_t>(s.rejected));
+  v.Set("deadline_exceeded", static_cast<int64_t>(s.deadline_exceeded));
+  return v;
+}
+
+json::Value CacheStatsToJson(const CacheStats& s) {
+  json::Value v = json::Value::Object();
+  v.Set("hits", static_cast<int64_t>(s.hits));
+  v.Set("misses", static_cast<int64_t>(s.misses));
+  v.Set("insertions", static_cast<int64_t>(s.insertions));
+  v.Set("evictions", static_cast<int64_t>(s.evictions));
+  v.Set("entries", static_cast<int64_t>(s.entries));
+  v.Set("bytes", static_cast<int64_t>(s.bytes));
+  return v;
+}
+
+Status SendJson(int fd, const json::Value& v) {
+  return net::SendFrame(fd, v.Dump());
+}
+
+Status SendError(int fd, const std::string& message) {
+  json::Value v = json::Value::Object();
+  v.Set("type", "error");
+  v.Set("error", message);
+  return SendJson(fd, v);
+}
+
+}  // namespace
+
+PlanServer::PlanServer(PlanService* service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+PlanServer::~PlanServer() { Stop(); }
+
+Status PlanServer::Listen() {
+  if (!options_.unix_path.empty()) {
+    auto fd = net::ListenUnix(options_.unix_path);
+    HARMONY_RETURN_IF_ERROR(fd.status());
+    listen_fd_ = fd.value();
+    return Status::Ok();
+  }
+  if (!options_.use_tcp) {
+    return Status::InvalidArgument(
+        "ServerOptions names no endpoint (set unix_path or use_tcp)");
+  }
+  auto fd = net::ListenTcp(options_.tcp_port);
+  HARMONY_RETURN_IF_ERROR(fd.status());
+  listen_fd_ = fd.value();
+  auto port = net::BoundPort(listen_fd_);
+  HARMONY_RETURN_IF_ERROR(port.status());
+  bound_port_ = port.value();
+  return Status::Ok();
+}
+
+void PlanServer::Start() {
+  HARMONY_CHECK_GE(listen_fd_, 0) << "Start() before a successful Listen()";
+  acceptor_ = std::thread([this]() { AcceptLoop(); });
+}
+
+void PlanServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    // Poll with a timeout instead of blocking in accept(2), so Stop() is
+    // observed within one tick even if no connection ever arrives.
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stopping_
+    auto conn = net::Accept(listen_fd_);
+    if (!conn.ok()) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      HARMONY_LOG(Warning) << "accept failed: " << conn.status();
+      continue;
+    }
+    const int fd = conn.value();
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      net::CloseFd(fd);
+      break;
+    }
+    connections_.emplace_back([this, fd]() { HandleConnection(fd); });
+  }
+}
+
+void PlanServer::HandleConnection(int fd) {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    // Same poll-then-read discipline as the acceptor: a connection idling
+    // between frames re-checks stopping_ every tick, so Stop() never hangs
+    // on a client that forgot to disconnect.
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready == 0) continue;
+    auto frame = net::RecvFrame(fd, options_.max_frame_bytes);
+    if (!frame.ok()) {
+      // NotFound is the peer hanging up between frames — the normal end of
+      // a connection. Anything else is worth a log line.
+      if (frame.status().code() != StatusCode::kNotFound) {
+        HARMONY_LOG(Warning) << "connection error: " << frame.status();
+      }
+      break;
+    }
+    if (!HandleFrame(fd, frame.value())) break;
+  }
+  net::CloseFd(fd);
+}
+
+bool PlanServer::HandleFrame(int fd, const std::string& payload) {
+  auto parsed = json::Parse(payload);
+  if (!parsed.ok()) {
+    SendError(fd, "bad frame: " + parsed.status().ToString());
+    return false;
+  }
+  const json::Value& envelope = parsed.value();
+  std::string type;
+  if (!envelope.is_object() ||
+      !json::ReadString(envelope, "type", &type).ok()) {
+    SendError(fd, "envelope missing \"type\"");
+    return false;
+  }
+
+  if (type == "ping") {
+    json::Value reply = json::Value::Object();
+    reply.Set("type", "pong");
+    return SendJson(fd, reply).ok();
+  }
+
+  if (type == "stats") {
+    json::Value reply = json::Value::Object();
+    reply.Set("type", "stats");
+    reply.Set("service", ServiceStatsToJson(service_->stats()));
+    reply.Set("cache", CacheStatsToJson(service_->cache_stats()));
+    return SendJson(fd, reply).ok();
+  }
+
+  if (type == "shutdown") {
+    json::Value reply = json::Value::Object();
+    reply.Set("type", "ok");
+    SendJson(fd, reply);
+    // Stop() joins connection threads — including this one — so the actual
+    // teardown must run in the owner thread. Flag the request (Wait() and
+    // the daemon loop observe it) and close this connection.
+    RequestStop();
+    return false;
+  }
+
+  if (type == "plan") {
+    const json::Value* req = envelope.Find("request");
+    if (req == nullptr) {
+      SendError(fd, "plan envelope missing \"request\"");
+      return false;
+    }
+    auto request = PlanRequestFromJson(*req);
+    if (!request.ok()) {
+      SendError(fd, "bad plan request: " + request.status().ToString());
+      return false;
+    }
+    // Blocks this connection thread until the plan is ready; load-shedding
+    // is inside the service, so a full queue returns quickly with
+    // ResourceExhausted rather than stalling here.
+    PlanResponse response = service_->Plan(request.value());
+    json::Value reply = json::Value::Object();
+    reply.Set("type", "plan");
+    reply.Set("response", PlanResponseToJson(response));
+    return SendJson(fd, reply).ok();
+  }
+
+  SendError(fd, "unknown envelope type \"" + type + "\"");
+  return false;
+}
+
+void PlanServer::Stop() {
+  RequestStop();
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    // Another caller is stopping; wait for it to finish so Stop() always
+    // returns with the server fully down.
+    std::unique_lock<std::mutex> lock(stop_mu_);
+    stopped_cv_.wait(lock, [this]() { return stopped_; });
+    return;
+  }
+  // Closing the listener makes the acceptor's poll/accept fail fast; the
+  // fd member itself is only reset after the join, once no thread reads it.
+  if (listen_fd_ >= 0) net::CloseFd(listen_fd_);
+  if (acceptor_.joinable()) acceptor_.join();
+  listen_fd_ = -1;
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns.swap(connections_);
+  }
+  for (std::thread& t : conns) t.join();
+  service_->Shutdown(/*cancel_inflight=*/false);
+  // Notify while holding the lock: a waiter in Wait()/Stop() may destroy
+  // this object as soon as it observes stopped_, so the notify must not
+  // still be touching the condition variable afterwards.
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  stopped_ = true;
+  stopped_cv_.notify_all();
+}
+
+void PlanServer::RequestStop() {
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  stop_requested_.store(true, std::memory_order_relaxed);
+  stopped_cv_.notify_all();
+}
+
+void PlanServer::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(stop_mu_);
+    stopped_cv_.wait(lock, [this]() {
+      return stopped_ || stop_requested_.load(std::memory_order_relaxed);
+    });
+  }
+  // The shutdown frame only *requests* the stop (its connection thread
+  // cannot join itself); the owner thread performs the teardown here.
+  Stop();
+}
+
+}  // namespace harmony::serve

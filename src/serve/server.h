@@ -1,0 +1,112 @@
+#ifndef HARMONY_SERVE_SERVER_H_
+#define HARMONY_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/socket.h"
+#include "serve/plan_service.h"
+
+namespace harmony::serve {
+
+/// Where the daemon listens. Exactly one of `unix_path` / `tcp` is used;
+/// a non-empty `unix_path` wins.
+struct ServerOptions {
+  std::string unix_path;
+  int tcp_port = 0;      // 0 = pick a free loopback port (see bound_port())
+  bool use_tcp = false;
+  /// Maximum accepted frame payload (a corrupt peer can't balloon memory).
+  size_t max_frame_bytes = 64ull << 20;
+};
+
+/// The socket front-end of PlanService: accepts connections on a Unix-domain
+/// or loopback TCP listener and speaks the length-prefixed JSON protocol of
+/// DESIGN.md §9. Envelopes:
+///
+///   {"type":"plan","request":{...}}  -> {"type":"plan","response":{...}}
+///   {"type":"stats"}                 -> {"type":"stats","service":{...},"cache":{...}}
+///   {"type":"ping"}                  -> {"type":"pong"}
+///   {"type":"shutdown"}              -> {"type":"ok"}, then the server stops
+///   anything malformed               -> {"type":"error","error":"..."}
+///
+/// Threading: one acceptor thread (poll(2) with a timeout, so Stop() is
+/// noticed promptly) plus one thread per live connection. A connection
+/// processes its frames sequentially — concurrency across requests comes
+/// from clients opening multiple connections, which maps one-to-one onto
+/// PlanService's admission bound. Backpressure therefore reaches the client
+/// as an explicit ResourceExhausted response, never as an opaque stall.
+class PlanServer {
+ public:
+  /// Borrows `service`, which must outlive the server.
+  PlanServer(PlanService* service, ServerOptions options);
+  ~PlanServer();
+
+  PlanServer(const PlanServer&) = delete;
+  PlanServer& operator=(const PlanServer&) = delete;
+
+  /// Binds the listener. Call before Start(); fails if the endpoint is taken.
+  Status Listen();
+
+  /// Spawns the acceptor thread. Listen() must have succeeded.
+  void Start();
+
+  /// Stops accepting, closes the listener, joins connection threads, and
+  /// drains the underlying PlanService. Idempotent; concurrent callers block
+  /// until the teardown completes. Never call from a connection thread —
+  /// Stop() joins them (a {"type":"shutdown"} frame therefore only
+  /// *requests* the stop; see Wait()).
+  void Stop();
+
+  /// Asks the owner thread to run Stop(): sets the request flag Wait() and
+  /// stop_requested() observe. Safe from any thread, including connection
+  /// handlers.
+  void RequestStop();
+
+  /// True once a shutdown has been requested (signal loop integration).
+  bool stop_requested() const {
+    return stop_requested_.load(std::memory_order_relaxed);
+  }
+
+  /// Blocks until a stop is requested (a {"type":"shutdown"} frame or
+  /// RequestStop() from e.g. a signal handler thread), then performs the
+  /// Stop() in the calling thread and returns once the server is down.
+  void Wait();
+
+  /// The TCP port actually bound (for tcp_port = 0). Valid after Listen().
+  int bound_port() const { return bound_port_; }
+
+  /// True once Stop() has fully completed (e.g. a client sent "shutdown").
+  bool stopped() const {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    return stopped_;
+  }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  /// Dispatches one envelope; returns false when the connection should close.
+  bool HandleFrame(int fd, const std::string& payload);
+
+  PlanService* service_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int bound_port_ = -1;
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> connections_;
+
+  mutable std::mutex stop_mu_;
+  std::condition_variable stopped_cv_;
+  bool stopped_ = false;
+};
+
+}  // namespace harmony::serve
+
+#endif  // HARMONY_SERVE_SERVER_H_

@@ -1,0 +1,553 @@
+#include "serve/wire.h"
+
+#include <cstdlib>
+#include <utility>
+
+namespace harmony::serve {
+
+namespace {
+
+const char* ModeWireName(core::HarmonyMode mode) {
+  return mode == core::HarmonyMode::kPipelineParallel ? "pp" : "dp";
+}
+
+Result<core::HarmonyMode> ModeFromWireName(const std::string& s) {
+  if (s == "pp") return core::HarmonyMode::kPipelineParallel;
+  if (s == "dp") return core::HarmonyMode::kDataParallel;
+  return Status::InvalidArgument("unknown mode '" + s + "' (want dp|pp)");
+}
+
+Result<StatusCode> StatusCodeFromName(const std::string& s) {
+  if (s == "OK") return StatusCode::kOk;
+  if (s == "INVALID_ARGUMENT") return StatusCode::kInvalidArgument;
+  if (s == "NOT_FOUND") return StatusCode::kNotFound;
+  if (s == "OUT_OF_MEMORY") return StatusCode::kOutOfMemory;
+  if (s == "FAILED_PRECONDITION") return StatusCode::kFailedPrecondition;
+  if (s == "UNIMPLEMENTED") return StatusCode::kUnimplemented;
+  if (s == "INTERNAL") return StatusCode::kInternal;
+  if (s == "CANCELLED") return StatusCode::kCancelled;
+  if (s == "DEADLINE_EXCEEDED") return StatusCode::kDeadlineExceeded;
+  if (s == "RESOURCE_EXHAUSTED") return StatusCode::kResourceExhausted;
+  if (s == "UNAVAILABLE") return StatusCode::kUnavailable;
+  return Status::InvalidArgument("unknown status code '" + s + "'");
+}
+
+json::Value PackListToJson(const core::PackList& packs) {
+  json::Value arr = json::Value::Array();
+  for (const core::Pack& p : packs) {
+    json::Value pair = json::Value::Array();
+    pair.Append(json::Value::Int(p.lo));
+    pair.Append(json::Value::Int(p.hi));
+    arr.Append(std::move(pair));
+  }
+  return arr;
+}
+
+Result<core::PackList> PackListFromJson(const json::Value& v,
+                                        std::string_view what) {
+  if (!v.is_array()) {
+    return Status::InvalidArgument(std::string(what) + ": not an array");
+  }
+  core::PackList packs;
+  packs.reserve(v.size());
+  for (const json::Value& item : v.items()) {
+    if (!item.is_array() || item.size() != 2 || !item.at(0).is_number() ||
+        !item.at(1).is_number()) {
+      return Status::InvalidArgument(std::string(what) +
+                                     ": pack must be [lo,hi]");
+    }
+    packs.push_back(core::Pack{static_cast<int>(item.at(0).AsInt()),
+                               static_cast<int>(item.at(1).AsInt())});
+  }
+  return packs;
+}
+
+json::Value BytesArrayToJson(const std::vector<Bytes>& xs) {
+  json::Value arr = json::Value::Array();
+  for (Bytes b : xs) arr.Append(json::Value::Int(b));
+  return arr;
+}
+
+json::Value TimesArrayToJson(const std::vector<TimeSec>& xs) {
+  json::Value arr = json::Value::Array();
+  for (TimeSec t : xs) arr.Append(json::Value::Number(t));
+  return arr;
+}
+
+Status NumberArrayFromJson(const json::Value& obj, std::string_view key,
+                           std::vector<double>* out) {
+  const json::Value* v = obj.Find(key);
+  if (v == nullptr || !v->is_array()) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' missing or not an array");
+  }
+  out->clear();
+  for (const json::Value& item : v->items()) {
+    if (!item.is_number()) {
+      return Status::InvalidArgument("field '" + std::string(key) +
+                                     "' has a non-numeric element");
+    }
+    out->push_back(item.AsDouble());
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ModelSpec
+// ---------------------------------------------------------------------------
+
+Result<ModelSpec> ModelSpec::FromName(const std::string& name) {
+  ModelSpec spec;
+  spec.name = name;
+  static const char* kBuiltins[] = {"BERT-Large", "BERT96",  "GPT2",
+                                    "GPT2-Medium", "VGG416", "ResNet1K"};
+  for (const char* b : kBuiltins) {
+    if (name == b) return spec;
+  }
+  if (name.rfind("GPT2-", 0) == 0 && name.size() > 6 && name.back() == 'B') {
+    char* end = nullptr;
+    const double billions = std::strtod(name.c_str() + 5, &end);
+    if (end == name.c_str() + name.size() - 1 && billions > 0) {
+      spec.kind = Kind::kGpt2Custom;
+      spec.billions = billions;
+      return spec;
+    }
+  }
+  return Status::InvalidArgument(
+      "unknown model '" + name +
+      "' (want BERT-Large|BERT96|GPT2|GPT2-Medium|VGG416|ResNet1K|GPT2-<N>B)");
+}
+
+Result<model::LayerGraph> BuildModel(const ModelSpec& spec) {
+  switch (spec.kind) {
+    case ModelSpec::Kind::kBuiltin:
+      if (spec.name == "BERT-Large") return model::BertLarge();
+      if (spec.name == "BERT96") return model::Bert96();
+      if (spec.name == "GPT2") return model::Gpt2();
+      if (spec.name == "GPT2-Medium") return model::Gpt2Medium();
+      if (spec.name == "VGG416") return model::Vgg416();
+      if (spec.name == "ResNet1K") return model::ResNet1K();
+      return Status::InvalidArgument("unknown builtin model '" + spec.name + "'");
+    case ModelSpec::Kind::kGpt2Custom:
+      if (spec.billions <= 0) {
+        return Status::InvalidArgument("gpt2-custom: billions must be > 0");
+      }
+      return model::Gpt2Custom(spec.billions);
+    case ModelSpec::Kind::kTransformer: {
+      if (spec.transformer.num_blocks < 1 || spec.transformer.hidden < 1 ||
+          spec.transformer.seq_len < 1 || spec.transformer.heads < 1 ||
+          spec.transformer.vocab < 1) {
+        return Status::InvalidArgument("transformer: all dimensions must be >= 1");
+      }
+      return model::BuildTransformer(spec.transformer);
+    }
+  }
+  return Status::Internal("corrupt ModelSpec kind");
+}
+
+model::Optimizer DefaultOptimizer(const ModelSpec& spec) {
+  if (spec.kind == ModelSpec::Kind::kBuiltin &&
+      (spec.name == "VGG416" || spec.name == "ResNet1K")) {
+    return model::Optimizer::kSgdMomentum;
+  }
+  return model::Optimizer::kAdam;
+}
+
+json::Value ModelSpecToJson(const ModelSpec& spec) {
+  json::Value v = json::Value::Object();
+  switch (spec.kind) {
+    case ModelSpec::Kind::kBuiltin:
+      v.Set("kind", "builtin");
+      v.Set("name", spec.name);
+      break;
+    case ModelSpec::Kind::kGpt2Custom:
+      v.Set("kind", "gpt2-custom");
+      v.Set("name", spec.name);
+      v.Set("billions", spec.billions);
+      break;
+    case ModelSpec::Kind::kTransformer:
+      v.Set("kind", "transformer");
+      v.Set("name", spec.transformer.name);
+      v.Set("blocks", spec.transformer.num_blocks);
+      v.Set("hidden", spec.transformer.hidden);
+      v.Set("seq_len", spec.transformer.seq_len);
+      v.Set("heads", spec.transformer.heads);
+      v.Set("vocab", spec.transformer.vocab);
+      v.Set("is_bert", spec.transformer.is_bert);
+      break;
+  }
+  return v;
+}
+
+Result<ModelSpec> ModelSpecFromJson(const json::Value& v) {
+  if (!v.is_object()) return Status::InvalidArgument("model: not an object");
+  std::string kind;
+  HARMONY_RETURN_IF_ERROR(json::ReadString(v, "kind", &kind));
+  ModelSpec spec;
+  if (kind == "builtin") {
+    spec.kind = ModelSpec::Kind::kBuiltin;
+    HARMONY_RETURN_IF_ERROR(json::ReadString(v, "name", &spec.name));
+  } else if (kind == "gpt2-custom") {
+    spec.kind = ModelSpec::Kind::kGpt2Custom;
+    HARMONY_RETURN_IF_ERROR(json::ReadString(v, "name", &spec.name));
+    HARMONY_RETURN_IF_ERROR(json::ReadDouble(v, "billions", &spec.billions));
+  } else if (kind == "transformer") {
+    spec.kind = ModelSpec::Kind::kTransformer;
+    HARMONY_RETURN_IF_ERROR(json::ReadString(v, "name", &spec.transformer.name));
+    spec.name = spec.transformer.name;
+    HARMONY_RETURN_IF_ERROR(json::ReadInt(v, "blocks", &spec.transformer.num_blocks));
+    HARMONY_RETURN_IF_ERROR(json::ReadInt(v, "hidden", &spec.transformer.hidden));
+    HARMONY_RETURN_IF_ERROR(json::ReadInt(v, "seq_len", &spec.transformer.seq_len));
+    HARMONY_RETURN_IF_ERROR(json::ReadInt(v, "heads", &spec.transformer.heads));
+    HARMONY_RETURN_IF_ERROR(json::ReadInt(v, "vocab", &spec.transformer.vocab));
+    HARMONY_RETURN_IF_ERROR(json::ReadBool(v, "is_bert", &spec.transformer.is_bert));
+  } else {
+    return Status::InvalidArgument("model: unknown kind '" + kind + "'");
+  }
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// MachineSpec
+// ---------------------------------------------------------------------------
+
+json::Value MachineSpecToJson(const hw::MachineSpec& machine) {
+  json::Value v = json::Value::Object();
+  v.Set("name", machine.name);
+  json::Value gpu = json::Value::Object();
+  gpu.Set("name", machine.gpu.name);
+  gpu.Set("memory_capacity", machine.gpu.memory_capacity);
+  gpu.Set("peak_flops", machine.gpu.peak_flops);
+  gpu.Set("usable_fraction", machine.gpu.usable_fraction);
+  v.Set("gpu", std::move(gpu));
+  v.Set("num_gpus", machine.num_gpus);
+  v.Set("num_switches", machine.num_switches);
+  json::Value topo = json::Value::Array();
+  for (int s : machine.gpu_to_switch) topo.Append(json::Value::Int(s));
+  v.Set("gpu_to_switch", std::move(topo));
+  v.Set("pcie_bw", machine.pcie_bw);
+  v.Set("uplink_bw", machine.uplink_bw);
+  v.Set("host_mem_bw", machine.host_mem_bw);
+  v.Set("nvlink_bw", machine.nvlink_bw);
+  v.Set("host_memory", machine.host_memory);
+  v.Set("cpu_update_bw", machine.cpu_update_bw);
+  return v;
+}
+
+Result<hw::MachineSpec> MachineSpecFromJson(const json::Value& v) {
+  if (!v.is_object()) return Status::InvalidArgument("machine: not an object");
+  hw::MachineSpec m;
+  HARMONY_RETURN_IF_ERROR(json::ReadString(v, "name", &m.name));
+  const json::Value* gpu = v.Find("gpu");
+  if (gpu == nullptr || !gpu->is_object()) {
+    return Status::InvalidArgument("machine: 'gpu' missing or not an object");
+  }
+  HARMONY_RETURN_IF_ERROR(json::ReadString(*gpu, "name", &m.gpu.name));
+  HARMONY_RETURN_IF_ERROR(json::ReadInt64(*gpu, "memory_capacity", &m.gpu.memory_capacity));
+  HARMONY_RETURN_IF_ERROR(json::ReadDouble(*gpu, "peak_flops", &m.gpu.peak_flops));
+  HARMONY_RETURN_IF_ERROR(json::ReadDouble(*gpu, "usable_fraction", &m.gpu.usable_fraction));
+  HARMONY_RETURN_IF_ERROR(json::ReadInt(v, "num_gpus", &m.num_gpus));
+  HARMONY_RETURN_IF_ERROR(json::ReadInt(v, "num_switches", &m.num_switches));
+  std::vector<double> topo;
+  HARMONY_RETURN_IF_ERROR(NumberArrayFromJson(v, "gpu_to_switch", &topo));
+  m.gpu_to_switch.assign(topo.begin(), topo.end());
+  if (static_cast<int>(m.gpu_to_switch.size()) != m.num_gpus) {
+    return Status::InvalidArgument("machine: gpu_to_switch size != num_gpus");
+  }
+  HARMONY_RETURN_IF_ERROR(json::ReadDouble(v, "pcie_bw", &m.pcie_bw));
+  HARMONY_RETURN_IF_ERROR(json::ReadDouble(v, "uplink_bw", &m.uplink_bw));
+  HARMONY_RETURN_IF_ERROR(json::ReadDouble(v, "host_mem_bw", &m.host_mem_bw));
+  HARMONY_RETURN_IF_ERROR(json::ReadDouble(v, "nvlink_bw", &m.nvlink_bw));
+  HARMONY_RETURN_IF_ERROR(json::ReadInt64(v, "host_memory", &m.host_memory));
+  HARMONY_RETURN_IF_ERROR(json::ReadDouble(v, "cpu_update_bw", &m.cpu_update_bw));
+  if (m.num_gpus < 1) return Status::InvalidArgument("machine: num_gpus < 1");
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// SearchOptions / OptimizationFlags
+// ---------------------------------------------------------------------------
+
+json::Value SearchOptionsToJson(const core::SearchOptions& options) {
+  json::Value v = json::Value::Object();
+  v.Set("u_fwd_max", options.u_fwd_max);
+  v.Set("u_bwd_max", options.u_bwd_max);
+  v.Set("capacity_fraction", options.capacity_fraction);
+  v.Set("equi_fb", options.equi_fb);
+  v.Set("num_threads", options.num_threads);
+  v.Set("keep_explored", options.keep_explored);
+  return v;
+}
+
+Result<core::SearchOptions> SearchOptionsFromJson(const json::Value& v) {
+  if (!v.is_object()) return Status::InvalidArgument("options: not an object");
+  core::SearchOptions o;
+  HARMONY_RETURN_IF_ERROR(json::ReadInt(v, "u_fwd_max", &o.u_fwd_max));
+  HARMONY_RETURN_IF_ERROR(json::ReadInt(v, "u_bwd_max", &o.u_bwd_max));
+  HARMONY_RETURN_IF_ERROR(json::ReadDouble(v, "capacity_fraction", &o.capacity_fraction));
+  HARMONY_RETURN_IF_ERROR(json::ReadBool(v, "equi_fb", &o.equi_fb));
+  HARMONY_RETURN_IF_ERROR(json::ReadInt(v, "num_threads", &o.num_threads));
+  HARMONY_RETURN_IF_ERROR(json::ReadBool(v, "keep_explored", &o.keep_explored));
+  return o;
+}
+
+json::Value OptimizationFlagsToJson(const core::OptimizationFlags& flags) {
+  json::Value v = json::Value::Object();
+  v.Set("input_batch_grouping", flags.input_batch_grouping);
+  v.Set("jit_update", flags.jit_update);
+  v.Set("jit_compute", flags.jit_compute);
+  v.Set("p2p_transfers", flags.p2p_transfers);
+  v.Set("prefetch", flags.prefetch);
+  v.Set("cpu_optimizer", flags.cpu_optimizer);
+  v.Set("smart_eviction", flags.smart_eviction);
+  v.Set("use_recompute", flags.use_recompute);
+  return v;
+}
+
+Result<core::OptimizationFlags> OptimizationFlagsFromJson(const json::Value& v) {
+  if (!v.is_object()) return Status::InvalidArgument("flags: not an object");
+  core::OptimizationFlags f;
+  HARMONY_RETURN_IF_ERROR(json::ReadBool(v, "input_batch_grouping", &f.input_batch_grouping));
+  HARMONY_RETURN_IF_ERROR(json::ReadBool(v, "jit_update", &f.jit_update));
+  HARMONY_RETURN_IF_ERROR(json::ReadBool(v, "jit_compute", &f.jit_compute));
+  HARMONY_RETURN_IF_ERROR(json::ReadBool(v, "p2p_transfers", &f.p2p_transfers));
+  HARMONY_RETURN_IF_ERROR(json::ReadBool(v, "prefetch", &f.prefetch));
+  HARMONY_RETURN_IF_ERROR(json::ReadBool(v, "cpu_optimizer", &f.cpu_optimizer));
+  HARMONY_RETURN_IF_ERROR(json::ReadBool(v, "smart_eviction", &f.smart_eviction));
+  HARMONY_RETURN_IF_ERROR(json::ReadBool(v, "use_recompute", &f.use_recompute));
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// Configuration / Estimate / RunMetrics
+// ---------------------------------------------------------------------------
+
+json::Value ConfigurationToJson(const core::Configuration& config) {
+  json::Value v = json::Value::Object();
+  v.Set("u_fwd", config.u_fwd);
+  v.Set("u_bwd", config.u_bwd);
+  v.Set("fwd_packs", PackListToJson(config.fwd_packs));
+  v.Set("bwd_packs", PackListToJson(config.bwd_packs));
+  return v;
+}
+
+Result<core::Configuration> ConfigurationFromJson(const json::Value& v) {
+  if (!v.is_object()) return Status::InvalidArgument("config: not an object");
+  core::Configuration c;
+  HARMONY_RETURN_IF_ERROR(json::ReadInt(v, "u_fwd", &c.u_fwd));
+  HARMONY_RETURN_IF_ERROR(json::ReadInt(v, "u_bwd", &c.u_bwd));
+  const json::Value* fwd = v.Find("fwd_packs");
+  const json::Value* bwd = v.Find("bwd_packs");
+  if (fwd == nullptr || bwd == nullptr) {
+    return Status::InvalidArgument("config: missing pack lists");
+  }
+  auto f = PackListFromJson(*fwd, "fwd_packs");
+  HARMONY_RETURN_IF_ERROR(f.status());
+  auto b = PackListFromJson(*bwd, "bwd_packs");
+  HARMONY_RETURN_IF_ERROR(b.status());
+  c.fwd_packs = std::move(f).value();
+  c.bwd_packs = std::move(b).value();
+  return c;
+}
+
+json::Value EstimateToJson(const core::Estimate& estimate) {
+  json::Value v = json::Value::Object();
+  v.Set("iteration_time", estimate.iteration_time);
+  v.Set("swap_bytes", estimate.swap_bytes);
+  v.Set("p2p_bytes", estimate.p2p_bytes);
+  return v;
+}
+
+Result<core::Estimate> EstimateFromJson(const json::Value& v) {
+  if (!v.is_object()) return Status::InvalidArgument("estimate: not an object");
+  core::Estimate e;
+  HARMONY_RETURN_IF_ERROR(json::ReadDouble(v, "iteration_time", &e.iteration_time));
+  HARMONY_RETURN_IF_ERROR(json::ReadInt64(v, "swap_bytes", &e.swap_bytes));
+  HARMONY_RETURN_IF_ERROR(json::ReadInt64(v, "p2p_bytes", &e.p2p_bytes));
+  return e;
+}
+
+json::Value RunMetricsToJson(const runtime::RunMetrics& metrics) {
+  json::Value v = json::Value::Object();
+  v.Set("iteration_time", metrics.iteration_time);
+  v.Set("swap_in_bytes", BytesArrayToJson(metrics.swap_in_bytes));
+  v.Set("swap_out_bytes", BytesArrayToJson(metrics.swap_out_bytes));
+  v.Set("p2p_bytes", BytesArrayToJson(metrics.p2p_bytes));
+  v.Set("compute_busy", TimesArrayToJson(metrics.compute_busy));
+  v.Set("peak_device_bytes", BytesArrayToJson(metrics.peak_device_bytes));
+  v.Set("peak_host_bytes", metrics.peak_host_bytes);
+  v.Set("evictions", metrics.evictions);
+  v.Set("clean_drops", metrics.clean_drops);
+  return v;
+}
+
+Result<runtime::RunMetrics> RunMetricsFromJson(const json::Value& v) {
+  if (!v.is_object()) return Status::InvalidArgument("metrics: not an object");
+  runtime::RunMetrics m;
+  HARMONY_RETURN_IF_ERROR(json::ReadDouble(v, "iteration_time", &m.iteration_time));
+  std::vector<double> tmp;
+  auto as_bytes = [&tmp](std::vector<Bytes>* out) {
+    out->assign(tmp.begin(), tmp.end());
+  };
+  HARMONY_RETURN_IF_ERROR(NumberArrayFromJson(v, "swap_in_bytes", &tmp));
+  as_bytes(&m.swap_in_bytes);
+  HARMONY_RETURN_IF_ERROR(NumberArrayFromJson(v, "swap_out_bytes", &tmp));
+  as_bytes(&m.swap_out_bytes);
+  HARMONY_RETURN_IF_ERROR(NumberArrayFromJson(v, "p2p_bytes", &tmp));
+  as_bytes(&m.p2p_bytes);
+  HARMONY_RETURN_IF_ERROR(NumberArrayFromJson(v, "compute_busy", &tmp));
+  m.compute_busy.assign(tmp.begin(), tmp.end());
+  HARMONY_RETURN_IF_ERROR(NumberArrayFromJson(v, "peak_device_bytes", &tmp));
+  as_bytes(&m.peak_device_bytes);
+  HARMONY_RETURN_IF_ERROR(json::ReadInt64(v, "peak_host_bytes", &m.peak_host_bytes));
+  HARMONY_RETURN_IF_ERROR(json::ReadInt64(v, "evictions", &m.evictions));
+  HARMONY_RETURN_IF_ERROR(json::ReadInt64(v, "clean_drops", &m.clean_drops));
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// PlanRequest / PlanResponse
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Shared by the wire writer and the canonical fingerprint string: the
+/// semantic prefix every encoding of a request starts with.
+void AppendSemanticFields(const PlanRequest& request, bool canonical,
+                          json::Value* v) {
+  v->Set("model", ModelSpecToJson(request.model));
+  v->Set("machine", MachineSpecToJson(request.machine));
+  v->Set("mode", ModeWireName(request.mode));
+  v->Set("minibatch", request.minibatch);
+  v->Set("flags", OptimizationFlagsToJson(request.flags));
+  if (canonical) {
+    // Only the four knobs that change the chosen plan.
+    json::Value o = json::Value::Object();
+    o.Set("u_fwd_max", request.options.u_fwd_max);
+    o.Set("u_bwd_max", request.options.u_bwd_max);
+    o.Set("capacity_fraction", request.options.capacity_fraction);
+    o.Set("equi_fb", request.options.equi_fb);
+    v->Set("options", std::move(o));
+  } else {
+    v->Set("options", SearchOptionsToJson(request.options));
+  }
+  v->Set("run_iteration", request.run_iteration);
+}
+
+}  // namespace
+
+json::Value PlanRequestToJson(const PlanRequest& request) {
+  json::Value v = json::Value::Object();
+  AppendSemanticFields(request, /*canonical=*/false, &v);
+  v.Set("deadline_ms", request.deadline_ms);
+  v.Set("bypass_cache", request.bypass_cache);
+  return v;
+}
+
+Result<PlanRequest> PlanRequestFromJson(const json::Value& v) {
+  if (!v.is_object()) return Status::InvalidArgument("request: not an object");
+  PlanRequest r;
+  const json::Value* model = v.Find("model");
+  if (model == nullptr) return Status::InvalidArgument("request: missing 'model'");
+  auto m = ModelSpecFromJson(*model);
+  HARMONY_RETURN_IF_ERROR(m.status());
+  r.model = std::move(m).value();
+  const json::Value* machine = v.Find("machine");
+  if (machine == nullptr) return Status::InvalidArgument("request: missing 'machine'");
+  auto mach = MachineSpecFromJson(*machine);
+  HARMONY_RETURN_IF_ERROR(mach.status());
+  r.machine = std::move(mach).value();
+  std::string mode;
+  HARMONY_RETURN_IF_ERROR(json::ReadString(v, "mode", &mode));
+  auto md = ModeFromWireName(mode);
+  HARMONY_RETURN_IF_ERROR(md.status());
+  r.mode = md.value();
+  HARMONY_RETURN_IF_ERROR(json::ReadInt(v, "minibatch", &r.minibatch));
+  if (r.minibatch < 1) return Status::InvalidArgument("request: minibatch < 1");
+  const json::Value* flags = v.Find("flags");
+  if (flags == nullptr) return Status::InvalidArgument("request: missing 'flags'");
+  auto f = OptimizationFlagsFromJson(*flags);
+  HARMONY_RETURN_IF_ERROR(f.status());
+  r.flags = f.value();
+  const json::Value* options = v.Find("options");
+  if (options == nullptr) return Status::InvalidArgument("request: missing 'options'");
+  auto o = SearchOptionsFromJson(*options);
+  HARMONY_RETURN_IF_ERROR(o.status());
+  r.options = o.value();
+  HARMONY_RETURN_IF_ERROR(json::ReadBool(v, "run_iteration", &r.run_iteration));
+  HARMONY_RETURN_IF_ERROR(json::ReadInt(v, "deadline_ms", &r.deadline_ms));
+  HARMONY_RETURN_IF_ERROR(json::ReadBool(v, "bypass_cache", &r.bypass_cache));
+  return r;
+}
+
+json::Value PlanResponseToJson(const PlanResponse& response) {
+  json::Value v = json::Value::Object();
+  v.Set("status", Status(response.status.code(), "").ToString());
+  v.Set("message", response.status.message());
+  v.Set("fingerprint", json::FingerprintHex(response.fingerprint));
+  v.Set("cache_hit", response.cache_hit);
+  v.Set("retry_after_ms", response.retry_after_ms);
+  v.Set("latency_seconds", response.latency_seconds);
+  if (response.status.ok()) {
+    v.Set("config", ConfigurationToJson(response.config));
+    v.Set("estimate", EstimateToJson(response.estimate));
+    v.Set("configs_explored", response.configs_explored);
+    v.Set("configs_feasible", response.configs_feasible);
+    v.Set("search_seconds", response.search_seconds);
+    if (response.has_metrics) {
+      v.Set("metrics", RunMetricsToJson(response.metrics));
+    }
+  }
+  return v;
+}
+
+Result<PlanResponse> PlanResponseFromJson(const json::Value& v) {
+  if (!v.is_object()) return Status::InvalidArgument("response: not an object");
+  PlanResponse r;
+  std::string code_name, message, fp_hex;
+  HARMONY_RETURN_IF_ERROR(json::ReadString(v, "status", &code_name));
+  HARMONY_RETURN_IF_ERROR(json::ReadString(v, "message", &message));
+  auto code = StatusCodeFromName(code_name);
+  HARMONY_RETURN_IF_ERROR(code.status());
+  r.status = Status(code.value(), std::move(message));
+  HARMONY_RETURN_IF_ERROR(json::ReadString(v, "fingerprint", &fp_hex));
+  r.fingerprint = std::strtoull(fp_hex.c_str(), nullptr, 16);
+  HARMONY_RETURN_IF_ERROR(json::ReadBool(v, "cache_hit", &r.cache_hit));
+  HARMONY_RETURN_IF_ERROR(json::ReadInt(v, "retry_after_ms", &r.retry_after_ms));
+  HARMONY_RETURN_IF_ERROR(json::ReadDouble(v, "latency_seconds", &r.latency_seconds));
+  if (!r.status.ok()) return r;
+  const json::Value* config = v.Find("config");
+  if (config == nullptr) return Status::InvalidArgument("response: missing 'config'");
+  auto c = ConfigurationFromJson(*config);
+  HARMONY_RETURN_IF_ERROR(c.status());
+  r.config = std::move(c).value();
+  const json::Value* estimate = v.Find("estimate");
+  if (estimate == nullptr) return Status::InvalidArgument("response: missing 'estimate'");
+  auto e = EstimateFromJson(*estimate);
+  HARMONY_RETURN_IF_ERROR(e.status());
+  r.estimate = e.value();
+  HARMONY_RETURN_IF_ERROR(json::ReadInt(v, "configs_explored", &r.configs_explored));
+  HARMONY_RETURN_IF_ERROR(json::ReadInt(v, "configs_feasible", &r.configs_feasible));
+  HARMONY_RETURN_IF_ERROR(json::ReadDouble(v, "search_seconds", &r.search_seconds));
+  if (const json::Value* metrics = v.Find("metrics"); metrics != nullptr) {
+    auto m = RunMetricsFromJson(*metrics);
+    HARMONY_RETURN_IF_ERROR(m.status());
+    r.metrics = std::move(m).value();
+    r.has_metrics = true;
+  }
+  return r;
+}
+
+std::string CanonicalRequestJson(const PlanRequest& request) {
+  json::Value v = json::Value::Object();
+  AppendSemanticFields(request, /*canonical=*/true, &v);
+  return v.Dump();
+}
+
+uint64_t RequestFingerprint(const PlanRequest& request) {
+  return json::Fnv1a(CanonicalRequestJson(request));
+}
+
+}  // namespace harmony::serve

@@ -10,9 +10,24 @@ namespace {
 
 // Devices map to trace pids directly; global (device == -1) events get their
 // own "machine" process so network flows and host counters have a home row.
+// Serving-layer events land in a dedicated "plan-service" process whose
+// thread rows are the pool workers (plus one front-door row for admission
+// events that precede worker assignment).
 constexpr int kGlobalPid = 1000;
+constexpr int kServePid = 2000;
+constexpr int kServeFrontDoorTid = 99;
 
-int PidOf(const Event& e) { return e.device < 0 ? kGlobalPid : e.device; }
+int PidOf(const Event& e) {
+  if (e.lane == Lane::kServe) return kServePid;
+  return e.device < 0 ? kGlobalPid : e.device;
+}
+
+int TidOf(const Event& e) {
+  if (e.lane == Lane::kServe) {
+    return e.device < 0 ? kServeFrontDoorTid : e.device;
+  }
+  return static_cast<int>(e.lane);
+}
 
 std::string Escaped(const std::string& s) {
   std::string out;
@@ -51,8 +66,8 @@ void ChromeTraceSink::WriteJson(std::ostream& os) const {
 
   for (const Event& e : events_) {
     const int pid = PidOf(e);
-    const int tid = static_cast<int>(e.lane);
-    char buf[160];
+    const int tid = TidOf(e);
+    char buf[200];
     switch (e.kind) {
       case EventKind::kOpBegin:
         rows.insert({pid, tid});
@@ -100,6 +115,24 @@ void ChromeTraceSink::WriteJson(std::ostream& os) const {
         emit(buf);
         break;
       }
+      case EventKind::kServeAdmit:
+      case EventKind::kServeCacheHit:
+      case EventKind::kServeSearchBegin:
+      case EventKind::kServeComplete:
+      case EventKind::kServeReject: {
+        // Instants keyed by request id: the per-request latency breakdown is
+        // the gap between a request's admit / search-begin / complete marks.
+        rows.insert({pid, tid});
+        std::string name = EventKindName(e.kind);
+        if (!e.name.empty()) name += " " + Escaped(e.name);
+        snprintf(buf, sizeof(buf),
+                 "\",\"ph\":\"i\",\"s\":\"p\",\"ts\":%.3f,\"pid\":%d,"
+                 "\"tid\":%d,\"args\":{\"request\":%d,\"latency_ns\":%lld}}",
+                 Us(e.time), pid, tid, e.task,
+                 static_cast<long long>(e.bytes));
+        emit("{\"name\":\"" + name + buf);
+        break;
+      }
       case EventKind::kSwapInIssued:
       case EventKind::kSwapOutIssued:
       case EventKind::kP2pIssued:
@@ -112,15 +145,23 @@ void ChromeTraceSink::WriteJson(std::ostream& os) const {
   std::set<int> pids;
   for (const auto& [pid, tid] : rows) pids.insert(pid);
   for (int pid : pids) {
-    const std::string pname =
-        pid == kGlobalPid ? "machine" : "GPU" + std::to_string(pid);
+    const std::string pname = pid == kGlobalPid    ? "machine"
+                              : pid == kServePid   ? "plan-service"
+                                                   : "GPU" + std::to_string(pid);
     emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
          std::to_string(pid) + ",\"args\":{\"name\":\"" + pname + "\"}}");
   }
   for (const auto& [pid, tid] : rows) {
+    std::string tname;
+    if (pid == kServePid) {
+      tname = tid == kServeFrontDoorTid ? "requests"
+                                        : "worker" + std::to_string(tid);
+    } else {
+      tname = LaneName(static_cast<Lane>(tid));
+    }
     emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
          std::to_string(pid) + ",\"tid\":" + std::to_string(tid) +
-         ",\"args\":{\"name\":\"" + LaneName(static_cast<Lane>(tid)) + "\"}}");
+         ",\"args\":{\"name\":\"" + tname + "\"}}");
   }
   os << "\n]}\n";
 }

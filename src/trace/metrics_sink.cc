@@ -48,6 +48,24 @@ void MetricsSink::OnEvent(const Event& e) {
     case EventKind::kDeviceBytes:
       peak_device_[e.device] = std::max(peak_device_[e.device], e.bytes);
       break;
+    case EventKind::kServeAdmit:
+      ++serve_admitted_;
+      break;
+    case EventKind::kServeCacheHit:
+      ++serve_cache_hits_;
+      serve_latency_ns_ += e.bytes;
+      ++serve_completed_;
+      break;
+    case EventKind::kServeSearchBegin:
+      ++serve_searches_;
+      break;
+    case EventKind::kServeComplete:
+      serve_latency_ns_ += e.bytes;
+      ++serve_completed_;
+      break;
+    case EventKind::kServeReject:
+      ++serve_rejected_;
+      break;
     case EventKind::kFlowBegin:
     case EventKind::kFlowEnd:
     case EventKind::kTensor:

@@ -29,6 +29,16 @@ class MetricsSink : public TraceSink {
   int64_t clean_drops() const { return clean_drops_; }
   int64_t alloc_stalls() const { return alloc_stalls_; }
 
+  // Serving-layer request accounting (kServe* events). Latency sums divide
+  // by the matching count for mean served latency; percentile breakdowns
+  // live in ChromeTraceSink / the client, which see each instant.
+  int64_t serve_admitted() const { return serve_admitted_; }
+  int64_t serve_cache_hits() const { return serve_cache_hits_; }
+  int64_t serve_searches() const { return serve_searches_; }
+  int64_t serve_completed() const { return serve_completed_; }
+  int64_t serve_rejected() const { return serve_rejected_; }
+  int64_t serve_latency_ns() const { return serve_latency_ns_; }
+
  private:
   std::vector<Bytes> swap_in_, swap_out_, p2p_;
   std::vector<TimeSec> busy_;
@@ -38,6 +48,12 @@ class MetricsSink : public TraceSink {
   int64_t evictions_ = 0;
   int64_t clean_drops_ = 0;
   int64_t alloc_stalls_ = 0;
+  int64_t serve_admitted_ = 0;
+  int64_t serve_cache_hits_ = 0;
+  int64_t serve_searches_ = 0;
+  int64_t serve_completed_ = 0;
+  int64_t serve_rejected_ = 0;
+  int64_t serve_latency_ns_ = 0;
 };
 
 }  // namespace harmony::trace

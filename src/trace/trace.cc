@@ -17,6 +17,11 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kTensor: return "tensor";
     case EventKind::kHostBytes: return "host-bytes";
     case EventKind::kDeviceBytes: return "device-bytes";
+    case EventKind::kServeAdmit: return "serve-admit";
+    case EventKind::kServeCacheHit: return "serve-cache-hit";
+    case EventKind::kServeSearchBegin: return "serve-search-begin";
+    case EventKind::kServeComplete: return "serve-complete";
+    case EventKind::kServeReject: return "serve-reject";
   }
   return "?";
 }
@@ -31,6 +36,7 @@ const char* LaneName(Lane lane) {
     case Lane::kHost: return "host";
     case Lane::kNet: return "net";
     case Lane::kAlloc: return "alloc";
+    case Lane::kServe: return "serve";
   }
   return "?";
 }

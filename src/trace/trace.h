@@ -40,6 +40,16 @@ enum class EventKind : uint8_t {
   // Counter samples (`bytes` = current total).
   kHostBytes,    // host buffer footprint
   kDeviceBytes,  // device memory in use on `device`
+
+  // Serving-layer request lifecycle (src/serve). `task` carries the request
+  // id; `time` is real wall-clock seconds since the service started (the
+  // planner runs in real time, not simulated time). PlanService serializes
+  // its emissions, so single-threaded sinks observe a consistent stream.
+  kServeAdmit,        // request admitted to the search queue
+  kServeCacheHit,     // served from the plan cache; `bytes` = latency in ns
+  kServeSearchBegin,  // a worker started the search (`device` = worker id)
+  kServeComplete,     // response ready; `bytes` = end-to-end latency in ns
+  kServeReject,       // load-shed (queue full) or refused (draining)
 };
 
 const char* EventKindName(EventKind kind);
@@ -55,6 +65,7 @@ enum class Lane : uint8_t {
   kHost,
   kNet,
   kAlloc,
+  kServe,  // plan-service request lifecycle rows
 };
 
 const char* LaneName(Lane lane);

@@ -1,12 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <set>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
+#include "common/cancel.h"
 #include "common/regression.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "common/units.h"
 
 namespace harmony {
@@ -140,6 +147,73 @@ TEST(Regression, NoisyFitHasReasonableR2) {
   const auto fit = LinearRegression::Fit(x, y);
   EXPECT_GT(fit.r_squared(), 0.99);
   EXPECT_NEAR(fit.slope(), 5.0, 0.1);
+}
+
+TEST(ThreadPool, TaskExceptionPropagatesToSubmitter) {
+  common::ThreadPool pool(2);
+  auto bad = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker survives the throw; later tasks run normally.
+  auto good = pool.Submit([]() { return 41 + 1; });
+  EXPECT_EQ(good.get(), 42);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownReturnsShutdownError) {
+  common::ThreadPool pool(1);
+  pool.Shutdown();
+  auto rejected = pool.Submit([]() { return 1; });
+  EXPECT_THROW(rejected.get(), common::ThreadPool::ShutdownError);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasksAndIsIdempotent) {
+  common::ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.Submit([&ran]() {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ran.fetch_add(1);
+    }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 16);  // nothing already queued was dropped
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+  pool.Shutdown();  // second call is a no-op, not a crash
+}
+
+TEST(ThreadPool, ConcurrentShutdownCallersAllBlockUntilDrained) {
+  common::ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&ran]() {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ran.fetch_add(1);
+    });
+  }
+  std::vector<std::thread> callers;
+  for (int i = 0; i < 4; ++i) {
+    callers.emplace_back([&pool, &ran]() {
+      pool.Shutdown();
+      // Any caller that returns must observe the fully drained queue.
+      EXPECT_EQ(ran.load(), 8);
+    });
+  }
+  for (std::thread& t : callers) t.join();
+}
+
+TEST(CancelToken, ExplicitCancelAndDeadline) {
+  common::CancelToken token;
+  EXPECT_FALSE(token.Cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.Cancelled());
+  EXPECT_FALSE(token.DeadlinePassed());
+
+  common::CancelToken deadline;
+  deadline.SetDeadlineAfter(std::chrono::hours(1));
+  EXPECT_FALSE(deadline.Cancelled());
+  deadline.SetDeadlineAfter(std::chrono::nanoseconds(-1));  // already passed
+  EXPECT_TRUE(deadline.Cancelled());
+  EXPECT_TRUE(deadline.DeadlinePassed());
 }
 
 TEST(Table, AsciiAndCsv) {

@@ -1,0 +1,235 @@
+// Golden tests for the serving wire format (serve/wire.h): canonical JSON
+// round trips must be byte-identical, and the request fingerprints of the
+// paper's evaluation models are pinned so any accidental change to a writer
+// (which would silently split the plan cache across releases) fails loudly.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.h"
+#include "serve/wire.h"
+
+namespace harmony {
+namespace {
+
+using serve::ModelSpec;
+using serve::PlanRequest;
+using serve::PlanResponse;
+
+// ---------------------------------------------------------------------------
+// json::Value fundamentals
+// ---------------------------------------------------------------------------
+
+TEST(Json, CanonicalNumberRendering) {
+  EXPECT_EQ(json::Value::Int(0).Dump(), "0");
+  EXPECT_EQ(json::Value::Int(-7).Dump(), "-7");
+  EXPECT_EQ(json::Value::Number(42.0).Dump(), "42");  // integral double
+  EXPECT_EQ(json::Value::Number(0.5).Dump(), "0.5");
+  EXPECT_EQ(json::Value::Int(int64_t{1} << 40).Dump(), "1099511627776");
+}
+
+TEST(Json, CanonicalObjectAndArray) {
+  json::Value v = json::Value::Object();
+  v.Set("b", 1);
+  v.Set("a", "x\"y\n");
+  json::Value arr = json::Value::Array();
+  arr.Append(json::Value::Bool(true));
+  arr.Append(json::Value::Null());
+  v.Set("list", std::move(arr));
+  // Insertion order, no whitespace, escapes for quote and newline.
+  EXPECT_EQ(v.Dump(), "{\"b\":1,\"a\":\"x\\\"y\\n\",\"list\":[true,null]}");
+}
+
+TEST(Json, ParseDumpRoundTripIsByteIdentical) {
+  const std::string doc =
+      "{\"name\":\"GPT2\",\"n\":64,\"frac\":0.85,\"on\":true,"
+      "\"packs\":[[0,9],[10,18]],\"nested\":{\"x\":null}}";
+  const auto parsed = json::Parse(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().Dump(), doc);
+}
+
+TEST(Json, ParseRejectsGarbage) {
+  EXPECT_FALSE(json::Parse("{\"a\":1,}").ok());
+  EXPECT_FALSE(json::Parse("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(json::Parse("{\"a\"").ok());
+  EXPECT_FALSE(json::Parse("").ok());
+}
+
+TEST(Json, Fnv1aMatchesReferenceVectors) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(json::Fnv1a(""), 14695981039346656037ull);
+  EXPECT_EQ(json::Fnv1a("a"), 12638187200555641996ull);
+  EXPECT_EQ(json::FingerprintHex(0xdeadbeefull), "00000000deadbeef");
+}
+
+// ---------------------------------------------------------------------------
+// Round trips: serialize -> parse -> serialize must be byte-identical
+// ---------------------------------------------------------------------------
+
+template <typename T, typename ToJson, typename FromJson>
+void ExpectRoundTrip(const T& value, ToJson to_json, FromJson from_json) {
+  const std::string first = to_json(value).Dump();
+  const auto parsed = json::Parse(first);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const auto back = from_json(parsed.value());
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(to_json(back.value()).Dump(), first);
+}
+
+TEST(Wire, ModelSpecRoundTrips) {
+  for (const char* name : {"BERT96", "GPT2", "GPT2-20B", "VGG416"}) {
+    const auto spec = ModelSpec::FromName(name);
+    ASSERT_TRUE(spec.ok()) << spec.status();
+    ExpectRoundTrip(spec.value(), serve::ModelSpecToJson,
+                    serve::ModelSpecFromJson);
+  }
+  ModelSpec custom;
+  custom.kind = ModelSpec::Kind::kTransformer;
+  custom.transformer.name = "tiny";
+  custom.transformer.num_blocks = 4;
+  custom.transformer.hidden = 256;
+  custom.transformer.seq_len = 128;
+  custom.transformer.heads = 4;
+  custom.transformer.vocab = 1000;
+  ExpectRoundTrip(custom, serve::ModelSpecToJson, serve::ModelSpecFromJson);
+}
+
+TEST(Wire, MachineSpecRoundTrips) {
+  ExpectRoundTrip(hw::MachineSpec::Commodity4Gpu(), serve::MachineSpecToJson,
+                  serve::MachineSpecFromJson);
+  ExpectRoundTrip(hw::MachineSpec::Commodity8Gpu().WithNumGpus(8),
+                  serve::MachineSpecToJson, serve::MachineSpecFromJson);
+}
+
+TEST(Wire, SearchOptionsAndFlagsRoundTrip) {
+  core::SearchOptions options;
+  options.u_fwd_max = 16;
+  options.capacity_fraction = 0.7;
+  options.equi_fb = true;
+  options.num_threads = 4;
+  ExpectRoundTrip(options, serve::SearchOptionsToJson,
+                  serve::SearchOptionsFromJson);
+  core::OptimizationFlags flags;
+  flags.jit_compute = false;
+  flags.use_recompute = true;
+  ExpectRoundTrip(flags, serve::OptimizationFlagsToJson,
+                  serve::OptimizationFlagsFromJson);
+}
+
+TEST(Wire, ConfigurationRoundTrips) {
+  core::Configuration config;
+  config.u_fwd = 4;
+  config.u_bwd = 2;
+  config.fwd_packs = {{0, 9}, {10, 18}, {19, 27}};
+  config.bwd_packs = {{0, 13}, {14, 27}};
+  ExpectRoundTrip(config, serve::ConfigurationToJson,
+                  serve::ConfigurationFromJson);
+}
+
+TEST(Wire, PlanRequestRoundTrips) {
+  PlanRequest request;
+  request.model = ModelSpec::FromName("BERT96").value();
+  request.minibatch = 8;
+  request.deadline_ms = 250;
+  request.bypass_cache = true;
+  ExpectRoundTrip(request, serve::PlanRequestToJson,
+                  serve::PlanRequestFromJson);
+}
+
+TEST(Wire, PlanResponseRoundTrips) {
+  PlanResponse ok;
+  ok.fingerprint = 0x4a33fc51dbc2632cull;
+  ok.cache_hit = true;
+  ok.latency_seconds = 6.25e-05;
+  ok.config.u_fwd = 2;
+  ok.config.u_bwd = 1;
+  ok.config.fwd_packs = {{0, 9}, {10, 18}};
+  ok.config.bwd_packs = {{0, 18}};
+  ok.estimate.iteration_time = 4.3;
+  ok.estimate.swap_bytes = GiB(12);
+  ok.configs_explored = 512;
+  ExpectRoundTrip(ok, serve::PlanResponseToJson, serve::PlanResponseFromJson);
+
+  PlanResponse rejected;
+  rejected.status = Status::ResourceExhausted("admission queue full");
+  rejected.retry_after_ms = 50;
+  ExpectRoundTrip(rejected, serve::PlanResponseToJson,
+                  serve::PlanResponseFromJson);
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------------
+
+PlanRequest Bert96Request() {
+  PlanRequest request;
+  request.model = ModelSpec::FromName("BERT96").value();
+  request.machine = hw::MachineSpec::Commodity4Gpu();
+  request.mode = core::HarmonyMode::kPipelineParallel;
+  request.minibatch = 8;
+  return request;
+}
+
+PlanRequest Gpt2Request() {
+  PlanRequest request;
+  request.model = ModelSpec::FromName("GPT2").value();
+  request.machine = hw::MachineSpec::Commodity4Gpu();
+  request.mode = core::HarmonyMode::kPipelineParallel;
+  request.minibatch = 64;
+  return request;
+}
+
+// Pinned goldens: these exact values are what deployed caches are keyed by.
+// If a deliberate wire-format change lands, re-pin them in the same change
+// and call out the cache invalidation in DESIGN.md §9.
+TEST(Fingerprint, PinnedGoldens) {
+  EXPECT_EQ(json::FingerprintHex(serve::RequestFingerprint(Bert96Request())),
+            "b8af5d99f99b7bfe");
+  EXPECT_EQ(json::FingerprintHex(serve::RequestFingerprint(Gpt2Request())),
+            "f561a314a371fd9b");
+}
+
+TEST(Fingerprint, ExecutionHintsDoNotChangeIt) {
+  const uint64_t base = serve::RequestFingerprint(Bert96Request());
+  PlanRequest hinted = Bert96Request();
+  hinted.deadline_ms = 1000;
+  hinted.bypass_cache = true;
+  hinted.options.num_threads = 8;      // bit-identical result by contract
+  hinted.options.keep_explored = true;
+  EXPECT_EQ(serve::RequestFingerprint(hinted), base);
+}
+
+TEST(Fingerprint, SemanticFieldsChangeIt) {
+  const uint64_t base = serve::RequestFingerprint(Bert96Request());
+  PlanRequest r = Bert96Request();
+  r.minibatch = 16;
+  EXPECT_NE(serve::RequestFingerprint(r), base);
+  r = Bert96Request();
+  r.mode = core::HarmonyMode::kDataParallel;
+  EXPECT_NE(serve::RequestFingerprint(r), base);
+  r = Bert96Request();
+  r.run_iteration = true;  // the response differs, so the key must too
+  EXPECT_NE(serve::RequestFingerprint(r), base);
+  r = Bert96Request();
+  r.options.u_fwd_max = 16;
+  EXPECT_NE(serve::RequestFingerprint(r), base);
+  r = Bert96Request();
+  r.machine = r.machine.WithNumGpus(2);
+  EXPECT_NE(serve::RequestFingerprint(r), base);
+}
+
+TEST(Fingerprint, MatchesCanonicalJsonHash) {
+  const PlanRequest request = Gpt2Request();
+  EXPECT_EQ(serve::RequestFingerprint(request),
+            json::Fnv1a(serve::CanonicalRequestJson(request)));
+  // The canonical string itself round-trips through the parser unchanged.
+  const std::string canonical = serve::CanonicalRequestJson(request);
+  const auto parsed = json::Parse(canonical);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().Dump(), canonical);
+}
+
+}  // namespace
+}  // namespace harmony
