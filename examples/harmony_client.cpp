@@ -9,7 +9,7 @@
 // latency percentiles (daemon rejections under backpressure are counted,
 // not retried — the point is to observe the admission policy):
 //
-//   ./build/examples/harmony_client GPT2 pp 64 --unix=/tmp/h.sock \
+//   ./build/examples/harmony_client GPT2 pp 64 --unix=/tmp/h.sock
 //       --repeat=100 --threads=8 --json
 //
 // Control verbs: --ping (liveness), --stats (daemon counters), --shutdown

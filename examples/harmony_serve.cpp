@@ -74,6 +74,10 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // The socket layer already sends with MSG_NOSIGNAL, but ignore SIGPIPE
+  // process-wide as well: a client vanishing mid-response must never take
+  // the daemon down with it.
+  std::signal(SIGPIPE, SIG_IGN);
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
   server.Start();

@@ -38,6 +38,13 @@ class CancelToken {
     return d != 0 && Clock::now().time_since_epoch().count() >= d;
   }
 
+  /// The armed deadline as a steady-clock time_since_epoch count, 0 when no
+  /// deadline is set — lets callers compare deadlines across tokens (e.g.
+  /// single-flight coalescing only attaches to an equal-or-later deadline).
+  int64_t deadline_count() const {
+    return deadline_ns_.load(std::memory_order_relaxed);
+  }
+
   /// True when the token tripped because the deadline passed (vs an explicit
   /// Cancel) — lets callers report DeadlineExceeded instead of Cancelled.
   bool DeadlinePassed() const {

@@ -117,10 +117,16 @@ namespace {
 
 Status WriteAll(int fd, const char* data, size_t len) {
   while (len > 0) {
-    const ssize_t n = ::write(fd, data, len);
+    // send(MSG_NOSIGNAL) rather than write(): a peer that hangs up while we
+    // are mid-frame must surface as a connection error on this one
+    // connection, not raise SIGPIPE and kill the whole daemon.
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Errno("write");
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::NotFound("peer closed connection");
+      }
+      return Errno("send");
     }
     data += n;
     len -= static_cast<size_t>(n);

@@ -8,6 +8,7 @@ namespace harmony::serve {
 
 size_t CachedPlan::ApproxBytes() const {
   size_t bytes = sizeof(CachedPlan);
+  bytes += canonical_request.capacity();
   bytes += (config.fwd_packs.capacity() + config.bwd_packs.capacity()) *
            sizeof(core::Pack);
   if (has_metrics) {
@@ -28,11 +29,19 @@ PlanCache::PlanCache(size_t byte_budget, int num_shards)
   per_shard_budget_ = byte_budget / static_cast<size_t>(num_shards);
 }
 
-std::shared_ptr<const CachedPlan> PlanCache::Lookup(uint64_t fingerprint) {
+std::shared_ptr<const CachedPlan> PlanCache::Lookup(
+    uint64_t fingerprint, std::string_view canonical_request) {
   Shard& shard = ShardOf(fingerprint);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(fingerprint);
   if (it == shard.map.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  if (it->second.plan->canonical_request != canonical_request) {
+    // 64-bit fingerprint collision between distinct requests: FNV-1a is not
+    // cryptographic, so a hash match alone must never serve another
+    // request's plan. Degrade to a miss (the first entry keeps its slot).
     ++shard.misses;
     return nullptr;
   }

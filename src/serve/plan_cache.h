@@ -5,6 +5,8 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -17,6 +19,10 @@ namespace harmony::serve {
 /// response). Immutable once inserted; shared by pointer so a hit never
 /// copies pack lists under the shard lock.
 struct CachedPlan {
+  /// The canonical request JSON (wire.h) this plan answers. Lookup compares
+  /// it byte-for-byte, so a 64-bit fingerprint collision can never silently
+  /// alias one request's plan to another.
+  std::string canonical_request;
   core::Configuration config;
   core::Estimate estimate;
   int configs_explored = 0;
@@ -40,7 +46,10 @@ struct CacheStats {
 
 /// Sharded, LRU-bounded, content-addressed plan store. Keys are the FNV-1a
 /// fingerprints of canonical request JSON (wire.h), so "the same plan" is
-/// decided by request *content*, never by connection or arrival order.
+/// decided by request *content*, never by connection or arrival order. The
+/// 64-bit hash alone is never trusted: a hit additionally compares the full
+/// canonical request bytes, so a crafted (or unlucky) fingerprint collision
+/// degrades to a miss instead of returning another request's plan.
 ///
 /// Concurrency: the key's shard is picked by fingerprint bits; each shard
 /// has its own mutex, LRU list and map, so concurrent lookups of different
@@ -60,9 +69,15 @@ class PlanCache {
   /// `num_shards` must be a power of two.
   explicit PlanCache(size_t byte_budget, int num_shards = 16);
 
-  /// Returns the cached plan or nullptr; counts a hit/miss either way.
-  std::shared_ptr<const CachedPlan> Lookup(uint64_t fingerprint);
+  /// Returns the cached plan or nullptr; counts a hit/miss either way. The
+  /// entry's stored canonical_request must equal `canonical_request` for a
+  /// hit — a fingerprint match with different bytes is a collision and
+  /// counts as a miss.
+  std::shared_ptr<const CachedPlan> Lookup(uint64_t fingerprint,
+                                           std::string_view canonical_request);
 
+  /// `plan->canonical_request` must be the bytes `fingerprint` was hashed
+  /// from; Lookup verifies against it.
   void Insert(uint64_t fingerprint, std::shared_ptr<const CachedPlan> plan);
 
   /// Drops every entry (stats counters survive).

@@ -52,7 +52,18 @@ void PlanService::EmitEvent(trace::EventKind kind, int request_id,
 std::shared_future<PlanResponse> PlanService::Submit(
     const PlanRequest& request) {
   const auto admit_time = Clock::now();
-  const uint64_t fingerprint = RequestFingerprint(request);
+  // Hash once from the canonical bytes and keep the preimage: cache lookups
+  // and single-flight attachment verify the bytes, never the hash alone.
+  std::string canonical = CanonicalRequestJson(request);
+  const uint64_t fingerprint = json::Fnv1a(canonical);
+  // This request's absolute deadline (time_since_epoch count; 0 = none),
+  // fixed up front so admission control and the worker agree on it.
+  const Clock::time_point deadline =
+      request.deadline_ms > 0
+          ? Clock::now() + std::chrono::milliseconds(request.deadline_ms)
+          : Clock::time_point{};
+  const int64_t deadline_count =
+      request.deadline_ms > 0 ? deadline.time_since_epoch().count() : 0;
 
   auto immediate = [&](PlanResponse response) {
     response.fingerprint = fingerprint;
@@ -64,7 +75,8 @@ std::shared_future<PlanResponse> PlanService::Submit(
 
   // Fast path: content-addressed hit, no service lock taken.
   if (options_.enable_cache && !request.bypass_cache) {
-    if (std::shared_ptr<const CachedPlan> plan = cache_.Lookup(fingerprint)) {
+    if (std::shared_ptr<const CachedPlan> plan =
+            cache_.Lookup(fingerprint, canonical)) {
       PlanResponse response;
       response.cache_hit = true;
       response.config = plan->config;
@@ -102,11 +114,22 @@ std::shared_future<PlanResponse> PlanService::Submit(
     }
 
     // Single-flight: identical request already being searched — attach.
+    // "Identical" means the canonical bytes match (a fingerprint collision
+    // must not share a search), and the in-flight deadline is no earlier
+    // than ours: attaching to a shorter-deadline search would hand this
+    // caller someone else's DeadlineExceeded. Otherwise admit separately;
+    // the new entry replaces the map slot so later arrivals coalesce onto
+    // the longer-lived search.
     if (!request.bypass_cache) {
       auto it = inflight_.find(fingerprint);
-      if (it != inflight_.end()) {
-        ++stats_.coalesced;
-        return it->second->future;
+      if (it != inflight_.end() && it->second->canonical == canonical) {
+        const int64_t theirs = it->second->cancel->deadline_count();
+        const bool deadline_compatible =
+            theirs == 0 || (deadline_count != 0 && theirs >= deadline_count);
+        if (deadline_compatible) {
+          ++stats_.coalesced;
+          return it->second->future;
+        }
       }
     }
 
@@ -130,10 +153,8 @@ std::shared_future<PlanResponse> PlanService::Submit(
     inflight = std::make_shared<Inflight>();
     inflight->future = inflight->promise.get_future().share();
     inflight->cancel = std::make_shared<common::CancelToken>();
-    if (request.deadline_ms > 0) {
-      inflight->cancel->SetDeadlineAfter(
-          std::chrono::milliseconds(request.deadline_ms));
-    }
+    inflight->canonical = canonical;
+    if (deadline_count != 0) inflight->cancel->SetDeadline(deadline);
     if (!request.bypass_cache) inflight_[fingerprint] = inflight;
   }
 
@@ -259,6 +280,7 @@ void PlanService::RunRequest(PlanRequest request, uint64_t fingerprint,
 
   if (response.status.ok() && options_.enable_cache && !request.bypass_cache) {
     auto plan = std::make_shared<CachedPlan>();
+    plan->canonical_request = inflight->canonical;
     plan->config = response.config;
     plan->estimate = response.estimate;
     plan->configs_explored = response.configs_explored;

@@ -104,6 +104,10 @@ class PlanService {
     std::promise<PlanResponse> promise;
     std::shared_future<PlanResponse> future;
     std::shared_ptr<common::CancelToken> cancel;
+    /// Canonical request bytes (the fingerprint preimage): coalescing
+    /// verifies them so a fingerprint collision never attaches a request to
+    /// a different request's search.
+    std::string canonical;
   };
 
   /// Profiles are pure functions of (model spec, GPU spec) and expensive

@@ -97,7 +97,33 @@ void PlanServer::AcceptLoop() {
       net::CloseFd(fd);
       break;
     }
-    connections_.emplace_back([this, fd]() { HandleConnection(fd); });
+    // Reap finished connection threads on every accept, so a long-running
+    // daemon serving many short-lived connections never accumulates
+    // unjoined handles; the survivors also give an accurate live count for
+    // the cap below.
+    ReapFinishedLocked();
+    if (connections_.size() >= static_cast<size_t>(options_.max_connections)) {
+      SendError(fd, "server at connection capacity, retry later");
+      net::CloseFd(fd);
+      continue;
+    }
+    connections_.push_back(std::make_unique<Connection>());
+    Connection* entry = connections_.back().get();
+    entry->thread = std::thread([this, fd, entry]() {
+      HandleConnection(fd);
+      entry->done.store(true, std::memory_order_release);
+    });
+  }
+}
+
+void PlanServer::ReapFinishedLocked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      (*it)->thread.join();  // already past its last statement: returns fast
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 
@@ -108,7 +134,7 @@ void PlanServer::HandleConnection(int fd) {
     // on a client that forgot to disconnect.
     pollfd pfd{fd, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
-    if (ready == 0) continue;
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stopping_
     auto frame = net::RecvFrame(fd, options_.max_frame_bytes);
     if (!frame.ok()) {
       // NotFound is the peer hanging up between frames — the normal end of
@@ -202,12 +228,12 @@ void PlanServer::Stop() {
   if (listen_fd_ >= 0) net::CloseFd(listen_fd_);
   if (acceptor_.joinable()) acceptor_.join();
   listen_fd_ = -1;
-  std::vector<std::thread> conns;
+  std::list<std::unique_ptr<Connection>> conns;
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
     conns.swap(connections_);
   }
-  for (std::thread& t : conns) t.join();
+  for (auto& c : conns) c->thread.join();
   service_->Shutdown(/*cancel_inflight=*/false);
   // Notify while holding the lock: a waiter in Wait()/Stop() may destroy
   // this object as soon as it observes stopped_, so the notify must not

@@ -3,10 +3,11 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
-#include <vector>
 
 #include "common/socket.h"
 #include "serve/plan_service.h"
@@ -21,6 +22,9 @@ struct ServerOptions {
   bool use_tcp = false;
   /// Maximum accepted frame payload (a corrupt peer can't balloon memory).
   size_t max_frame_bytes = 64ull << 20;
+  /// Maximum live connections (each owns a thread). Beyond it the acceptor
+  /// answers with an error frame and closes — explicit refusal, not a hang.
+  int max_connections = 256;
 };
 
 /// The socket front-end of PlanService: accepts connections on a Unix-domain
@@ -86,10 +90,21 @@ class PlanServer {
   }
 
  private:
+  /// One live connection. `done` is set by the handler thread as its last
+  /// action, letting the acceptor reap (join + erase) finished entries
+  /// without blocking on live ones — a long-lived daemon serving short-lived
+  /// connections must not accumulate unjoined thread handles.
+  struct Connection {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
   void AcceptLoop();
   void HandleConnection(int fd);
   /// Dispatches one envelope; returns false when the connection should close.
   bool HandleFrame(int fd, const std::string& payload);
+  /// Joins and erases finished connections. Caller holds conn_mu_.
+  void ReapFinishedLocked();
 
   PlanService* service_;
   ServerOptions options_;
@@ -100,7 +115,7 @@ class PlanServer {
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;
   std::mutex conn_mu_;
-  std::vector<std::thread> connections_;
+  std::list<std::unique_ptr<Connection>> connections_;
 
   mutable std::mutex stop_mu_;
   std::condition_variable stopped_cv_;

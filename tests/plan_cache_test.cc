@@ -16,8 +16,12 @@ using serve::CachedPlan;
 using serve::CacheStats;
 using serve::PlanCache;
 
+/// Stand-in for the canonical request JSON the fingerprint hashes.
+std::string Canon(int u_fwd) { return "request-" + std::to_string(u_fwd); }
+
 std::shared_ptr<const CachedPlan> MakePlan(int u_fwd) {
   auto plan = std::make_shared<CachedPlan>();
+  plan->canonical_request = Canon(u_fwd);
   plan->config.u_fwd = u_fwd;
   plan->config.u_bwd = 1;
   plan->config.fwd_packs = {{0, 9}, {10, 18}};
@@ -27,10 +31,10 @@ std::shared_ptr<const CachedPlan> MakePlan(int u_fwd) {
 
 TEST(PlanCache, HitReturnsTheInsertedPlan) {
   PlanCache cache(/*byte_budget=*/1 << 20, /*num_shards=*/4);
-  EXPECT_EQ(cache.Lookup(42), nullptr);
+  EXPECT_EQ(cache.Lookup(42, Canon(4)), nullptr);
   auto plan = MakePlan(4);
   cache.Insert(42, plan);
-  const auto hit = cache.Lookup(42);
+  const auto hit = cache.Lookup(42, Canon(4));
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit.get(), plan.get());  // shared, not copied
   const CacheStats stats = cache.stats();
@@ -46,9 +50,22 @@ TEST(PlanCache, DuplicateInsertKeepsFirstEntry) {
   auto first = MakePlan(2);
   cache.Insert(7, first);
   cache.Insert(7, MakePlan(2));  // deterministic searches: same content
-  EXPECT_EQ(cache.Lookup(7).get(), first.get());
+  EXPECT_EQ(cache.Lookup(7, Canon(2)).get(), first.get());
   EXPECT_EQ(cache.stats().insertions, 1u);
   EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(PlanCache, FingerprintCollisionDegradesToMiss) {
+  // Two distinct requests that (hypothetically) hash to the same 64-bit
+  // fingerprint: the canonical bytes disagree, so the second must miss
+  // instead of being served the first request's plan.
+  PlanCache cache(1 << 20, 1);
+  cache.Insert(42, MakePlan(1));
+  EXPECT_EQ(cache.Lookup(42, Canon(2)), nullptr);
+  EXPECT_NE(cache.Lookup(42, Canon(1)), nullptr);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
 }
 
 TEST(PlanCache, LruEvictionUnderTinyBudget) {
@@ -58,11 +75,11 @@ TEST(PlanCache, LruEvictionUnderTinyBudget) {
   cache.Insert(1, MakePlan(1));
   cache.Insert(2, MakePlan(2));
   // Refresh 1, then insert 3: the LRU entry is now 2.
-  ASSERT_NE(cache.Lookup(1), nullptr);
+  ASSERT_NE(cache.Lookup(1, Canon(1)), nullptr);
   cache.Insert(3, MakePlan(3));
-  EXPECT_NE(cache.Lookup(1), nullptr);
-  EXPECT_EQ(cache.Lookup(2), nullptr);  // evicted
-  EXPECT_NE(cache.Lookup(3), nullptr);
+  EXPECT_NE(cache.Lookup(1, Canon(1)), nullptr);
+  EXPECT_EQ(cache.Lookup(2, Canon(2)), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup(3, Canon(3)), nullptr);
   const CacheStats stats = cache.stats();
   EXPECT_EQ(stats.evictions, 1u);
   EXPECT_EQ(stats.entries, 2u);
@@ -72,7 +89,7 @@ TEST(PlanCache, LruEvictionUnderTinyBudget) {
 TEST(PlanCache, OversizePlanIsServedButNotCached) {
   PlanCache cache(/*byte_budget=*/8, /*num_shards=*/1);  // smaller than any plan
   cache.Insert(1, MakePlan(1));
-  EXPECT_EQ(cache.Lookup(1), nullptr);
+  EXPECT_EQ(cache.Lookup(1, Canon(1)), nullptr);
   EXPECT_EQ(cache.stats().entries, 0u);
   EXPECT_EQ(cache.stats().insertions, 0u);
 }
@@ -81,9 +98,9 @@ TEST(PlanCache, ClearDropsEntriesButKeepsCounters) {
   PlanCache cache(1 << 20, 4);
   cache.Insert(1, MakePlan(1));
   cache.Insert(2, MakePlan(2));
-  ASSERT_NE(cache.Lookup(1), nullptr);
+  ASSERT_NE(cache.Lookup(1, Canon(1)), nullptr);
   cache.Clear();
-  EXPECT_EQ(cache.Lookup(1), nullptr);
+  EXPECT_EQ(cache.Lookup(1, Canon(1)), nullptr);
   const CacheStats stats = cache.stats();
   EXPECT_EQ(stats.entries, 0u);
   EXPECT_EQ(stats.bytes, 0u);
@@ -103,7 +120,7 @@ TEST(PlanCache, ConcurrentMixedAccessIsSafe) {
         if ((i + t) % 3 == 0) {
           cache.Insert(key, MakePlan(i % 64));
         } else {
-          const auto hit = cache.Lookup(key);
+          const auto hit = cache.Lookup(key, Canon(i % 64));
           if (hit != nullptr) {
             EXPECT_EQ(hit->config.u_fwd, i % 64);
           }

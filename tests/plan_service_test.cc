@@ -142,6 +142,28 @@ TEST(PlanService, DeadlineExpiredBeforeSearchStarts) {
   EXPECT_EQ(stats.searches, 0u);  // never started a doomed search
 }
 
+TEST(PlanService, DoesNotCoalesceOntoShorterDeadlineInflight) {
+  ServeOptions options;
+  options.num_workers = 2;
+  options.stall_for_test = 0.15;  // holds the first search past its deadline
+  PlanService service(options);
+
+  PlanRequest doomed = TinyRequest();
+  doomed.deadline_ms = 20;
+  auto first = service.Submit(doomed);
+  // Identical content but no deadline: attaching to the doomed in-flight
+  // would hand this caller the other request's DeadlineExceeded. It must be
+  // admitted as its own search instead.
+  auto second = service.Submit(TinyRequest());
+
+  EXPECT_EQ(first.get().status.code(), StatusCode::kDeadlineExceeded);
+  const PlanResponse ok = second.get();
+  EXPECT_TRUE(ok.status.ok()) << ok.status;
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.coalesced, 0u);
+  EXPECT_EQ(stats.admitted, 2u);
+}
+
 TEST(PlanService, ShutdownDrainsEveryAdmittedRequest) {
   ServeOptions options;
   options.num_workers = 2;
