@@ -6,8 +6,10 @@
 //
 // As a load generator, each client thread opens its own connection and
 // issues requests back-to-back, reporting throughput and client-observed
-// latency percentiles (daemon rejections under backpressure are counted,
-// not retried — the point is to observe the admission policy):
+// latency percentiles. By default daemon rejections under backpressure are
+// counted, not retried — the point is to observe the admission policy;
+// --retries=N instead rides them out with jittered backoff (honoring the
+// server's retry-after hint), the way a production caller would:
 //
 //   ./build/examples/harmony_client GPT2 pp 64 --unix=/tmp/h.sock
 //       --repeat=100 --threads=8 --json
@@ -34,8 +36,8 @@ int Usage() {
       << "usage: harmony_client <model> <dp|pp> <minibatch>\n"
          "                      (--unix=<path> | --tcp=<port>) [--host=<ip>]\n"
          "                      [--gpus=N] [--repeat=N] [--threads=N]\n"
-         "                      [--deadline-ms=N] [--run] [--bypass-cache]\n"
-         "                      [--json]\n"
+         "                      [--deadline-ms=N] [--retries=N] [--run]\n"
+         "                      [--bypass-cache] [--json]\n"
          "   or: harmony_client (--ping | --stats | --shutdown)\n"
          "                      (--unix=<path> | --tcp=<port>) [--host=<ip>]\n"
          "  model: BERT-Large | BERT96 | GPT2 | GPT2-Medium | VGG416 |\n"
@@ -59,6 +61,7 @@ int main(int argc, char** argv) {
   int tcp_port = -1;
   std::string model_name, mode_str;
   int minibatch = 0, gpus = 4, repeat = 1, threads = 1, deadline_ms = 0;
+  int retries = 0;
   bool run = false, bypass_cache = false, as_json = false;
   bool do_ping = false, do_stats = false, do_shutdown = false;
 
@@ -78,6 +81,8 @@ int main(int argc, char** argv) {
       threads = std::atoi(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
       deadline_ms = std::atoi(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--retries=", 10) == 0) {
+      retries = std::atoi(argv[i] + 10);
     } else if (std::strcmp(argv[i], "--run") == 0) {
       run = true;
     } else if (std::strcmp(argv[i], "--bypass-cache") == 0) {
@@ -173,13 +178,14 @@ int main(int argc, char** argv) {
   std::mutex mu;
   std::vector<double> latencies;  // seconds, client-observed
   int ok_count = 0, cache_hits = 0, rejected = 0, failed = 0;
+  int64_t retries_used = 0;
   serve::PlanResponse sample;  // one successful response, for display
 
   const auto bench_start = Clock::now();
   std::vector<std::thread> pool;
   pool.reserve(static_cast<size_t>(threads));
   for (int t = 0; t < threads; ++t) {
-    pool.emplace_back([&]() {
+    pool.emplace_back([&, t]() {
       serve::ServeClient client;
       const Status st = connect(&client);
       if (!st.ok()) {
@@ -187,9 +193,13 @@ int main(int argc, char** argv) {
         failed += repeat;
         return;
       }
+      serve::ServeClient::RetryOptions retry;
+      retry.max_retries = retries;
+      retry.seed = 0x636c69656e740000ull + static_cast<uint64_t>(t);
       for (int i = 0; i < repeat; ++i) {
         const auto start = Clock::now();
-        auto response = client.Plan(request);
+        auto response = retries > 0 ? client.PlanWithRetry(request, retry)
+                                    : client.Plan(request);
         const double seconds =
             std::chrono::duration<double>(Clock::now() - start).count();
         std::lock_guard<std::mutex> lock(mu);
@@ -209,6 +219,8 @@ int main(int argc, char** argv) {
           ++failed;
         }
       }
+      std::lock_guard<std::mutex> lock(mu);
+      retries_used += client.retries();
     });
   }
   for (std::thread& t : pool) t.join();
@@ -231,6 +243,7 @@ int main(int argc, char** argv) {
     out.Set("cache_hits", cache_hits);
     out.Set("rejected", rejected);
     out.Set("failed", failed);
+    out.Set("retries", retries_used);
     out.Set("wall_seconds", wall);
     out.Set("requests_per_second", rps);
     out.Set("p50_seconds", p50);
@@ -259,8 +272,9 @@ int main(int argc, char** argv) {
     }
   }
   std::cout << ok_count << " ok (" << cache_hits << " cache hits), "
-            << rejected << " rejected, " << failed << " failed in " << wall
-            << "s  (" << rps << " req/s, p50 " << p50 * 1e3 << " ms, p99 "
-            << p99 * 1e3 << " ms)\n";
+            << rejected << " rejected, " << failed << " failed, "
+            << retries_used << " retries in " << wall << "s  (" << rps
+            << " req/s, p50 " << p50 * 1e3 << " ms, p99 " << p99 * 1e3
+            << " ms)\n";
   return failed > 0 ? 1 : 0;
 }

@@ -8,11 +8,13 @@
 //   ./build/examples/harmony_plan GPT2-20B pp 32 --gpus=8 --run
 //   ./build/examples/harmony_plan BERT96 pp 8 --trace-out trace.json
 
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <string>
 
 #include "bench/bench_common.h"
+#include "common/cancel.h"
 #include "common/table.h"
 #include "core/scheduler.h"
 #include "runtime/runtime.h"
@@ -23,11 +25,14 @@ namespace {
 int Usage() {
   std::cerr
       << "usage: harmony_plan <model> <dp|pp> <minibatch> [--gpus=N] [--run]\n"
-         "                    [--trace-out <file>]\n"
+         "                    [--trace-out <file>] [--deadline-ms=N]\n"
          "  model: BERT-Large | BERT96 | GPT2 | GPT2-Medium | VGG416 |\n"
          "         ResNet1K | GPT2-<n>B\n"
          "  --trace-out writes the executed iteration's timeline as Chrome\n"
-         "  trace JSON (load in chrome://tracing or Perfetto); implies --run.\n";
+         "  trace JSON (load in chrome://tracing or Perfetto); implies --run.\n"
+         "  --deadline-ms bounds the whole invocation (search + execution)\n"
+         "  with a cooperative cancel token; exceeding it exits with\n"
+         "  DeadlineExceeded instead of running open-ended.\n";
   return 2;
 }
 
@@ -41,10 +46,13 @@ int main(int argc, char** argv) {
   const int minibatch = std::atoi(argv[3]);
   int gpus = 4;
   bool run = false;
+  int deadline_ms = 0;
   std::string trace_out;
   for (int i = 4; i < argc; ++i) {
     if (std::strncmp(argv[i], "--gpus=", 7) == 0) {
       gpus = std::atoi(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
+      deadline_ms = std::atoi(argv[i] + 14);
     } else if (std::strcmp(argv[i], "--run") == 0) {
       run = true;
     } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
@@ -77,8 +85,14 @@ int main(int argc, char** argv) {
             << FormatBytes(machine.gpu.memory_capacity) << " each), "
             << FormatBytes(machine.host_memory) << " host\n\n";
 
+  common::CancelToken cancel;
+  if (deadline_ms > 0) {
+    cancel.SetDeadlineAfter(std::chrono::milliseconds(deadline_ms));
+  }
+  core::SearchOptions so;
+  if (deadline_ms > 0) so.cancel = &cancel;
   const auto found = core::SearchConfiguration(pm.profiles, machine, mode,
-                                               minibatch, {}, {});
+                                               minibatch, {}, so);
   if (!found.ok()) {
     std::cerr << "no feasible schedule: " << found.status() << "\n";
     return 1;
@@ -114,6 +128,7 @@ int main(int argc, char** argv) {
   const runtime::Runtime rt(machine, pm.model);
   runtime::RuntimeOptions ro;
   ro.optimizer = pm.optimizer;
+  if (deadline_ms > 0) ro.cancel = &cancel;
   trace::ChromeTraceSink chrome;
   if (!trace_out.empty()) ro.trace_sinks.push_back(&chrome);
   const auto metrics = rt.Execute(graph, ro);

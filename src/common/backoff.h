@@ -1,0 +1,38 @@
+#ifndef HARMONY_COMMON_BACKOFF_H_
+#define HARMONY_COMMON_BACKOFF_H_
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace harmony::common {
+
+/// Jittered exponential backoff, shared by every retry site in the repo: the
+/// fault layer's transfer/alloc retries (simulated time) and the serve
+/// client's ResourceExhausted retries (wall-clock time). The delay for
+/// attempt k is `initial * multiplier^k`, capped at `max_delay`, then
+/// scattered by full jitter: uniform in [(1-jitter)*d, d]. Jitter draws come
+/// from an explicitly seeded Rng so simulated retries replay bit-identically
+/// from the chaos seed; pass nullptr to skip jitter entirely.
+struct BackoffPolicy {
+  TimeSec initial = 1e-3;
+  TimeSec max_delay = 1.0;
+  double multiplier = 2.0;
+  double jitter = 0.5;  // fraction of the delay randomized away, in [0, 1]
+
+  /// Delay before retry number `attempt` (0 = first retry).
+  TimeSec DelayFor(int attempt, Rng* rng) const {
+    TimeSec d = initial;
+    for (int i = 0; i < attempt && d < max_delay; ++i) d *= multiplier;
+    d = std::min(d, max_delay);
+    if (rng != nullptr && jitter > 0.0) {
+      d *= 1.0 - jitter * rng->NextDouble();
+    }
+    return d;
+  }
+};
+
+}  // namespace harmony::common
+
+#endif  // HARMONY_COMMON_BACKOFF_H_

@@ -1,0 +1,121 @@
+#include "fault/fault.h"
+
+namespace harmony::fault {
+
+namespace {
+
+// Split-stream tags: each injection site draws from its own child stream so
+// adding draws at one site never perturbs another site's schedule.
+constexpr uint64_t kTransferTag = 0x7472616e73666572;  // "transfer"
+constexpr uint64_t kAllocTag = 0x616c6c6f63;           // "alloc"
+constexpr uint64_t kStallTag = 0x7374616c6c;           // "stall"
+constexpr uint64_t kFlapTag = 0x666c6170;              // "flap"
+constexpr uint64_t kPressureTag = 0x7072657373;        // "press"
+constexpr uint64_t kBackoffTag = 0x6261636b6f6666;     // "backoff"
+
+std::string Trimmed(double v) {
+  std::string s = std::to_string(v);
+  while (s.size() > 1 && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTransferFailure: return "transfer-failure";
+    case FaultKind::kLinkDegrade: return "link-degrade";
+    case FaultKind::kMemPressure: return "mem-pressure";
+    case FaultKind::kAllocFailure: return "alloc-failure";
+    case FaultKind::kStreamStall: return "stream-stall";
+  }
+  return "?";
+}
+
+bool FaultPlan::Any() const {
+  return enabled &&
+         (transfer_failure_rate > 0.0 || link_flap_interval > 0.0 ||
+          mem_pressure_interval > 0.0 || alloc_failure_rate > 0.0 ||
+          stream_stall_rate > 0.0);
+}
+
+std::string FaultPlan::Describe() const {
+  if (!enabled) return "faults disabled";
+  std::string s = "seed=" + std::to_string(seed);
+  if (transfer_failure_rate > 0.0) {
+    s += " transfer-failure=" + Trimmed(transfer_failure_rate);
+  }
+  if (link_flap_interval > 0.0) {
+    s += " link-flap=" + Trimmed(link_flap_interval) + "s/x" +
+         Trimmed(link_degrade_factor);
+  }
+  if (mem_pressure_interval > 0.0) {
+    s += " mem-pressure=" + Trimmed(mem_pressure_interval) + "s/" +
+         Trimmed(mem_pressure_fraction);
+  }
+  if (alloc_failure_rate > 0.0) {
+    s += " alloc-failure=" + Trimmed(alloc_failure_rate);
+  }
+  if (stream_stall_rate > 0.0) {
+    s += " stream-stall=" + Trimmed(stream_stall_rate) + "/" +
+         Trimmed(stream_stall_duration) + "s";
+  }
+  return s;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(plan),
+      transfer_rng_(Rng(plan.seed).Split(kTransferTag)),
+      alloc_rng_(Rng(plan.seed).Split(kAllocTag)),
+      stall_rng_(Rng(plan.seed).Split(kStallTag)),
+      flap_rng_(Rng(plan.seed).Split(kFlapTag)),
+      pressure_rng_(Rng(plan.seed).Split(kPressureTag)),
+      backoff_rng_(Rng(plan.seed).Split(kBackoffTag)) {}
+
+bool FaultInjector::TransferFails() {
+  if (plan_.transfer_failure_rate <= 0.0) return false;
+  const bool fails = transfer_rng_.NextDouble() < plan_.transfer_failure_rate;
+  if (fails) ++transfer_failures_;
+  return fails;
+}
+
+bool FaultInjector::AllocFails() {
+  if (plan_.alloc_failure_rate <= 0.0) return false;
+  const bool fails = alloc_rng_.NextDouble() < plan_.alloc_failure_rate;
+  if (fails) ++alloc_failures_;
+  return fails;
+}
+
+TimeSec FaultInjector::StreamStall() {
+  if (plan_.stream_stall_rate <= 0.0 || plan_.stream_stall_duration <= 0.0) {
+    return 0.0;
+  }
+  if (stall_rng_.NextDouble() >= plan_.stream_stall_rate) return 0.0;
+  ++stream_stalls_;
+  return plan_.stream_stall_duration;
+}
+
+TimeSec FaultInjector::NextFlapDelay() {
+  return plan_.link_flap_interval * (0.5 + flap_rng_.NextDouble());
+}
+
+TimeSec FaultInjector::NextPressureDelay() {
+  return plan_.mem_pressure_interval * (0.5 + pressure_rng_.NextDouble());
+}
+
+int FaultInjector::PickLink(int num_links) {
+  return static_cast<int>(
+      flap_rng_.NextBounded(static_cast<uint64_t>(num_links)));
+}
+
+int FaultInjector::PickDevice(int num_devices) {
+  return static_cast<int>(
+      pressure_rng_.NextBounded(static_cast<uint64_t>(num_devices)));
+}
+
+TimeSec FaultInjector::BackoffDelay(int attempt) {
+  return plan_.backoff.DelayFor(attempt, &backoff_rng_);
+}
+
+}  // namespace harmony::fault

@@ -1,0 +1,132 @@
+#ifndef HARMONY_FAULT_FAULT_H_
+#define HARMONY_FAULT_FAULT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/backoff.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace harmony::fault {
+
+/// The fault taxonomy the chaos layer can inject. Each kind maps to one
+/// failure mode of a real commodity server running at the ragged edge of GPU
+/// memory capacity (the regime Harmony targets), and each is paired with a
+/// recovery policy in the runtime so faults change *time, not results*.
+enum class FaultKind : uint8_t {
+  kTransferFailure,  // a host<->GPU / p2p transfer attempt fails outright
+  kLinkDegrade,      // a PCIe/NVLink link flaps down to a fraction of its bw
+  kMemPressure,      // a co-tenant steals a slice of a GPU's memory capacity
+  kAllocFailure,     // a device allocation transiently fails (fragmentation)
+  kStreamStall,      // a stream wedges for a while before starting its next op
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// Everything a chaos run injects, replayable from `seed` alone. All decision
+/// draws (which transfer fails, which link flaps, backoff jitter) come from
+/// independent child streams of one seeded Rng, and all fault timing lives in
+/// simulated time — so a schedule is a pure function of (plan, workload) and
+/// any run reproduces bit-identically from its printed seed.
+///
+/// A default-constructed plan is inert: `enabled` is false and every rate and
+/// interval is zero, so the runtime pays one branch per potential injection
+/// site and nothing else.
+struct FaultPlan {
+  bool enabled = false;
+  uint64_t seed = 0;
+
+  // --- transfer failures (recovered by jittered-backoff retry) -------------
+  double transfer_failure_rate = 0.0;  // P(a transfer attempt fails)
+  int max_transfer_retries = 8;        // fatal after this many failed attempts
+
+  // --- link degradation / flaps (self-healing after duration) --------------
+  TimeSec link_flap_interval = 0.0;  // mean seconds between flaps; 0 = off
+  TimeSec link_flap_duration = 0.0;  // seconds a flapped link stays degraded
+  double link_degrade_factor = 0.25; // capacity multiplier while degraded
+
+  // --- memory-capacity pressure (recovered by emergency eviction) ----------
+  TimeSec mem_pressure_interval = 0.0;  // mean seconds between spikes; 0 = off
+  TimeSec mem_pressure_duration = 0.0;  // seconds a spike lasts
+  double mem_pressure_fraction = 0.0;   // fraction of capacity stolen
+
+  // --- transient allocation failures (recovered by backoff retry) ----------
+  double alloc_failure_rate = 0.0;  // P(a grantable allocation fails anyway)
+  int max_alloc_retries = 8;
+
+  // --- stream stalls (self-healing; watchdog catches permanent ones) -------
+  double stream_stall_rate = 0.0;     // P(an op start is delayed)
+  TimeSec stream_stall_duration = 0.0;
+
+  // Shared retry policy for transfer and allocation recovery, in simulated
+  // seconds. Jitter draws come from the plan's seed.
+  common::BackoffPolicy backoff;
+
+  /// True when any fault kind is armed (enabled and at least one rate or
+  /// interval is positive).
+  bool Any() const;
+
+  /// One-line human description, e.g. for the chaos harness banner and for
+  /// Status messages naming the injected fault ("seed=42 transfer=0.05 ...").
+  std::string Describe() const;
+};
+
+/// The seeded decision oracle: every injection site asks the injector whether
+/// (and how hard) to fail, and every answer is drawn from a site-specific
+/// child stream of the plan's seed. The injector holds no engine or runtime
+/// references — it is pure decisions plus counters — so it can be exercised
+/// standalone in tests and shared by the sim- and runtime-side drivers.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Should this transfer attempt fail? (counts when true)
+  bool TransferFails();
+  /// Should this allocation grant transiently fail? (counts when true)
+  bool AllocFails();
+  /// Stall before the next stream op: 0 almost always, else the plan's stall
+  /// duration. (counts when positive)
+  TimeSec StreamStall();
+
+  /// Jittered inter-arrival delay until the next link flap / pressure spike
+  /// (uniform in [0.5, 1.5] x the plan's mean interval).
+  TimeSec NextFlapDelay();
+  TimeSec NextPressureDelay();
+  /// Uniform victim pick for a flap / pressure spike.
+  int PickLink(int num_links);
+  int PickDevice(int num_devices);
+
+  /// Bump the flap / pressure counters when the driver actually injects one
+  /// (the delay draws above also precede the first injection, so they cannot
+  /// count).
+  void RecordFlap() { ++link_flaps_; }
+  void RecordPressure() { ++pressure_spikes_; }
+
+  /// Backoff delay (simulated seconds) before retry number `attempt`,
+  /// jittered from the plan's seed.
+  TimeSec BackoffDelay(int attempt);
+
+  // Injection counters, for diagnostics and the chaos harness.
+  int64_t transfer_failures() const { return transfer_failures_; }
+  int64_t alloc_failures() const { return alloc_failures_; }
+  int64_t stream_stalls() const { return stream_stalls_; }
+  int64_t link_flaps() const { return link_flaps_; }
+  int64_t pressure_spikes() const { return pressure_spikes_; }
+
+ private:
+  FaultPlan plan_;
+  Rng transfer_rng_, alloc_rng_, stall_rng_, flap_rng_, pressure_rng_,
+      backoff_rng_;
+  int64_t transfer_failures_ = 0;
+  int64_t alloc_failures_ = 0;
+  int64_t stream_stalls_ = 0;
+  int64_t link_flaps_ = 0;
+  int64_t pressure_spikes_ = 0;
+};
+
+}  // namespace harmony::fault
+
+#endif  // HARMONY_FAULT_FAULT_H_

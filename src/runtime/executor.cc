@@ -28,6 +28,60 @@ void Executor::Fail(Status status) {
 }
 
 // ---------------------------------------------------------------------------
+// Liveness: cancellation + watchdog
+// ---------------------------------------------------------------------------
+
+bool Executor::AllWorkDone() const {
+  for (size_t d = 0; d < steps_done_.size(); ++d) {
+    if (steps_done_[d] < program_.steps[d].size()) return false;
+    if (cpu_next_[d] < program_.cpu_steps[d].size()) return false;
+  }
+  return true;
+}
+
+int64_t Executor::ProgressCounter() const {
+  int64_t p = 0;
+  for (size_t d = 0; d < steps_done_.size(); ++d) {
+    p += static_cast<int64_t>(steps_done_[d]) +
+         static_cast<int64_t>(cpu_next_[d]);
+  }
+  for (const auto& s : swapin_) p += s->ops_completed();
+  for (const auto& s : swapout_) p += s->ops_completed();
+  for (const auto& s : p2pin_) p += s->ops_completed();
+  return p;
+}
+
+bool Executor::PollCancel() {
+  if (failed_) return true;
+  if (options_.cancel == nullptr || !options_.cancel->Cancelled()) {
+    return false;
+  }
+  Fail(options_.cancel->DeadlinePassed()
+           ? Status::DeadlineExceeded(
+                 "run cancelled: deadline passed mid-iteration")
+           : Status::Cancelled("run cancelled"));
+  return true;
+}
+
+void Executor::WatchdogTick() {
+  if (failed_ || AllWorkDone()) return;  // run over; stop re-arming
+  if (PollCancel()) return;
+  const int64_t progress = ProgressCounter();
+  if (progress == watchdog_progress_) {
+    // No step, CPU update, or transfer completed for a whole interval:
+    // escalate. Cancelling the token unwinds any cooperating layers
+    // (search, serve) sharing it; the Status names the wedge.
+    if (options_.cancel != nullptr) options_.cancel->Cancel();
+    Fail(Status::Internal("watchdog: no progress for " +
+                          std::to_string(watchdog_interval_) + "s" +
+                          DescribeStuck()));
+    return;
+  }
+  watchdog_progress_ = progress;
+  engine_.After(watchdog_interval_, [this]() { WatchdogTick(); });
+}
+
+// ---------------------------------------------------------------------------
 // Task completion bookkeeping
 // ---------------------------------------------------------------------------
 
@@ -54,6 +108,12 @@ void Executor::WhenTaskComplete(int task, std::function<void()> fn) {
 
 void Executor::TryIssue(int d) {
   if (failed_ || issue_busy_[d]) return;
+  // Amortized cancel poll: Cancelled() reads a wall clock, so consult it
+  // once every 256 issue attempts rather than on the simulator hot path.
+  if (options_.cancel != nullptr && (++cancel_poll_ & 0xffu) == 0 &&
+      PollCancel()) {
+    return;
+  }
   if (issue_next_[d] >= program_.steps[d].size()) return;
   const size_t in_flight = issue_next_[d] - steps_done_[d];
   if (in_flight > static_cast<size_t>(issue_window_)) return;
@@ -97,11 +157,8 @@ void Executor::IssueStep(int d, int step_idx) {
     label = "t" + std::to_string(s.task) + " step" + std::to_string(step_idx);
   }
   compute_[d]
-      ->Push({ready}, std::move(label), s.task,
-             [this, d, step_idx](std::function<void()> done) {
-               engine_.After(program_.steps[d][step_idx].compute,
-                             std::move(done));
-             })
+      ->PushTimed({ready}, std::move(label), s.task,
+                  program_.steps[d][step_idx].compute)
       ->OnFire([this, d, step_idx]() { FinishStep(d, step_idx); });
 
   for (const NeedSpec& n : s.needs) {
@@ -173,11 +230,8 @@ void Executor::AdvanceCpu(int d) {
     label = "t" + std::to_string(s.task) + " cpu-update";
   }
   cpu_[d]
-      ->Push({}, std::move(label), s.task,
-             [this, d](std::function<void()> done) {
-               engine_.After(program_.cpu_steps[d][cpu_next_[d]].duration,
-                             std::move(done));
-             })
+      ->PushTimed({}, std::move(label), s.task,
+                  program_.cpu_steps[d][cpu_next_[d]].duration)
       ->OnFire([this, d]() {
         CpuStep& step = program_.cpu_steps[d][cpu_next_[d]];
         for (const TensorId k : step.host_frees) {
@@ -224,6 +278,7 @@ std::string Executor::DescribeStuck() {
              std::to_string(s.task) + ") waiting on " + waits;
     }
   }
+  if (chaos_ != nullptr) out += chaos_->DescribeActive();
   return out;
 }
 
@@ -272,6 +327,17 @@ Result<RunMetrics> Executor::Run() {
   }
   if (bus_ != nullptr && bus_->active()) flows_.BindTrace(bus_);
 
+  // Fault injection: build the seeded decision oracle and the engine-side
+  // chaos driver before the residency layer, which borrows both.
+  const fault::FaultPlan& plan = options_.fault_plan;
+  if (plan.enabled && plan.Any()) {
+    injector_ = std::make_unique<fault::FaultInjector>(plan);
+    chaos_ =
+        std::make_unique<fault::ChaosDriver>(&engine_, bus_, injector_.get());
+    chaos_->SetStopProbe([this]() { return failed_ || AllWorkDone(); });
+    chaos_->SetFail([this](Status status) { Fail(std::move(status)); });
+  }
+
   Residency::Env env;
   env.engine = &engine_;
   env.flows = &flows_;
@@ -286,6 +352,18 @@ Result<RunMetrics> Executor::Run() {
   env.steps_in_flight = [this](int d) {
     return issue_next_[d] - steps_done_[d] > 1;
   };
+  env.injector = injector_.get();
+  if (injector_ != nullptr && plan.transfer_failure_rate > 0) {
+    env.transfer = [this](const std::vector<int>& path, Bytes bytes,
+                          int device, std::function<void()> done) {
+      chaos_->StartReliableFlow(&flows_, path, bytes, device, std::move(done));
+    };
+  } else {
+    env.transfer = [this](const std::vector<int>& path, Bytes bytes, int,
+                          std::function<void()> done) {
+      flows_.StartFlow(path, bytes, std::move(done));
+    };
+  }
   residency_ = std::make_unique<Residency>(graph_, std::move(capacities),
                                            &program_, std::move(env), bus_);
   residency_->SetStaticHostBytes(static_host);
@@ -299,11 +377,58 @@ Result<RunMetrics> Executor::Run() {
   task_steps_remaining_ = program_.task_step_counts;
   task_waiters_.assign(graph_.num_tasks(), {});
 
+  // Arm the recurring fault schedules (state vectors above are live now, so
+  // the driver's stop probe is safe to consult).
+  if (chaos_ != nullptr) {
+    if (plan.stream_stall_rate > 0 && plan.stream_stall_duration > 0) {
+      for (int d = 0; d < N; ++d) {
+        chaos_->AttachStreamStalls(compute_[d].get(), d);
+        chaos_->AttachStreamStalls(swapin_[d].get(), d);
+        chaos_->AttachStreamStalls(swapout_[d].get(), d);
+        chaos_->AttachStreamStalls(p2pin_[d].get(), d);
+      }
+    }
+    if (plan.link_flap_interval > 0 && plan.link_flap_duration > 0) {
+      chaos_->ArmLinkFlaps(&flows_, net_.num_links(),
+                           [this](int link) { return net_.LinkName(link); });
+    }
+    if (plan.mem_pressure_interval > 0 && plan.mem_pressure_duration > 0 &&
+        plan.mem_pressure_fraction > 0) {
+      chaos_->ArmMemoryPressure(
+          N,
+          [this](int d) {
+            return residency_->ApplyFaultPressure(
+                d, options_.fault_plan.mem_pressure_fraction);
+          },
+          [this](int d) { return residency_->ReleaseFaultPressure(d); });
+    }
+  }
+  // Watchdog: explicit interval, or a 60s default whenever chaos or a cancel
+  // token makes a wedge survivable-by-diagnosis rather than fatal-by-CHECK.
+  watchdog_interval_ = options_.watchdog_interval;
+  if (watchdog_interval_ == 0 &&
+      (chaos_ != nullptr || options_.cancel != nullptr)) {
+    watchdog_interval_ = 60.0;
+  }
+  if (watchdog_interval_ > 0) {
+    watchdog_progress_ = -1;
+    engine_.After(watchdog_interval_, [this]() { WatchdogTick(); });
+  }
+
   for (int d = 0; d < N; ++d) {
     TryIssue(d);
     AdvanceCpu(d);
   }
-  const TimeSec end = engine_.Run();
+  engine_.Run();
+  // Iteration end is when the last stream op completed, not when the engine's
+  // event queue drained: an armed watchdog (or a pending chaos timer) leaves
+  // one final no-op tick on the clock past the real work, and the engine's
+  // drain time would report that tick as iteration time.
+  TimeSec end = 0.0;
+  for (const auto* set :
+       {&compute_, &swapin_, &swapout_, &p2pin_, &cpu_}) {
+    for (const auto& s : *set) end = std::max(end, s->last_completion());
+  }
 
   if (failed_) return failure_;
   for (int d = 0; d < N; ++d) {
@@ -339,11 +464,22 @@ Result<RunMetrics> Executor::Run() {
   metrics.swap_in_bytes = metrics_->swap_in_bytes();
   metrics.swap_out_bytes = metrics_->swap_out_bytes();
   metrics.p2p_bytes = metrics_->p2p_bytes();
-  metrics.compute_busy = metrics_->compute_busy();
+  // Busy time comes from the stream counters, not the trace fold: PushTimed
+  // charges each op its profiled duration directly, so the sum is invariant
+  // under the time translation injected faults cause — the chaos harness
+  // asserts it bit-identical against the fault-free run. (The trace-folded
+  // end-minus-begin sum drifts by ulps when op start times shift.)
+  metrics.compute_busy.reserve(static_cast<size_t>(N));
+  for (int d = 0; d < N; ++d) {
+    metrics.compute_busy.push_back(compute_[d]->busy_time());
+  }
   metrics.peak_device_bytes = metrics_->peak_device_bytes();
   metrics.peak_host_bytes = metrics_->peak_host_bytes();
   metrics.evictions = metrics_->evictions();
   metrics.clean_drops = metrics_->clean_drops();
+  metrics.faults_injected = metrics_->faults_injected();
+  metrics.faults_recovered = metrics_->faults_recovered();
+  metrics.recovery_bytes = metrics_->recovery_bytes();
   return metrics;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/task_graph.h"
+#include "fault/chaos.h"
 #include "hw/machine.h"
 #include "runtime/residency.h"
 #include "runtime/runtime.h"
@@ -46,6 +47,17 @@ class Executor {
   void OnTaskStepDone(int task);
   void WhenTaskComplete(int task, std::function<void()> fn);
 
+  bool AllWorkDone() const;
+  /// Monotone progress measure for the watchdog: completed GPU steps + CPU
+  /// updates + transfer-stream ops. Any forward motion bumps it.
+  int64_t ProgressCounter() const;
+  /// Polls the cancel token; fails the run (Cancelled / DeadlineExceeded)
+  /// and returns true when it has tripped.
+  bool PollCancel();
+  /// Recurring no-progress check; escalates to cancel + Internal with
+  /// DescribeStuck() diagnostics, and stops re-arming once the run is over.
+  void WatchdogTick();
+
   /// Names every stuck GPU/CPU step and the tensors or tasks it waits on —
   /// appended to the post-drain failure statuses.
   std::string DescribeStuck();
@@ -74,6 +86,13 @@ class Executor {
 
   std::vector<int> task_steps_remaining_;
   std::vector<std::vector<std::function<void()>>> task_waiters_;
+
+  // Chaos & liveness (null / disarmed unless the options enable them).
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<fault::ChaosDriver> chaos_;
+  TimeSec watchdog_interval_ = 0;   // resolved from options; <= 0 disarmed
+  int64_t watchdog_progress_ = -1;  // ProgressCounter() at the last tick
+  uint32_t cancel_poll_ = 0;
 
   bool failed_ = false;
   Status failure_;

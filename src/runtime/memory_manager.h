@@ -23,8 +23,17 @@ class DeviceMemory {
 
   Bytes capacity() const { return capacity_; }
   Bytes used() const { return used_; }
-  Bytes free_bytes() const { return capacity_ - used_; }
+  /// Bytes available for new allocations. Negative while an injected
+  /// pressure spike overlaps already-resident tensors — the allocator then
+  /// evicts (recovery-classified) until the books balance again.
+  Bytes free_bytes() const { return capacity_ - pressure_ - used_; }
   Bytes peak_used() const { return peak_used_; }
+
+  /// Fault hook: reserves `bytes` of capacity for an injected co-tenant
+  /// pressure spike (0 clears it). Purely an accounting change; the
+  /// residency layer reacts through free_bytes() going down (or negative).
+  void SetPressure(Bytes bytes) { pressure_ = bytes; }
+  Bytes pressure() const { return pressure_; }
 
   /// Marks `id` resident, consuming `bytes`. Requires free_bytes() >= bytes.
   void AddResident(TensorId id, Bytes bytes);
@@ -67,6 +76,7 @@ class DeviceMemory {
 
   Bytes capacity_;
   Bytes used_ = 0;
+  Bytes pressure_ = 0;  // injected-fault capacity reserve
   Bytes peak_used_ = 0;
   int64_t clock_ = 0;
   std::vector<Entry> entries_;         // indexed by TensorId

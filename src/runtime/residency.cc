@@ -41,6 +41,19 @@ void Residency::EmitInstant(trace::EventKind kind, trace::Lane lane,
   bus_->Emit(e);
 }
 
+void Residency::EmitFault(trace::EventKind kind, int device, Bytes bytes,
+                          const char* detail) {
+  if (bus_ == nullptr || !bus_->active()) return;
+  trace::Event e;
+  e.kind = kind;
+  e.lane = trace::Lane::kAlloc;
+  e.device = device;
+  e.time = env_.engine->now();
+  e.bytes = bytes;
+  e.detail = detail;
+  bus_->Emit(e);
+}
+
 void Residency::TraceTensor(TensorId id, const char* detail, int device) {
   if (bus_ == nullptr || !bus_->tensor_events()) return;
   trace::Event e;
@@ -120,6 +133,8 @@ void Residency::FreeTensor(TensorId id) {
     st.on_host = false;
   }
   st.exists = false;
+  st.fault_evicted_gpus = 0;  // a freed tensor has nothing left to heal
+  st.fault_host_copy = false;
 }
 
 void Residency::HostArrived(TensorId id) {
@@ -150,6 +165,7 @@ void Residency::PumpAllocator(int d) {
   if (env_.failed()) return;
   while (!alloc_queue_[d].empty()) {
     AllocReq& req = alloc_queue_[d].front();
+    if (req.fault_waiting) return;  // the backoff retry timer owns this slot
     if (mem_[d].IsResident(req.id)) {
       TensorState& st = table_.Get(req.id);
       if (st.EvictingOn(d)) {
@@ -167,6 +183,32 @@ void Residency::PumpAllocator(int d) {
       continue;
     }
     if (req.bytes <= mem_[d].free_bytes()) {
+      if (env_.injector != nullptr && env_.injector->AllocFails()) {
+        // Injected transient allocation failure (fragmentation): retry with
+        // jittered backoff, fatal only once the plan's budget is spent.
+        EmitFault(trace::EventKind::kFaultInjected, d, req.bytes,
+                  "alloc-failure");
+        if (req.fault_attempts >= env_.injector->plan().max_alloc_retries) {
+          env_.fail(Status::OutOfMemory(
+              "injected alloc-failure for " + KeyOf(req.id).ToString() +
+              " on device " + std::to_string(d) + " persisted past " +
+              std::to_string(req.fault_attempts) + " retries (chaos " +
+              env_.injector->plan().Describe() + ")"));
+          return;
+        }
+        const TimeSec delay = env_.injector->BackoffDelay(req.fault_attempts);
+        ++req.fault_attempts;
+        req.fault_waiting = true;
+        env_.engine->After(delay, [this, d]() {
+          if (env_.failed() || alloc_queue_[d].empty()) return;
+          alloc_queue_[d].front().fault_waiting = false;
+          PumpAllocator(d);
+        });
+        return;
+      }
+      if (req.fault_attempts > 0) {
+        EmitFault(trace::EventKind::kFaultRecovered, d, 0, "alloc-failure");
+      }
       TraceTensor(req.id, "alloc-grant", d);
       mem_[d].AddResident(req.id, req.bytes);
       mem_[d].Pin(req.id);
@@ -200,6 +242,16 @@ void Residency::PumpAllocator(int d) {
                     deficit);
         return;
       }
+      if (mem_[d].pressure() > 0) {
+        // An injected pressure spike is squatting on the capacity this
+        // allocation needs: wait it out (the spike's release re-pumps this
+        // queue) instead of declaring a working-set OOM the fault-free run
+        // would never hit. The watchdog converts a permanent spike into
+        // diagnostics.
+        EmitInstant(trace::EventKind::kAllocStall, trace::Lane::kAlloc, d,
+                    deficit);
+        return;
+      }
       env_.fail(Status::OutOfMemory(
           "device " + std::to_string(d) + " cannot fit " +
           KeyOf(req.id).ToString() + " (" + FormatBytes(req.bytes) +
@@ -207,7 +259,21 @@ void Residency::PumpAllocator(int d) {
       return;
     }
     const Bytes free_before = mem_[d].free_bytes();
-    for (const TensorId v : victims) StartEviction(d, v);
+    // Evictions forced purely by an injected pressure spike are recovery
+    // actions the fault-free run never makes: classify each victim against
+    // the deficit that would exist with the spike's bytes given back. With
+    // smart_eviction off the fault-free run evicts everything inactive
+    // anyway, so every victim stays semantic.
+    const bool classify =
+        graph_.flags.smart_eviction && mem_[d].pressure() > 0;
+    Bytes natural_deficit = std::max<Bytes>(
+        0, req.bytes - (mem_[d].free_bytes() + mem_[d].pressure()));
+    for (const TensorId v : victims) {
+      const bool recovery = classify && natural_deficit <= 0;
+      natural_deficit =
+          std::max<Bytes>(0, natural_deficit - table_.Get(v).bytes);
+      StartEviction(d, v, recovery);
+    }
     if (mem_[d].free_bytes() > free_before) continue;  // clean drops freed space
     return;  // all victims are async transfers; resume from their completions
   }
@@ -217,13 +283,14 @@ void Residency::PumpAll() {
   for (size_t d = 0; d < mem_.size(); ++d) PumpAllocator(static_cast<int>(d));
 }
 
-void Residency::StartEviction(int d, TensorId id) {
+void Residency::StartEviction(int d, TensorId id, bool fault_recovery) {
   TensorState& st = table_.Get(id);
   HARMONY_CHECK(st.ResidentOn(d))
       << "evicting " << KeyOf(id).ToString() << " with no copy on device " << d;
-  TraceTensor(id, "evict-start", d);
+  TraceTensor(id, fault_recovery ? "fault-evict-start" : "evict-start", d);
   mem_[d].Pin(id);  // exclude from further victim picks
   st.SetEvicting(d, true);
+  if (fault_recovery) st.SetFaultEvicted(d, true);
   // Harmony's state machine drops copies that are backed elsewhere without a
   // transfer; LMS-style baselines always write the victim to host.
   const bool backed = st.on_host || st.NumResident() > 1;
@@ -231,7 +298,12 @@ void Residency::StartEviction(int d, TensorId id) {
     // Dropped synchronously; the caller (PumpAllocator) observes the freed
     // space — no re-entrant pump, which would double-evict from its stale
     // victim list.
-    EmitInstant(trace::EventKind::kCleanDrop, trace::Lane::kAlloc, d, st.bytes);
+    if (fault_recovery) {
+      EmitFault(trace::EventKind::kFaultRecovered, d, 0, "mem-pressure");
+    } else {
+      EmitInstant(trace::EventKind::kCleanDrop, trace::Lane::kAlloc, d,
+                  st.bytes);
+    }
     st.SetResident(d, false);
     st.SetEvicting(d, false);
     mem_[d].Unpin(id);
@@ -242,13 +314,25 @@ void Residency::StartEviction(int d, TensorId id) {
   const Bytes bytes = st.bytes;
   sim::Condition* flow_done =
       env_.swapout[d]->Push({}, [this, d, bytes](std::function<void()> done) {
-        env_.flows->StartFlow(env_.net->SwapOutPath(d), bytes, std::move(done));
+        env_.transfer(env_.net->SwapOutPath(d), bytes, d, std::move(done));
       });
-  flow_done->OnFire([this, d, id]() {
+  flow_done->OnFire([this, d, id, fault_recovery]() {
     TensorState& st = table_.Get(id);
-    EmitInstant(trace::EventKind::kSwapOutIssued, trace::Lane::kSwapOut, d,
-                st.bytes);
-    EmitInstant(trace::EventKind::kEvict, trace::Lane::kAlloc, d, st.bytes);
+    if (fault_recovery) {
+      // The emergency eviction's transfer is recovery traffic, and the host
+      // copy it writes exists only because of the fault (unless a semantic
+      // write-back claimed the bytes while this was in flight).
+      EmitFault(trace::EventKind::kFaultRecovered, d, st.bytes,
+                "mem-pressure");
+      if (st.FaultEvictedOn(d) && st.exists && !st.on_host) {
+        st.fault_host_copy = true;
+      }
+    } else {
+      EmitInstant(trace::EventKind::kSwapOutIssued, trace::Lane::kSwapOut, d,
+                  st.bytes);
+      EmitInstant(trace::EventKind::kEvict, trace::Lane::kAlloc, d, st.bytes);
+      st.fault_host_copy = false;  // the host copy is semantic now
+    }
     if (st.exists && !st.on_host) {
       AddHostBuffer(&st);
       st.on_host = true;
@@ -262,6 +346,34 @@ void Residency::StartEviction(int d, TensorId id) {
     if (st.exists) HostArrived(id);
     PumpAllocator(d);
   });
+}
+
+// ---------------------------------------------------------------------------
+// Fault hooks
+// ---------------------------------------------------------------------------
+
+Bytes Residency::ApplyFaultPressure(int d, double fraction) {
+  const Bytes steal =
+      static_cast<Bytes>(static_cast<double>(mem_[d].capacity()) * fraction);
+  mem_[d].SetPressure(steal);
+  // Emergency eviction: reclaim the overdraft right away so the spike
+  // behaves like a real co-tenant allocation rather than a lazy debt. Every
+  // victim is recovery-classified — the fault-free run keeps them resident.
+  if (mem_[d].free_bytes() < 0) {
+    const auto victims = mem_[d].PickVictims(-mem_[d].free_bytes());
+    for (const TensorId v : victims) {
+      StartEviction(d, v, /*fault_recovery=*/true);
+    }
+  }
+  PumpAllocator(d);
+  return steal;
+}
+
+Bytes Residency::ReleaseFaultPressure(int d) {
+  const Bytes steal = mem_[d].pressure();
+  mem_[d].SetPressure(0);
+  PumpAllocator(d);
+  return steal;
 }
 
 // ---------------------------------------------------------------------------
@@ -326,6 +438,18 @@ void Residency::EnsureResident(int d, TensorId id, Bytes bytes, bool from_host,
     committed();
     TensorState& st = table_.Get(id);
     const Bytes bytes = st.bytes;
+    // Chaos classification: a refetch healing a fault eviction on this
+    // device is recovery traffic (the fault-free run would have hit in
+    // device memory); a fetch forced through a fault-created host copy
+    // instead accounts the transfer the fault-free run would have made from
+    // the evicted device.
+    const bool heal = st.FaultEvictedOn(d);
+    int ghost_src = -1;
+    if (heal) {
+      st.SetFaultEvicted(d, false);
+    } else if (src < 0 && st.fault_host_copy && st.fault_evicted_gpus != 0) {
+      ghost_src = std::countr_zero(st.fault_evicted_gpus);
+    }
     auto finish = [this, d, id, src, arrived]() {
       TensorState& st = table_.Get(id);
       TraceTensor(id, "fetch-arrive", d);
@@ -341,11 +465,28 @@ void Residency::EnsureResident(int d, TensorId id, Bytes bytes, bool from_host,
     if (src < 0) {
       // Host -> device swap-in.
       HARMONY_CHECK(st.on_host) << KeyOf(id).ToString() << " has no source copy";
-      EmitInstant(trace::EventKind::kSwapInIssued, trace::Lane::kSwapIn, d,
-                  bytes);
+      if (heal) {
+        EmitFault(trace::EventKind::kFaultRecovered, d, bytes, "mem-pressure");
+      } else if (ghost_src >= 0) {
+        // Physical host swap-in standing in for the p2p (or host bounce)
+        // the fault-free run would have made from the evicted device.
+        if (graph_.flags.p2p_transfers) {
+          EmitInstant(trace::EventKind::kP2pIssued, trace::Lane::kP2pIn, d,
+                      bytes);
+        } else {
+          EmitInstant(trace::EventKind::kSwapOutIssued, trace::Lane::kSwapOut,
+                      ghost_src, bytes);
+          EmitInstant(trace::EventKind::kSwapInIssued, trace::Lane::kSwapIn, d,
+                      bytes);
+        }
+        EmitFault(trace::EventKind::kFaultRecovered, d, 0, "mem-pressure");
+      } else {
+        EmitInstant(trace::EventKind::kSwapInIssued, trace::Lane::kSwapIn, d,
+                    bytes);
+      }
       env_.swapin[d]->Push({}, [this, d, bytes,
                                 finish](std::function<void()> done) {
-        env_.flows->StartFlow(env_.net->SwapInPath(d), bytes, [done, finish]() {
+        env_.transfer(env_.net->SwapInPath(d), bytes, d, [done, finish]() {
           finish();
           done();
         });
@@ -353,25 +494,34 @@ void Residency::EnsureResident(int d, TensorId id, Bytes bytes, bool from_host,
       return;
     }
     if (graph_.flags.p2p_transfers) {
-      EmitInstant(trace::EventKind::kP2pIssued, trace::Lane::kP2pIn, d, bytes);
+      if (heal) {
+        EmitFault(trace::EventKind::kFaultRecovered, d, bytes, "mem-pressure");
+      } else {
+        EmitInstant(trace::EventKind::kP2pIssued, trace::Lane::kP2pIn, d,
+                    bytes);
+      }
       env_.p2pin[d]->Push({}, [this, d, src, bytes,
                                finish](std::function<void()> done) {
-        env_.flows->StartFlow(env_.net->P2pPath(src, d), bytes,
-                              [done, finish]() {
-                                finish();
-                                done();
-                              });
+        env_.transfer(env_.net->P2pPath(src, d), bytes, d,
+                      [done, finish]() {
+                        finish();
+                        done();
+                      });
       });
       return;
     }
     // p2p disabled: bounce through host memory as two swaps.
-    EmitInstant(trace::EventKind::kSwapOutIssued, trace::Lane::kSwapOut, src,
-                bytes);
-    EmitInstant(trace::EventKind::kSwapInIssued, trace::Lane::kSwapIn, d,
-                bytes);
+    if (heal) {
+      EmitFault(trace::EventKind::kFaultRecovered, d, bytes, "mem-pressure");
+    } else {
+      EmitInstant(trace::EventKind::kSwapOutIssued, trace::Lane::kSwapOut, src,
+                  bytes);
+      EmitInstant(trace::EventKind::kSwapInIssued, trace::Lane::kSwapIn, d,
+                  bytes);
+    }
     env_.swapout[src]->Push({}, [this, src, d, bytes, id,
                                  finish](std::function<void()> done) {
-      env_.flows->StartFlow(env_.net->SwapOutPath(src), bytes,
+      env_.transfer(env_.net->SwapOutPath(src), bytes, src,
                             [this, d, bytes, id, finish, done]() {
         TensorState& st = table_.Get(id);
         if (!st.on_host) {
@@ -380,11 +530,11 @@ void Residency::EnsureResident(int d, TensorId id, Bytes bytes, bool from_host,
         }
         env_.swapin[d]->Push({}, [this, d, bytes,
                                   finish](std::function<void()> in_done) {
-          env_.flows->StartFlow(env_.net->SwapInPath(d), bytes,
-                                [finish, in_done]() {
-                                  finish();
-                                  in_done();
-                                });
+          env_.transfer(env_.net->SwapInPath(d), bytes, d,
+                        [finish, in_done]() {
+                          finish();
+                          in_done();
+                        });
         });
         done();
       });
@@ -404,6 +554,7 @@ void Residency::UnpinNeed(int d, TensorId id) {
 void Residency::FinalizeProduce(int d, const ProduceSpec& p) {
   TensorState& st = table_.Get(p.id);
   st.SetResident(d, true);  // the allocator reserved this copy at issue
+  st.SetFaultEvicted(d, false);  // fresh data supersedes any pending heal
   st.gpu_dirty = true;
   if (!st.exists) {
     st.exists = true;
@@ -425,19 +576,29 @@ void Residency::MarkDirty(TensorId id) {
   TensorState& st = table_.Get(id);
   st.gpu_dirty = true;
   st.on_host = false;  // host copy (if any) is stale now
+  st.fault_host_copy = false;
 }
 
 void Residency::CopyToHost(int d, TensorId id) {
   TensorState& st = table_.Get(id);
   TraceTensor(id, "copy-to-host", d);
-  if (!st.ResidentOn(d)) return;  // already freed (defensive)
-  if (st.EvictingOn(d)) return;   // eviction writes host anyway
+  if (!st.ResidentOn(d) || st.EvictingOn(d)) {
+    if (st.FaultEvictedOn(d)) {
+      // A fault eviction already moved (or is moving) these bytes to host;
+      // account the checkpoint copy the fault-free run would have issued.
+      // The copy semantically persists on-device, so the heal tag stays.
+      EmitInstant(trace::EventKind::kSwapOutIssued, trace::Lane::kSwapOut, d,
+                  st.bytes);
+      st.fault_host_copy = false;  // the host copy is semantic now
+    }
+    return;  // already freed, or a pending eviction writes host anyway
+  }
   mem_[d].Pin(id);
   const Bytes bytes = st.bytes;
   EmitInstant(trace::EventKind::kSwapOutIssued, trace::Lane::kSwapOut, d,
               bytes);
   env_.swapout[d]->Push({}, [this, d, bytes, id](std::function<void()> done) {
-    env_.flows->StartFlow(env_.net->SwapOutPath(d), bytes, [this, d, id,
+    env_.transfer(env_.net->SwapOutPath(d), bytes, d, [this, d, id,
                                                             done]() {
       TensorState& st = table_.Get(id);
       if (st.exists && !st.on_host) {
@@ -462,17 +623,29 @@ void Residency::CopyToHost(int d, TensorId id) {
 
 void Residency::MoveToHost(int d, TensorId id) {
   TensorState& st = table_.Get(id);
-  if (!st.ResidentOn(d)) return;
   // An LRU eviction already in flight produces the same host copy; a second
   // transfer would double-release the residency.
-  if (st.EvictingOn(d)) return;
+  if (!st.ResidentOn(d) || st.EvictingOn(d)) {
+    if (st.FaultEvictedOn(d)) {
+      // A fault eviction already performed this push's transfer: account
+      // the semantic move and release the heal claim — after a move the
+      // fault-free run holds no device copy either, so later fetches are
+      // semantic in both worlds.
+      EmitInstant(trace::EventKind::kSwapOutIssued, trace::Lane::kSwapOut, d,
+                  st.bytes);
+      st.SetFaultEvicted(d, false);
+      st.fault_host_copy = false;
+      if (st.exists && st.on_host) HostArrived(id);
+    }
+    return;
+  }
   mem_[d].Pin(id);
   st.SetEvicting(d, true);
   const Bytes bytes = st.bytes;
   EmitInstant(trace::EventKind::kSwapOutIssued, trace::Lane::kSwapOut, d,
               bytes);
   env_.swapout[d]->Push({}, [this, d, bytes, id](std::function<void()> done) {
-    env_.flows->StartFlow(env_.net->SwapOutPath(d), bytes, [this, d, id,
+    env_.transfer(env_.net->SwapOutPath(d), bytes, d, [this, d, id,
                                                             done]() {
       TensorState& st = table_.Get(id);
       if (st.exists && !st.on_host) {

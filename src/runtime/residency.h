@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "core/task_graph.h"
+#include "fault/fault.h"
 #include "runtime/memory_manager.h"
 #include "runtime/step.h"
 #include "runtime/tensor.h"
@@ -49,6 +50,16 @@ class Residency {
     std::function<void(Status)> fail;
     std::function<bool()> failed;
     std::function<bool(int)> steps_in_flight;  // >1 outstanding steps on d?
+
+    /// Transfer launcher: FlowNetwork::StartFlow directly on fault-free
+    /// runs, or the chaos driver's retry-with-backoff wrapper when transfer
+    /// failures are armed. (path, bytes, device-for-attribution, done).
+    std::function<void(const std::vector<int>&, Bytes, int,
+                       std::function<void()>)>
+        transfer;
+    /// Fault decision oracle; null = chaos disabled (every injection site
+    /// pays one branch).
+    fault::FaultInjector* injector = nullptr;
   };
 
   /// `program` must outlive the Residency; its catalog sizes the tensor
@@ -107,6 +118,15 @@ class Residency {
   /// Releases a consumed host copy (gradient applied by the CPU optimizer).
   void ReleaseHostCopy(TensorId id);
 
+  // --- fault hooks --------------------------------------------------------
+
+  /// Injected co-tenant pressure spike: reserves fraction x capacity on
+  /// device `d` and emergency-evicts (recovery-classified) resident tensors
+  /// until the books balance. Returns the bytes stolen.
+  Bytes ApplyFaultPressure(int d, double fraction);
+  /// Ends the spike and re-pumps the allocator. Returns the bytes released.
+  Bytes ReleaseFaultPressure(int d);
+
   /// Accounts the permanently-resident host footprint (master weights,
   /// optimizer state, scheme overheads) before execution starts.
   void SetStaticHostBytes(Bytes bytes);
@@ -125,7 +145,11 @@ class Residency {
 
  private:
   bool AutoCreate(TensorId id, Bytes bytes);
-  void StartEviction(int d, TensorId id);
+  /// `fault_recovery` evictions exist only because an injected pressure
+  /// spike forced them: they account as kFaultRecovered (not kEvict /
+  /// kCleanDrop / kSwapOutIssued) and tag the tensor so the healing refetch
+  /// is recovery traffic too.
+  void StartEviction(int d, TensorId id, bool fault_recovery = false);
   void HostArrived(TensorId id);
   void AddHostBuffer(TensorState* st);
   void DropHostBuffer(TensorState* st);
@@ -134,6 +158,8 @@ class Residency {
 
   void EmitInstant(trace::EventKind kind, trace::Lane lane, int device,
                    Bytes bytes);
+  void EmitFault(trace::EventKind kind, int device, Bytes bytes,
+                 const char* detail);
   void TraceTensor(TensorId id, const char* detail, int device);
 
   const core::TaskGraph& graph_;
@@ -148,6 +174,8 @@ class Residency {
     TensorId id;
     Bytes bytes;
     std::function<void()> granted;
+    int fault_attempts = 0;    // injected alloc-failures consumed so far
+    bool fault_waiting = false;  // a backoff retry timer owns this slot
   };
   std::vector<std::deque<AllocReq>> alloc_queue_;
   std::vector<int> evictions_in_flight_;

@@ -68,7 +68,18 @@ std::string Residency::DescribeWait(int d, const Step& step) {
       add(p.id, "allocation not granted");
     }
   }
-  if (out.empty()) out = "no unmet tensor waits (join lost)";
+  if (out.empty()) {
+    // Every need is resident and every allocation granted: the step is
+    // stream-bound (e.g. a permanently stalled compute op under chaos).
+    // Name the tensors anyway so a watchdog report pins the step's inputs.
+    std::string keys;
+    for (const NeedSpec& n : step.needs) {
+      if (!keys.empty()) keys += ", ";
+      keys += KeyOf(n.id).ToString();
+    }
+    out = "no unmet tensor waits; stream-bound with resident needs [" + keys +
+          "]";
+  }
   return out;
 }
 

@@ -4,8 +4,10 @@
 #include <numeric>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "core/task_graph.h"
+#include "fault/fault.h"
 #include "hw/machine.h"
 #include "model/layer.h"
 #include "model/memory.h"
@@ -31,6 +33,15 @@ struct RunMetrics {
   Bytes peak_host_bytes = 0;
   int64_t evictions = 0;    // evictions that required a transfer
   int64_t clean_drops = 0;  // evictions satisfied by dropping a clean copy
+
+  /// Chaos accounting (zero on fault-free runs). Recovery transfers are
+  /// *extra* traffic the self-healing paths moved (emergency evictions,
+  /// refetches, retried payloads); they are deliberately excluded from the
+  /// semantic swap/p2p accounting above, which a survivable fault schedule
+  /// must leave bit-identical to the fault-free run.
+  int64_t faults_injected = 0;
+  int64_t faults_recovered = 0;
+  Bytes recovery_bytes = 0;
 
   Bytes device_swap(int d) const { return swap_in_bytes[d] + swap_out_bytes[d]; }
   Bytes total_swap() const {
@@ -63,6 +74,25 @@ struct RuntimeOptions {
   /// ChromeTraceSink); MetricsSink and the HARMONY_RUNTIME_TRACE filter are
   /// always attached. Null entries are ignored.
   std::vector<trace::TraceSink*> trace_sinks;
+
+  /// Deterministic fault injection (chaos runs). Default-constructed =
+  /// disabled: the runtime pays one branch per potential injection site.
+  fault::FaultPlan fault_plan;
+
+  /// Cooperative cancellation: polled periodically by the executor (and by
+  /// the watchdog, when armed), so a wedged or over-deadline run unwinds
+  /// with Cancelled / DeadlineExceeded instead of spinning. The watchdog
+  /// also *cancels* the token on a no-progress escalation, unwinding any
+  /// cooperating layers (search, serve) sharing it. Borrowed.
+  common::CancelToken* cancel = nullptr;
+
+  /// Executor watchdog: when armed, a no-progress interval of this many
+  /// *simulated* seconds fails the run with DescribeStuck() diagnostics (and
+  /// cancels `cancel`, if set) instead of wedging forever. > 0 arms it
+  /// explicitly; 0 (default) auto-arms at 60s whenever fault injection or a
+  /// cancel token is present; < 0 disables it outright. While armed, the
+  /// reported iteration_time may include up to one trailing watchdog tick.
+  TimeSec watchdog_interval = 0;
 };
 
 /// Harmony's Runtime (Sec 4.4), generalized to execute *any* TaskGraph (the

@@ -87,7 +87,24 @@ struct TensorState {
   uint32_t resident_gpus = 0;  // GPUs holding a copy
   uint32_t evicting_gpus = 0;  // copies with an eviction/move in progress
   bool gpu_dirty = false;     // newest data is on a GPU (host copy stale/absent)
+  /// Chaos bookkeeping: devices whose copy an injected fault (memory
+  /// pressure) emergency-evicted. A refetch back to such a device is
+  /// recovery traffic — accounted as kFaultRecovered, not semantic swap/p2p
+  /// bytes — because the fault-free run would have hit in device memory.
+  /// Cleared per device as copies are healed or semantically released.
+  uint32_t fault_evicted_gpus = 0;
+  /// True while the only host copy exists because a fault eviction wrote it
+  /// (the fault-free run has no host copy): fetches on *other* devices then
+  /// account the transfer the fault-free run would have made (p2p or host
+  /// bounce from the evicted device) instead of the physical host swap-in.
+  bool fault_host_copy = false;
   bool fetch_in_flight = false;
+
+  bool FaultEvictedOn(int d) const { return (fault_evicted_gpus >> d) & 1u; }
+  void SetFaultEvicted(int d, bool v) {
+    fault_evicted_gpus =
+        v ? fault_evicted_gpus | (1u << d) : fault_evicted_gpus & ~(1u << d);
+  }
   int inflight_dst = -1;
   int refs_remaining = 0;     // consumers yet to use it (data tensors)
 

@@ -1,5 +1,10 @@
 #include "serve/client.h"
 
+#include <chrono>
+#include <thread>
+
+#include "common/rng.h"
+
 namespace harmony::serve {
 
 Status ServeClient::ConnectUnix(const std::string& path) {
@@ -7,6 +12,8 @@ Status ServeClient::ConnectUnix(const std::string& path) {
   auto fd = net::ConnectUnix(path);
   HARMONY_RETURN_IF_ERROR(fd.status());
   fd_ = fd.value();
+  endpoint_ = Endpoint::kUnix;
+  unix_path_ = path;
   return Status::Ok();
 }
 
@@ -15,7 +22,22 @@ Status ServeClient::ConnectTcp(const std::string& host, int port) {
   auto fd = net::ConnectTcp(host, port);
   HARMONY_RETURN_IF_ERROR(fd.status());
   fd_ = fd.value();
+  endpoint_ = Endpoint::kTcp;
+  tcp_host_ = host;
+  tcp_port_ = port;
   return Status::Ok();
+}
+
+Status ServeClient::Reconnect() {
+  switch (endpoint_) {
+    case Endpoint::kUnix:
+      return ConnectUnix(std::string(unix_path_));
+    case Endpoint::kTcp:
+      return ConnectTcp(std::string(tcp_host_), tcp_port_);
+    case Endpoint::kNone:
+      break;
+  }
+  return Status::FailedPrecondition("client was never connected");
 }
 
 void ServeClient::Close() {
@@ -58,6 +80,56 @@ Result<PlanResponse> ServeClient::Plan(const PlanRequest& request) {
     return Status::Internal("plan reply missing \"response\"");
   }
   return PlanResponseFromJson(*response);
+}
+
+Result<PlanResponse> ServeClient::PlanWithRetry(const PlanRequest& request,
+                                                const RetryOptions& retry) {
+  using Clock = std::chrono::steady_clock;
+  Rng rng(retry.seed);
+  const auto deadline =
+      request.deadline_ms > 0
+          ? Clock::now() + std::chrono::milliseconds(request.deadline_ms)
+          : Clock::time_point::max();
+  for (int attempt = 0;; ++attempt) {
+    auto result = Plan(request);
+
+    // Decide whether this outcome is retryable, and with what delay floor.
+    // Give-up paths return `result` as-is, preserving its shape: a shed
+    // response stays an in-band ResourceExhausted, a closed peer stays a
+    // transport Status.
+    bool reconnect = false;
+    double floor_seconds = 0.0;
+    if (!result.ok()) {
+      if (result.status().code() != StatusCode::kNotFound) {
+        return result;  // a real transport/protocol error, not a clean close
+      }
+      // Peer closed the connection (restart, drain, LIFO shed): re-dial the
+      // saved endpoint before the next attempt.
+      reconnect = true;
+    } else if (result.value().status.code() ==
+               StatusCode::kResourceExhausted) {
+      // Load-shed by admission control: the server's hint is a delay floor
+      // under the shared backoff curve.
+      floor_seconds = result.value().retry_after_ms / 1000.0;
+    } else {
+      return result;  // success, or a non-retryable planning failure
+    }
+
+    if (attempt >= retry.max_retries) return result;
+    double delay = retry.backoff.DelayFor(attempt, &rng);
+    delay = std::max(delay, floor_seconds);
+    // Never retry past the request deadline: surface the last failure while
+    // the caller still has time to act on it.
+    if (Clock::now() + std::chrono::duration<double>(delay) >= deadline) {
+      return result;
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    ++retries_;
+    if (reconnect) {
+      Status rc = Reconnect();
+      if (!rc.ok()) return rc;
+    }
+  }
 }
 
 Result<json::Value> ServeClient::Stats() {

@@ -1,8 +1,10 @@
 #ifndef HARMONY_SERVE_CLIENT_H_
 #define HARMONY_SERVE_CLIENT_H_
 
+#include <cstdint>
 #include <string>
 
+#include "common/backoff.h"
 #include "common/json.h"
 #include "common/socket.h"
 #include "serve/wire.h"
@@ -33,6 +35,26 @@ class ServeClient {
   /// surface here; planning failures travel inside PlanResponse::status.
   Result<PlanResponse> Plan(const PlanRequest& request);
 
+  /// Self-healing Plan: retries load-shed responses (ResourceExhausted,
+  /// honoring the server's retry-after hint as a delay floor) and
+  /// peer-closed frames (reconnecting to the saved endpoint first) with the
+  /// shared jittered-backoff policy. Never retries past the request's
+  /// deadline_ms or the retry budget — the last failure surfaces then.
+  struct RetryOptions {
+    int max_retries = 5;
+    common::BackoffPolicy backoff{/*initial=*/0.05, /*max_delay=*/2.0,
+                                  /*multiplier=*/2.0, /*jitter=*/0.5};
+    uint64_t seed = 0;  // jitter seed (fix it for deterministic tests)
+  };
+  Result<PlanResponse> PlanWithRetry(const PlanRequest& request,
+                                     const RetryOptions& retry);
+  Result<PlanResponse> PlanWithRetry(const PlanRequest& request) {
+    return PlanWithRetry(request, RetryOptions());
+  }
+
+  /// Retries PlanWithRetry performed on this client (reconnects + backoffs).
+  int64_t retries() const { return retries_; }
+
   /// {"type":"stats"} — returns the reply envelope (service/cache members).
   Result<json::Value> Stats();
 
@@ -46,8 +68,17 @@ class ServeClient {
   /// One request/response round trip; checks the reply's envelope type.
   Result<json::Value> RoundTrip(const json::Value& envelope,
                                 const std::string& expect_type);
+  /// Re-dials the endpoint the last Connect* call saved.
+  Status Reconnect();
+
+  enum class Endpoint { kNone, kUnix, kTcp };
 
   int fd_ = -1;
+  Endpoint endpoint_ = Endpoint::kNone;
+  std::string unix_path_;
+  std::string tcp_host_;
+  int tcp_port_ = 0;
+  int64_t retries_ = 0;
 };
 
 }  // namespace harmony::serve

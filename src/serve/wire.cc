@@ -380,6 +380,9 @@ json::Value RunMetricsToJson(const runtime::RunMetrics& metrics) {
   v.Set("peak_host_bytes", metrics.peak_host_bytes);
   v.Set("evictions", metrics.evictions);
   v.Set("clean_drops", metrics.clean_drops);
+  v.Set("faults_injected", metrics.faults_injected);
+  v.Set("faults_recovered", metrics.faults_recovered);
+  v.Set("recovery_bytes", metrics.recovery_bytes);
   return v;
 }
 
@@ -404,6 +407,10 @@ Result<runtime::RunMetrics> RunMetricsFromJson(const json::Value& v) {
   HARMONY_RETURN_IF_ERROR(json::ReadInt64(v, "peak_host_bytes", &m.peak_host_bytes));
   HARMONY_RETURN_IF_ERROR(json::ReadInt64(v, "evictions", &m.evictions));
   HARMONY_RETURN_IF_ERROR(json::ReadInt64(v, "clean_drops", &m.clean_drops));
+  // Chaos accounting: absent from pre-fault peers, so default to zero.
+  (void)json::ReadInt64(v, "faults_injected", &m.faults_injected);
+  (void)json::ReadInt64(v, "faults_recovered", &m.faults_recovered);
+  (void)json::ReadInt64(v, "recovery_bytes", &m.recovery_bytes);
   return m;
 }
 

@@ -8,6 +8,7 @@ namespace harmony::sim {
 FlowNetwork::FlowNetwork(Engine* engine, std::vector<BytesPerSec> link_capacities)
     : engine_(engine),
       capacities_(std::move(link_capacities)),
+      base_capacities_(capacities_),
       link_bytes_(capacities_.size(), 0.0),
       link_flows_(capacities_.size()),
       residual_(capacities_.size(), 0.0),
@@ -69,6 +70,21 @@ int64_t FlowNetwork::StartFlow(const std::vector<int>& path, Bytes bytes,
 
   RecomputeRates();
   return id;
+}
+
+void FlowNetwork::SetLinkCapacityFactor(int link, double factor) {
+  HARMONY_CHECK_GE(link, 0);
+  HARMONY_CHECK_LT(link, static_cast<int>(capacities_.size()));
+  // Floor the factor so every rate stays strictly positive: the progressive
+  // filling pass CHECKs shares > 0, and a literally dead link would wedge
+  // flows forever with no completion event to cancel.
+  constexpr double kMinFactor = 1e-6;
+  const double clamped = std::max(factor, kMinFactor);
+  const BytesPerSec target = base_capacities_[link] * clamped;
+  if (target == capacities_[link]) return;
+  AdvanceToNow();
+  capacities_[link] = target;
+  RecomputeRates();
 }
 
 void FlowNetwork::AdvanceToNow() {

@@ -39,6 +39,18 @@ class FlowNetwork {
   /// Emits kFlowBegin/kFlowEnd instants for every flow to `bus`.
   void BindTrace(trace::TraceBus* bus) { bus_ = bus; }
 
+  /// Fault hook: scales `link`'s capacity to `factor` x its construction-time
+  /// value (a degraded or flapping link). In-flight progress is integrated at
+  /// the old rates first, then rates are recomputed, so degradation takes
+  /// effect exactly at the current simulated instant. `factor` is clamped to
+  /// a small positive floor — a fluid-flow link never reaches literal zero,
+  /// it just becomes arbitrarily slow (and the max-min invariants keep
+  /// requiring strictly positive rates). Pass 1.0 to restore the link.
+  void SetLinkCapacityFactor(int link, double factor);
+
+  /// Current capacity of a link (diagnostics / tests).
+  BytesPerSec link_capacity(int link) const { return capacities_.at(link); }
+
   /// Total bytes moved over a link since construction.
   double link_bytes(int link) const { return link_bytes_.at(link); }
 
@@ -66,6 +78,7 @@ class FlowNetwork {
   Engine* engine_;
   trace::TraceBus* bus_ = nullptr;
   std::vector<BytesPerSec> capacities_;
+  std::vector<BytesPerSec> base_capacities_;  // construction-time values
   std::vector<double> link_bytes_;
 
   // Slot-based flow storage. `active_` and every `link_flows_[l]` hold slot

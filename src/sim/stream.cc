@@ -14,51 +14,79 @@ void Stream::BindTrace(trace::TraceBus* bus, int device, trace::Lane lane) {
 }
 
 Condition* Stream::Push(std::vector<Condition*> deps, Body body) {
-  return Push(std::move(deps), std::string(), -1, std::move(body));
+  return PushImpl(std::move(deps), std::string(), -1, std::move(body), -1.0);
 }
 
 Condition* Stream::Push(std::vector<Condition*> deps, std::string label,
                         int task, Body body) {
+  return PushImpl(std::move(deps), std::move(label), task, std::move(body),
+                  -1.0);
+}
+
+Condition* Stream::PushTimed(std::vector<Condition*> deps, std::string label,
+                             int task, TimeSec duration) {
+  return PushImpl(
+      std::move(deps), std::move(label), task,
+      [this, duration](std::function<void()> done) {
+        engine_->After(duration, std::move(done));
+      },
+      duration);
+}
+
+Condition* Stream::PushImpl(std::vector<Condition*> deps, std::string label,
+                            int task, Body body, TimeSec exact_duration) {
   conditions_.push_back(std::make_unique<Condition>());
   Condition* done = conditions_.back().get();
   deps.push_back(last_done_);  // in-order with the previous op (null for first)
   last_done_ = done;
   WhenAll(deps, [this, done, label = std::move(label), task,
-                 body = std::move(body)]() {
-    const TimeSec start = engine_->now();
-    if (bus_ != nullptr && bus_->active()) {
-      trace::Event e;
-      e.kind = trace::EventKind::kOpBegin;
-      e.lane = trace_lane_;
-      e.device = trace_device_;
-      e.time = start;
-      e.task = task;
-      e.name = label;  // empty unless the pusher saw detailed()
-      bus_->Emit(e);
-    }
-    body([this, done, start, task]() {
+                 body = std::move(body), exact_duration]() mutable {
+    auto run = [this, done, label = std::move(label), task,
+                body = std::move(body), exact_duration]() {
+      const TimeSec start = engine_->now();
       if (bus_ != nullptr && bus_->active()) {
         trace::Event e;
-        e.kind = trace::EventKind::kOpEnd;
+        e.kind = trace::EventKind::kOpBegin;
         e.lane = trace_lane_;
         e.device = trace_device_;
-        e.time = engine_->now();
+        e.time = start;
         e.task = task;
+        e.name = label;  // empty unless the pusher saw detailed()
         bus_->Emit(e);
       }
-      busy_time_ += engine_->now() - start;
-      ++ops_completed_;
-      done->Fire();
-    });
+      body([this, done, start, task, exact_duration]() {
+        if (bus_ != nullptr && bus_->active()) {
+          trace::Event e;
+          e.kind = trace::EventKind::kOpEnd;
+          e.lane = trace_lane_;
+          e.device = trace_device_;
+          e.time = engine_->now();
+          e.task = task;
+          bus_->Emit(e);
+        }
+        busy_time_ +=
+            exact_duration >= 0.0 ? exact_duration : engine_->now() - start;
+        last_completion_ = engine_->now();
+        ++ops_completed_;
+        done->Fire();
+      });
+    };
+    // Fault hook: a stall delays the op *start*, so the span duration and
+    // busy_time accumulation are untouched — injected stalls change when
+    // work happens, never how much work it is.
+    const TimeSec stall = stall_probe_ ? stall_probe_() : 0.0;
+    if (stall > 0.0) {
+      engine_->After(stall, std::move(run));
+    } else {
+      run();
+    }
   });
   return done;
 }
 
 Condition* Stream::PushDelay(std::vector<Condition*> deps, TimeSec duration) {
   HARMONY_CHECK_GE(duration, 0.0);
-  return Push(std::move(deps), [this, duration](std::function<void()> done) {
-    engine_->After(duration, std::move(done));
-  });
+  return PushTimed(std::move(deps), std::string(), -1, duration);
 }
 
 }  // namespace harmony::sim

@@ -40,6 +40,14 @@ class Stream {
   Condition* Push(std::vector<Condition*> deps, std::string label, int task,
                   Body body);
 
+  /// An op whose duration is known at push time (a profiled compute delay).
+  /// busy_time accumulates `duration` itself rather than the end-minus-start
+  /// timestamp difference, so the total is invariant under time translation:
+  /// injected faults that merely *delay* ops cannot drift busy_time by even
+  /// an ulp.
+  Condition* PushTimed(std::vector<Condition*> deps, std::string label,
+                       int task, TimeSec duration);
+
   /// Convenience: an op that just occupies the stream for `duration`.
   Condition* PushDelay(std::vector<Condition*> deps, TimeSec duration);
 
@@ -47,20 +55,42 @@ class Stream {
   /// `device` on `lane` (one chrome-trace row per device x lane).
   void BindTrace(trace::TraceBus* bus, int device, trace::Lane lane);
 
+  /// Fault hook: consulted once per op, after its dependencies fire but
+  /// before the op span begins. A positive return delays the op start by that
+  /// many simulated seconds (a "stream stall" — the hardware wedging, not the
+  /// op running long), so busy_time and the op's span duration stay exactly
+  /// what they would be without the stall. Null (the default) costs one
+  /// branch per op.
+  void SetStallProbe(std::function<TimeSec()> probe) {
+    stall_probe_ = std::move(probe);
+  }
+
   /// Total time the stream spent executing op bodies.
   TimeSec busy_time() const { return busy_time_; }
+  /// Simulated time the stream's most recent op completed (0 if none). The
+  /// executor takes the max across streams as the iteration's end: liveness
+  /// timers (watchdog ticks) keep the engine's clock running past the last
+  /// real work, so the engine's drain time is not the iteration time.
+  TimeSec last_completion() const { return last_completion_; }
   const std::string& name() const { return name_; }
   int64_t ops_completed() const { return ops_completed_; }
 
  private:
+  /// Shared implementation: `exact_duration >= 0` means "charge busy_time
+  /// exactly this much"; negative means "measure end minus start".
+  Condition* PushImpl(std::vector<Condition*> deps, std::string label,
+                      int task, Body body, TimeSec exact_duration);
+
   Engine* engine_;
   std::string name_;
   trace::TraceBus* bus_ = nullptr;
   int trace_device_ = -1;
   trace::Lane trace_lane_ = trace::Lane::kCompute;
   Condition* last_done_ = nullptr;
+  std::function<TimeSec()> stall_probe_;
   std::deque<std::unique_ptr<Condition>> conditions_;
   TimeSec busy_time_ = 0.0;
+  TimeSec last_completion_ = 0.0;
   int64_t ops_completed_ = 0;
 };
 

@@ -92,10 +92,13 @@ void ChromeTraceSink::WriteJson(std::ostream& os) const {
       case EventKind::kEvict:
       case EventKind::kCleanDrop:
       case EventKind::kAllocStall:
+      case EventKind::kFaultInjected:
+      case EventKind::kFaultRecovered:
       case EventKind::kFlowBegin:
       case EventKind::kFlowEnd: {
         rows.insert({pid, tid});
         std::string name = EventKindName(e.kind);
+        if (e.detail[0] != '\0') name += std::string(" ") + e.detail;
         if (!e.name.empty()) name += " " + Escaped(e.name);
         snprintf(buf, sizeof(buf),
                  "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":%d,"

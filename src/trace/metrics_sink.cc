@@ -42,6 +42,13 @@ void MetricsSink::OnEvent(const Event& e) {
     case EventKind::kAllocStall:
       ++alloc_stalls_;
       break;
+    case EventKind::kFaultInjected:
+      ++faults_injected_;
+      break;
+    case EventKind::kFaultRecovered:
+      ++faults_recovered_;
+      recovery_bytes_ += e.bytes;
+      break;
     case EventKind::kHostBytes:
       peak_host_ = std::max(peak_host_, e.bytes);
       break;

@@ -29,6 +29,13 @@ class MetricsSink : public TraceSink {
   int64_t clean_drops() const { return clean_drops_; }
   int64_t alloc_stalls() const { return alloc_stalls_; }
 
+  // Fault-injection accounting (kFault* events). Recovery bytes are the
+  // transfers recovery performed on top of the plan's semantic work — they
+  // never mix into swap_in/swap_out/p2p, which must stay fault-invariant.
+  int64_t faults_injected() const { return faults_injected_; }
+  int64_t faults_recovered() const { return faults_recovered_; }
+  Bytes recovery_bytes() const { return recovery_bytes_; }
+
   // Serving-layer request accounting (kServe* events). Latency sums divide
   // by the matching count for mean served latency; percentile breakdowns
   // live in ChromeTraceSink / the client, which see each instant.
@@ -48,6 +55,9 @@ class MetricsSink : public TraceSink {
   int64_t evictions_ = 0;
   int64_t clean_drops_ = 0;
   int64_t alloc_stalls_ = 0;
+  int64_t faults_injected_ = 0;
+  int64_t faults_recovered_ = 0;
+  Bytes recovery_bytes_ = 0;
   int64_t serve_admitted_ = 0;
   int64_t serve_cache_hits_ = 0;
   int64_t serve_searches_ = 0;

@@ -17,6 +17,8 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kTensor: return "tensor";
     case EventKind::kHostBytes: return "host-bytes";
     case EventKind::kDeviceBytes: return "device-bytes";
+    case EventKind::kFaultInjected: return "fault-injected";
+    case EventKind::kFaultRecovered: return "fault-recovered";
     case EventKind::kServeAdmit: return "serve-admit";
     case EventKind::kServeCacheHit: return "serve-cache-hit";
     case EventKind::kServeSearchBegin: return "serve-search-begin";

@@ -41,6 +41,16 @@ enum class EventKind : uint8_t {
   kHostBytes,    // host buffer footprint
   kDeviceBytes,  // device memory in use on `device`
 
+  // Fault-injection instants (src/fault). `detail` names the fault kind;
+  // kFaultInjected marks the moment a fault fires (a transfer failing, a link
+  // flapping down, pressure landing on a device), kFaultRecovered marks the
+  // repair that healed it (a retry succeeding, pressure lifting, an emergency
+  // eviction completing). `bytes` carries the recovery transfer size when the
+  // repair moved data. These are deliberately NOT folded into the semantic
+  // swap/p2p accounting: recovery changes time, never the work a plan does.
+  kFaultInjected,
+  kFaultRecovered,
+
   // Serving-layer request lifecycle (src/serve). `task` carries the request
   // id; `time` is real wall-clock seconds since the service started (the
   // planner runs in real time, not simulated time). PlanService serializes
