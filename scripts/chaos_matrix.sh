@@ -7,18 +7,24 @@
 #   HARMONY_CHAOS_SEED=<seed> ctest --test-dir <build> -R RandomizedSeed
 #
 # Usage:
-#   chaos_matrix.sh [build-dir] [randomized-rounds]
+#   chaos_matrix.sh [build-dir] [randomized-rounds] [threads]
 #
-# Defaults: build-dir=build, randomized-rounds=5. Registered in CI as the
-# chaos job; also runnable by hand after any runtime/fault change.
+# Defaults: build-dir=build, randomized-rounds=5, threads=4. The matrix
+# fan-out runs on sim::MultiRunDriver with `threads` workers (exported as
+# HARMONY_CHAOS_THREADS); results are bit-identical at any worker count, and
+# the suite itself asserts parallel-vs-serial parity, so the thread knob only
+# trades wall time. Registered in CI as the chaos job; also runnable by hand
+# after any runtime/fault change.
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
 ROUNDS=${2:-5}
+THREADS=${3:-4}
+export HARMONY_CHAOS_THREADS="$THREADS"
 
 [ -d "$BUILD_DIR" ] || { echo "FAIL: build dir '$BUILD_DIR' not found"; exit 1; }
 
-echo "=== fixed-seed chaos matrix (ctest -L chaos) ==="
+echo "=== fixed-seed chaos matrix (ctest -L chaos, $THREADS workers) ==="
 # Covers: per-fault-kind parity, the seed x {BERT96, GPT2} survivable matrix,
 # bit-identical same-seed replay, unsurvivable-fault Status wording, watchdog
 # stuck-diagnostics + cancel escalation, and the inert-plan bit-identity.

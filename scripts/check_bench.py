@@ -14,9 +14,14 @@ Record formats handled:
 Usage:
   check_bench.py --baseline BENCH_runtime.json --current build/BENCH_runtime.json
   check_bench.py --baseline B --current C --tolerance 0.25 -- <cmd to produce C>
+  check_bench.py ... --override sim_core_far_future_heavy=0.5 -- <cmd>
 
 When a `--` command is given it is executed first (from the directory of
 --current, so benches that write to their CWD land in the right place).
+
+--override KEY=FRAC (repeatable) gives one benchmark a different leash than
+the file-wide --tolerance: micro-scale records in a file of otherwise stable
+macro benches get a looser bound without loosening the whole gate.
 
 Tight-tolerance gates on shared machines are exposed to multi-second load
 bursts that poison every sample in one bench run. --retries N re-measures (and
@@ -60,11 +65,26 @@ def main():
     parser.add_argument("--retries", type=int, default=0,
                         help="re-measure up to N extra times on regression "
                              "(requires a -- command; default 0)")
+    parser.add_argument("--override", action="append", default=[],
+                        metavar="KEY=FRAC",
+                        help="per-benchmark tolerance override (repeatable), "
+                             "e.g. --override sim_core_bursty=0.5")
     parser.add_argument("command", nargs="*",
                         help="command run first to produce --current")
     args = parser.parse_args()
 
+    overrides = {}
+    for item in args.override:
+        key, sep, frac = item.rpartition("=")
+        if not sep or not key:
+            parser.error("--override expects KEY=FRAC, got %r" % item)
+        overrides[key] = float(frac)
+
     baseline = load_records(args.baseline)
+    for key in overrides:
+        if key not in baseline:
+            parser.error("--override key %r not in baseline %s"
+                         % (key, args.baseline))
     retries = args.retries if args.command else 0
     for attempt in range(retries + 1):
         if args.command:
@@ -74,7 +94,8 @@ def main():
             if proc.returncode != 0:
                 print("FAIL: benchmark command exited %d" % proc.returncode)
                 return 1
-        failures = compare(baseline, load_records(args.current), args.tolerance)
+        failures = compare(baseline, load_records(args.current),
+                           args.tolerance, overrides)
         if not failures:
             return 0
         if attempt < retries:
@@ -83,21 +104,25 @@ def main():
     return 1
 
 
-def compare(baseline, current, tolerance):
+def compare(baseline, current, tolerance, overrides=None):
+    overrides = overrides or {}
     failures = []
     improvements = []
     for key, base in sorted(baseline.items()):
         if key not in current:
             failures.append("%s: missing from current measurement" % key)
             continue
+        tol = overrides.get(key, tolerance)
         now = current[key]
         ratio = now / base if base > 0 else float("inf")
         line = "%-45s base %.6g  now %.6g  (%.2fx)" % (key, base, now, ratio)
-        if ratio > 1.0 + tolerance:
+        if key in overrides:
+            line += "  [tol %.0f%%]" % (tol * 100)
+        if ratio > 1.0 + tol:
             failures.append(line + "  REGRESSION")
         else:
             print("ok   " + line)
-            if ratio < 1.0 - tolerance:
+            if ratio < 1.0 - tol:
                 improvements.append(key)
     for key in sorted(set(current) - set(baseline)):
         print("new  %-45s now %.6g  (no baseline)" % (key, current[key]))
@@ -106,12 +131,12 @@ def compare(baseline, current, tolerance):
         print("\n%d metric(s) improved past tolerance — consider re-recording "
               "the baseline: %s" % (len(improvements), ", ".join(improvements)))
     if failures:
-        print("\nFAIL: %d metric(s) regressed beyond %.0f%% tolerance:"
-              % (len(failures), tolerance * 100))
+        print("\nFAIL: %d metric(s) regressed beyond tolerance "
+              "(base %.0f%%):" % (len(failures), tolerance * 100))
         for f in failures:
             print("  " + f)
     else:
-        print("\nPASS: %d metric(s) within %.0f%% of baseline"
+        print("\nPASS: %d metric(s) within tolerance (base %.0f%%)"
               % (len(baseline), tolerance * 100))
     return failures
 

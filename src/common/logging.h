@@ -63,4 +63,25 @@ Severity MinLogSeverity();
 #define HARMONY_CHECK_GT(lhs, rhs) HARMONY_CHECK_OP(lhs, >, rhs)
 #define HARMONY_CHECK_GE(lhs, rhs) HARMONY_CHECK_OP(lhs, >=, rhs)
 
+/// Debug-only CHECK: aborts in debug builds, compiles to dead code (the
+/// condition is type-checked but never evaluated) under NDEBUG. Use on hot
+/// paths where the invariant is worth asserting but not worth a branch in
+/// release builds.
+#ifdef NDEBUG
+#define HARMONY_DCHECK(condition) \
+  while (false) HARMONY_CHECK(condition)
+#define HARMONY_DCHECK_OP(lhs, op, rhs) \
+  while (false) HARMONY_CHECK_OP(lhs, op, rhs)
+#else
+#define HARMONY_DCHECK(condition) HARMONY_CHECK(condition)
+#define HARMONY_DCHECK_OP(lhs, op, rhs) HARMONY_CHECK_OP(lhs, op, rhs)
+#endif
+
+#define HARMONY_DCHECK_EQ(lhs, rhs) HARMONY_DCHECK_OP(lhs, ==, rhs)
+#define HARMONY_DCHECK_NE(lhs, rhs) HARMONY_DCHECK_OP(lhs, !=, rhs)
+#define HARMONY_DCHECK_LT(lhs, rhs) HARMONY_DCHECK_OP(lhs, <, rhs)
+#define HARMONY_DCHECK_LE(lhs, rhs) HARMONY_DCHECK_OP(lhs, <=, rhs)
+#define HARMONY_DCHECK_GT(lhs, rhs) HARMONY_DCHECK_OP(lhs, >, rhs)
+#define HARMONY_DCHECK_GE(lhs, rhs) HARMONY_DCHECK_OP(lhs, >=, rhs)
+
 #endif  // HARMONY_COMMON_LOGGING_H_

@@ -10,13 +10,6 @@
 namespace harmony::core {
 namespace {
 
-struct Unit {
-  int task = -1;
-  int piece = -1;          // -1 for update tasks (no group)
-  TimeSec start = -1.0;    // -1 = not yet scheduled
-  TimeSec end = -1.0;
-};
-
 /// Clears the first-level entries while keeping every inner vector's
 /// capacity. Entries past `n` are cleared too (a smaller graph after a
 /// larger one must not see stale data); callers only index [0, n).
@@ -28,15 +21,30 @@ void ResetNested(std::vector<std::vector<T>>& v, size_t n) {
 
 }  // namespace
 
+/// Schedule units are stored structure-of-arrays, indexed by flat unit id
+/// (uid = lane_base[lane] + position within lane, lanes concatenated in
+/// order). The hot scheduling loop then reads producer end times and lane
+/// predecessors as direct unit_end[p] loads — no per-edge binary search,
+/// and the completion scans stride dense double arrays.
 struct EstimatorScratch::Impl {
-  std::vector<std::vector<Unit>> lanes;
-  std::vector<std::vector<std::pair<int, int>>> locate;
+  std::vector<int32_t> unit_task;
+  std::vector<int32_t> unit_piece;  // -1 for update tasks (no group)
+  std::vector<int32_t> unit_lane;
+  std::vector<double> unit_start;   // -1 = not yet scheduled
+  std::vector<double> unit_end;
+  std::vector<std::vector<int>> locate;  // task -> uid per piece
   std::vector<int> lane_base;
-  std::vector<std::vector<int>> grad_units;
-  std::vector<std::vector<int>> rigid_units;
-  std::vector<std::vector<std::pair<int, int>>> stream_units;
+  // Producer lists in CSR form: unit uid's producers are
+  // data[off[uid] .. off[uid + 1]). Built in uid order, so offsets are
+  // recorded as the data arrays grow — one pass, no per-unit vectors.
+  std::vector<int> grad_off, grad_data;
+  std::vector<int> rigid_off, rigid_data;
+  std::vector<int> stream_off;
+  std::vector<std::pair<int, int>> stream_data;  // (producer uid, task id)
   std::vector<int> dep_count;
-  std::vector<std::vector<int>> dependents;
+  // Dependents in CSR form (count pass + fill pass over the same edge
+  // enumeration).
+  std::vector<int> dep_off, dep_data, dep_cursor;
   std::vector<int> ready;
 };
 
@@ -78,127 +86,174 @@ Estimate RuntimeEstimator::EstimateIteration(const TaskGraph& graph,
     return profiles_.layer(b).input_bytes_per_sample;
   };
 
-  // Build sequential unit lists: per GPU compute lane + per process CPU lane.
-  auto& lanes = sc.lanes;
-  ResetNested(lanes, 2 * N);
-  // (task, piece) -> (lane, unit index) for dependency lookups.
+  // Pass 1 — lane sizes: per GPU compute lane + per process CPU lane.
+  auto& lane_base = sc.lane_base;
+  lane_base.assign(2 * N + 1, 0);
+  for (int d = 0; d < N; ++d) {
+    int count = 0;
+    for (int id : graph.device_order[d]) {
+      const Task& t = graph.task(id);
+      count += t.type == TaskType::kUpdate ? 1 : static_cast<int>(t.group.size());
+    }
+    lane_base[d + 1] = count;
+    if (static_cast<size_t>(d) < graph.cpu_order.size()) {
+      lane_base[N + d + 1] = static_cast<int>(graph.cpu_order[d].size());
+    }
+  }
+  for (int lane_id = 0; lane_id < 2 * N; ++lane_id) {
+    lane_base[lane_id + 1] += lane_base[lane_id];
+  }
+  const int total_units = lane_base[2 * N];
+
+  // Pass 2 — fill the flat unit arrays lane by lane; `locate` maps
+  // (task, piece) straight to a uid.
+  sc.unit_task.assign(total_units, -1);
+  sc.unit_piece.assign(total_units, -1);
+  sc.unit_lane.assign(total_units, -1);
+  sc.unit_start.assign(total_units, -1.0);
+  sc.unit_end.assign(total_units, -1.0);
+  int32_t* const unit_task = sc.unit_task.data();
+  int32_t* const unit_piece = sc.unit_piece.data();
+  int32_t* const unit_lane = sc.unit_lane.data();
+  double* const unit_start = sc.unit_start.data();
+  double* const unit_end = sc.unit_end.data();
   auto& locate = sc.locate;
   ResetNested(locate, graph.num_tasks());
   for (int d = 0; d < N; ++d) {
+    int uid = lane_base[d];
     for (int id : graph.device_order[d]) {
       const Task& t = graph.task(id);
       if (t.type == TaskType::kUpdate) {
-        locate[id].assign(1, {d, static_cast<int>(lanes[d].size())});
-        lanes[d].push_back(Unit{id, -1, -1.0, -1.0});
+        locate[id].assign(1, uid);
+        unit_task[uid] = id;
+        unit_lane[uid] = d;
+        ++uid;
         continue;
       }
       locate[id].resize(t.group.size());
       for (int k = 0; k < static_cast<int>(t.group.size()); ++k) {
-        locate[id][k] = {d, static_cast<int>(lanes[d].size())};
-        lanes[d].push_back(Unit{id, k, -1.0, -1.0});
+        locate[id][k] = uid;
+        unit_task[uid] = id;
+        unit_piece[uid] = k;
+        unit_lane[uid] = d;
+        ++uid;
       }
     }
     if (static_cast<size_t>(d) < graph.cpu_order.size()) {
+      uid = lane_base[N + d];
       for (int id : graph.cpu_order[d]) {
-        locate[id].assign(1, {N + d, static_cast<int>(lanes[N + d].size())});
-        lanes[N + d].push_back(Unit{id, -1, -1.0, -1.0});
+        locate[id].assign(1, uid);
+        unit_task[uid] = id;
+        unit_lane[uid] = N + d;
+        ++uid;
       }
     }
   }
 
-  // Flat unit ids: uid = lane_base[lane] + position.
-  auto& lane_base = sc.lane_base;
-  lane_base.assign(2 * N + 1, 0);
-  for (int lane_id = 0; lane_id < 2 * N; ++lane_id) {
-    lane_base[lane_id + 1] =
-        lane_base[lane_id] + static_cast<int>(lanes[lane_id].size());
-  }
-  const int total_units = lane_base[2 * N];
-  auto unit_at = [&](int uid) -> Unit& {
-    const int lane_id = static_cast<int>(
-        std::upper_bound(lane_base.begin(), lane_base.end(), uid) -
-        lane_base.begin() - 1);
-    return lanes[lane_id][uid - lane_base[lane_id]];
-  };
   auto uid_of = [&](int task, int piece) -> int {
     const auto& locs = locate[task];
     HARMONY_CHECK(!locs.empty());
     const int idx = piece >= 0 && piece < static_cast<int>(locs.size()) ? piece : 0;
-    const auto& [lane, pos] = locs[idx];
-    return lane_base[lane] + pos;
+    return locs[idx];
   };
 
-  // Precompute each unit's producers (cross-lane dependencies). Updates keep
-  // their gradient producers separate from the rigid-scheduling extras, since
-  // only the former enter the traffic model.
-  auto& grad_units = sc.grad_units;
-  ResetNested(grad_units, total_units);
-  auto& rigid_units = sc.rigid_units;
-  ResetNested(rigid_units, total_units);
-  // Streaming producers of a compute unit: (producer unit, producer task).
-  auto& stream_units = sc.stream_units;
-  ResetNested(stream_units, total_units);
+  // Precompute each unit's producers (cross-lane dependencies), CSR-packed in
+  // uid order. Updates keep their gradient producers separate from the
+  // rigid-scheduling extras, since only the former enter the traffic model.
+  sc.grad_off.assign(total_units + 1, 0);
+  sc.rigid_off.assign(total_units + 1, 0);
+  sc.stream_off.assign(total_units + 1, 0);
+  sc.grad_data.clear();
+  sc.rigid_data.clear();
+  sc.stream_data.clear();
 
-  for (int lane_id = 0; lane_id < 2 * N; ++lane_id) {
-    for (int pos = 0; pos < static_cast<int>(lanes[lane_id].size()); ++pos) {
-      const int uid = lane_base[lane_id] + pos;
-      const Unit& u = lanes[lane_id][pos];
-      const Task& t = graph.task(u.task);
-      if (t.type == TaskType::kUpdate) {
-        for (int pid : deps.BackwardTasksForPack(t.pack, t.replica)) {
-          const Task& p = graph.task(pid);
-          grad_units[uid].push_back(
-              uid_of(pid, static_cast<int>(p.group.size()) - 1));
-        }
-        if (!graph.flags.jit_update) {
-          // Rigid scheduling: updates wait for the entire backward pass.
-          for (int r = 0; r < graph.num_replicas; ++r) {
-            if (t.replica >= 0 && r != t.replica) continue;
-            for (int pid : deps.AllBackwardTasks(r)) {
-              const Task& p = graph.task(pid);
-              rigid_units[uid].push_back(
-                  uid_of(pid, static_cast<int>(p.group.size()) - 1));
-            }
+  for (int uid = 0; uid < total_units; ++uid) {
+    const Task& t = graph.task(unit_task[uid]);
+    if (t.type == TaskType::kUpdate) {
+      for (int pid : deps.BackwardTasksForPack(t.pack, t.replica)) {
+        const Task& p = graph.task(pid);
+        sc.grad_data.push_back(
+            uid_of(pid, static_cast<int>(p.group.size()) - 1));
+      }
+      if (!graph.flags.jit_update) {
+        // Rigid scheduling: updates wait for the entire backward pass.
+        for (int r = 0; r < graph.num_replicas; ++r) {
+          if (t.replica >= 0 && r != t.replica) continue;
+          for (int pid : deps.AllBackwardTasks(r)) {
+            const Task& p = graph.task(pid);
+            sc.rigid_data.push_back(
+                uid_of(pid, static_cast<int>(p.group.size()) - 1));
           }
         }
-      } else {
-        const MbPiece piece = t.group[u.piece];
-        const bool wants_act = t.type == TaskType::kForward || t.fused_forward;
-        const int in_boundary = wants_act ? t.pack.lo : t.pack.hi + 1;
-        const auto producers =
-            wants_act ? deps.ActivationProducers(in_boundary, piece, t.replica)
-                      : deps.GradientProducers(in_boundary, piece, t.replica);
-        for (const auto& [pid, pk] : producers) {
-          stream_units[uid].emplace_back(uid_of(pid, pk), pid);
-        }
+      }
+    } else {
+      const MbPiece piece = t.group[unit_piece[uid]];
+      const bool wants_act = t.type == TaskType::kForward || t.fused_forward;
+      const int in_boundary = wants_act ? t.pack.lo : t.pack.hi + 1;
+      const auto producers =
+          wants_act ? deps.ActivationProducers(in_boundary, piece, t.replica)
+                    : deps.GradientProducers(in_boundary, piece, t.replica);
+      for (const auto& [pid, pk] : producers) {
+        sc.stream_data.emplace_back(uid_of(pid, pk), pid);
       }
     }
+    sc.grad_off[uid + 1] = static_cast<int>(sc.grad_data.size());
+    sc.rigid_off[uid + 1] = static_cast<int>(sc.rigid_data.size());
+    sc.stream_off[uid + 1] = static_cast<int>(sc.stream_data.size());
   }
+  const int* const grad_off = sc.grad_off.data();
+  const int* const grad_data = sc.grad_data.data();
+  const int* const rigid_off = sc.rigid_off.data();
+  const int* const rigid_data = sc.rigid_data.data();
+  const int* const stream_off = sc.stream_off.data();
+  const std::pair<int, int>* const stream_data = sc.stream_data.data();
 
   // Dependency-counted ready queue (Kahn): a unit becomes ready when its lane
   // predecessor and every producer unit have finished. Duplicate edges are
   // fine — each one both increments the count and appears in the dependents
   // list. Any pop order yields the same schedule: a unit's times depend only
   // on its (finished) producers, and the byte counters are order-free sums.
+  //
+  // Dependents are CSR too: a count pass sizes each unit's out-list, a fill
+  // pass walks the identical edge enumeration into the reserved spans.
   auto& dep_count = sc.dep_count;
   dep_count.assign(total_units, 0);
-  auto& dependents = sc.dependents;
-  ResetNested(dependents, total_units);
-  auto add_edge = [&](int from, int to) {
+  sc.dep_off.assign(total_units + 1, 0);
+  auto for_each_edge = [&](auto&& edge) {
+    for (int lane_id = 0; lane_id < 2 * N; ++lane_id) {
+      for (int uid = lane_base[lane_id] + 1; uid < lane_base[lane_id + 1];
+           ++uid) {
+        edge(uid - 1, uid);
+      }
+    }
+    for (int uid = 0; uid < total_units; ++uid) {
+      for (int e = grad_off[uid]; e < grad_off[uid + 1]; ++e) {
+        edge(grad_data[e], uid);
+      }
+      for (int e = rigid_off[uid]; e < rigid_off[uid + 1]; ++e) {
+        edge(rigid_data[e], uid);
+      }
+      for (int e = stream_off[uid]; e < stream_off[uid + 1]; ++e) {
+        edge(stream_data[e].first, uid);
+      }
+    }
+  };
+  for_each_edge([&](int from, int to) {
     if (from == to) return;  // a task is never its own producer
     ++dep_count[to];
-    dependents[from].push_back(to);
-  };
-  for (int lane_id = 0; lane_id < 2 * N; ++lane_id) {
-    for (int pos = 1; pos < static_cast<int>(lanes[lane_id].size()); ++pos) {
-      add_edge(lane_base[lane_id] + pos - 1, lane_base[lane_id] + pos);
-    }
-  }
+    ++sc.dep_off[from + 1];
+  });
   for (int uid = 0; uid < total_units; ++uid) {
-    for (int p : grad_units[uid]) add_edge(p, uid);
-    for (int p : rigid_units[uid]) add_edge(p, uid);
-    for (const auto& edge : stream_units[uid]) add_edge(edge.first, uid);
+    sc.dep_off[uid + 1] += sc.dep_off[uid];
   }
+  sc.dep_data.resize(sc.dep_off[total_units]);
+  sc.dep_cursor.assign(sc.dep_off.begin(), sc.dep_off.end() - 1);
+  for_each_edge([&](int from, int to) {
+    if (from == to) return;
+    sc.dep_data[sc.dep_cursor[from]++] = to;
+  });
+  const int* const dep_off = sc.dep_off.data();
+  const int* const dep_data = sc.dep_data.data();
 
   auto& ready = sc.ready;
   ready.clear();
@@ -211,30 +266,26 @@ Estimate RuntimeEstimator::EstimateIteration(const TaskGraph& graph,
   while (!ready.empty()) {
     const int uid = ready.back();
     ready.pop_back();
-    const int lane_id = static_cast<int>(
-        std::upper_bound(lane_base.begin(), lane_base.end(), uid) -
-        lane_base.begin() - 1);
-    auto& lane = lanes[lane_id];
+    const int lane_id = unit_lane[uid];
     const int pos = uid - lane_base[lane_id];
-    Unit& u = lane[pos];
-    const Task& t = graph.task(u.task);
-    const TimeSec lane_free = pos == 0 ? 0.0 : lane[pos - 1].end;
+    const Task& t = graph.task(unit_task[uid]);
+    const TimeSec lane_free = pos == 0 ? 0.0 : unit_end[uid - 1];
 
     TimeSec ready_time = lane_free;
     TimeSec duration = 0.0;
 
     if (t.type == TaskType::kUpdate) {
       const Bytes params = pack_params(t.pack);
-      const int nrep = static_cast<int>(grad_units[uid].size());
+      const int nrep = grad_off[uid + 1] - grad_off[uid];
       TimeSec grads_ready = 0.0;
-      for (int p : grad_units[uid]) {
-        const TimeSec done = unit_at(p).end;
-        HARMONY_CHECK_GE(done, 0.0);
+      for (int e = grad_off[uid]; e < grad_off[uid + 1]; ++e) {
+        const TimeSec done = unit_end[grad_data[e]];
+        HARMONY_DCHECK_GE(done, 0.0);
         grads_ready = std::max(grads_ready, done);
       }
-      for (int p : rigid_units[uid]) {
-        const TimeSec done = unit_at(p).end;
-        HARMONY_CHECK_GE(done, 0.0);
+      for (int e = rigid_off[uid]; e < rigid_off[uid + 1]; ++e) {
+        const TimeSec done = unit_end[rigid_data[e]];
+        HARMONY_DCHECK_GE(done, 0.0);
         grads_ready = std::max(grads_ready, done);
       }
       if (t.on_cpu) {
@@ -256,7 +307,7 @@ Estimate RuntimeEstimator::EstimateIteration(const TaskGraph& graph,
       }
       ready_time = std::max(ready_time, grads_ready);
     } else {
-      const MbPiece piece = t.group[u.piece];
+      const MbPiece piece = t.group[unit_piece[uid]];
       const int usize = piece.size;
       if (t.type == TaskType::kForward) {
         duration = profiles_.PackFwdTime(t.pack.lo, t.pack.hi, usize);
@@ -271,9 +322,10 @@ Estimate RuntimeEstimator::EstimateIteration(const TaskGraph& graph,
       // gradient (backward).
       const bool wants_act = t.type == TaskType::kForward || t.fused_forward;
       const int in_boundary = wants_act ? t.pack.lo : t.pack.hi + 1;
-      for (const auto& [p, pid] : stream_units[uid]) {
-        const TimeSec done = unit_at(p).end;
-        HARMONY_CHECK_GE(done, 0.0);
+      for (int e = stream_off[uid]; e < stream_off[uid + 1]; ++e) {
+        const auto& [p, pid] = stream_data[e];
+        const TimeSec done = unit_end[p];
+        HARMONY_DCHECK_GE(done, 0.0);
         const Task& prod = graph.task(pid);
         const Bytes bytes =
             static_cast<Bytes>(usize) * boundary_in_bytes(in_boundary);
@@ -305,13 +357,12 @@ Estimate RuntimeEstimator::EstimateIteration(const TaskGraph& graph,
 
       // Weight fetch at the first piece of a task; prefetch overlaps it
       // with the previous task on the device.
-      if (u.piece == 0) {
+      if (unit_piece[uid] == 0) {
         const Bytes params = pack_params(t.pack);
         const TimeSec fetch = static_cast<double>(params) / swap_bw;
         swap_bytes += params;
         if (graph.flags.prefetch && pos > 0) {
-          const Unit& prev = lane[pos - 1];
-          const TimeSec prev_span = prev.end - prev.start;
+          const TimeSec prev_span = unit_end[uid - 1] - unit_start[uid - 1];
           ready_time =
               std::max(ready_time, lane_free + std::max(0.0, fetch - prev_span));
         } else {
@@ -320,10 +371,11 @@ Estimate RuntimeEstimator::EstimateIteration(const TaskGraph& graph,
       }
     }
 
-    u.start = ready_time;
-    u.end = ready_time + duration;
+    unit_start[uid] = ready_time;
+    unit_end[uid] = ready_time + duration;
     ++scheduled;
-    for (int dep : dependents[uid]) {
+    for (int e = dep_off[uid]; e < dep_off[uid + 1]; ++e) {
+      const int dep = dep_data[e];
       if (--dep_count[dep] == 0) ready.push_back(dep);
     }
   }
@@ -337,20 +389,22 @@ Estimate RuntimeEstimator::EstimateIteration(const TaskGraph& graph,
   if (trace != nullptr && trace->active()) {
     for (int lane_id = 0; lane_id < 2 * N; ++lane_id) {
       const bool cpu_lane = lane_id >= N;
-      for (const Unit& u : lanes[lane_id]) {
+      for (int uid = lane_base[lane_id]; uid < lane_base[lane_id + 1]; ++uid) {
         trace::Event begin;
         begin.kind = trace::EventKind::kOpBegin;
         begin.lane = cpu_lane ? trace::Lane::kCpu : trace::Lane::kCompute;
         begin.device = cpu_lane ? lane_id - N : lane_id;
-        begin.time = u.start;
-        begin.task = u.task;
+        begin.time = unit_start[uid];
+        begin.task = unit_task[uid];
         if (trace->detailed()) {
-          begin.name = "t" + std::to_string(u.task);
-          if (u.piece >= 0) begin.name += " p" + std::to_string(u.piece);
+          begin.name = "t" + std::to_string(unit_task[uid]);
+          if (unit_piece[uid] >= 0) {
+            begin.name += " p" + std::to_string(unit_piece[uid]);
+          }
         }
         trace::Event end = begin;
         end.kind = trace::EventKind::kOpEnd;
-        end.time = u.end;
+        end.time = unit_end[uid];
         end.name.clear();
         trace->Emit(begin);
         trace->Emit(end);
@@ -359,10 +413,8 @@ Estimate RuntimeEstimator::EstimateIteration(const TaskGraph& graph,
   }
 
   Estimate e;
-  for (int lane_id = 0; lane_id < 2 * N; ++lane_id) {
-    for (const Unit& u : lanes[lane_id]) {
-      e.iteration_time = std::max(e.iteration_time, u.end);
-    }
+  for (int uid = 0; uid < total_units; ++uid) {
+    e.iteration_time = std::max(e.iteration_time, unit_end[uid]);
   }
   e.swap_bytes = swap_bytes;
   e.p2p_bytes = p2p_bytes;

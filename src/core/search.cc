@@ -4,7 +4,6 @@
 #include <array>
 #include <chrono>
 #include <cstddef>
-#include <future>
 #include <memory>
 #include <mutex>
 #include <tuple>
@@ -13,6 +12,7 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "core/packing.h"
+#include "sim/multirun.h"
 
 namespace harmony::core {
 namespace {
@@ -207,33 +207,20 @@ Result<SearchResult> SearchConfiguration(const profile::ProfileDb& profiles,
   const int num_threads = options.num_threads <= 0
                               ? common::ThreadPool::DefaultThreadCount()
                               : options.num_threads;
-  if (num_threads <= 1 || points.size() <= 1) {
-    EstimatorScratch scratch;
-    for (size_t i = 0; i < points.size() && !cancelled(); ++i) {
-      outcomes[i] = evaluate(points[i], scratch);
-    }
-  } else {
-    common::ThreadPool pool(num_threads);
-    // Contiguous chunks keep per-task overhead negligible while leaving
-    // enough slack (4x oversubscription) to absorb uneven candidate costs.
-    // Each chunk reuses one estimator scratch arena across its candidates.
-    const size_t chunks = std::min(
-        points.size(), static_cast<size_t>(num_threads) * 4);
-    const size_t stride = (points.size() + chunks - 1) / chunks;
-    std::vector<std::future<void>> pending;
-    pending.reserve(chunks);
-    for (size_t begin = 0; begin < points.size(); begin += stride) {
-      const size_t end = std::min(begin + stride, points.size());
-      pending.push_back(pool.Submit([&, begin, end]() {
-        EstimatorScratch scratch;
-        // A tripped token leaves the remaining outcomes infeasible; the
-        // cancellation check after the merge discards the partial result.
-        for (size_t i = begin; i < end && !cancelled(); ++i) {
-          outcomes[i] = evaluate(points[i], scratch);
-        }
-      }));
-    }
-    for (auto& f : pending) f.get();
+  {
+    // Work-stealing fan-out: one run per candidate, one estimator scratch
+    // arena per worker (reused across every candidate that worker claims).
+    // Each outcome lands in its own slot, so the result is independent of
+    // thread count and steal pattern. A tripped cancel token leaves the
+    // remaining outcomes infeasible; the cancellation check after the merge
+    // discards the partial result.
+    sim::MultiRunDriver driver(num_threads);
+    std::vector<EstimatorScratch> scratches(
+        static_cast<size_t>(driver.num_threads()));
+    driver.Run(static_cast<int>(points.size()), [&](int run, int worker) {
+      if (cancelled()) return;
+      outcomes[run] = evaluate(points[run], scratches[worker]);
+    });
   }
 
   // Phase 3 (serial): deterministic merge. The winner is the feasible
@@ -277,6 +264,13 @@ Result<SearchResult> SearchConfiguration(const profile::ProfileDb& profiles,
     return Status::InvalidArgument(
         "no feasible configuration: model layers too large for GPU memory "
         "at every microbatch size");
+  }
+  // Release builds skip per-candidate structural validation inside
+  // GenerateHarmonyTaskGraph; validate the one graph that leaves the search.
+  {
+    const TaskGraph winner = GenerateHarmonyTaskGraph(
+        result.best, mode, machine.num_gpus, minibatch, flags, profiles);
+    ValidateTaskGraph(winner);
   }
   return result;
 }

@@ -383,7 +383,14 @@ TaskGraph GenerateHarmonyTaskGraph(const Configuration& config, HarmonyMode mode
     g = std::move(split);
   }
 
+  // Structural validation is O(tasks x layers) with per-layer sorts — more
+  // expensive than estimating the graph. Debug builds validate every graph;
+  // release builds rely on explicit ValidateTaskGraph calls at the seams
+  // (tests, baselines, search winners) instead of paying it per candidate in
+  // the configuration-search inner loop.
+#ifndef NDEBUG
   ValidateTaskGraph(g);
+#endif
   return g;
 }
 

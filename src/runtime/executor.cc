@@ -124,8 +124,7 @@ void Executor::TryIssue(int d) {
 
 void Executor::IssueStep(int d, int step_idx) {
   Step& s = program_.steps[d][step_idx];
-  conditions_.push_back(std::make_unique<sim::Condition>());
-  sim::Condition* ready = conditions_.back().get();
+  sim::Condition* ready = &conditions_.emplace_back();
 
   // Join counters across needs + produces.
   struct Join {
@@ -139,13 +138,15 @@ void Executor::IssueStep(int d, int step_idx) {
   join->commits_left = static_cast<int>(s.needs.size() + s.produces.size()) + 1;
   join->arrivals_left = join->commits_left;
 
-  auto committed = [this, d, join]() {
+  // Materialized as std::function once per step: EnsureResident takes these
+  // by const reference, so the per-need fast path performs no copies.
+  const std::function<void()> committed = [this, d, join]() {
     if (--join->commits_left == 0) {
       issue_busy_[d] = false;
       TryIssue(d);
     }
   };
-  auto arrived = [join, ready]() {
+  const std::function<void()> arrived = [join, ready]() {
     if (--join->arrivals_left == 0) ready->Fire();
   };
 

@@ -76,7 +76,9 @@ class Executor {
   std::vector<std::unique_ptr<sim::Stream>> compute_, swapin_, swapout_,
       p2pin_, cpu_;
   std::unique_ptr<Residency> residency_;
-  std::deque<std::unique_ptr<sim::Condition>> conditions_;
+  // Deque for pointer stability; direct storage — one allocation per deque
+  // block, not per step.
+  std::deque<sim::Condition> conditions_;
 
   // Driving state.
   std::vector<size_t> issue_next_, steps_done_;

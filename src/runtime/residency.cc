@@ -381,16 +381,20 @@ Bytes Residency::ReleaseFaultPressure(int d) {
 // ---------------------------------------------------------------------------
 
 void Residency::EnsureResident(int d, TensorId id, Bytes bytes, bool from_host,
-                               std::function<void()> committed,
-                               std::function<void()> arrived) {
+                               const std::function<void()>& committed,
+                               const std::function<void()>& arrived) {
   if (env_.failed()) return;
   TensorState& st = table_.Get(id);
-  auto retry = [this, d, id, bytes, from_host, committed, arrived]() {
-    EnsureResident(d, id, bytes, from_host, committed, arrived);
+  // Built lazily: the resident-hit fast path below never copies the
+  // callbacks, and every wait path pays for the capture only when taken.
+  auto retry = [&]() {
+    return [this, d, id, bytes, from_host, committed, arrived]() {
+      EnsureResident(d, id, bytes, from_host, committed, arrived);
+    };
   };
   if (!st.exists) {
     if (!AutoCreate(id, bytes)) {
-      st.creation_waiters.push_back(retry);  // wait for the producer
+      st.creation_waiters.push_back(retry());  // wait for the producer
       return;
     }
   }
@@ -406,12 +410,12 @@ void Residency::EnsureResident(int d, TensorId id, Bytes bytes, bool from_host,
   if (state.fetch_in_flight) {
     // Another consumer is already pulling a copy; join and re-evaluate when
     // it lands.
-    state.arrival_waiters.push_back(retry);
+    state.arrival_waiters.push_back(retry());
     return;
   }
   if (state.ResidentOn(d)) {
     // Our copy is being evicted; wait for the host copy and fetch it back.
-    state.host_waiters.push_back(retry);
+    state.host_waiters.push_back(retry());
     return;
   }
   // Pick a source: the host copy when available (and mandatory for
@@ -420,13 +424,13 @@ void Residency::EnsureResident(int d, TensorId id, Bytes bytes, bool from_host,
   int src = -1;
   if (!state.on_host) {
     if (from_host) {
-      state.host_waiters.push_back(retry);  // the producer's copy is coming
+      state.host_waiters.push_back(retry());  // the producer's copy is coming
       return;
     }
     src = state.StableGpu();
     if (src < 0) {
       // All copies are mid-eviction: the data will surface on host.
-      state.host_waiters.push_back(retry);
+      state.host_waiters.push_back(retry());
       return;
     }
   }

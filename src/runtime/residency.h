@@ -73,10 +73,12 @@ class Residency {
   /// pins an existing copy or allocates + fetches one (host swap-in, p2p, or
   /// a host bounce when p2p is off). `committed` fires once the allocation is
   /// granted (the step's issue slot can recycle); `arrived` once the bytes
-  /// are resident.
+  /// are resident. Taken by const reference: the resident-hit fast path
+  /// invokes both synchronously without ever copying them; only the wait and
+  /// fetch paths capture copies into continuations.
   void EnsureResident(int d, TensorId id, Bytes bytes, bool from_host,
-                      std::function<void()> committed,
-                      std::function<void()> arrived);
+                      const std::function<void()>& committed,
+                      const std::function<void()>& arrived);
 
   /// Queues an allocation of `bytes` for `id` on `d`; `granted` fires with
   /// the tensor pinned. FIFO per device; triggers eviction on pressure.

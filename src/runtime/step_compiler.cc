@@ -42,15 +42,11 @@ void StepCompiler::Precompute() {
                       std::vector<std::vector<MbPiece>>(R + 1));
   stash_layout_.assign(graph_.num_replicas,
                        std::vector<std::vector<MbPiece>>(R));
+  // Accumulate raw pieces first, then canonicalize each slot once: the
+  // sort-after-every-merge variant re-sorted near-sorted vectors O(tasks)
+  // times per boundary and dominated compile time on deep models.
   auto merge = [](std::vector<MbPiece>* dst, const std::vector<MbPiece>& src) {
     dst->insert(dst->end(), src.begin(), src.end());
-    std::sort(dst->begin(), dst->end(),
-              [](const MbPiece& a, const MbPiece& b) { return a.begin < b.begin; });
-    dst->erase(std::unique(dst->begin(), dst->end(),
-                           [](const MbPiece& a, const MbPiece& b) {
-                             return a.begin == b.begin;
-                           }),
-               dst->end());
   };
   for (const Task& t : graph_.tasks) {
     if (t.type == TaskType::kForward) {
@@ -66,6 +62,20 @@ void StepCompiler::Precompute() {
       grad_layout_[t.replica][t.pack.lo] = t.group;
     }
   }
+  auto canonicalize = [](std::vector<std::vector<MbPiece>>& slots) {
+    for (std::vector<MbPiece>& dst : slots) {
+      std::sort(dst.begin(), dst.end(), [](const MbPiece& a, const MbPiece& b) {
+        return a.begin < b.begin;
+      });
+      dst.erase(std::unique(dst.begin(), dst.end(),
+                            [](const MbPiece& a, const MbPiece& b) {
+                              return a.begin == b.begin;
+                            }),
+                dst.end());
+    }
+  };
+  for (auto& per_replica : act_layout_) canonicalize(per_replica);
+  for (auto& per_replica : stash_layout_) canonicalize(per_replica);
 }
 
 std::vector<NeedSpec> StepCompiler::BoundaryInputKeys(int boundary, int replica,

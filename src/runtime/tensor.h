@@ -4,9 +4,9 @@
 #include <bit>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
 #include <tuple>
+#include <unordered_map>
 #include <vector>
 
 #include "common/units.h"
@@ -52,7 +52,9 @@ using TensorId = int32_t;
 inline constexpr TensorId kInvalidTensorId = -1;
 
 /// Bidirectional TensorKey <-> TensorId mapping for one compiled program.
-/// Ids are dense, assigned in first-intern order.
+/// Ids are dense, assigned in first-intern order — so the id assignment is
+/// a function of the intern call sequence alone, independent of the index
+/// container's internal ordering.
 class TensorCatalog {
  public:
   TensorId Intern(const TensorKey& key) {
@@ -70,8 +72,27 @@ class TensorCatalog {
   int size() const { return static_cast<int>(keys_.size()); }
 
  private:
+  /// The compiler interns the same key many times (once per consuming step);
+  /// a hashed index makes the hot repeat-lookup O(1) instead of a red-black
+  /// tree walk with field-tuple comparisons at every node.
+  struct KeyHash {
+    size_t operator()(const TensorKey& k) const {
+      uint64_t h = (static_cast<uint64_t>(static_cast<uint8_t>(k.kind)) << 56) ^
+                   (static_cast<uint64_t>(static_cast<uint32_t>(k.owner)) << 40) ^
+                   (static_cast<uint64_t>(static_cast<uint32_t>(k.begin)) << 20) ^
+                   static_cast<uint64_t>(static_cast<uint32_t>(k.layer));
+      // splitmix64 finalizer: spreads the packed fields across all bits.
+      h ^= h >> 30;
+      h *= 0xbf58476d1ce4e5b9ull;
+      h ^= h >> 27;
+      h *= 0x94d049bb133111ebull;
+      h ^= h >> 31;
+      return static_cast<size_t>(h);
+    }
+  };
+
   std::vector<TensorKey> keys_;
-  std::map<TensorKey, TensorId> index_;
+  std::unordered_map<TensorKey, TensorId, KeyHash> index_;
 };
 
 /// Where a tensor's bytes live and how they may move. A tensor has at most

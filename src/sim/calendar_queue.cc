@@ -1,0 +1,255 @@
+#include "sim/calendar_queue.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace harmony::sim {
+namespace {
+
+/// (time, seq) ascending — the determinism contract's total order.
+inline bool EarlierThan(const EventRec& a, const EventRec& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.seq < b.seq;
+}
+
+/// std::make_heap comparator for a min-heap of record pointers.
+struct LaterPtr {
+  bool operator()(const EventRec* a, const EventRec* b) const {
+    return EarlierThan(*b, *a);
+  }
+};
+
+constexpr std::size_t kInitialBuckets = 32;
+constexpr double kMinWidth = 1e-12;
+/// Virtual buckets past this are treated as "effectively infinity" and sent
+/// straight to the overflow heap (guards the double->int64 cast).
+constexpr double kMaxVirtualBucket = 4.0e18;
+constexpr std::size_t kMinSpillClass = 64;
+
+std::size_t SpillClassOf(std::size_t bytes) {
+  std::size_t cls = 0;
+  std::size_t size = kMinSpillClass;
+  while (size < bytes) {
+    size <<= 1;
+    ++cls;
+  }
+  return cls;
+}
+
+}  // namespace
+
+CalendarQueue::CalendarQueue() : buckets_(kInitialBuckets, nullptr) {
+  mask_ = buckets_.size() - 1;
+}
+
+CalendarQueue::~CalendarQueue() {
+  // Owners (the engine) dispose pending payloads before destruction; the
+  // arena chunks free themselves.
+}
+
+EventRec* CalendarQueue::Acquire() {
+  if (free_ != nullptr) {
+    EventRec* rec = free_;
+    free_ = rec->next;
+    return rec;
+  }
+  if (chunk_used_ == kRecordsPerChunk) {
+    chunks_.push_back(std::make_unique<EventRec[]>(kRecordsPerChunk));
+    chunk_used_ = 0;
+  }
+  return &chunks_.back()[chunk_used_++];
+}
+
+void CalendarQueue::Release(EventRec* rec) {
+  rec->next = free_;
+  free_ = rec;
+}
+
+void* CalendarQueue::AcquireSpill(std::size_t bytes) {
+  const std::size_t cls = SpillClassOf(bytes);
+  const std::size_t block = kMinSpillClass << cls;
+  if (spill_free_.size() <= cls) spill_free_.resize(cls + 1, nullptr);
+  if (spill_free_[cls] != nullptr) {
+    void* p = spill_free_[cls];
+    std::memcpy(&spill_free_[cls], p, sizeof(void*));
+    return p;
+  }
+  // Carve a fresh chunk into blocks of this class; keep one, list the rest.
+  const std::size_t chunk_bytes = std::max(kSpillChunkBytes, block);
+  spill_chunks_.push_back(std::make_unique<unsigned char[]>(chunk_bytes));
+  unsigned char* base = spill_chunks_.back().get();
+  for (std::size_t off = block; off + block <= chunk_bytes; off += block) {
+    void* p = base + off;
+    std::memcpy(p, &spill_free_[cls], sizeof(void*));
+    spill_free_[cls] = p;
+  }
+  return base;
+}
+
+void CalendarQueue::ReleaseSpill(void* block, std::size_t bytes) {
+  const std::size_t cls = SpillClassOf(bytes);
+  std::memcpy(block, &spill_free_[cls], sizeof(void*));
+  spill_free_[cls] = block;
+}
+
+int64_t CalendarQueue::VirtualBucket(TimeSec t) const {
+  const double vb = t * inv_width_;
+  if (vb >= kMaxVirtualBucket) return std::numeric_limits<int64_t>::max() / 2;
+  return static_cast<int64_t>(vb);  // t >= 0 always: truncation == floor
+}
+
+void CalendarQueue::Push(EventRec* rec) {
+  // A push can only be at/after the cursor (the engine clamps to now()),
+  // but tolerate cursor-equal times produced by re-derived widths.
+  const int64_t vb = VirtualBucket(rec->time);
+  if (vb < cursor_vb_) cursor_vb_ = vb;
+  if (vb >= cursor_vb_ + static_cast<int64_t>(buckets_.size())) {
+    overflow_.push_back(rec);
+    std::push_heap(overflow_.begin(), overflow_.end(), LaterPtr{});
+    ++overflow_pushes_;
+  } else {
+    InsertBucket(rec);
+    ++cal_size_;
+  }
+  ++size_;
+  if (cal_size_ > 2 * static_cast<int64_t>(buckets_.size())) {
+    Rebuild(buckets_.size() * 2);
+  }
+}
+
+void CalendarQueue::InsertBucket(EventRec* rec) {
+  EventRec** link = &buckets_[VirtualBucket(rec->time) & mask_];
+  while (*link != nullptr && EarlierThan(**link, *rec)) {
+    link = &(*link)->next;
+    ++insert_hops_since_tune_;
+  }
+  rec->next = *link;
+  *link = rec;
+}
+
+void CalendarQueue::DrainOverflow() {
+  const int64_t window_end = cursor_vb_ + static_cast<int64_t>(buckets_.size());
+  while (!overflow_.empty() &&
+         VirtualBucket(overflow_.front()->time) < window_end) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), LaterPtr{});
+    EventRec* rec = overflow_.back();
+    overflow_.pop_back();
+    InsertBucket(rec);
+    ++cal_size_;
+  }
+}
+
+EventRec* CalendarQueue::PopMin() {
+  if (size_ == 0) return nullptr;
+  if (cal_size_ == 0) {
+    // Jump the cursor to the overflow minimum, then pull in its cohort.
+    cursor_vb_ = VirtualBucket(overflow_.front()->time);
+  }
+  DrainOverflow();
+  HARMONY_DCHECK_GT(cal_size_, 0);
+
+  const std::size_t nbuckets = buckets_.size();
+  int64_t v = cursor_vb_;
+  EventRec* found = nullptr;
+  for (std::size_t steps = 0; steps < nbuckets; ++steps, ++v) {
+    EventRec* head = buckets_[v & mask_];
+    ++scan_steps_since_tune_;
+    if (head != nullptr && VirtualBucket(head->time) <= v) {
+      buckets_[v & mask_] = head->next;
+      cursor_vb_ = v;
+      found = head;
+      break;
+    }
+  }
+  if (found == nullptr) {
+    // Degenerate widths can strand the whole population outside one scan
+    // year; fall back to a direct min search (still exact (time, seq)).
+    std::size_t best_bucket = 0;
+    for (std::size_t b = 0; b < nbuckets; ++b) {
+      EventRec* head = buckets_[b];
+      if (head == nullptr) continue;
+      if (found == nullptr || EarlierThan(*head, *found)) {
+        found = head;
+        best_bucket = b;
+      }
+    }
+    HARMONY_CHECK(found != nullptr);
+    buckets_[best_bucket] = found->next;
+    cursor_vb_ = VirtualBucket(found->time);
+  }
+
+  --cal_size_;
+  --size_;
+  const double delta = found->time - last_pop_time_;
+  if (delta > 0.0) {
+    delta_ewma_ =
+        delta_ewma_ == 0.0 ? delta : 0.875 * delta_ewma_ + 0.125 * delta;
+  }
+  last_pop_time_ = found->time;
+  ++pops_since_tune_;
+
+  if (size_ < static_cast<int64_t>(buckets_.size()) / 8 &&
+      buckets_.size() > kInitialBuckets) {
+    Rebuild(buckets_.size() / 2);
+  } else {
+    MaybeRetune();
+  }
+  return found;
+}
+
+void CalendarQueue::MaybeRetune() {
+  if (pops_since_tune_ < 1024) return;
+  // >2 sorted-insert hops per push means buckets chain (width too wide or
+  // population outgrew the bucket count); >3 scanned buckets per pop means
+  // the population is spread thin (width too narrow). Either way a rebuild
+  // re-derives the width from the observed inter-event deltas.
+  const bool chains = insert_hops_since_tune_ > 2 * pops_since_tune_;
+  const bool sparse = scan_steps_since_tune_ > 3 * pops_since_tune_;
+  if ((chains || sparse) && delta_ewma_ > 0.0) {
+    Rebuild(buckets_.size());
+  } else {
+    pops_since_tune_ = 0;
+    insert_hops_since_tune_ = 0;
+    scan_steps_since_tune_ = 0;
+  }
+}
+
+void CalendarQueue::Rebuild(std::size_t new_buckets) {
+  rebuild_scratch_.clear();
+  rebuild_scratch_.reserve(static_cast<std::size_t>(size_));
+  for (EventRec*& head : buckets_) {
+    while (head != nullptr) {
+      EventRec* rec = head;
+      head = rec->next;
+      rebuild_scratch_.push_back(rec);
+    }
+  }
+  for (EventRec* rec : overflow_) rebuild_scratch_.push_back(rec);
+  overflow_.clear();
+
+  buckets_.assign(new_buckets, nullptr);
+  mask_ = new_buckets - 1;
+  // Width: ~3 average inter-event gaps per bucket keeps occupancy near one
+  // while tolerating bursts; fall back to the current width when no deltas
+  // have been observed yet (all-simultaneous populations).
+  if (delta_ewma_ > 0.0) {
+    width_ = std::max(3.0 * delta_ewma_, kMinWidth);
+    inv_width_ = 1.0 / width_;
+  }
+  cursor_vb_ = VirtualBucket(last_pop_time_);
+  cal_size_ = 0;
+  const int64_t n = size_;
+  size_ = 0;
+  for (EventRec* rec : rebuild_scratch_) Push(rec);
+  HARMONY_CHECK_EQ(size_, n);
+  rebuild_scratch_.clear();
+  ++rebuilds_;
+  pops_since_tune_ = 0;
+  insert_hops_since_tune_ = 0;
+  scan_steps_since_tune_ = 0;
+}
+
+}  // namespace harmony::sim

@@ -1,0 +1,141 @@
+#ifndef HARMONY_SIM_CALENDAR_QUEUE_H_
+#define HARMONY_SIM_CALENDAR_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+
+namespace harmony::sim {
+
+/// One pending event. Fixed-size and arena-pooled by CalendarQueue: the
+/// 32-byte header (time / FIFO sequence / bucket link / trampoline) is
+/// followed by 32 bytes of inline callback storage, making the whole record
+/// exactly one cache line. Callables larger than the inline buffer spill to
+/// the queue's spill arena (see CalendarQueue::AcquireSpill) — never to
+/// operator new.
+struct EventRec {
+  static constexpr std::size_t kInlineBytes = 32;
+
+  TimeSec time = 0.0;
+  int64_t seq = 0;
+  EventRec* next = nullptr;
+  /// Trampoline installed by the scheduler: runs (when `run`) and destroys
+  /// the payload, then returns the record (and any spill block) to the
+  /// arena. `ctx` is the owning engine.
+  void (*op)(EventRec* rec, void* ctx, bool run) = nullptr;
+  alignas(std::max_align_t) unsigned char payload[kInlineBytes];
+};
+
+/// An indexed calendar (bucket) priority queue over arena-allocated event
+/// records, with amortized O(1) push and pop-min.
+///
+/// Structure: `num_buckets` (a power of two) singly-linked lists, each
+/// sorted by (time, seq); an event at time t lives in bucket
+/// floor(t / width) mod num_buckets. Pop scans forward from the cursor
+/// bucket and takes the head whose virtual bucket matches the scanned one —
+/// because equal times always share a virtual bucket, the pop order is the
+/// exact total order by (time, seq), bit-identical to a binary heap. Events
+/// more than one full calendar "year" (num_buckets x width) past the cursor
+/// go to an overflow binary heap instead of wrapping, and migrate back into
+/// the calendar as the cursor approaches them.
+///
+/// Self-tuning: the bucket count doubles/halves with occupancy, and the
+/// bucket width is re-derived from an exponential moving average of the
+/// observed inter-event (pop-to-pop) time deltas whenever the structure is
+/// rebuilt — so uniform, bursty and far-future-heavy distributions all
+/// settle near one event per scanned bucket.
+///
+/// Memory: records come from a chunked free-list arena owned by the queue;
+/// oversized callbacks draw from a size-classed spill arena. Neither path
+/// touches the global allocator after warm-up, and nothing is returned to
+/// the OS until the queue is destroyed.
+class CalendarQueue {
+ public:
+  CalendarQueue();
+  ~CalendarQueue();
+  CalendarQueue(const CalendarQueue&) = delete;
+  CalendarQueue& operator=(const CalendarQueue&) = delete;
+
+  /// Takes a record from the arena. Caller fills time/seq/op/payload and
+  /// must either Push it or Release it.
+  EventRec* Acquire();
+  /// Returns a record whose payload has already been destroyed.
+  void Release(EventRec* rec);
+
+  /// Allocates `bytes` of spill storage for an oversized callback.
+  void* AcquireSpill(std::size_t bytes);
+  void ReleaseSpill(void* block, std::size_t bytes);
+
+  /// Inserts an acquired record. `rec->time` must be >= the time of the
+  /// last PopMin (the engine guarantees this by clamping to now()).
+  void Push(EventRec* rec);
+
+  /// Removes and returns the minimum record by (time, seq); nullptr when
+  /// empty. The caller owns the record until it calls Release.
+  EventRec* PopMin();
+
+  bool empty() const { return size_ == 0; }
+  int64_t size() const { return size_; }
+
+  // Introspection (tests / bench_sim_core).
+  double width() const { return width_; }
+  int num_buckets() const { return static_cast<int>(buckets_.size()); }
+  int64_t rebuilds() const { return rebuilds_; }
+  int64_t overflow_pushes() const { return overflow_pushes_; }
+
+ private:
+  /// Virtual (un-wrapped) bucket index of a timestamp. Uses the same
+  /// multiply-by-reciprocal on every path so insert and scan can never
+  /// disagree about an event's bucket.
+  int64_t VirtualBucket(TimeSec t) const;
+  void InsertBucket(EventRec* rec);
+  /// Migrates overflow events that now fall inside the calendar window.
+  void DrainOverflow();
+  /// Rebuilds with `new_buckets` buckets and a width tuned from the
+  /// inter-event delta EWMA.
+  void Rebuild(std::size_t new_buckets);
+  void MaybeRetune();
+
+  // Calendar.
+  std::vector<EventRec*> buckets_;
+  std::size_t mask_ = 0;
+  double width_ = 1.0;
+  double inv_width_ = 1.0;
+  int64_t cursor_vb_ = 0;       // virtual bucket of the last popped event
+  TimeSec last_pop_time_ = 0.0;
+  int64_t cal_size_ = 0;        // events in buckets (excludes overflow)
+  int64_t size_ = 0;            // total pending events
+
+  // Overflow min-heap (std::push_heap/pop_heap over record pointers).
+  std::vector<EventRec*> overflow_;
+
+  // Width tuning.
+  double delta_ewma_ = 0.0;     // EWMA of positive pop-to-pop time deltas
+  int64_t pops_since_tune_ = 0;
+  int64_t insert_hops_since_tune_ = 0;
+  int64_t scan_steps_since_tune_ = 0;
+  int64_t rebuilds_ = 0;
+  int64_t overflow_pushes_ = 0;
+
+  // Record arena: chunked storage + free list threaded through `next`.
+  static constexpr std::size_t kRecordsPerChunk = 512;
+  std::vector<std::unique_ptr<EventRec[]>> chunks_;
+  std::size_t chunk_used_ = kRecordsPerChunk;  // forces first-chunk alloc
+  EventRec* free_ = nullptr;
+
+  // Spill arena: power-of-two size classes from 64 B up, free lists
+  // threaded through the first 8 bytes of each block.
+  static constexpr std::size_t kSpillChunkBytes = 32 * 1024;
+  std::vector<std::unique_ptr<unsigned char[]>> spill_chunks_;
+  std::vector<void*> spill_free_;  // one list head per size class
+
+  // Scratch for rebuilds (reused; capacity retained).
+  std::vector<EventRec*> rebuild_scratch_;
+};
+
+}  // namespace harmony::sim
+
+#endif  // HARMONY_SIM_CALENDAR_QUEUE_H_

@@ -2,18 +2,18 @@
 
 namespace harmony::sim {
 
-void Engine::At(TimeSec t, std::function<void()> fn) {
-  HARMONY_CHECK_GE(t, now_);
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+Engine::~Engine() {
+  // Destroy pending payloads without running them (run=false) so captured
+  // state (shared_ptrs, trace sinks) is released even when the engine is
+  // torn down with events still queued.
+  while (EventRec* rec = queue_.PopMin()) rec->op(rec, this, /*run=*/false);
 }
 
 TimeSec Engine::Run() {
-  while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
+  while (EventRec* rec = queue_.PopMin()) {
+    now_ = rec->time;
     ++events_processed_;
-    ev.fn();
+    rec->op(rec, this, /*run=*/true);
   }
   return now_;
 }
@@ -35,6 +35,24 @@ void Condition::OnFire(std::function<void()> fn) {
 }
 
 void WhenAll(const std::vector<Condition*>& deps, std::function<void()> done) {
+  // Fast paths: most call sites wait on zero or one unfired condition (the
+  // rest already fired, or are null), and neither needs a shared barrier.
+  int unfired = 0;
+  Condition* last_unfired = nullptr;
+  for (Condition* c : deps) {
+    if (c == nullptr || c->fired()) continue;
+    ++unfired;
+    last_unfired = c;
+  }
+  if (unfired == 0) {
+    done();
+    return;
+  }
+  if (unfired == 1) {
+    last_unfired->OnFire(std::move(done));
+    return;
+  }
+
   struct Barrier {
     int remaining;
     std::function<void()> done;
@@ -43,15 +61,13 @@ void WhenAll(const std::vector<Condition*>& deps, std::function<void()> done) {
   // wedged schedule drains the engine with waiters still registered), the
   // barrier is released when the conditions holding its waiters are
   // destroyed, instead of leaking.
-  auto barrier = std::make_shared<Barrier>(Barrier{1, std::move(done)});
+  auto barrier = std::make_shared<Barrier>(Barrier{unfired, std::move(done)});
   for (Condition* c : deps) {
     if (c == nullptr || c->fired()) continue;
-    ++barrier->remaining;
     c->OnFire([barrier]() {
       if (--barrier->remaining == 0) barrier->done();
     });
   }
-  if (--barrier->remaining == 0) barrier->done();
 }
 
 }  // namespace harmony::sim

@@ -1,0 +1,83 @@
+#include "sim/multirun.h"
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace harmony::sim {
+namespace {
+
+struct WorkerQueue {
+  std::mutex mu;
+  std::deque<int> runs;
+};
+
+}  // namespace
+
+MultiRunDriver::MultiRunDriver(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 1;
+  }
+  num_threads_ = num_threads;
+}
+
+void MultiRunDriver::Run(int n, const std::function<void(int, int)>& fn) {
+  steals_ = 0;
+  if (n <= 0) return;
+  const int workers = num_threads_ < n ? num_threads_ : n;
+  if (workers == 1) {
+    for (int run = 0; run < n; ++run) fn(run, 0);
+    return;
+  }
+
+  // Block-distribute runs so each worker starts on a contiguous range;
+  // stealing takes from the *back* of the victim's block, so early runs stay
+  // with their original owner (whose per-worker scratch is warm for them).
+  std::vector<WorkerQueue> queues(static_cast<std::size_t>(workers));
+  for (int run = 0; run < n; ++run) {
+    const auto w = static_cast<std::size_t>(
+        static_cast<int64_t>(run) * workers / n);
+    queues[w].runs.push_back(run);
+  }
+
+  std::atomic<int64_t> steals{0};
+  auto worker_loop = [&](int self) {
+    const auto s = static_cast<std::size_t>(self);
+    for (;;) {
+      int run = -1;
+      {
+        std::lock_guard<std::mutex> lock(queues[s].mu);
+        if (!queues[s].runs.empty()) {
+          run = queues[s].runs.front();
+          queues[s].runs.pop_front();
+        }
+      }
+      if (run < 0) {
+        for (int off = 1; off < workers && run < 0; ++off) {
+          const auto victim = static_cast<std::size_t>((self + off) % workers);
+          std::lock_guard<std::mutex> lock(queues[victim].mu);
+          if (!queues[victim].runs.empty()) {
+            run = queues[victim].runs.back();
+            queues[victim].runs.pop_back();
+          }
+        }
+        // Runs are never re-enqueued, so one full empty scan means every run
+        // has been claimed (possibly still executing on another worker).
+        if (run < 0) return;
+        steals.fetch_add(1, std::memory_order_relaxed);
+      }
+      fn(run, self);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers - 1));
+  for (int w = 1; w < workers; ++w) threads.emplace_back(worker_loop, w);
+  worker_loop(0);
+  for (auto& t : threads) t.join();
+  steals_ = steals.load(std::memory_order_relaxed);
+}
+
+}  // namespace harmony::sim

@@ -1,0 +1,50 @@
+#ifndef HARMONY_SIM_MULTIRUN_H_
+#define HARMONY_SIM_MULTIRUN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace harmony::sim {
+
+/// Runs N independent simulation scenarios across a work-stealing thread
+/// pool — chaos-matrix entries, search candidate evaluations, bench reps.
+///
+/// Determinism: the driver never shares mutable state between runs. Each
+/// callback constructs its own Engine / Rng / trace sink from the run index
+/// alone, and writes its result to a slot indexed by run (Map does this for
+/// you), so per-run results are bit-identical to serial execution at any
+/// thread count; only wall-clock and the worker-to-run assignment change.
+class MultiRunDriver {
+ public:
+  /// `num_threads` <= 0 selects std::thread::hardware_concurrency().
+  explicit MultiRunDriver(int num_threads = 0);
+
+  int num_threads() const { return num_threads_; }
+
+  /// Invokes fn(run, worker) for every run in [0, n). `worker` is in
+  /// [0, num_threads()) and is stable for the duration of one callback — use
+  /// it to index per-worker scratch. Blocks until all runs complete. With one
+  /// thread (or one run) executes inline on the caller, in run order.
+  void Run(int n, const std::function<void(int run, int worker)>& fn);
+
+  /// Convenience: collect one result per run, placed by run index.
+  template <typename R>
+  std::vector<R> Map(int n, const std::function<R(int run, int worker)>& fn) {
+    std::vector<R> out(static_cast<std::size_t>(n > 0 ? n : 0));
+    Run(n, [&](int run, int worker) { out[run] = fn(run, worker); });
+    return out;
+  }
+
+  /// Runs migrated between workers during the last Run (0 when serial).
+  int64_t steals() const { return steals_; }
+
+ private:
+  int num_threads_;
+  int64_t steals_ = 0;
+};
+
+}  // namespace harmony::sim
+
+#endif  // HARMONY_SIM_MULTIRUN_H_

@@ -53,16 +53,19 @@ int64_t FlowNetwork::StartFlow(const std::vector<int>& path, Bytes bytes,
     slot = free_slots_.back();
     free_slots_.pop_back();
   } else {
-    slot = static_cast<int>(slots_.size());
-    slots_.emplace_back();
+    slot = static_cast<int>(flow_id_.size());
+    flow_id_.push_back(-1);
+    flow_remaining_.push_back(0.0);
+    flow_rate_.push_back(0.0);
+    flow_path_.emplace_back();
+    flow_done_.emplace_back();
     frozen_epoch_.push_back(0);
   }
-  Flow& flow = slots_[slot];
-  flow.id = id;
-  flow.path.assign(path.begin(), path.end());
-  flow.remaining = static_cast<double>(bytes);
-  flow.rate = 0.0;
-  flow.done = std::move(done);
+  flow_id_[slot] = id;
+  flow_path_[slot].assign(path.begin(), path.end());
+  flow_remaining_[slot] = static_cast<double>(bytes);
+  flow_rate_[slot] = 0.0;
+  flow_done_[slot] = std::move(done);
   // The new flow's id is the largest, so appending keeps every list sorted
   // by flow id.
   active_.push_back(slot);
@@ -93,10 +96,9 @@ void FlowNetwork::AdvanceToNow() {
   last_update_ = now;
   if (dt <= 0.0) return;
   for (int slot : active_) {
-    Flow& flow = slots_[slot];
-    const double moved = flow.rate * dt;
-    flow.remaining = std::max(0.0, flow.remaining - moved);
-    for (int link : flow.path) link_bytes_[link] += moved;
+    const double moved = flow_rate_[slot] * dt;
+    flow_remaining_[slot] = std::max(0.0, flow_remaining_[slot] - moved);
+    for (int link : flow_path_[slot]) link_bytes_[link] += moved;
   }
 }
 
@@ -141,13 +143,12 @@ void FlowNetwork::RecomputeRates() {
       // the binding link more than once, duplicate entries within this round.
       if (frozen_epoch_[slot] == fill_epoch_) continue;
       frozen_epoch_[slot] = fill_epoch_;
-      Flow& flow = slots_[slot];
-      flow.rate = best_share;
+      flow_rate_[slot] = best_share;
       --unfrozen;
       // Every flow freezes exactly once per recompute, so the projected
       // next-completion time is a by-product of the fill loop.
-      min_dt = std::min(min_dt, flow.remaining / flow.rate);
-      for (int link : flow.path) {
+      min_dt = std::min(min_dt, flow_remaining_[slot] / flow_rate_[slot]);
+      for (int link : flow_path_[slot]) {
         residual_[link] -= best_share;
         --nflows_[link];
       }
@@ -156,13 +157,41 @@ void FlowNetwork::RecomputeRates() {
     for (double& r : residual_) r = std::max(r, 0.0);
   }
 
-  const int64_t epoch = ++completion_epoch_;
-  if (active_.empty()) return;
-  engine_->After(min_dt, [this, epoch]() { OnCompletionEvent(epoch); });
+  if (active_.empty()) {
+    next_completion_time_ = std::numeric_limits<double>::infinity();
+    return;
+  }
+  // now + min_dt, computed exactly the way Engine::After computes the event
+  // time, so a wakeup re-armed from the stored projection lands on the same
+  // double an enqueue-at-recompute would have.
+  next_completion_time_ = engine_->now() + min_dt;
+  if (!armed_times_.empty() && armed_times_.back() <= next_completion_time_) {
+    // A pending wakeup already fires at or before the projection; it will
+    // re-arm at next_completion_time_ if it turns out to be early.
+    ++wakeups_suppressed_;
+    return;
+  }
+  armed_times_.push_back(next_completion_time_);
+  engine_->At(next_completion_time_, [this]() { OnWakeup(); });
 }
 
-void FlowNetwork::OnCompletionEvent(int64_t epoch) {
-  if (epoch != completion_epoch_) return;  // stale: rates changed since
+void FlowNetwork::OnWakeup() {
+  // Pending wakeups fire earliest-first, and the earliest is the back.
+  armed_times_.pop_back();
+  if (active_.empty()) return;
+  if (engine_->now() < next_completion_time_) {
+    // Early: the projection moved later after this wakeup was armed (a new
+    // flow or a degraded link stretched everyone out). Re-arm at the stored
+    // absolute projection unless a pending wakeup already covers it.
+    if (armed_times_.empty() ||
+        armed_times_.back() > next_completion_time_) {
+      armed_times_.push_back(next_completion_time_);
+      engine_->At(next_completion_time_, [this]() { OnWakeup(); });
+    } else {
+      ++wakeups_suppressed_;
+    }
+    return;
+  }
   AdvanceToNow();
   // Collect and complete all flows that have drained (fp tolerance), keeping
   // the survivors' relative order (ascending flow id).
@@ -170,15 +199,14 @@ void FlowNetwork::OnCompletionEvent(int64_t epoch) {
   size_t keep = 0;
   for (size_t i = 0; i < active_.size(); ++i) {
     const int slot = active_[i];
-    Flow& flow = slots_[slot];
     // Sub-byte residue is floating-point error, not payload: a GB-scale
     // flow integrates with ~1e-7 relative error, so an absolute epsilon
     // below one byte would spin the engine on infinitesimal completions.
-    if (flow.remaining <= 1.0) {
-      done_scratch_.push_back(std::move(flow.done));
+    if (flow_remaining_[slot] <= 1.0) {
+      done_scratch_.push_back(std::move(flow_done_[slot]));
       RemoveFromLinks(slot);
-      flow.done = nullptr;
-      flow.path.clear();
+      flow_done_[slot] = nullptr;
+      flow_path_[slot].clear();
       free_slots_.push_back(slot);
     } else {
       active_[keep++] = slot;
@@ -191,7 +219,7 @@ void FlowNetwork::OnCompletionEvent(int64_t epoch) {
 }
 
 void FlowNetwork::RemoveFromLinks(int slot) {
-  for (int link : slots_[slot].path) {
+  for (int link : flow_path_[slot]) {
     auto& on_link = link_flows_[link];
     // One entry per traversal; erase the first match, preserving order.
     auto it = std::find(on_link.begin(), on_link.end(), slot);

@@ -20,12 +20,21 @@ namespace harmony::sim {
 /// "4:1 oversubscription" into emergent slowdowns (Fig 2).
 ///
 /// The implementation is allocation-free on the steady-state path: flows live
-/// in reusable slots, each link keeps a persistent list of the flow slots
+/// in reusable slots stored structure-of-arrays (remaining / rate / freeze
+/// mark each a dense array indexed by slot), so the integration, fill, and
+/// completion-scan hot loops touch compact doubles instead of striding over
+/// 100-byte flow structs. Each link keeps a persistent list of the flow slots
 /// traversing it, and the progressive-filling pass uses epoch-stamped freeze
 /// marks plus per-link residual/count scratch that is reused across
 /// recomputes. The projected next-completion time falls out of the fill loop
 /// itself (every flow is frozen exactly once per recompute), so no separate
 /// scan over the flow population is needed to schedule the next event.
+///
+/// Wakeup scheduling: a recompute whose projected completion is already
+/// covered by a pending (earlier-or-equal) wakeup does not enqueue a new
+/// event at all — the pending wakeup fires, notices it is early, and re-arms
+/// at the stored absolute projection (the exact double, so drain timestamps
+/// are unaffected). Suppressed enqueues are counted in wakeups_suppressed().
 class FlowNetwork {
  public:
   FlowNetwork(Engine* engine, std::vector<BytesPerSec> link_capacities);
@@ -56,22 +65,20 @@ class FlowNetwork {
 
   int num_active_flows() const { return static_cast<int>(active_.size()); }
 
- private:
-  struct Flow {
-    int64_t id = -1;
-    std::vector<int> path;        // capacity reused across slot reuse
-    double remaining = 0.0;       // bytes
-    double rate = 0.0;            // bytes/sec, set by RecomputeRates()
-    std::function<void()> done;
-  };
+  /// Completion-event enqueues skipped because a pending wakeup already
+  /// covered the projected completion time.
+  int64_t wakeups_suppressed() const { return wakeups_suppressed_; }
 
+ private:
   /// Integrates flow progress from `last_update_` to now.
   void AdvanceToNow();
-  /// Max-min fair rate assignment + schedules the next completion event.
+  /// Max-min fair rate assignment + arms (or suppresses) the next wakeup.
   void RecomputeRates();
-  /// Drains finished flows, reassigns rates, then fires callbacks in flow-id
-  /// order (matching the pre-slot std::map iteration order).
-  void OnCompletionEvent(int64_t epoch);
+  /// Fires when a wakeup lands: early wakeups re-arm at the stored
+  /// projection; on-time ones drain finished flows, reassign rates, then fire
+  /// callbacks in flow-id order (matching the pre-slot std::map iteration
+  /// order).
+  void OnWakeup();
   /// Unlinks `slot` from every per-link flow list along its path.
   void RemoveFromLinks(int slot);
 
@@ -81,11 +88,16 @@ class FlowNetwork {
   std::vector<BytesPerSec> base_capacities_;  // construction-time values
   std::vector<double> link_bytes_;
 
-  // Slot-based flow storage. `active_` and every `link_flows_[l]` hold slot
-  // indices in ascending flow-id order (new flows always get the largest id,
-  // removals preserve order), which keeps freeze/integration/callback order
-  // identical to the former id-keyed std::map.
-  std::vector<Flow> slots_;
+  // Slot-based flow storage, structure-of-arrays: all vectors below are
+  // indexed by slot. `active_` and every `link_flows_[l]` hold slot indices
+  // in ascending flow-id order (new flows always get the largest id, removals
+  // preserve order), which keeps freeze/integration/callback order identical
+  // to the former id-keyed std::map.
+  std::vector<int64_t> flow_id_;
+  std::vector<double> flow_remaining_;        // bytes
+  std::vector<double> flow_rate_;             // bytes/sec, by RecomputeRates()
+  std::vector<std::vector<int>> flow_path_;   // capacity reused across reuse
+  std::vector<std::function<void()>> flow_done_;
   std::vector<int> free_slots_;
   std::vector<int> active_;
   std::vector<std::vector<int>> link_flows_;  // one entry per path traversal
@@ -101,7 +113,15 @@ class FlowNetwork {
 
   int64_t next_flow_id_ = 0;
   TimeSec last_update_ = 0.0;
-  int64_t completion_epoch_ = 0;  // lazy cancellation of stale completion events
+
+  // Wakeup bookkeeping. `armed_times_` holds the timestamps of every pending
+  // wakeup event, strictly decreasing (a new wakeup is armed only when it is
+  // strictly earlier than all pending ones), so the back is both the next to
+  // fire and the earliest. `next_completion_time_` is the projection from the
+  // most recent recompute (+inf when no flows are active).
+  std::vector<TimeSec> armed_times_;
+  TimeSec next_completion_time_ = 0.0;
+  int64_t wakeups_suppressed_ = 0;
 };
 
 /// Maps a MachineSpec's PCIe tree onto FlowNetwork link ids and provides the

@@ -35,8 +35,7 @@ Condition* Stream::PushTimed(std::vector<Condition*> deps, std::string label,
 
 Condition* Stream::PushImpl(std::vector<Condition*> deps, std::string label,
                             int task, Body body, TimeSec exact_duration) {
-  conditions_.push_back(std::make_unique<Condition>());
-  Condition* done = conditions_.back().get();
+  Condition* done = &conditions_.emplace_back();
   deps.push_back(last_done_);  // in-order with the previous op (null for first)
   last_done_ = done;
   WhenAll(deps, [this, done, label = std::move(label), task,

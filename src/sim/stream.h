@@ -88,7 +88,10 @@ class Stream {
   trace::Lane trace_lane_ = trace::Lane::kCompute;
   Condition* last_done_ = nullptr;
   std::function<TimeSec()> stall_probe_;
-  std::deque<std::unique_ptr<Condition>> conditions_;
+  // Deque for pointer stability: Push hands out Condition* for the stream's
+  // lifetime. Direct storage (no unique_ptr) — one allocation per deque
+  // block, not per op.
+  std::deque<Condition> conditions_;
   TimeSec busy_time_ = 0.0;
   TimeSec last_completion_ = 0.0;
   int64_t ops_completed_ = 0;

@@ -24,6 +24,7 @@
 #include <cstring>
 #include <random>
 #include <string>
+#include <vector>
 
 #include "common/cancel.h"
 #include "core/packing.h"
@@ -32,6 +33,7 @@
 #include "model/models.h"
 #include "profile/profiler.h"
 #include "runtime/runtime.h"
+#include "sim/multirun.h"
 #include "trace/trace.h"
 
 namespace harmony::runtime {
@@ -297,16 +299,74 @@ TEST(ChaosParity, AllocFailuresAreRetriedToTheSameResult) {
 // The matrix: all fault kinds at once, across seeds and workloads
 // ---------------------------------------------------------------------------
 
-TEST(ChaosMatrix, SurvivableSchedulesPreserveResults) {
+/// The seed x workload matrix entries, flattened for MultiRunDriver fan-out.
+struct MatrixEntry {
+  const Workload* workload;
+  uint64_t seed;
+};
+
+std::vector<MatrixEntry> ChaosMatrixEntries() {
   const uint64_t seeds[] = {1, 42, 0xC0FFEE};
+  std::vector<MatrixEntry> entries;
   for (const Workload* w : {&Bert96(), &Gpt2()}) {
-    for (const uint64_t seed : seeds) {
-      SCOPED_TRACE((w == &Bert96() ? std::string("BERT96") : std::string("GPT2")) +
-                   " chaos seed=" + std::to_string(seed));
-      const RunOutcome r = RunWithPlan(*w, SurvivableChaos(seed));
-      ExpectSemanticParity(Baseline(*w), r);
-      EXPECT_GT(r.metrics.faults_injected, 0);
-    }
+    for (const uint64_t seed : seeds) entries.push_back({w, seed});
+  }
+  return entries;
+}
+
+/// Thread count for matrix fan-out: HARMONY_CHAOS_THREADS, default hardware.
+int ChaosThreads() {
+  if (const char* env = std::getenv("HARMONY_CHAOS_THREADS")) {
+    return static_cast<int>(std::strtol(env, nullptr, 0));
+  }
+  return 0;  // MultiRunDriver resolves 0 to hardware_concurrency
+}
+
+TEST(ChaosMatrix, SurvivableSchedulesPreserveResults) {
+  const std::vector<MatrixEntry> entries = ChaosMatrixEntries();
+  // Each run builds its own Runtime/Engine/sink from the entry alone;
+  // baselines are forced up front so workers only read them.
+  Baseline(Bert96());
+  Baseline(Gpt2());
+  sim::MultiRunDriver driver(ChaosThreads());
+  const std::vector<RunOutcome> outcomes = driver.Map<RunOutcome>(
+      static_cast<int>(entries.size()), [&](int run, int /*worker*/) {
+        const MatrixEntry& e = entries[run];
+        return RunWithPlan(*e.workload, SurvivableChaos(e.seed));
+      });
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const MatrixEntry& e = entries[i];
+    SCOPED_TRACE(
+        (e.workload == &Bert96() ? std::string("BERT96") : std::string("GPT2")) +
+        " chaos seed=" + std::to_string(e.seed));
+    ExpectSemanticParity(Baseline(*e.workload), outcomes[i]);
+    EXPECT_GT(outcomes[i].metrics.faults_injected, 0);
+  }
+}
+
+TEST(ChaosMatrix, ParallelMatrixIsBitIdenticalToSerial) {
+  const std::vector<MatrixEntry> entries = ChaosMatrixEntries();
+  auto run_all = [&](int threads) {
+    sim::MultiRunDriver driver(threads);
+    return driver.Map<RunOutcome>(
+        static_cast<int>(entries.size()), [&](int run, int /*worker*/) {
+          const MatrixEntry& e = entries[run];
+          return RunWithPlan(*e.workload, SurvivableChaos(e.seed));
+        });
+  };
+  const std::vector<RunOutcome> serial = run_all(1);
+  const std::vector<RunOutcome> threaded = run_all(4);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("matrix entry " + std::to_string(i));
+    EXPECT_EQ(BitsOf(serial[i].metrics.iteration_time),
+              BitsOf(threaded[i].metrics.iteration_time));
+    EXPECT_EQ(serial[i].trace_events, threaded[i].trace_events);
+    EXPECT_EQ(serial[i].trace_hash, threaded[i].trace_hash);
+    EXPECT_EQ(serial[i].metrics.faults_injected,
+              threaded[i].metrics.faults_injected);
+    EXPECT_EQ(serial[i].metrics.recovery_bytes,
+              threaded[i].metrics.recovery_bytes);
   }
 }
 
