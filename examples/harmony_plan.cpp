@@ -8,6 +8,7 @@
 //   ./build/examples/harmony_plan GPT2-20B pp 32 --gpus=8 --run
 //   ./build/examples/harmony_plan BERT96 pp 8 --trace-out trace.json
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <iostream>
@@ -26,8 +27,13 @@ int Usage() {
   std::cerr
       << "usage: harmony_plan <model> <dp|pp> <minibatch> [--gpus=N] [--run]\n"
          "                    [--trace-out <file>] [--deadline-ms=N]\n"
+         "                    [--policy=<mode>] [--dump-policy]\n"
          "  model: BERT-Large | BERT96 | GPT2 | GPT2-Medium | VGG416 |\n"
          "         ResNet1K | GPT2-<n>B\n"
+         "  --policy selects the residency-policy search axis: legacy |\n"
+         "  recompute | keep | swap | hybrid | sweep (default legacy).\n"
+         "  --dump-policy prints the chosen per-layer {keep,swap,recompute}\n"
+         "  table with stash bytes and recompute cost per layer run.\n"
          "  --trace-out writes the executed iteration's timeline as Chrome\n"
          "  trace JSON (load in chrome://tracing or Perfetto); implies --run.\n"
          "  --deadline-ms bounds the whole invocation (search + execution)\n"
@@ -46,13 +52,24 @@ int main(int argc, char** argv) {
   const int minibatch = std::atoi(argv[3]);
   int gpus = 4;
   bool run = false;
+  bool dump_policy = false;
   int deadline_ms = 0;
   std::string trace_out;
+  core::PolicyMode policy_mode = core::PolicyMode::kLegacy;
   for (int i = 4; i < argc; ++i) {
     if (std::strncmp(argv[i], "--gpus=", 7) == 0) {
       gpus = std::atoi(argv[i] + 7);
     } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
       deadline_ms = std::atoi(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--policy=", 9) == 0) {
+      const auto pm = core::PolicyModeFromName(argv[i] + 9);
+      if (!pm.ok()) {
+        std::cerr << pm.status() << "\n";
+        return Usage();
+      }
+      policy_mode = pm.value();
+    } else if (std::strcmp(argv[i], "--dump-policy") == 0) {
+      dump_policy = true;
     } else if (std::strcmp(argv[i], "--run") == 0) {
       run = true;
     } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
@@ -90,6 +107,7 @@ int main(int argc, char** argv) {
     cancel.SetDeadlineAfter(std::chrono::milliseconds(deadline_ms));
   }
   core::SearchOptions so;
+  so.policy_mode = policy_mode;
   if (deadline_ms > 0) so.cancel = &cancel;
   const auto found = core::SearchConfiguration(pm.profiles, machine, mode,
                                                minibatch, {}, so);
@@ -107,6 +125,40 @@ int main(int argc, char** argv) {
             << FormatTime(r.best_estimate.iteration_time) << ", swap "
             << FormatBytes(r.best_estimate.swap_bytes) << ", p2p "
             << FormatBytes(r.best_estimate.p2p_bytes) << "\n";
+
+  if (dump_policy) {
+    const int R = pm.profiles.num_layers();
+    core::PolicyTable pol = r.best.policy;
+    if (pol.empty()) {
+      pol = core::PolicyTable::Legacy(R, core::OptimizationFlags{}.use_recompute);
+    }
+    std::cout << "\nResidency policy (" << (r.best.policy.empty() ? "legacy"
+                                                                  : "searched")
+              << ", table " << (pol.ToString().empty() ? "-" : pol.ToString())
+              << "), per layer run at U_B=" << r.best.u_bwd << ":\n";
+    std::cout << "  layers      policy     stash        recompute\n";
+    for (int lo = 0; lo < R;) {
+      int hi = lo;
+      while (hi + 1 < R && pol.at(hi + 1) == pol.at(lo)) ++hi;
+      Bytes stash = 0;
+      TimeSec rematerialize = 0;
+      for (int l = lo; l <= hi; ++l) {
+        stash += static_cast<Bytes>(r.best.u_bwd) *
+                 pm.profiles.layer(l).stash_bytes_per_sample;
+        rematerialize += pm.profiles.FwdTime(l, r.best.u_bwd);
+      }
+      std::string range = "L";
+      range += std::to_string(lo);
+      range += '-';
+      range += std::to_string(hi);
+      range.resize(std::max<size_t>(range.size() + 2, 12), ' ');
+      std::string policy = model::StashPolicyName(pol.at(lo));
+      policy.resize(11, ' ');
+      std::cout << "  " << range << policy << FormatBytes(stash) << "  "
+                << FormatTime(rematerialize) << "\n";
+      lo = hi + 1;
+    }
+  }
 
   // Show the wrap-around binding of the final task graph.
   const auto graph = core::GenerateHarmonyTaskGraph(

@@ -53,6 +53,9 @@ TaskGraph BuildPipeline(const std::string& name,
   g.name = name;
   g.flags = LmsFlags();
   g.flags.use_recompute = recompute;
+  // Baselines are global-policy by construction: all-recompute ("R"
+  // variants) or all-keep (full-stash variants, LMS-style demand paging).
+  g.stash_policy = core::PolicyTable::Legacy(R, recompute);
   g.num_devices = num_devices;
   g.num_replicas = 1;
   g.num_layers = R;
@@ -76,7 +79,6 @@ TaskGraph BuildPipeline(const std::string& name,
       t.pack = stages[s];
       t.device = s;
       t.group = {pieces[k]};
-      t.save_full_stash = !recompute;
       if (recompute && stages[s].lo > 0) {
         t.checkpoint_boundaries.push_back(stages[s].lo);
       }
@@ -90,7 +92,6 @@ TaskGraph BuildPipeline(const std::string& name,
       t.pack = stages[s];
       t.device = s;
       t.group = {pieces[k]};
-      t.recompute = recompute;
       t.reads_checkpoint = recompute && stages[s].lo > 0;
       bwd_ids[s].push_back(add_task(std::move(t)));
     }

@@ -25,6 +25,7 @@ std::string Configuration::ToString() const {
   std::ostringstream os;
   os << "(U_F=" << u_fwd << ", |P_F|=" << fwd_packs.size() << ", U_B=" << u_bwd
      << ", |P_B|=" << bwd_packs.size() << ")";
+  if (!policy.empty()) os << " policy=" << policy.ToString();
   return os.str();
 }
 

@@ -5,8 +5,14 @@
 #include <vector>
 
 #include "common/units.h"
+#include "model/policy.h"
 
 namespace harmony::core {
+
+/// The per-layer stash residency axis lives in harmony::model (the planning
+/// stack below core needs it too); core aliases it as its own vocabulary.
+using model::PolicyTable;
+using model::StashPolicy;
 
 /// Harmony's two modes of parallel execution (Sec 3).
 enum class HarmonyMode {
@@ -39,6 +45,10 @@ struct Configuration {
   int u_bwd = 1;
   PackList fwd_packs;
   PackList bwd_packs;
+  /// Per-layer stash residency. Empty = legacy: the task-graph generator
+  /// derives a uniform table from OptimizationFlags::use_recompute, which
+  /// reproduces the pre-policy-axis graphs bit-for-bit.
+  PolicyTable policy;
 
   std::string ToString() const;
 };
@@ -67,9 +77,10 @@ struct OptimizationFlags {
   /// tensors are dropped on eviction without a copy-out. (Per-GPU-swap
   /// baselines, which lack this context, always transfer on eviction.)
   bool smart_eviction = true;
-  /// Rematerialize pack interiors in the backward pass from pack-input
-  /// checkpoints. Harmony always recomputes (Sec 4.3.1); baselines come in
-  /// recompute ("R") and full-stash variants.
+  /// Legacy coarse residency knob: when Configuration::policy is empty the
+  /// generator lowers this to a uniform PolicyTable (all-kRecompute when set
+  /// — Harmony's Sec 4.3.1 default — all-kKeep otherwise, the full-stash
+  /// baselines). A non-empty policy table overrides it per layer.
   bool use_recompute = true;
 };
 

@@ -46,6 +46,16 @@ struct EstimatorScratch::Impl {
   // enumeration).
   std::vector<int> dep_off, dep_data, dep_cursor;
   std::vector<int> ready;
+  // Per-task residency-policy summary, hoisted out of the per-unit loop: the
+  // policy is a task-level invariant, so the per-layer scans run once per
+  // task here instead of once per microbatch unit. Legacy and uniform tables
+  // then skip the per-layer work in the hot loop entirely.
+  std::vector<Bytes> task_swap_per_sample;  // Σ stash bytes over kSwap layers
+  std::vector<int32_t> task_remat_layers;   // # kRecompute layers in the pack
+  // Layer prefix sums behind the two arrays above: one O(R) policy scan per
+  // estimate, then each task's summary is two subtractions.
+  std::vector<Bytes> prefix_swap;
+  std::vector<int32_t> prefix_remat;
 };
 
 EstimatorScratch::EstimatorScratch() : impl_(std::make_unique<Impl>()) {}
@@ -156,6 +166,35 @@ Estimate RuntimeEstimator::EstimateIteration(const TaskGraph& graph,
     const int idx = piece >= 0 && piece < static_cast<int>(locs.size()) ? piece : 0;
     return locs[idx];
   };
+
+  // Pass 2b — per-task policy summary (see Impl). Integer stash bytes
+  // distribute exactly over the microbatch size, so charging
+  // usize * Σ per-sample bytes in the hot loop is bit-identical to the
+  // per-layer sum it replaces. One O(R) policy scan builds prefix sums;
+  // each task then reads its pack's range in O(1).
+  sc.prefix_swap.assign(graph.num_layers + 1, 0);
+  sc.prefix_remat.assign(graph.num_layers + 1, 0);
+  for (int l = 0; l < graph.num_layers; ++l) {
+    const StashPolicy p = graph.policy_at(l);
+    sc.prefix_swap[l + 1] =
+        sc.prefix_swap[l] +
+        (p == StashPolicy::kSwap ? profiles_.layer(l).stash_bytes_per_sample
+                                 : 0);
+    sc.prefix_remat[l + 1] =
+        sc.prefix_remat[l] + (p == StashPolicy::kRecompute ? 1 : 0);
+  }
+  sc.task_swap_per_sample.assign(graph.num_tasks(), 0);
+  sc.task_remat_layers.assign(graph.num_tasks(), 0);
+  for (int id = 0; id < graph.num_tasks(); ++id) {
+    const Task& t = graph.task(id);
+    if (t.type == TaskType::kUpdate) continue;
+    sc.task_swap_per_sample[id] =
+        sc.prefix_swap[t.pack.hi + 1] - sc.prefix_swap[t.pack.lo];
+    sc.task_remat_layers[id] =
+        sc.prefix_remat[t.pack.hi + 1] - sc.prefix_remat[t.pack.lo];
+  }
+  const Bytes* const task_swap_per_sample = sc.task_swap_per_sample.data();
+  const int32_t* const task_remat_layers = sc.task_remat_layers.data();
 
   // Precompute each unit's producers (cross-lane dependencies), CSR-packed in
   // uid order. Updates keep their gradient producers separate from the
@@ -311,10 +350,41 @@ Estimate RuntimeEstimator::EstimateIteration(const TaskGraph& graph,
       const int usize = piece.size;
       if (t.type == TaskType::kForward) {
         duration = profiles_.PackFwdTime(t.pack.lo, t.pack.hi, usize);
+        // Swapped-out stash (kSwap layers): the write overlaps compute on
+        // the swap-out stream, so only the volume counts.
+        swap_bytes +=
+            static_cast<Bytes>(usize) * task_swap_per_sample[unit_task[uid]];
       } else {
         duration = profiles_.PackBwdTime(t.pack.lo, t.pack.hi, usize);
-        if (t.recompute || t.fused_forward) {
+        if (t.fused_forward) {
           duration += profiles_.PackFwdTime(t.pack.lo, t.pack.hi, usize);
+        } else {
+          const int remat_layers = task_remat_layers[unit_task[uid]];
+          if (remat_layers == t.pack.num_layers()) {
+            // Whole-pack rematerialization: one PackFwdTime call, not a
+            // per-layer sum — preserves the FP summation order of the
+            // pre-policy estimator so legacy goldens stay bit-identical.
+            duration += profiles_.PackFwdTime(t.pack.lo, t.pack.hi, usize);
+          } else if (remat_layers > 0) {
+            for (int l = t.pack.lo; l <= t.pack.hi; ++l) {
+              if (graph.policy_at(l) == StashPolicy::kRecompute) {
+                duration += profiles_.FwdTime(l, usize);
+              }
+            }
+          }
+          // Swapped stash read-back: charged like the checkpoint read
+          // (host -> device on the critical path; kKeep stays free). The
+          // stall stays a per-layer FP sum — only the guard is hoisted.
+          if (task_swap_per_sample[unit_task[uid]] > 0) {
+            for (int l = t.pack.lo; l <= t.pack.hi; ++l) {
+              if (graph.policy_at(l) != StashPolicy::kSwap) continue;
+              const Bytes st = static_cast<Bytes>(usize) *
+                               profiles_.layer(l).stash_bytes_per_sample;
+              if (st == 0) continue;
+              duration += static_cast<double>(st) / swap_bw;
+              swap_bytes += st;
+            }
+          }
         }
       }
 

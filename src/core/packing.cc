@@ -35,7 +35,11 @@ TimeSec PackTaskTime(PassType pass, const Pack& p, int u,
     return profiles.PackFwdTime(p.lo, p.hi, u);
   }
   // Backward tasks first rematerialize the pack interior from the checkpoint
-  // (Harmony always recomputes, Sec 4.3.1), then run the backward compute.
+  // (the Harmony default policy is recompute-everywhere, Sec 4.3.1), then run
+  // the backward compute. Packing deliberately assumes that worst case even
+  // when the residency policy keeps or swaps some layers' stash: packs sized
+  // for the recompute cost stay feasible under every PolicyTable, and the
+  // estimator — not the packer — arbitrates the per-layer policy choice.
   // The fused jit-compute task has the same cost: its forward is real rather
   // than re-computed.
   return profiles.PackFwdTime(p.lo, p.hi, u) + profiles.PackBwdTime(p.lo, p.hi, u);

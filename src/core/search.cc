@@ -15,6 +15,28 @@
 #include "sim/multirun.h"
 
 namespace harmony::core {
+
+const char* PolicyModeName(PolicyMode mode) {
+  switch (mode) {
+    case PolicyMode::kLegacy: return "legacy";
+    case PolicyMode::kRecomputeAll: return "recompute";
+    case PolicyMode::kKeepAll: return "keep";
+    case PolicyMode::kSwapAll: return "swap";
+    case PolicyMode::kHybridGreedy: return "hybrid";
+    case PolicyMode::kSweep: return "sweep";
+  }
+  return "?";
+}
+
+Result<PolicyMode> PolicyModeFromName(const std::string& name) {
+  for (PolicyMode m :
+       {PolicyMode::kLegacy, PolicyMode::kRecomputeAll, PolicyMode::kKeepAll,
+        PolicyMode::kSwapAll, PolicyMode::kHybridGreedy, PolicyMode::kSweep}) {
+    if (name == PolicyModeName(m)) return m;
+  }
+  return Status::InvalidArgument("unknown policy mode '" + name + "'");
+}
+
 namespace {
 
 /// One candidate of the four-tuple grid. Backward packs are shared across
@@ -35,7 +57,11 @@ struct GridPoint {
 };
 
 struct EvalOutcome {
-  bool feasible = false;
+  /// Number of (candidate, policy-table) pairs that were feasible; `config`
+  /// and `estimate` describe the best of them (lowest time, then lowest
+  /// table index — a deterministic within-candidate tie-break).
+  int feasible_count = 0;
+  int best_table = 0;
   Configuration config;
   Estimate estimate;
 };
@@ -119,6 +145,90 @@ Result<SearchResult> SearchConfiguration(const profile::ProfileDb& profiles,
 
   const RuntimeEstimator estimator(profiles, machine);
   const int n = machine.num_gpus;
+  const int R = profiles.num_layers();
+
+  // Residency-policy axis. Tables a candidate evaluates depend only on its
+  // U_B (the greedy dominance rule compares re-forward time against the
+  // swap stall at backward-microbatch granularity, under the same effective
+  // per-GPU swap bandwidth the estimator charges).
+  const double swap_bw =
+      std::min(machine.pcie_bw, machine.host_mem_bw / std::max(1, n));
+  auto greedy_table = [&](int u_bwd) {
+    PolicyTable t = PolicyTable::Uniform(R, StashPolicy::kKeep);
+    for (int l = 0; l < R; ++l) {
+      model::LayerResidencyCost c;
+      c.recompute_time = profiles.FwdTime(l, u_bwd);
+      c.stash_bytes = static_cast<Bytes>(u_bwd) *
+                      profiles.layer(l).stash_bytes_per_sample;
+      c.swap_stall = static_cast<double>(c.stash_bytes) / swap_bw;
+      t.Set(l, model::DominantPolicy(c));
+    }
+    return t;
+  };
+  auto policy_tables = [&](int u_bwd) -> std::vector<PolicyTable> {
+    switch (options.policy_mode) {
+      case PolicyMode::kLegacy:
+        return {PolicyTable()};  // empty: flags.use_recompute decides
+      case PolicyMode::kRecomputeAll:
+        return {PolicyTable::Uniform(R, StashPolicy::kRecompute)};
+      case PolicyMode::kKeepAll:
+        return {PolicyTable::Uniform(R, StashPolicy::kKeep)};
+      case PolicyMode::kSwapAll:
+        return {PolicyTable::Uniform(R, StashPolicy::kSwap)};
+      case PolicyMode::kHybridGreedy:
+        return {greedy_table(u_bwd)};
+      case PolicyMode::kSweep:
+        return {PolicyTable::Uniform(R, StashPolicy::kRecompute),
+                PolicyTable::Uniform(R, StashPolicy::kSwap),
+                greedy_table(u_bwd)};
+    }
+    return {PolicyTable()};
+  };
+  const int tables_per_point =
+      options.policy_mode == PolicyMode::kSweep ? 3 : 1;
+
+  // Capacity gate for tables the balanced-time packing (which models the
+  // legacy always-recompute working set) cannot vet: kept stash must stay
+  // resident from forward to backward alongside every task's working set,
+  // and swapped stash transits GPU memory before its move completes. The
+  // kept term conservatively double-counts the backward pack's own stash
+  // (already inside BwdTaskBytes) — a feasible-but-rejected table costs only
+  // optimality, never correctness.
+  const int share_per_replica =
+      mode == HarmonyMode::kDataParallel
+          ? (minibatch + machine.num_gpus - 1) / machine.num_gpus
+          : minibatch;
+  auto policy_feasible = [&](const Configuration& config,
+                             const PolicyTable& table) {
+    if (table.empty()) return true;  // legacy: packing already vetted it
+    Bytes kept = 0;
+    for (int l = 0; l < R; ++l) {
+      if (table.at(l) == StashPolicy::kKeep) {
+        kept += static_cast<Bytes>(share_per_replica) *
+                profiles.layer(l).stash_bytes_per_sample;
+      }
+    }
+    for (const Pack& p : config.fwd_packs) {
+      Bytes transient = 0;
+      for (int l = p.lo; l <= p.hi; ++l) {
+        if (table.at(l) == StashPolicy::kRecompute) continue;
+        transient = std::max(transient,
+                             static_cast<Bytes>(config.u_fwd) *
+                                 profiles.layer(l).stash_bytes_per_sample);
+      }
+      if (profiles.FwdTaskBytes(p.lo, p.hi, config.u_fwd) + kept + transient >
+          packing.capacity) {
+        return false;
+      }
+    }
+    for (const Pack& p : config.bwd_packs) {
+      if (profiles.BwdTaskBytes(p.lo, p.hi, config.u_bwd) + kept >
+          packing.capacity) {
+        return false;
+      }
+    }
+    return true;
+  };
 
   // Pack-count floors explored per pass. Memory alone often permits very
   // coarse packs, but the wrap-around pipeline needs enough tasks to balance
@@ -155,7 +265,7 @@ Result<SearchResult> SearchConfiguration(const profile::ProfileDb& profiles,
 
       for (int u_fwd = 1; u_fwd <= u_fwd_max; ++u_fwd) {
         for (int fwd_floor : fwd_floors) {
-          ++result.configs_explored;
+          result.configs_explored += tables_per_point;
           if (options.equi_fb &&
               (u_fwd != u_bwd || fwd_floor != fwd_floors.front())) {
             continue;  // explored but outside the Equi-FB slice (Table 4)
@@ -166,9 +276,15 @@ Result<SearchResult> SearchConfiguration(const profile::ProfileDb& profiles,
     }
   }
 
+  // Candidate tables depend only on U_B, so build them once per microbatch
+  // size instead of once per grid point (the greedy table is an O(R) scan —
+  // per-point reconstruction dominated sweep-mode search time).
+  std::vector<std::vector<PolicyTable>> tables_by_ubwd(u_bwd_max + 1);
+  for (int u = 1; u <= u_bwd_max; ++u) tables_by_ubwd[u] = policy_tables(u);
+
   // Phase 2 (parallel): evaluate every candidate independently. All inputs
-  // (profiles, machine, estimator, bwd_groups) are immutable from here on;
-  // the forward-pack memo is the only shared mutable state.
+  // (profiles, machine, estimator, bwd_groups, tables_by_ubwd) are immutable
+  // from here on; the forward-pack memo is the only shared mutable state.
   FwdPackMemo fwd_memo;
   auto evaluate = [&](const GridPoint& pt,
                       EstimatorScratch& scratch) -> EvalOutcome {
@@ -195,11 +311,24 @@ Result<SearchResult> SearchConfiguration(const profile::ProfileDb& profiles,
       config.fwd_packs = fwd.value();
     }
 
-    TaskGraph graph = GenerateHarmonyTaskGraph(config, mode, machine.num_gpus,
-                                               minibatch, flags, profiles);
-    out.estimate = estimator.EstimateIteration(graph, nullptr, &scratch);
-    out.feasible = true;
-    out.config = std::move(config);
+    // Policy axis: evaluate each candidate table on this four-tuple and keep
+    // the best (lowest time, then lowest table index). With kLegacy this is
+    // one empty table and reproduces the pre-policy evaluation exactly.
+    const std::vector<PolicyTable>& tables = tables_by_ubwd[pt.u_bwd];
+    for (int ti = 0; ti < static_cast<int>(tables.size()); ++ti) {
+      config.policy = tables[ti];
+      if (!policy_feasible(config, config.policy)) continue;
+      TaskGraph graph = GenerateHarmonyTaskGraph(config, mode, machine.num_gpus,
+                                                 minibatch, flags, profiles);
+      const Estimate est = estimator.EstimateIteration(graph, nullptr, &scratch);
+      ++out.feasible_count;
+      if (out.feasible_count == 1 ||
+          est.iteration_time < out.estimate.iteration_time) {
+        out.estimate = est;
+        out.best_table = ti;
+        out.config = config;
+      }
+    }
     return out;
   };
 
@@ -225,21 +354,22 @@ Result<SearchResult> SearchConfiguration(const profile::ProfileDb& profiles,
 
   // Phase 3 (serial): deterministic merge. The winner is the feasible
   // candidate with the lowest estimated time, ties broken by lexicographic
-  // (u_bwd, u_fwd, bwd_floor, fwd_floor) — independent of thread count and
-  // of the order workers finished.
+  // (u_bwd, u_fwd, bwd_floor, fwd_floor, policy table index) — independent
+  // of thread count and of the order workers finished.
   double best_time = -1.0;
-  std::tuple<int, int, int, int> best_key;
+  std::tuple<int, int, int, int, int> best_key;
   for (size_t i = 0; i < points.size(); ++i) {
     EvalOutcome& out = outcomes[i];
-    if (!out.feasible) continue;
-    ++result.configs_feasible;
+    if (out.feasible_count == 0) continue;
+    result.configs_feasible += out.feasible_count;
+    const auto key =
+        std::tuple_cat(points[i].TieBreak(), std::make_tuple(out.best_table));
     const bool better =
         best_time < 0 || out.estimate.iteration_time < best_time ||
-        (out.estimate.iteration_time == best_time &&
-         points[i].TieBreak() < best_key);
+        (out.estimate.iteration_time == best_time && key < best_key);
     if (better) {
       best_time = out.estimate.iteration_time;
-      best_key = points[i].TieBreak();
+      best_key = key;
       result.best = out.config;
       result.best_estimate = out.estimate;
     }

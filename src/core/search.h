@@ -1,6 +1,7 @@
 #ifndef HARMONY_CORE_SEARCH_H_
 #define HARMONY_CORE_SEARCH_H_
 
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -10,6 +11,29 @@
 #include "core/task_graph.h"
 
 namespace harmony::core {
+
+/// How Algorithm 1 treats the per-layer {keep, swap, recompute} stash axis.
+enum class PolicyMode {
+  /// Empty policy tables: OptimizationFlags::use_recompute decides, and the
+  /// search is bit-identical to the pre-policy-axis implementation.
+  kLegacy = 0,
+  /// Force one uniform table on every candidate.
+  kRecomputeAll,
+  kKeepAll,
+  kSwapAll,
+  /// Greedy per-layer dominance at each candidate's U_B: recompute iff the
+  /// re-forward is cheaper than the estimated swap stall, else swap
+  /// (stash-free layers keep).
+  kHybridGreedy,
+  /// The policy axis proper: every candidate evaluates recompute-all,
+  /// swap-all and the greedy hybrid table, and the estimator arbitrates.
+  kSweep,
+};
+
+const char* PolicyModeName(PolicyMode mode);
+/// Parses the names PolicyModeName emits ("legacy", "recompute", "keep",
+/// "swap", "hybrid", "sweep"); used by the wire format and harmony_plan.
+Result<PolicyMode> PolicyModeFromName(const std::string& name);
 
 struct SearchOptions {
   /// Maximal microbatch sizes U_FMAX / U_BMAX (Algorithm 1 inputs); further
@@ -22,6 +46,11 @@ struct SearchOptions {
   /// Table 4 ablation: force the forward configuration to equal the backward
   /// one (Equi-FB) instead of searching a distinct four-tuple (Distinct-FB).
   bool equi_fb = false;
+  /// Residency-policy axis (see PolicyMode). kLegacy keeps the search — and
+  /// its explored/feasible counts, winner and estimate — bit-identical to
+  /// the pre-policy implementation; kSweep adds {recompute-all, swap-all,
+  /// greedy-hybrid} as a per-candidate Pareto dimension.
+  PolicyMode policy_mode = PolicyMode::kLegacy;
   /// Worker threads for the candidate sweep. 1 runs serially in the calling
   /// thread; <= 0 selects the hardware concurrency. The result is identical
   /// for every value (see DESIGN.md "Threading model"): candidates are

@@ -200,16 +200,27 @@ TaskGraph GenerateHarmonyTaskGraph(const Configuration& config, HarmonyMode mode
   const Pack last_bwd = config.bwd_packs.back();
   if (!flags.jit_compute) fwd_packs.push_back(last_bwd);
 
-  // Checkpoint boundaries: inputs of every backward pack that will be read
-  // from host (fused pack's input streams in instead). Boundary 0 is the
-  // data loader (already host-resident). Without recomputation there are no
-  // checkpoints — forward tasks keep the full stash instead.
+  // Resolve the residency policy table (the explicit {keep, swap, recompute}
+  // axis). An empty Configuration::policy lowers the legacy use_recompute
+  // flag to its canonical uniform table, reproducing pre-policy graphs
+  // bit-for-bit.
+  PolicyTable policy = config.policy;
+  if (policy.empty()) policy = PolicyTable::Legacy(R, flags.use_recompute);
+  HARMONY_CHECK_EQ(policy.num_layers(), R)
+      << "policy table size != model layers";
+  g.stash_policy = policy;
+
+  // Checkpoint boundaries: inputs of every backward pack whose remat chain
+  // starts at the pack input — i.e. the pack's first layer is kRecompute —
+  // will be read from host (fused pack's input streams in instead).
+  // Boundary 0 is the data loader (already host-resident). Packs whose
+  // first layer keeps or swaps its stash need no input checkpoint.
   std::vector<int> ckpt_boundaries;
-  if (flags.use_recompute) {
-    for (size_t j = 0; j < config.bwd_packs.size(); ++j) {
-      const bool fused = flags.jit_compute && j + 1 == config.bwd_packs.size();
-      const int b = config.bwd_packs[j].lo;
-      if (!fused && b > 0) ckpt_boundaries.push_back(b);
+  for (size_t j = 0; j < config.bwd_packs.size(); ++j) {
+    const bool fused = flags.jit_compute && j + 1 == config.bwd_packs.size();
+    const int b = config.bwd_packs[j].lo;
+    if (!fused && b > 0 && policy.at(b) == StashPolicy::kRecompute) {
+      ckpt_boundaries.push_back(b);
     }
   }
 
@@ -237,7 +248,6 @@ TaskGraph GenerateHarmonyTaskGraph(const Configuration& config, HarmonyMode mode
       t.device = dp ? r : slot % num_devices;
       t.group = fwd_pieces;
       t.replica = r;
-      t.save_full_stash = !flags.use_recompute;
       for (int b : ckpt_boundaries) {
         if (b - 1 >= p.lo && b - 1 <= p.hi) t.checkpoint_boundaries.push_back(b);
       }
@@ -253,8 +263,8 @@ TaskGraph GenerateHarmonyTaskGraph(const Configuration& config, HarmonyMode mode
       t.replica = r;
       t.fused_forward =
           flags.jit_compute && j + 1 == static_cast<int>(config.bwd_packs.size());
-      t.recompute = flags.use_recompute && !t.fused_forward;
-      t.reads_checkpoint = flags.use_recompute && !t.fused_forward && t.pack.lo > 0;
+      t.reads_checkpoint = !t.fused_forward && t.pack.lo > 0 &&
+                           policy.at(t.pack.lo) == StashPolicy::kRecompute;
       bwd_ids[r].push_back(add_task(std::move(t)));
       ++slot;
     }

@@ -47,13 +47,10 @@ struct Task {
   /// DP replica owning this task; 0 in pipeline mode (single replica).
   int replica = 0;
 
-  /// Backward-task modifiers.
-  bool fused_forward = false;  // jit-compute: runs the pack's forward too
-  bool recompute = true;       // rematerialize interior stash from checkpoint
-
-  /// Forward-task modifier: keep every layer's stash resident for the
-  /// backward pass (baselines without recomputation).
-  bool save_full_stash = false;
+  /// Backward-task modifier (jit-compute): runs the pack's forward too.
+  /// Per-layer stash handling otherwise lives in TaskGraph::stash_policy —
+  /// what used to be the scattered `recompute` / `save_full_stash` bools.
+  bool fused_forward = false;
 
   /// Forward tasks: boundary layers b such that the input of layer b (the
   /// output of layer b-1, which this task computes) must be checkpointed to
@@ -82,6 +79,12 @@ struct TaskGraph {
   int u_fwd = 1;
   int u_bwd = 1;
 
+  /// Per-layer stash residency (tentpole of the policy-axis refactor): the
+  /// generator resolves Configuration::policy (or the legacy flag) into this
+  /// table and lowers it into checkpoint boundaries / reads_checkpoint;
+  /// StepCompiler and the estimator consult it through policy_at().
+  PolicyTable stash_policy;
+
   std::vector<Task> tasks;
   /// Per-GPU compute-stream execution order (task ids).
   std::vector<std::vector<int>> device_order;
@@ -98,6 +101,16 @@ struct TaskGraph {
 
   const Task& task(int id) const { return tasks.at(id); }
   int num_tasks() const { return static_cast<int>(tasks.size()); }
+
+  /// Layer `l`'s stash policy. The one sanctioned compat shim: hand-built
+  /// graphs (tests, ad-hoc baselines) that never filled the table fall back
+  /// to the legacy flag, exactly as the old per-task bools were derived.
+  StashPolicy policy_at(int l) const {
+    if (stash_policy.empty()) {
+      return flags.use_recompute ? StashPolicy::kRecompute : StashPolicy::kKeep;
+    }
+    return stash_policy.at(l);
+  }
 };
 
 /// Resolves structural dependencies between tasks.

@@ -14,16 +14,24 @@ Bytes OptimizerStateBytesPerParamByte(Optimizer opt) {
 
 MemoryFootprint ComputeFootprint(const SequentialModel& model, int minibatch,
                                  Optimizer opt, bool recompute) {
+  return ComputeFootprint(model, minibatch, opt,
+                          PolicyTable::Legacy(model.num_layers(), recompute));
+}
+
+MemoryFootprint ComputeFootprint(const SequentialModel& model, int minibatch,
+                                 Optimizer opt, const PolicyTable& policy) {
   MemoryFootprint f;
   const Bytes opt_mult = OptimizerStateBytesPerParamByte(opt);
-  for (const auto& layer : model.layers) {
+  for (int l = 0; l < model.num_layers(); ++l) {
+    const auto& layer = model.layers[l];
     f.weights += layer.spec.param_bytes;
     f.gradients += layer.spec.param_bytes;
     f.optimizer_state += opt_mult * layer.spec.param_bytes;
     const Bytes checkpoint =
         layer.spec.input_bytes_per_sample + layer.relay_bytes_per_sample;
-    const Bytes stash = recompute ? checkpoint
-                                  : checkpoint + layer.spec.stash_bytes_per_sample;
+    const Bytes stash = policy.at(l) == StashPolicy::kRecompute
+                            ? checkpoint
+                            : checkpoint + layer.spec.stash_bytes_per_sample;
     f.activations += static_cast<Bytes>(minibatch) * stash;
     f.workspace = std::max(f.workspace, layer.spec.workspace_bytes);
   }

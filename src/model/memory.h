@@ -4,6 +4,7 @@
 #include <string>
 
 #include "model/layer.h"
+#include "model/policy.h"
 
 namespace harmony::model {
 
@@ -33,6 +34,14 @@ struct MemoryFootprint {
 /// (here approximated as layer inputs, the Decomposer's checkpoint set).
 MemoryFootprint ComputeFootprint(const SequentialModel& model, int minibatch,
                                  Optimizer opt, bool recompute);
+
+/// Policy-aware variant: layer l's contribution to `activations` follows
+/// `policy.at(l)` — kRecompute counts only the checkpointed layer input,
+/// kKeep/kSwap additionally count the stash that must survive to the
+/// backward pass (on GPU resp. host). The bool overload above equals the two
+/// uniform legacy tables.
+MemoryFootprint ComputeFootprint(const SequentialModel& model, int minibatch,
+                                 Optimizer opt, const PolicyTable& policy);
 
 }  // namespace harmony::model
 

@@ -53,8 +53,11 @@ void StepCompiler::Precompute() {
       for (int b = t.pack.lo + 1; b <= t.pack.hi + 1; ++b) {
         merge(&act_layout_[t.replica][b], t.group);
       }
-      if (t.save_full_stash) {
-        for (int l = t.pack.lo; l <= t.pack.hi; ++l) {
+      // A layer's stash is stored by its forward task unless the policy says
+      // the backward rematerializes it (fused packs have no forward task and
+      // always rematerialize, so they never reach here).
+      for (int l = t.pack.lo; l <= t.pack.hi; ++l) {
+        if (graph_.policy_at(l) != core::StashPolicy::kRecompute) {
           merge(&stash_layout_[t.replica][l], t.group);
         }
       }
@@ -106,11 +109,15 @@ std::vector<NeedSpec> StepCompiler::StashKeys(int layer, int replica,
   if (stash_bytes_[layer] == 0) return out;
   HARMONY_CHECK(!stash_layout_[replica][layer].empty())
       << "backward without recompute needs stash of layer " << layer;
+  // Swapped-out stash lives host-side only (the forward's move released the
+  // GPU copy); consumers must pull it back through the host channel.
+  const bool swapped = graph_.policy_at(layer) == core::StashPolicy::kSwap;
   for (const MbPiece& p : stash_layout_[replica][layer]) {
     if (!p.Overlaps(piece)) continue;
-    out.push_back(
-        NeedSpec{Id(TensorKey{TensorKind::kStash, layer, p.begin, replica}),
-                 static_cast<Bytes>(p.size) * stash_bytes_[layer]});
+    NeedSpec n{Id(TensorKey{TensorKind::kStash, layer, p.begin, replica}),
+               static_cast<Bytes>(p.size) * stash_bytes_[layer]};
+    n.from_host = swapped;
+    out.push_back(n);
   }
   return out;
 }
@@ -150,10 +157,17 @@ void StepCompiler::CompileForward(const Task& t) {
           s.copy_to_host.push_back(out);
         }
       }
-      if (t.save_full_stash && stash_bytes_[l] > 0) {
+      const core::StashPolicy pol = graph_.policy_at(l);
+      if (pol != core::StashPolicy::kRecompute && stash_bytes_[l] > 0) {
+        const TensorId st =
+            Id(TensorKey{TensorKind::kStash, l, piece.begin, t.replica});
         s.produces.push_back(ProduceSpec{
-            Id(TensorKey{TensorKind::kStash, l, piece.begin, t.replica}),
-            static_cast<Bytes>(piece.size) * stash_bytes_[l]});
+            st, static_cast<Bytes>(piece.size) * stash_bytes_[l]});
+        if (pol == core::StashPolicy::kSwap) {
+          // vDNN-style offload: release the GPU copy as soon as the move
+          // lands; the backward fetches it back through the host channel.
+          s.move_to_host.push_back(st);
+        }
       }
       program_.steps[d].push_back(std::move(s));
     }
@@ -163,44 +177,58 @@ void StepCompiler::CompileForward(const Task& t) {
 void StepCompiler::CompileBackward(const Task& t) {
   const int d = t.device;
   const int R = model_.num_layers();
-  const bool remat = t.recompute || t.fused_forward;
+  // Per-layer rematerialization: a fused jit-compute task re-runs its whole
+  // pack; otherwise only the layers the residency policy marked kRecompute.
+  auto remat_layer = [&](int l) {
+    return t.fused_forward ||
+           graph_.policy_at(l) == core::StashPolicy::kRecompute;
+  };
   const bool push_grads =
       graph_.flags.cpu_optimizer || graph_.grad_reduce_via_host;
 
   bool first_piece = true;
   for (const MbPiece& piece : t.group) {
-    if (remat) {
-      // Rematerialization (or the fused jit-compute forward): run the pack
-      // forward from its input, materializing the per-layer stash.
-      for (int l = t.pack.lo; l <= t.pack.hi; ++l) {
-        Step s;
-        s.task = t.id;
-        s.compute = cost_.FwdTime(model_.layers[l].spec, piece.size);
-        const Bytes params = model_.layers[l].spec.param_bytes;
-        if (params > 0) {
-          s.needs.push_back(
-              NeedSpec{Id(TensorKey{TensorKind::kWeight, l, -1, d}), params});
+    // Rematerialization chain (or the fused jit-compute forward): re-run the
+    // forward of every remat layer, feeding each from the stash below it —
+    // remat-produced (this piece's granularity) or stored (forward-piece
+    // granularity) — and the pack input (checkpoint) at the pack start.
+    for (int l = t.pack.lo; l <= t.pack.hi; ++l) {
+      if (!remat_layer(l)) continue;
+      Step s;
+      s.task = t.id;
+      s.compute = cost_.FwdTime(model_.layers[l].spec, piece.size);
+      const Bytes params = model_.layers[l].spec.param_bytes;
+      if (params > 0) {
+        s.needs.push_back(
+            NeedSpec{Id(TensorKey{TensorKind::kWeight, l, -1, d}), params});
+      }
+      if (l == t.pack.lo) {
+        for (NeedSpec in : BoundaryInputKeys(l, t.replica, piece)) {
+          in.from_host = t.reads_checkpoint;  // message-passing channel
+          s.needs.push_back(in);
+          s.derefs.push_back(in.id);
         }
-        if (l == t.pack.lo) {
-          for (NeedSpec in : BoundaryInputKeys(l, t.replica, piece)) {
-            in.from_host = t.reads_checkpoint;  // message-passing channel
-            s.needs.push_back(in);
-            s.derefs.push_back(in.id);
-          }
-        } else if (stash_bytes_[l - 1] > 0) {
+      } else if (remat_layer(l - 1)) {
+        if (stash_bytes_[l - 1] > 0) {
           const TensorId in =
               Id(TensorKey{TensorKind::kStash, l - 1, piece.begin, t.replica});
           s.needs.push_back(
               NeedSpec{in, static_cast<Bytes>(piece.size) * stash_bytes_[l - 1]});
           s.derefs.push_back(in);
         }
-        if (stash_bytes_[l] > 0) {
-          s.produces.push_back(ProduceSpec{
-              Id(TensorKey{TensorKind::kStash, l, piece.begin, t.replica}),
-              static_cast<Bytes>(piece.size) * stash_bytes_[l]});
+      } else {
+        // Mixed table: the remat chain restarts above a stored layer.
+        for (const NeedSpec& st : StashKeys(l - 1, t.replica, piece)) {
+          s.needs.push_back(st);
+          s.derefs.push_back(st.id);
         }
-        program_.steps[d].push_back(std::move(s));
       }
+      if (stash_bytes_[l] > 0) {
+        s.produces.push_back(ProduceSpec{
+            Id(TensorKey{TensorKind::kStash, l, piece.begin, t.replica}),
+            static_cast<Bytes>(piece.size) * stash_bytes_[l]});
+      }
+      program_.steps[d].push_back(std::move(s));
     }
     for (int l = t.pack.hi; l >= t.pack.lo; --l) {
       Step s;
@@ -219,7 +247,7 @@ void StepCompiler::CompileBackward(const Task& t) {
         s.mark_dirty.push_back(g);
       }
       // Stashed activations of this layer (rematerialized or fetched).
-      if (remat) {
+      if (remat_layer(l)) {
         if (stash_bytes_[l] > 0) {
           const TensorId st =
               Id(TensorKey{TensorKind::kStash, l, piece.begin, t.replica});

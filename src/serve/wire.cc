@@ -278,6 +278,7 @@ json::Value SearchOptionsToJson(const core::SearchOptions& options) {
   v.Set("equi_fb", options.equi_fb);
   v.Set("num_threads", options.num_threads);
   v.Set("keep_explored", options.keep_explored);
+  v.Set("policy_mode", std::string(core::PolicyModeName(options.policy_mode)));
   return v;
 }
 
@@ -290,6 +291,12 @@ Result<core::SearchOptions> SearchOptionsFromJson(const json::Value& v) {
   HARMONY_RETURN_IF_ERROR(json::ReadBool(v, "equi_fb", &o.equi_fb));
   HARMONY_RETURN_IF_ERROR(json::ReadInt(v, "num_threads", &o.num_threads));
   HARMONY_RETURN_IF_ERROR(json::ReadBool(v, "keep_explored", &o.keep_explored));
+  // Residency-policy knob: absent from pre-policy peers, so default to legacy.
+  std::string policy_mode = "legacy";
+  (void)json::ReadString(v, "policy_mode", &policy_mode);
+  auto pm = core::PolicyModeFromName(policy_mode);
+  HARMONY_RETURN_IF_ERROR(pm.status());
+  o.policy_mode = pm.value();
   return o;
 }
 
@@ -330,6 +337,7 @@ json::Value ConfigurationToJson(const core::Configuration& config) {
   v.Set("u_bwd", config.u_bwd);
   v.Set("fwd_packs", PackListToJson(config.fwd_packs));
   v.Set("bwd_packs", PackListToJson(config.bwd_packs));
+  v.Set("policy", config.policy.ToString());
   return v;
 }
 
@@ -349,6 +357,12 @@ Result<core::Configuration> ConfigurationFromJson(const json::Value& v) {
   HARMONY_RETURN_IF_ERROR(b.status());
   c.fwd_packs = std::move(f).value();
   c.bwd_packs = std::move(b).value();
+  // Residency policy: absent from pre-policy peers ⇒ empty table (legacy).
+  std::string policy;
+  (void)json::ReadString(v, "policy", &policy);
+  auto table = model::PolicyTable::FromString(policy);
+  HARMONY_RETURN_IF_ERROR(table.status());
+  c.policy = std::move(table).value();
   return c;
 }
 
@@ -430,12 +444,14 @@ void AppendSemanticFields(const PlanRequest& request, bool canonical,
   v->Set("minibatch", request.minibatch);
   v->Set("flags", OptimizationFlagsToJson(request.flags));
   if (canonical) {
-    // Only the four knobs that change the chosen plan.
+    // Only the five knobs that change the chosen plan.
     json::Value o = json::Value::Object();
     o.Set("u_fwd_max", request.options.u_fwd_max);
     o.Set("u_bwd_max", request.options.u_bwd_max);
     o.Set("capacity_fraction", request.options.capacity_fraction);
     o.Set("equi_fb", request.options.equi_fb);
+    o.Set("policy_mode",
+          std::string(core::PolicyModeName(request.options.policy_mode)));
     v->Set("options", std::move(o));
   } else {
     v->Set("options", SearchOptionsToJson(request.options));

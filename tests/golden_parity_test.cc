@@ -70,7 +70,9 @@ struct GoldenRun {
 };
 
 GoldenRun RunModel(const model::LayerGraph& layer_graph, int minibatch,
-                   int u, int fwd_min_packs) {
+                   int u, int fwd_min_packs,
+                   const OptimizationFlags& flags = OptimizationFlags{},
+                   const core::PolicyTable* policy = nullptr) {
   const hw::MachineSpec machine = hw::MachineSpec::Commodity4Gpu();
   const model::SequentialModel model = model::Sequentialize(layer_graph);
   const profile::ProfileDb db =
@@ -83,9 +85,10 @@ GoldenRun RunModel(const model::LayerGraph& layer_graph, int minibatch,
   c.bwd_packs = core::BackwardPacks(u, db, opts).value();
   opts.min_packs = fwd_min_packs;
   c.fwd_packs = core::ForwardPacks(u, c.bwd_packs, db, opts).value();
+  if (policy != nullptr) c.policy = *policy;
 
   const core::TaskGraph g = core::GenerateHarmonyTaskGraph(
-      c, HarmonyMode::kPipelineParallel, 4, minibatch, OptimizationFlags{}, db);
+      c, HarmonyMode::kPipelineParallel, 4, minibatch, flags, db);
 
   HashSink sink;
   RuntimeOptions run_opts;
@@ -151,6 +154,56 @@ TEST(GoldenParity, Gpt2PipelineParallel) {
   EXPECT_EQ(r.trace_events, 3115);
   EXPECT_EQ(r.trace_hash, 0xa1371ea9955932abull);
   if (HasFailure()) PrintGoldens("GPT2 pp mb16 u4", r);
+}
+
+// ---------------------------------------------------------------------------
+// Residency-policy parity: the legacy coarse knob (use_recompute) and its
+// explicit uniform PolicyTable equivalents must lower to bit-identical
+// executions. These cases prove the {keep, swap, recompute} refactor is a
+// pure generalization — same goldens, no re-record.
+// ---------------------------------------------------------------------------
+
+TEST(GoldenParity, ExplicitRecomputeTableMatchesLegacyGoldens) {
+  // An all-recompute table is the legacy default (use_recompute=true): the
+  // run must reproduce the exact pinned goldens above.
+  const core::PolicyTable policy = core::PolicyTable::Uniform(
+      model::Sequentialize(model::Bert96()).num_layers(),
+      core::StashPolicy::kRecompute);
+  const GoldenRun r =
+      RunModel(model::Bert96(), 16, 4, 4, OptimizationFlags{}, &policy);
+  EXPECT_EQ(BitsOf(r.metrics.iteration_time), 0x401e52e4d6c655d1ull);
+  EXPECT_EQ(r.metrics.total_swap(), 13321912336);
+  EXPECT_EQ(r.metrics.evictions, 0);
+  EXPECT_EQ(r.metrics.clean_drops, 0);
+  EXPECT_EQ(r.trace_events, 5187);
+  EXPECT_EQ(r.trace_hash, 0xc38e73c5bec9e999ull);
+  if (HasFailure()) PrintGoldens("BERT96 pp mb16 u4 recompute-all", r);
+}
+
+TEST(GoldenParity, ExplicitKeepTableMatchesLegacyNoRecompute) {
+  // An all-keep table is exactly use_recompute=false; compare the two runs
+  // field by field (no pinned constants needed — both run in-test).
+  OptimizationFlags legacy_flags;
+  legacy_flags.use_recompute = false;
+  const GoldenRun legacy = RunModel(model::Gpt2(), 16, 4, 4, legacy_flags);
+
+  const core::PolicyTable policy = core::PolicyTable::Uniform(
+      model::Sequentialize(model::Gpt2()).num_layers(),
+      core::StashPolicy::kKeep);
+  const GoldenRun expl =
+      RunModel(model::Gpt2(), 16, 4, 4, legacy_flags, &policy);
+
+  EXPECT_EQ(BitsOf(expl.metrics.iteration_time),
+            BitsOf(legacy.metrics.iteration_time));
+  EXPECT_EQ(expl.metrics.total_swap(), legacy.metrics.total_swap());
+  EXPECT_EQ(expl.metrics.evictions, legacy.metrics.evictions);
+  EXPECT_EQ(expl.metrics.clean_drops, legacy.metrics.clean_drops);
+  EXPECT_EQ(expl.trace_events, legacy.trace_events);
+  EXPECT_EQ(expl.trace_hash, legacy.trace_hash);
+  if (HasFailure()) {
+    PrintGoldens("GPT2 legacy no-recompute", legacy);
+    PrintGoldens("GPT2 explicit keep-all", expl);
+  }
 }
 
 }  // namespace

@@ -40,11 +40,48 @@ TEST(SplitMicrobatches, EvenAndRagged) {
   EXPECT_EQ(ragged[2].size, 2);
 }
 
+TEST(SplitMicrobatches, MicrobatchLargerThanMinibatch) {
+  // u > total collapses to one piece covering the whole minibatch.
+  const auto pieces = SplitMicrobatches(3, 8);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].begin, 0);
+  EXPECT_EQ(pieces[0].size, 3);
+}
+
+TEST(SplitMicrobatches, LastPieceCarriesRemainder) {
+  const auto pieces = SplitMicrobatches(13, 5);
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0].size, 5);
+  EXPECT_EQ(pieces[1].size, 5);
+  EXPECT_EQ(pieces[2].begin, 10);
+  EXPECT_EQ(pieces[2].size, 3);
+  int total = 0;
+  for (const MbPiece& p : pieces) total += p.size;
+  EXPECT_EQ(total, 13);
+}
+
+TEST(SplitMicrobatchesDeathTest, ZeroMicrobatchIsAnInvariantViolation) {
+  // u == 0 is a caller bug (division by zero downstream), guarded by a CHECK
+  // rather than silently clamped.
+  EXPECT_DEATH(SplitMicrobatches(8, 0), "Check failed");
+  EXPECT_DEATH(SplitMicrobatches(0, 4), "Check failed");
+}
+
 TEST(MbPiece, Overlaps) {
   const MbPiece a{0, 4}, b{4, 4}, c{2, 4};
   EXPECT_FALSE(a.Overlaps(b));
   EXPECT_TRUE(a.Overlaps(c));
   EXPECT_TRUE(c.Overlaps(b));
+}
+
+TEST(MbPiece, AdjacentPiecesDoNotOverlap) {
+  // [0,2) and [2,5) touch at 2 but share no sample; [4,6) does intersect.
+  const MbPiece a{0, 2}, b{2, 3}, c{4, 2};
+  EXPECT_FALSE(a.Overlaps(b));
+  EXPECT_FALSE(b.Overlaps(a));
+  EXPECT_TRUE(b.Overlaps(c));
+  // A piece always overlaps itself.
+  EXPECT_TRUE(b.Overlaps(b));
 }
 
 class TaskGraphTest : public ::testing::Test {
@@ -77,7 +114,6 @@ TEST_F(TaskGraphTest, FusedTaskProperties) {
     ++fused_count;
     EXPECT_EQ(t.type, TaskType::kBackward);
     EXPECT_EQ(t.pack, c.bwd_packs.back());
-    EXPECT_FALSE(t.recompute);        // its forward is real, not re-computed
     EXPECT_FALSE(t.reads_checkpoint); // input streams in from the last F task
   }
   EXPECT_EQ(fused_count, 1);
@@ -175,22 +211,68 @@ TEST_F(TaskGraphTest, JitComputeOffUnfusesLastPack) {
   EXPECT_EQ(fwd_layers, g.num_layers);  // forward now covers everything
 }
 
-TEST_F(TaskGraphTest, NoRecomputeSavesFullStash) {
+TEST_F(TaskGraphTest, NoRecomputeLowersToKeepEverywhere) {
   const Configuration c = MakeConfig(db_, 2, 2);
   OptimizationFlags flags;
   flags.use_recompute = false;
   const TaskGraph g = GenerateHarmonyTaskGraph(
       c, HarmonyMode::kPipelineParallel, 4, 8, flags, db_);
+  EXPECT_TRUE(g.stash_policy.IsUniform(StashPolicy::kKeep));
+  for (int l = 0; l < g.num_layers; ++l) {
+    EXPECT_EQ(g.policy_at(l), StashPolicy::kKeep);
+  }
   for (const Task& t : g.tasks) {
-    if (t.type == TaskType::kForward) {
-      EXPECT_TRUE(t.save_full_stash);
-    }
     if (t.type == TaskType::kBackward && !t.fused_forward) {
-      EXPECT_FALSE(t.recompute);
       EXPECT_FALSE(t.reads_checkpoint);
     }
     EXPECT_TRUE(t.checkpoint_boundaries.empty());
   }
+}
+
+TEST_F(TaskGraphTest, ExplicitPolicyTableLowersCheckpointsPerLayer) {
+  // A deeper model forces >= 3 backward packs at the default capacity so an
+  // interior (non-first, non-fused) pack exists.
+  const profile::ProfileDb db = MakeDb(48);
+  const Configuration base = MakeConfig(db, 2, 2);
+  const int R = db.num_layers();
+
+  // An explicit all-recompute table matches the legacy use_recompute=true
+  // lowering exactly.
+  Configuration c = base;
+  c.policy = PolicyTable::Uniform(R, StashPolicy::kRecompute);
+  const TaskGraph legacy = GenerateHarmonyTaskGraph(
+      base, HarmonyMode::kPipelineParallel, 4, 8, OptimizationFlags{}, db);
+  const TaskGraph expl = GenerateHarmonyTaskGraph(
+      c, HarmonyMode::kPipelineParallel, 4, 8, OptimizationFlags{}, db);
+  ASSERT_EQ(legacy.num_tasks(), expl.num_tasks());
+  for (int i = 0; i < legacy.num_tasks(); ++i) {
+    EXPECT_EQ(legacy.task(i).reads_checkpoint, expl.task(i).reads_checkpoint);
+    EXPECT_EQ(legacy.task(i).checkpoint_boundaries,
+              expl.task(i).checkpoint_boundaries);
+  }
+  EXPECT_TRUE(expl.stash_policy.IsUniform(StashPolicy::kRecompute));
+
+  // A mixed table checkpoints only the boundaries of recompute packs: turn
+  // one interior backward pack to kSwap and its checkpoint must vanish.
+  ASSERT_GE(base.bwd_packs.size(), 3u);
+  const Pack swapped = base.bwd_packs[1];
+  ASSERT_GT(swapped.lo, 0);
+  Configuration mixed = base;
+  mixed.policy = PolicyTable::Uniform(R, StashPolicy::kRecompute);
+  for (int l = swapped.lo; l <= swapped.hi; ++l) {
+    mixed.policy.Set(l, StashPolicy::kSwap);
+  }
+  const TaskGraph mg = GenerateHarmonyTaskGraph(
+      mixed, HarmonyMode::kPipelineParallel, 4, 8, OptimizationFlags{}, db);
+  std::set<int> boundaries;
+  for (const Task& t : mg.tasks) {
+    for (int b : t.checkpoint_boundaries) boundaries.insert(b);
+    if (t.type == TaskType::kBackward && t.pack == swapped) {
+      EXPECT_FALSE(t.reads_checkpoint);
+    }
+  }
+  EXPECT_EQ(boundaries.count(swapped.lo), 0u);
+  ValidateTaskGraph(mg);
 }
 
 TEST_F(TaskGraphTest, GroupingOffSplitsTasksMicrobatchMajor) {

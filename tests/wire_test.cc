@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <string>
 
+#include "common/cancel.h"
 #include "common/json.h"
 #include "serve/wire.h"
 
@@ -109,8 +111,17 @@ TEST(Wire, SearchOptionsAndFlagsRoundTrip) {
   options.capacity_fraction = 0.7;
   options.equi_fb = true;
   options.num_threads = 4;
+  options.policy_mode = core::PolicyMode::kSweep;
   ExpectRoundTrip(options, serve::SearchOptionsToJson,
                   serve::SearchOptionsFromJson);
+  // A pre-policy peer omits the knob entirely: it must default to legacy.
+  const auto parsed = json::Parse(
+      "{\"u_fwd_max\":32,\"u_bwd_max\":32,\"capacity_fraction\":0.85,"
+      "\"equi_fb\":false,\"num_threads\":1,\"keep_explored\":false}");
+  ASSERT_TRUE(parsed.ok());
+  const auto legacy = serve::SearchOptionsFromJson(parsed.value());
+  ASSERT_TRUE(legacy.ok()) << legacy.status();
+  EXPECT_EQ(legacy.value().policy_mode, core::PolicyMode::kLegacy);
   core::OptimizationFlags flags;
   flags.jit_compute = false;
   flags.use_recompute = true;
@@ -124,6 +135,12 @@ TEST(Wire, ConfigurationRoundTrips) {
   config.u_bwd = 2;
   config.fwd_packs = {{0, 9}, {10, 18}, {19, 27}};
   config.bwd_packs = {{0, 13}, {14, 27}};
+  ExpectRoundTrip(config, serve::ConfigurationToJson,
+                  serve::ConfigurationFromJson);
+  // Non-empty residency table rides along (RLE form).
+  config.policy = model::PolicyTable::Uniform(28, model::StashPolicy::kRecompute);
+  config.policy.Set(5, model::StashPolicy::kSwap);
+  config.policy.Set(6, model::StashPolicy::kKeep);
   ExpectRoundTrip(config, serve::ConfigurationToJson,
                   serve::ConfigurationFromJson);
 }
@@ -184,11 +201,16 @@ PlanRequest Gpt2Request() {
 // Pinned goldens: these exact values are what deployed caches are keyed by.
 // If a deliberate wire-format change lands, re-pin them in the same change
 // and call out the cache invalidation in DESIGN.md §9.
+//
+// Re-pinned when policy_mode became the fifth canonical search knob (the
+// residency-policy axis): every request now fingerprints differently from
+// pre-policy builds, deliberately splitting the cache across that release
+// (see DESIGN.md §9 / §12).
 TEST(Fingerprint, PinnedGoldens) {
   EXPECT_EQ(json::FingerprintHex(serve::RequestFingerprint(Bert96Request())),
-            "b8af5d99f99b7bfe");
+            "44e5f25ec89cd9e1");
   EXPECT_EQ(json::FingerprintHex(serve::RequestFingerprint(Gpt2Request())),
-            "f561a314a371fd9b");
+            "5161815ad1542bc2");
 }
 
 TEST(Fingerprint, ExecutionHintsDoNotChangeIt) {
@@ -218,6 +240,69 @@ TEST(Fingerprint, SemanticFieldsChangeIt) {
   r = Bert96Request();
   r.machine = r.machine.WithNumGpus(2);
   EXPECT_NE(serve::RequestFingerprint(r), base);
+}
+
+// Field-by-field audit of SearchOptions: the canonical encoding keeps exactly
+// the knobs that change the chosen plan and drops everything that only
+// affects how the search runs. A knob drifting between the two camps either
+// splits the cache for no reason or — worse — serves a stale plan for a
+// semantically different request.
+TEST(Fingerprint, SearchOptionsAudit) {
+  const uint64_t base = serve::RequestFingerprint(Bert96Request());
+
+  // Semantic knobs: each one alone must move the fingerprint.
+  {
+    PlanRequest r = Bert96Request();
+    r.options.u_fwd_max = 16;
+    EXPECT_NE(serve::RequestFingerprint(r), base) << "u_fwd_max";
+  }
+  {
+    PlanRequest r = Bert96Request();
+    r.options.u_bwd_max = 16;
+    EXPECT_NE(serve::RequestFingerprint(r), base) << "u_bwd_max";
+  }
+  {
+    PlanRequest r = Bert96Request();
+    r.options.capacity_fraction = 0.5;
+    EXPECT_NE(serve::RequestFingerprint(r), base) << "capacity_fraction";
+  }
+  {
+    PlanRequest r = Bert96Request();
+    r.options.equi_fb = true;
+    EXPECT_NE(serve::RequestFingerprint(r), base) << "equi_fb";
+  }
+  // The residency-policy axis picks a different winner, so it must key the
+  // cache; every mode maps to a distinct fingerprint.
+  std::set<uint64_t> policy_prints;
+  for (const core::PolicyMode mode :
+       {core::PolicyMode::kLegacy, core::PolicyMode::kRecomputeAll,
+        core::PolicyMode::kKeepAll, core::PolicyMode::kSwapAll,
+        core::PolicyMode::kHybridGreedy, core::PolicyMode::kSweep}) {
+    PlanRequest r = Bert96Request();
+    r.options.policy_mode = mode;
+    policy_prints.insert(serve::RequestFingerprint(r));
+  }
+  EXPECT_EQ(policy_prints.size(), 6u);
+  EXPECT_EQ(policy_prints.count(base), 1u);  // kLegacy == the default request
+
+  // Execution-shape knobs: bit-identical results by contract, so they must
+  // NOT move the fingerprint.
+  {
+    PlanRequest r = Bert96Request();
+    r.options.num_threads = 32;
+    EXPECT_EQ(serve::RequestFingerprint(r), base) << "num_threads";
+  }
+  {
+    PlanRequest r = Bert96Request();
+    r.options.keep_explored = true;
+    EXPECT_EQ(serve::RequestFingerprint(r), base) << "keep_explored";
+  }
+  {
+    common::CancelToken cancel;
+    PlanRequest r = Bert96Request();
+    r.options.cancel = &cancel;
+    EXPECT_EQ(serve::RequestFingerprint(r), base) << "cancel";
+  }
 }
 
 TEST(Fingerprint, MatchesCanonicalJsonHash) {
