@@ -29,11 +29,15 @@ int Usage() {
   std::cerr
       << "usage: harmony_serve (--unix=<path> | --tcp=<port>)\n"
          "                     [--workers=N] [--cache-mb=N] [--max-pending=N]\n"
+         "                     [--loop-threads=N] [--idle-timeout-ms=N]\n"
          "  --unix        listen on a Unix-domain socket at <path>\n"
          "  --tcp         listen on loopback TCP <port> (0 picks a free port)\n"
          "  --workers     search worker threads (default 2)\n"
          "  --cache-mb    plan cache budget in MiB (default 64; 0 disables)\n"
-         "  --max-pending admission bound before load-shedding (default 64)\n";
+         "  --max-pending admission bound before load-shedding (default 64)\n"
+         "  --loop-threads    reactor event-loop threads (default 1)\n"
+         "  --idle-timeout-ms reap connections idle this long (default\n"
+         "                    300000; 0 disables)\n";
   return 2;
 }
 
@@ -43,6 +47,9 @@ int main(int argc, char** argv) {
   using namespace harmony;
   serve::ServeOptions service_options;
   serve::ServerOptions server_options;
+  // The daemon (unlike embedded/test servers) defaults the idle reaper on:
+  // a long-running service should not let forgotten clients pin fds forever.
+  server_options.idle_timeout_ms = 300000;
   bool have_endpoint = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--unix=", 7) == 0) {
@@ -60,6 +67,10 @@ int main(int argc, char** argv) {
       service_options.cache_bytes = static_cast<size_t>(mb) << 20;
     } else if (std::strncmp(argv[i], "--max-pending=", 14) == 0) {
       service_options.max_pending = std::atoi(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--loop-threads=", 15) == 0) {
+      server_options.loop_threads = std::atoi(argv[i] + 15);
+    } else if (std::strncmp(argv[i], "--idle-timeout-ms=", 18) == 0) {
+      server_options.idle_timeout_ms = std::atoi(argv[i] + 18);
     } else {
       return Usage();
     }
@@ -89,9 +100,9 @@ int main(int argc, char** argv) {
               << server.bound_port() << std::endl;
   }
 
-  // The acceptor runs on its own thread; this thread only watches for a
-  // signal or a client-initiated shutdown request, then performs the stop
-  // itself (a connection thread cannot join its own teardown).
+  // The reactor loops run on their own threads; this thread only watches for
+  // a signal or a client-initiated shutdown request, then performs the stop
+  // itself (a loop thread cannot join its own teardown).
   while (!g_interrupted.load() && !server.stop_requested()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }

@@ -3,11 +3,15 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include <algorithm>
 
 namespace harmony::net {
 
@@ -113,6 +117,57 @@ Result<int> Accept(int listen_fd) {
   }
 }
 
+Result<int> AcceptNonBlocking(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept4(listen_fd, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Unavailable("no pending connection");
+    }
+    // A connection that died between epoll and accept is the backlog's
+    // problem, not ours: report it as drained-for-now so the loop re-polls.
+    if (errno == ECONNABORTED) return Status::Unavailable("aborted in backlog");
+    return Errno("accept4");
+  }
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Errno("fcntl(F_SETFL, O_NONBLOCK)");
+  }
+  return Status::Ok();
+}
+
+void SetTcpNoDelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Result<int> CreateEventFd() {
+  const int fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (fd < 0) return Errno("eventfd");
+  return fd;
+}
+
+void SignalEventFd(int fd) {
+  const uint64_t one = 1;
+  // A full counter (EAGAIN) already guarantees a pending wakeup; nothing to
+  // do. EINTR retries like every other write.
+  for (;;) {
+    if (::write(fd, &one, sizeof(one)) >= 0 || errno != EINTR) return;
+  }
+}
+
+void DrainEventFd(int fd) {
+  uint64_t count;
+  while (::read(fd, &count, sizeof(count)) > 0) {
+  }
+}
+
 namespace {
 
 Status WriteAll(int fd, const char* data, size_t len) {
@@ -193,6 +248,92 @@ Result<std::string> RecvFrame(int fd, size_t max_payload) {
 
 void CloseFd(int fd) {
   if (fd >= 0) ::close(fd);
+}
+
+Status FrameDecoder::Feed(const char* data, size_t n) {
+  if (oversized_length_ > 0) {
+    return Status::InvalidArgument(
+        "stream poisoned by an oversized frame of " +
+        std::to_string(oversized_length_) + " bytes");
+  }
+  while (n > 0) {
+    if (!expecting_payload_) {
+      const size_t take = std::min(n, sizeof(prefix_) - prefix_filled_);
+      std::memcpy(prefix_ + prefix_filled_, data, take);
+      prefix_filled_ += take;
+      data += take;
+      n -= take;
+      if (prefix_filled_ < sizeof(prefix_)) return Status::Ok();
+      const uint64_t len = (static_cast<uint64_t>(prefix_[0]) << 24) |
+                           (static_cast<uint64_t>(prefix_[1]) << 16) |
+                           (static_cast<uint64_t>(prefix_[2]) << 8) |
+                           static_cast<uint64_t>(prefix_[3]);
+      if (len > max_payload_) {
+        // Reject before reserving a byte of payload: a hostile prefix must
+        // not be able to size an allocation.
+        oversized_length_ = len;
+        prefix_filled_ = 0;
+        return Status::InvalidArgument(
+            "frame of " + std::to_string(len) + " bytes exceeds cap of " +
+            std::to_string(max_payload_));
+      }
+      expecting_payload_ = true;
+      expected_len_ = static_cast<size_t>(len);
+      payload_.clear();
+      payload_.reserve(expected_len_);
+    }
+    const size_t take = std::min(n, expected_len_ - payload_.size());
+    payload_.append(data, take);
+    data += take;
+    n -= take;
+    if (payload_.size() == expected_len_) {
+      frames_.push_back(std::move(payload_));
+      payload_.clear();
+      expecting_payload_ = false;
+      prefix_filled_ = 0;
+    }
+  }
+  return Status::Ok();
+}
+
+std::string FrameDecoder::PopFrame() {
+  std::string frame = std::move(frames_.front());
+  frames_.pop_front();
+  return frame;
+}
+
+void FrameWriter::QueueFrame(std::string_view payload) {
+  // Compact once the consumed prefix dominates, so a long-lived connection's
+  // buffer doesn't grow monotonically with traffic ever sent.
+  if (offset_ > 4096 && offset_ >= buffer_.size() / 2) {
+    buffer_.erase(0, offset_);
+    offset_ = 0;
+  }
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const char prefix[4] = {
+      static_cast<char>(len >> 24), static_cast<char>(len >> 16),
+      static_cast<char>(len >> 8), static_cast<char>(len)};
+  buffer_.append(prefix, sizeof(prefix));
+  buffer_.append(payload.data(), payload.size());
+}
+
+Status FrameWriter::Flush(int fd) {
+  while (offset_ < buffer_.size()) {
+    const ssize_t n = ::send(fd, buffer_.data() + offset_,
+                             buffer_.size() - offset_, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::Ok();
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::NotFound("peer closed connection");
+      }
+      return Errno("send");
+    }
+    offset_ += static_cast<size_t>(n);
+  }
+  buffer_.clear();
+  offset_ = 0;
+  return Status::Ok();
 }
 
 }  // namespace harmony::net

@@ -45,11 +45,17 @@ void ServeClient::Close() {
     net::CloseFd(fd_);
     fd_ = -1;
   }
+  in_flight_ = 0;
 }
 
 Result<json::Value> ServeClient::RoundTrip(const json::Value& envelope,
                                            const std::string& expect_type) {
   if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  if (in_flight_ > 0) {
+    // A blocking round trip would swallow the oldest pipelined response.
+    return Status::FailedPrecondition(
+        "Collect() in-flight responses before a blocking round trip");
+  }
   HARMONY_RETURN_IF_ERROR(net::SendFrame(fd_, envelope.Dump()));
   auto frame = net::RecvFrame(fd_);
   HARMONY_RETURN_IF_ERROR(frame.status());
@@ -130,6 +136,58 @@ Result<PlanResponse> ServeClient::PlanWithRetry(const PlanRequest& request,
       if (!rc.ok()) return rc;
     }
   }
+}
+
+std::string ServeClient::EncodePlanEnvelope(const PlanRequest& request) {
+  json::Value envelope = json::Value::Object();
+  envelope.Set("type", "plan");
+  envelope.Set("request", PlanRequestToJson(request));
+  return envelope.Dump();
+}
+
+Status ServeClient::SendNowait(const PlanRequest& request) {
+  return SendEncodedNowait(EncodePlanEnvelope(request));
+}
+
+Status ServeClient::SendEncodedNowait(const std::string& envelope_bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  HARMONY_RETURN_IF_ERROR(net::SendFrame(fd_, envelope_bytes));
+  ++in_flight_;
+  return Status::Ok();
+}
+
+Result<std::string> ServeClient::CollectRaw() {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  if (in_flight_ <= 0) {
+    return Status::FailedPrecondition("no requests in flight to collect");
+  }
+  auto frame = net::RecvFrame(fd_);
+  HARMONY_RETURN_IF_ERROR(frame.status());
+  --in_flight_;
+  return std::move(frame).value();
+}
+
+Result<PlanResponse> ServeClient::Collect() {
+  auto raw = CollectRaw();
+  HARMONY_RETURN_IF_ERROR(raw.status());
+  auto reply = json::Parse(raw.value());
+  HARMONY_RETURN_IF_ERROR(reply.status());
+  std::string type;
+  HARMONY_RETURN_IF_ERROR(json::ReadString(reply.value(), "type", &type));
+  if (type == "error") {
+    std::string error = "(no detail)";
+    (void)json::ReadString(reply.value(), "error", &error);
+    return Status::Internal("server error: " + error);
+  }
+  if (type != "plan") {
+    return Status::Internal("unexpected reply type \"" + type +
+                            "\" (wanted \"plan\")");
+  }
+  const json::Value* response = reply.value().Find("response");
+  if (response == nullptr) {
+    return Status::Internal("plan reply missing \"response\"");
+  }
+  return PlanResponseFromJson(*response);
 }
 
 Result<json::Value> ServeClient::Stats() {

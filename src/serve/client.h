@@ -11,13 +11,20 @@
 
 namespace harmony::serve {
 
-/// A blocking client for one PlanServer connection. Speaks the envelope
-/// protocol of server.h over the length-prefixed frame transport; used by
-/// harmony_client, the serve smoke test and the e2e test.
+/// A client for one PlanServer connection. Speaks the envelope protocol of
+/// server.h over the length-prefixed frame transport; used by harmony_client,
+/// the serve smoke test, the e2e test and the throughput bench.
 ///
-/// Not thread-safe: a connection carries one request/response exchange at a
-/// time. Load generators open one ServeClient per client thread — which is
-/// exactly how the admission bound is meant to be exercised.
+/// Two usage modes on the same connection:
+///  - blocking round trips (Plan/Stats/Ping/Shutdown), one exchange at a
+///    time — the original API, unchanged;
+///  - pipelining (SendNowait/Collect): many requests in flight at once. The
+///    reactor answers in request order, so the k-th Collect() returns the
+///    response to the k-th SendNowait() — no correlation ids needed.
+///
+/// Not thread-safe: one thread drives a connection. Load generators open one
+/// ServeClient per client thread — which is exactly how the admission bound
+/// is meant to be exercised.
 class ServeClient {
  public:
   ServeClient() = default;
@@ -55,7 +62,36 @@ class ServeClient {
   /// Retries PlanWithRetry performed on this client (reconnects + backoffs).
   int64_t retries() const { return retries_; }
 
-  /// {"type":"stats"} — returns the reply envelope (service/cache members).
+  // --- pipelined API ------------------------------------------------------
+
+  /// Serializes a {"type":"plan"} envelope once. Feed it back through
+  /// SendEncodedNowait to keep JSON encoding off a load generator's hot loop
+  /// (the server's warm fast path is byte-addressed, so replaying identical
+  /// bytes is also what makes it hit).
+  static std::string EncodePlanEnvelope(const PlanRequest& request);
+
+  /// Queues one plan request without waiting for its response. Bounded by
+  /// the server's pipelining window (ServerOptions::max_pipeline_frames):
+  /// keep fewer frames in flight than that, or the server stops reading
+  /// while this side keeps a blocking send — mutual stall by design of the
+  /// flow control, so the window contract is the caller's to respect.
+  Status SendNowait(const PlanRequest& request);
+  Status SendEncodedNowait(const std::string& envelope_bytes);
+
+  /// Blocks for the oldest in-flight response (responses arrive in
+  /// SendNowait order). Transport failures surface here; planning failures
+  /// travel inside PlanResponse::status.
+  Result<PlanResponse> Collect();
+
+  /// Collect without parsing: the raw response envelope bytes. The bench's
+  /// hot path — decode selectively, off the clock.
+  Result<std::string> CollectRaw();
+
+  /// Requests sent but not yet collected on this connection.
+  int in_flight() const { return in_flight_; }
+
+  /// {"type":"stats"} — returns the reply envelope (service/cache/frontend
+  /// members).
   Result<json::Value> Stats();
 
   /// {"type":"ping"} — liveness check.
@@ -79,6 +115,7 @@ class ServeClient {
   std::string tcp_host_;
   int tcp_port_ = 0;
   int64_t retries_ = 0;
+  int in_flight_ = 0;
 };
 
 }  // namespace harmony::serve

@@ -51,6 +51,15 @@ void PlanService::EmitEvent(trace::EventKind kind, int request_id,
 
 std::shared_future<PlanResponse> PlanService::Submit(
     const PlanRequest& request) {
+  auto state = std::make_shared<std::promise<PlanResponse>>();
+  std::shared_future<PlanResponse> future = state->get_future().share();
+  SubmitAsync(request, [state = std::move(state)](PlanResponse response) {
+    state->set_value(std::move(response));
+  });
+  return future;
+}
+
+void PlanService::SubmitAsync(const PlanRequest& request, PlanCallback done) {
   const auto admit_time = Clock::now();
   // Hash once from the canonical bytes and keep the preimage: cache lookups
   // and single-flight attachment verify the bytes, never the hash alone.
@@ -68,9 +77,7 @@ std::shared_future<PlanResponse> PlanService::Submit(
   auto immediate = [&](PlanResponse response) {
     response.fingerprint = fingerprint;
     response.latency_seconds = Seconds(Clock::now() - admit_time);
-    std::promise<PlanResponse> p;
-    p.set_value(std::move(response));
-    return p.get_future().share();
+    done(std::move(response));
   };
 
   // Fast path: content-addressed hit, no service lock taken.
@@ -95,7 +102,8 @@ std::shared_future<PlanResponse> PlanService::Submit(
       }
       EmitEvent(trace::EventKind::kServeCacheHit, id,
                 Nanos(Clock::now() - admit_time));
-      return immediate(std::move(response));
+      immediate(std::move(response));
+      return;
     }
   }
 
@@ -110,7 +118,8 @@ std::shared_future<PlanResponse> PlanService::Submit(
       EmitEvent(trace::EventKind::kServeReject, id, 0);
       PlanResponse response;
       response.status = Status::Unavailable("plan service is shutting down");
-      return immediate(std::move(response));
+      immediate(std::move(response));
+      return;
     }
 
     // Single-flight: identical request already being searched — attach.
@@ -128,7 +137,8 @@ std::shared_future<PlanResponse> PlanService::Submit(
             theirs == 0 || (deadline_count != 0 && theirs >= deadline_count);
         if (deadline_compatible) {
           ++stats_.coalesced;
-          return it->second->future;
+          it->second->callbacks.push_back(std::move(done));
+          return;
         }
       }
     }
@@ -144,14 +154,15 @@ std::shared_future<PlanResponse> PlanService::Submit(
           "admission queue full (" + std::to_string(options_.max_pending) +
           " pending)");
       response.retry_after_ms = options_.retry_after_ms;
-      return immediate(std::move(response));
+      immediate(std::move(response));
+      return;
     }
 
     id = next_request_id_++;
     ++stats_.admitted;
     ++pending_;
     inflight = std::make_shared<Inflight>();
-    inflight->future = inflight->promise.get_future().share();
+    inflight->callbacks.push_back(std::move(done));
     inflight->cancel = std::make_shared<common::CancelToken>();
     inflight->canonical = canonical;
     if (deadline_count != 0) inflight->cancel->SetDeadline(deadline);
@@ -159,14 +170,12 @@ std::shared_future<PlanResponse> PlanService::Submit(
   }
 
   EmitEvent(trace::EventKind::kServeAdmit, id, 0);
-  std::shared_future<PlanResponse> future = inflight->future;
   pool_.Submit([this, request, fingerprint, id, admit_time,
                 inflight = std::move(inflight)]() mutable {
     std::shared_ptr<common::CancelToken> cancel = inflight->cancel;
     RunRequest(std::move(request), fingerprint, id, std::move(cancel),
                admit_time, std::move(inflight));
   });
-  return future;
 }
 
 Result<std::shared_ptr<const PlanService::ProfiledModel>>
@@ -293,10 +302,17 @@ void PlanService::RunRequest(PlanRequest request, uint64_t fingerprint,
 
   EmitEvent(trace::EventKind::kServeComplete, request_id,
             Nanos(Clock::now() - admit_time));
+  // Detach the waiter list under the lock *as* the entry leaves the map: a
+  // racing Submit either finds the entry and appends its callback before
+  // this move, or finds the cache already populated (Insert above precedes
+  // this block). Invoking after unlock keeps callbacks free to re-enter the
+  // service.
+  std::vector<PlanCallback> callbacks;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = inflight_.find(fingerprint);
     if (it != inflight_.end() && it->second == inflight) inflight_.erase(it);
+    callbacks = std::move(inflight->callbacks);
     --pending_;
     ++stats_.completed;
     if (response.status.code() == StatusCode::kDeadlineExceeded) {
@@ -304,7 +320,8 @@ void PlanService::RunRequest(PlanRequest request, uint64_t fingerprint,
     }
   }
   drained_.notify_all();
-  inflight->promise.set_value(std::move(response));
+  for (size_t i = 0; i + 1 < callbacks.size(); ++i) callbacks[i](response);
+  if (!callbacks.empty()) callbacks.back()(std::move(response));
 }
 
 void PlanService::Shutdown(bool cancel_inflight) {

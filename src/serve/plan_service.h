@@ -4,11 +4,13 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/cancel.h"
 #include "common/thread_pool.h"
@@ -84,6 +86,15 @@ class PlanService {
   /// never as exceptions.
   std::shared_future<PlanResponse> Submit(const PlanRequest& request);
 
+  /// Completion-callback submission: `done` is invoked exactly once with the
+  /// response — *inline on the calling thread* for immediate outcomes (cache
+  /// hit, load-shed, draining), on a worker thread otherwise. This is the
+  /// reactor's entry point: an event loop must never block on a future, so
+  /// the callback marshals the response back to the owning loop instead.
+  /// `done` must not throw and must tolerate either calling context.
+  using PlanCallback = std::function<void(PlanResponse)>;
+  void SubmitAsync(const PlanRequest& request, PlanCallback done);
+
   /// Synchronous convenience wrapper.
   PlanResponse Plan(const PlanRequest& request) { return Submit(request).get(); }
 
@@ -101,8 +112,11 @@ class PlanService {
 
  private:
   struct Inflight {
-    std::promise<PlanResponse> promise;
-    std::shared_future<PlanResponse> future;
+    /// Everyone waiting on this search: the admitting caller plus every
+    /// coalesced attacher. Invoked (in attach order) by the worker after the
+    /// response is finalized and bookkeeping is done; appended to only under
+    /// mu_ while the entry is still in inflight_.
+    std::vector<PlanCallback> callbacks;
     std::shared_ptr<common::CancelToken> cancel;
     /// Canonical request bytes (the fingerprint preimage): coalescing
     /// verifies them so a fingerprint collision never attaches a request to

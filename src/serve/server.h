@@ -2,47 +2,99 @@
 #define HARMONY_SERVE_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
-#include <list>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "common/socket.h"
 #include "serve/plan_service.h"
+#include "trace/trace.h"
 
 namespace harmony::serve {
 
-/// Where the daemon listens. Exactly one of `unix_path` / `tcp` is used;
-/// a non-empty `unix_path` wins.
+/// Where the daemon listens and how the reactor is shaped. Exactly one of
+/// `unix_path` / `tcp` is used; a non-empty `unix_path` wins.
 struct ServerOptions {
   std::string unix_path;
   int tcp_port = 0;      // 0 = pick a free loopback port (see bound_port())
   bool use_tcp = false;
   /// Maximum accepted frame payload (a corrupt peer can't balloon memory).
   size_t max_frame_bytes = 64ull << 20;
-  /// Maximum live connections (each owns a thread). Beyond it the acceptor
+  /// Maximum live connections across all loops. Beyond it the acceptor
   /// answers with an error frame and closes — explicit refusal, not a hang.
   int max_connections = 256;
+  /// Event-loop threads. One loop drives thousands of connections; more
+  /// loops only help when frame parsing itself saturates a core.
+  int loop_threads = 1;
+  /// Idle-connection timeout: a connection with no inbound bytes, no frames
+  /// in flight and nothing buffered to write for this long is reaped.
+  /// 0 disables (embedded/test servers); the daemon defaults it on.
+  int idle_timeout_ms = 0;
+  /// Partial-frame ("slow loris") deadline: once the first byte of a frame
+  /// arrives, the rest must follow within this window or the connection is
+  /// reaped. Bounds how long a stalled peer can pin per-connection buffers.
+  int frame_deadline_ms = 30000;
+  /// Per-connection pipelining window: frames admitted but not yet answered.
+  /// At the cap the loop stops reading that connection (EPOLLIN off) until
+  /// responses drain — flow control, not an error.
+  int max_pipeline_frames = 128;
+  /// Warm-path byte memo: exact request-frame bytes -> exact response-frame
+  /// bytes, filled only from plan-cache hits. A memo hit skips JSON parsing
+  /// entirely, which is what lets one pipelined connection push past the
+  /// thread-per-connection throughput plateau. 0 disables.
+  int response_memo_entries = 1024;
+  /// Optional observer (borrowed) for reactor lifecycle events
+  /// (kServeConnOpen/kServeConnClose/kServeFastPath). Emissions are
+  /// serialized; event times are wall-clock seconds since server start.
+  trace::TraceBus* bus = nullptr;
 };
 
-/// The socket front-end of PlanService: accepts connections on a Unix-domain
-/// or loopback TCP listener and speaks the length-prefixed JSON protocol of
-/// DESIGN.md §9. Envelopes:
+/// Frontend (reactor) counters, surfaced in the {"type":"stats"} envelope
+/// next to the service and cache blocks.
+struct FrontendStats {
+  int64_t connections_live = 0;
+  int64_t connections_accepted = 0;
+  int64_t connections_rejected = 0;       // refused at max_connections
+  int64_t connections_reaped_idle = 0;    // idle-timeout reaps
+  int64_t connections_reaped_deadline = 0;  // partial-frame deadline reaps
+  int64_t connections_closed = 0;         // total closed, any reason
+  int64_t frames_received = 0;            // complete frames dispatched
+  int64_t frames_in_flight = 0;           // submitted, response not delivered
+  int64_t epoll_wakeups = 0;              // epoll_wait returns with events
+  int64_t bytes_buffered = 0;             // current output backlog, all conns
+  int64_t fastpath_hits = 0;              // answered from the byte memo
+};
+
+/// The socket front-end of PlanService: an epoll-based reactor speaking the
+/// length-prefixed JSON protocol of DESIGN.md §9 on a Unix-domain or
+/// loopback TCP listener. Envelopes:
 ///
 ///   {"type":"plan","request":{...}}  -> {"type":"plan","response":{...}}
-///   {"type":"stats"}                 -> {"type":"stats","service":{...},"cache":{...}}
+///   {"type":"stats"}                 -> {"type":"stats","service":{...},
+///                                        "cache":{...},"frontend":{...}}
 ///   {"type":"ping"}                  -> {"type":"pong"}
 ///   {"type":"shutdown"}              -> {"type":"ok"}, then the server stops
 ///   anything malformed               -> {"type":"error","error":"..."}
 ///
-/// Threading: one acceptor thread (poll(2) with a timeout, so Stop() is
-/// noticed promptly) plus one thread per live connection. A connection
-/// processes its frames sequentially — concurrency across requests comes
-/// from clients opening multiple connections, which maps one-to-one onto
-/// PlanService's admission bound. Backpressure therefore reaches the client
-/// as an explicit ResourceExhausted response, never as an opaque stall.
+/// Threading: `loop_threads` event-loop threads own all connections (each
+/// connection is pinned to one loop, so its state is single-threaded by
+/// construction). Loops do level-triggered non-blocking reads/writes with
+/// per-connection frame state machines; complete plan requests are handed to
+/// PlanService's worker pool, and responses come back through an eventfd
+/// completion queue to the owning loop. Connections may *pipeline*: many
+/// frames in flight, responses always delivered in request order. Bounded
+/// admission still reaches the client as an explicit ResourceExhausted
+/// response, never a stall; a frame whose payload is garbage JSON gets an
+/// error frame and the connection stays usable (length-prefix framing is
+/// self-synchronizing) — only framing-level violations (an oversized length
+/// prefix) close it.
 class PlanServer {
  public:
   /// Borrows `service`, which must outlive the server.
@@ -55,19 +107,18 @@ class PlanServer {
   /// Binds the listener. Call before Start(); fails if the endpoint is taken.
   Status Listen();
 
-  /// Spawns the acceptor thread. Listen() must have succeeded.
+  /// Spawns the event-loop threads. Listen() must have succeeded.
   void Start();
 
-  /// Stops accepting, closes the listener, joins connection threads, and
-  /// drains the underlying PlanService. Idempotent; concurrent callers block
-  /// until the teardown completes. Never call from a connection thread —
-  /// Stop() joins them (a {"type":"shutdown"} frame therefore only
-  /// *requests* the stop; see Wait()).
+  /// Stops the loops (closing every connection), closes the listener, joins
+  /// loop threads, and drains the underlying PlanService. Idempotent;
+  /// concurrent callers block until the teardown completes. Never call from
+  /// a loop thread — Stop() joins them (a {"type":"shutdown"} frame
+  /// therefore only *requests* the stop; see Wait()).
   void Stop();
 
   /// Asks the owner thread to run Stop(): sets the request flag Wait() and
-  /// stop_requested() observe. Safe from any thread, including connection
-  /// handlers.
+  /// stop_requested() observe. Safe from any thread, including loop threads.
   void RequestStop();
 
   /// True once a shutdown has been requested (signal loop integration).
@@ -89,33 +140,117 @@ class PlanServer {
     return stopped_;
   }
 
+  /// Snapshot of the reactor counters (what the stats envelope reports).
+  FrontendStats frontend_stats() const;
+
  private:
-  /// One live connection. `done` is set by the handler thread as its last
-  /// action, letting the acceptor reap (join + erase) finished entries
-  /// without blocking on live ones — a long-lived daemon serving short-lived
-  /// connections must not accumulate unjoined thread handles.
-  struct Connection {
-    std::thread thread;
-    std::atomic<bool> done{false};
+  using Clock = std::chrono::steady_clock;
+
+  /// One live connection, owned by exactly one loop — all mutation happens
+  /// on that loop's thread. `gen` disambiguates a recycled fd number: a
+  /// completion for a previous tenant of this fd must be dropped, not
+  /// delivered to the new connection.
+  struct Conn {
+    int fd = -1;
+    uint64_t gen = 0;
+    net::FrameDecoder decoder;
+    net::FrameWriter writer;
+    uint64_t next_seq = 0;      // sequence assigned to the next inbound frame
+    uint64_t next_to_send = 0;  // next sequence the writer may emit
+    /// Responses that completed out of request order, parked until the gap
+    /// before them closes (the pipelining ordering guarantee).
+    std::map<uint64_t, std::string> out_of_order;
+    int service_inflight = 0;   // frames submitted, response not delivered
+    uint32_t events = 0;        // current epoll interest mask
+    bool stop_reading = false;  // shutdown/oversized: drain writes, then close
+    bool dead = false;          // closed; reclaimed at end of loop iteration
+    bool mid_frame = false;     // decoder holds a partial frame
+    Clock::time_point last_activity;
+    Clock::time_point frame_start;  // when the current partial frame began
   };
 
-  void AcceptLoop();
-  void HandleConnection(int fd);
-  /// Dispatches one envelope; returns false when the connection should close.
-  bool HandleFrame(int fd, const std::string& payload);
-  /// Joins and erases finished connections. Caller holds conn_mu_.
-  void ReapFinishedLocked();
+  /// A response marshalled back to the owning loop by a worker thread.
+  struct Completion {
+    int fd = -1;
+    uint64_t gen = 0;
+    uint64_t seq = 0;
+    std::string payload;   // serialized response envelope
+    std::string memo_key;  // non-empty: memoize payload under these bytes
+  };
+
+  struct MemoEntry {
+    std::string request;  // exact frame bytes (hash collisions degrade to miss)
+    std::shared_ptr<const std::string> response;
+  };
+
+  /// One event-loop thread: epoll set, wakeup eventfd, completion queue,
+  /// connections, and the warm-path byte memo (loop-local: no lock).
+  struct Loop {
+    int index = 0;
+    int epoll_fd = -1;
+    int event_fd = -1;
+    std::thread thread;
+    std::mutex mu;  // guards completions + incoming (the only shared state)
+    std::vector<Completion> completions;
+    std::vector<int> incoming;  // fds assigned to this loop by the acceptor
+    std::unordered_map<int, std::unique_ptr<Conn>> conns;
+    std::vector<std::unique_ptr<Conn>> dying;  // deferred reclamation
+    std::unordered_map<uint64_t, MemoEntry> memo;
+    uint64_t next_gen = 1;
+  };
+
+  void LoopMain(Loop* loop);
+  void HandleAccepts(Loop* loop);
+  void AdoptConnection(Loop* loop, int fd);
+  void HandleReadable(Loop* loop, Conn* conn);
+  /// Dispatches decoded frames while under the pipelining window.
+  void ProcessFrames(Loop* loop, Conn* conn);
+  void DispatchFrame(Loop* loop, Conn* conn, std::string payload);
+  /// Ordered delivery: queues at `seq` or parks it until the gap closes.
+  void DeliverResponse(Loop* loop, Conn* conn, uint64_t seq,
+                       std::string payload);
+  void DeliverError(Loop* loop, Conn* conn, uint64_t seq,
+                    const std::string& message);
+  void FlushConn(Loop* loop, Conn* conn);
+  void UpdateInterest(Loop* loop, Conn* conn);
+  void CloseConn(Loop* loop, Conn* conn, const char* reason);
+  void DrainCompletions(Loop* loop);
+  void DrainIncoming(Loop* loop);
+  void ConsumeCompletion(Loop* loop, Completion c);
+  void PostCompletion(Loop* loop, Completion c);
+  void MemoInsert(Loop* loop, std::string key, std::string payload);
+  void ReapTimeouts(Loop* loop);
+  std::string BuildStatsPayload();
+  void EmitConnEvent(trace::EventKind kind, int loop_index, int fd,
+                     const char* detail, int64_t bytes);
 
   PlanService* service_;
   ServerOptions options_;
   int listen_fd_ = -1;
   int bound_port_ = -1;
 
+  std::vector<std::unique_ptr<Loop>> loops_;
+  uint64_t accept_rr_ = 0;  // round-robin loop assignment (loop 0 only)
+
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> stopping_{false};
-  std::thread acceptor_;
-  std::mutex conn_mu_;
-  std::list<std::unique_ptr<Connection>> connections_;
+
+  // Frontend counters (FrontendStats). Atomics because loops, workers and
+  // stats readers touch them concurrently.
+  std::atomic<int64_t> connections_live_{0};
+  std::atomic<int64_t> connections_accepted_{0};
+  std::atomic<int64_t> connections_rejected_{0};
+  std::atomic<int64_t> connections_reaped_idle_{0};
+  std::atomic<int64_t> connections_reaped_deadline_{0};
+  std::atomic<int64_t> connections_closed_{0};
+  std::atomic<int64_t> frames_received_{0};
+  std::atomic<int64_t> frames_in_flight_{0};
+  std::atomic<int64_t> epoll_wakeups_{0};
+  std::atomic<int64_t> bytes_buffered_{0};
+  std::atomic<int64_t> fastpath_hits_{0};
+
+  const Clock::time_point epoch_ = Clock::now();
+  std::mutex trace_mu_;  // serializes bus emissions
 
   mutable std::mutex stop_mu_;
   std::condition_variable stopped_cv_;

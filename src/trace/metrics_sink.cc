@@ -76,6 +76,9 @@ void MetricsSink::OnEvent(const Event& e) {
     case EventKind::kFlowBegin:
     case EventKind::kFlowEnd:
     case EventKind::kTensor:
+    case EventKind::kServeConnOpen:
+    case EventKind::kServeConnClose:
+    case EventKind::kServeFastPath:
       break;  // not part of the metrics fold
   }
 }

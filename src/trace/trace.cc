@@ -24,6 +24,9 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kServeSearchBegin: return "serve-search-begin";
     case EventKind::kServeComplete: return "serve-complete";
     case EventKind::kServeReject: return "serve-reject";
+    case EventKind::kServeConnOpen: return "serve-conn-open";
+    case EventKind::kServeConnClose: return "serve-conn-close";
+    case EventKind::kServeFastPath: return "serve-fastpath";
   }
   return "?";
 }

@@ -60,6 +60,15 @@ enum class EventKind : uint8_t {
   kServeSearchBegin,  // a worker started the search (`device` = worker id)
   kServeComplete,     // response ready; `bytes` = end-to-end latency in ns
   kServeReject,       // load-shed (queue full) or refused (draining)
+
+  // Reactor frontend instants (PlanServer's event loops). `device` carries
+  // the loop index, `task` the connection fd. kServeConnClose's `detail`
+  // names why ("eof", "idle-timeout", "frame-deadline", "error", ...);
+  // kServeFastPath marks a request answered from the frontend's byte memo
+  // without ever parsing JSON, `bytes` = response payload size.
+  kServeConnOpen,
+  kServeConnClose,
+  kServeFastPath,
 };
 
 const char* EventKindName(EventKind kind);
