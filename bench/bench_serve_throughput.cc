@@ -20,6 +20,15 @@
 //     omission-corrected), and `seconds_per_op` carries the p99 so the
 //     baseline gate watches tail latency under load, not just throughput.
 //
+// Multi-process tier section (DESIGN.md §13, run first — fork before
+// threads):
+//   * serve_tier_roundtrip_3p / serve_tier_warm_p99_3p — three forked
+//     daemon processes form a cache tier; the parent owner-routes warm
+//     requests through cluster::TierClient, so every round trip pays real
+//     IPC to the owner process. The section asserts the tier contract
+//     (exactly one search across all three daemons) and the p99 row gates
+//     the cross-process warm tail.
+//
 // `--json` writes BENCH_serve.json (CWD) in the `benchmark`/`seconds_per_op`
 // record format scripts/check_bench.py understands. The cold/warm ratio and
 // the bit-identity of the warm config are attached to the warm record — the
@@ -27,6 +36,7 @@
 // the plan a fresh search would; the socket sections re-assert the same
 // bit-identity through the wire and the frontend memo.
 
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -37,6 +47,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "cluster/cluster.h"
 #include "serve/client.h"
 #include "serve/plan_service.h"
 #include "serve/server.h"
@@ -224,6 +235,69 @@ LoadResult RunOpenLoop(const std::string& path,
   return out;
 }
 
+/// Forks one tier-member daemon (DESIGN.md §13). The child boots a
+/// ClusterNode-backed PlanService on its endpoint and serves until a client
+/// --shutdown, then exits; it never returns from this function. MUST be
+/// called before the parent creates any threads — fork(2) only replicates
+/// the calling thread, so a post-thread fork would child a torn service.
+pid_t ForkTierDaemon(const std::string& self,
+                     const std::vector<std::string>& members) {
+  const pid_t pid = ::fork();
+  HARMONY_CHECK(pid >= 0) << "fork failed";
+  if (pid > 0) return pid;
+
+  harmony::cluster::ClusterOptions copts;
+  copts.self = self;
+  copts.members = members;
+  harmony::cluster::ClusterNode node(copts);
+  harmony::serve::ServeOptions sopts;
+  sopts.num_workers = 1;
+  sopts.fill = &node;
+  harmony::serve::PlanService service(sopts);
+  node.set_service(&service);
+  harmony::serve::ServerOptions server_options;
+  server_options.unix_path = self.substr(5);  // strip "unix:"
+  server_options.extension = [&node](const std::string& type,
+                                     const harmony::json::Value& envelope) {
+    return node.HandleEnvelope(type, envelope);
+  };
+  server_options.stats_extension = [&node]() { return node.StatsJson(); };
+  harmony::serve::PlanServer server(&service, server_options);
+  HARMONY_CHECK(server.Listen().ok());
+  server.Start();
+  while (!server.stop_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  server.Stop();
+  std::_Exit(0);
+}
+
+/// Closed-loop warm round trips through TierClient owner routing: every
+/// request crosses a process boundary to the fingerprint's owner daemon.
+LoadResult RunTierLoop(harmony::cluster::TierClient* tier,
+                       const harmony::serve::PlanRequest& request,
+                       int iters) {
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<size_t>(iters));
+  const auto start = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    const auto begin = Clock::now();
+    auto r = tier->Plan(request);
+    latencies.push_back(
+        std::chrono::duration<double>(Clock::now() - begin).count());
+    HARMONY_CHECK(r.ok() && r.value().status.ok());
+  }
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  std::sort(latencies.begin(), latencies.end());
+  LoadResult out;
+  out.seconds_per_op = wall / iters;
+  out.requests_per_second = iters / wall;
+  out.p50 = Percentile(latencies, 0.50);
+  out.p99 = Percentile(latencies, 0.99);
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -231,6 +305,72 @@ int main(int argc, char** argv) {
   const bool as_json = bench::JsonFlag(argc, argv);
   bench::PrintHeader("Plan-as-a-service: cache & concurrency",
                      "serving layer (DESIGN.md §9)");
+
+  // --- multi-process tier section (DESIGN.md §13) ------------------------
+  // Forked FIRST: fork(2) and threads don't mix, and every section below
+  // spawns workers. Three daemon processes form a cache tier; the parent
+  // owner-routes warm requests through TierClient, so each round trip pays
+  // real IPC to the fingerprint's owner process.
+  std::vector<std::string> tier_members;
+  for (int i = 0; i < 3; ++i) {
+    tier_members.push_back("unix:/tmp/harmony_bench_tier_" +
+                           std::to_string(::getpid()) + "_" +
+                           std::to_string(i) + ".sock");
+  }
+  std::vector<pid_t> tier_pids;
+  for (const std::string& member : tier_members) {
+    tier_pids.push_back(ForkTierDaemon(member, tier_members));
+  }
+  for (const std::string& member : tier_members) {
+    const std::string path = member.substr(5);
+    for (int spin = 0; ::access(path.c_str(), F_OK) != 0; ++spin) {
+      HARMONY_CHECK(spin < 500) << "tier daemon never bound " << member;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
+  serve::PlanRequest tier_request;
+  tier_request.model = serve::ModelSpec::FromName("GPT2").value();
+  tier_request.machine = hw::MachineSpec::Commodity4Gpu();
+  tier_request.mode = core::HarmonyMode::kPipelineParallel;
+  tier_request.minibatch = 64;
+
+  LoadResult tier;
+  {
+    cluster::TierClient tier_client(tier_members);
+    // Warm: the one search the tier ever runs for this key, on its owner.
+    auto primed_tier = tier_client.Plan(tier_request);
+    HARMONY_CHECK(primed_tier.ok() && primed_tier.value().status.ok());
+
+    constexpr int kTierIters = 3000;
+    tier = RunTierLoop(&tier_client, tier_request, kTierIters);
+    std::cout << "tier round-trip, 3 procs: " << tier.requests_per_second
+              << " req/s  (p50 " << tier.p50 * 1e6 << " us, p99 "
+              << tier.p99 * 1e6 << " us)\n\n";
+
+    // The tier contract held: one search total, owner-side, everything else
+    // answered from the owner's cache.
+    int64_t tier_searches = 0;
+    for (const std::string& member : tier_members) {
+      auto stats = tier_client.StatsFrom(member);
+      HARMONY_CHECK(stats.ok()) << stats.status();
+      const json::Value* service_block = stats.value().Find("service");
+      HARMONY_CHECK(service_block != nullptr);
+      int64_t searches = 0;
+      HARMONY_CHECK(
+          json::ReadInt64(*service_block, "searches", &searches).ok());
+      tier_searches += searches;
+    }
+    HARMONY_CHECK(tier_searches == 1)
+        << "tier ran " << tier_searches << " searches, wanted 1";
+    HARMONY_CHECK(tier_client.ShutdownAll() == 3);
+  }
+  for (const pid_t pid : tier_pids) {
+    int wstatus = 0;
+    HARMONY_CHECK(::waitpid(pid, &wstatus, 0) == pid);
+    HARMONY_CHECK(WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0)
+        << "tier daemon exited dirty";
+  }
 
   serve::ServeOptions options;
   options.num_workers = 4;
@@ -293,6 +433,16 @@ int main(int argc, char** argv) {
             << (bit_identical ? "yes" : "NO") << ")\n\n";
 
   std::vector<JsonObject> records;
+  records.push_back(JsonObject()
+                        .Set("benchmark", "serve_tier_roundtrip_3p")
+                        .Set("seconds_per_op", tier.seconds_per_op)
+                        .Set("requests_per_second", tier.requests_per_second)
+                        .Set("p50_seconds", tier.p50)
+                        .Set("p99_seconds", tier.p99));
+  // The gated value IS the tier's warm tail latency across processes.
+  records.push_back(JsonObject()
+                        .Set("benchmark", "serve_tier_warm_p99_3p")
+                        .Set("seconds_per_op", tier.p99));
   records.push_back(JsonObject()
                         .Set("benchmark", "serve_cold_plan_gpt2_pp64")
                         .Set("seconds_per_op", cold_s));

@@ -16,17 +16,27 @@
 //
 // Control verbs: --ping (liveness), --stats (daemon counters), --shutdown
 // (graceful drain).
+//
+// Against a cache tier (DESIGN.md §13), --peers=<ep>,<ep>,... replaces
+// --unix/--tcp: each request is routed to its fingerprint's ring owner, the
+// same placement the daemons use, so a tier-wide working set shards across
+// the members with no coordination:
+//
+//   ./build/examples/harmony_client GPT2 pp 64
+//       --peers=unix:/run/h0.sock,unix:/run/h1.sock,unix:/run/h2.sock
 
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "cluster/cluster.h"
 #include "serve/client.h"
 
 namespace {
@@ -34,12 +44,17 @@ namespace {
 int Usage() {
   std::cerr
       << "usage: harmony_client <model> <dp|pp> <minibatch>\n"
-         "                      (--unix=<path> | --tcp=<port>) [--host=<ip>]\n"
+         "                      (--unix=<path> | --tcp=<port> |\n"
+         "                       --peers=<ep>,<ep>,...) [--host=<ip>]\n"
          "                      [--gpus=N] [--repeat=N] [--threads=N]\n"
          "                      [--deadline-ms=N] [--retries=N] [--run]\n"
          "                      [--bypass-cache] [--json]\n"
          "   or: harmony_client (--ping | --stats | --shutdown)\n"
          "                      (--unix=<path> | --tcp=<port>) [--host=<ip>]\n"
+         "   or: harmony_client (--stats | --shutdown) --peers=<ep>,...\n"
+         "  --peers  owner-route each request across a cache tier; endpoints\n"
+         "           are unix:<path> or tcp:<host>:<port>, spelled exactly as\n"
+         "           the daemons' --peers list\n"
          "  model: BERT-Large | BERT96 | GPT2 | GPT2-Medium | VGG416 |\n"
          "         ResNet1K | GPT2-<n>B\n";
   return 2;
@@ -57,7 +72,7 @@ int main(int argc, char** argv) {
   using namespace harmony;
   using Clock = std::chrono::steady_clock;
 
-  std::string unix_path, host = "127.0.0.1";
+  std::string unix_path, host = "127.0.0.1", peers_csv;
   int tcp_port = -1;
   std::string model_name, mode_str;
   int minibatch = 0, gpus = 4, repeat = 1, threads = 1, deadline_ms = 0;
@@ -73,6 +88,8 @@ int main(int argc, char** argv) {
       tcp_port = std::atoi(argv[i] + 6);
     } else if (std::strncmp(argv[i], "--host=", 7) == 0) {
       host = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--peers=", 8) == 0) {
+      peers_csv = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--gpus=", 7) == 0) {
       gpus = std::atoi(argv[i] + 7);
     } else if (std::strncmp(argv[i], "--repeat=", 9) == 0) {
@@ -110,12 +127,46 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
-  if (unix_path.empty() && tcp_port < 0) return Usage();
+  if (unix_path.empty() && tcp_port < 0 && peers_csv.empty()) return Usage();
+  if (!peers_csv.empty() && (!unix_path.empty() || tcp_port >= 0)) {
+    std::cerr << "harmony_client: --peers replaces --unix/--tcp\n";
+    return Usage();
+  }
+
+  std::vector<std::string> members;
+  if (!peers_csv.empty()) {
+    auto parsed = cluster::ParseMemberList(peers_csv);
+    if (!parsed.ok()) {
+      std::cerr << "harmony_client: " << parsed.status() << "\n";
+      return 1;
+    }
+    members = std::move(parsed).value();
+  }
 
   auto connect = [&](serve::ServeClient* client) {
     return unix_path.empty() ? client->ConnectTcp(host, tcp_port)
                              : client->ConnectUnix(unix_path);
   };
+
+  if (!members.empty() && (do_ping || do_stats || do_shutdown)) {
+    cluster::TierClient tier(members);
+    if (do_ping || do_stats) {
+      for (const std::string& member : members) {
+        auto stats = tier.StatsFrom(member);
+        if (!stats.ok()) {
+          std::cerr << member << ": " << stats.status() << "\n";
+          continue;
+        }
+        std::cout << member << " " << stats.value().Dump() << "\n";
+      }
+    }
+    if (do_shutdown) {
+      const int reached = tier.ShutdownAll();
+      std::cout << reached << "/" << members.size() << " members draining\n";
+      return reached == static_cast<int>(members.size()) ? 0 : 1;
+    }
+    return 0;
+  }
 
   if (do_ping || do_stats || do_shutdown) {
     serve::ServeClient client;
@@ -186,20 +237,30 @@ int main(int argc, char** argv) {
   pool.reserve(static_cast<size_t>(threads));
   for (int t = 0; t < threads; ++t) {
     pool.emplace_back([&, t]() {
+      // Tier mode owns its connections inside TierClient (one per member);
+      // point mode dials the single daemon up front. Tier routing already
+      // fails over past dead members, so --retries applies to point mode
+      // only (where a restart would otherwise drop the whole thread).
+      std::unique_ptr<cluster::TierClient> tier;
       serve::ServeClient client;
-      const Status st = connect(&client);
-      if (!st.ok()) {
-        std::lock_guard<std::mutex> lock(mu);
-        failed += repeat;
-        return;
+      if (!members.empty()) {
+        tier = std::make_unique<cluster::TierClient>(members);
+      } else {
+        const Status st = connect(&client);
+        if (!st.ok()) {
+          std::lock_guard<std::mutex> lock(mu);
+          failed += repeat;
+          return;
+        }
       }
       serve::ServeClient::RetryOptions retry;
       retry.max_retries = retries;
       retry.seed = 0x636c69656e740000ull + static_cast<uint64_t>(t);
       for (int i = 0; i < repeat; ++i) {
         const auto start = Clock::now();
-        auto response = retries > 0 ? client.PlanWithRetry(request, retry)
-                                    : client.Plan(request);
+        auto response = tier != nullptr ? tier->Plan(request)
+                        : retries > 0  ? client.PlanWithRetry(request, retry)
+                                       : client.Plan(request);
         const double seconds =
             std::chrono::duration<double>(Clock::now() - start).count();
         std::lock_guard<std::mutex> lock(mu);
@@ -250,6 +311,7 @@ int main(int argc, char** argv) {
     out.Set("p99_seconds", p99);
     if (ok_count > 0) {
       out.Set("fingerprint", json::FingerprintHex(sample.fingerprint));
+      out.Set("filled_from", sample.filled_from);
       out.Set("config", serve::ConfigurationToJson(sample.config));
     }
     std::cout << out.Dump() << "\n";

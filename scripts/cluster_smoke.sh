@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# Smoke test for the cluster cache tier (DESIGN.md §13): boot three
+# harmony_serve daemons as one tier, then check the three tentpole behaviors
+# end to end through real processes and sockets:
+#
+#   1. owner routing  — a tier-routed plan runs exactly one search, on the
+#                       fingerprint's ring owner;
+#   2. peer-fill      — a non-owner daemon resolves the same request from
+#                       the owner's cache (zero extra searches tier-wide);
+#   3. warm restart   — the owner is shut down and rebooted on the same
+#                       --cache-dir, and serves the plan from disk without
+#                       a search, bit-identical to the original.
+#
+# Usage:
+#
+#   cluster_smoke.sh <harmony_serve-binary> <harmony_client-binary>
+#
+# Registered in CI (and as `ctest -R cluster_smoke`); also runnable by hand.
+set -euo pipefail
+
+SERVE_BIN=${1:?usage: cluster_smoke.sh <harmony_serve> <harmony_client>}
+CLIENT_BIN=${2:?usage: cluster_smoke.sh <harmony_serve> <harmony_client>}
+
+WORKDIR=$(mktemp -d)
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+EP0="unix:$WORKDIR/h0.sock"
+EP1="unix:$WORKDIR/h1.sock"
+EP2="unix:$WORKDIR/h2.sock"
+MEMBERS="$EP0,$EP1,$EP2"
+
+boot() {  # boot <index>
+  local i=$1
+  mkdir -p "$WORKDIR/cache$i"
+  # A drained daemon leaves its socket file behind (the next bind unlinks
+  # it); remove it here so the readiness wait below sees the NEW daemon's
+  # bind, not the stale file — otherwise a restart can race the client into
+  # ECONNREFUSED.
+  rm -f "$WORKDIR/h$i.sock"
+  "$SERVE_BIN" --unix="$WORKDIR/h$i.sock" --self="unix:$WORKDIR/h$i.sock" \
+      --peers="$MEMBERS" --cache-dir="$WORKDIR/cache$i" --workers=1 \
+      >>"$WORKDIR/h$i.log" 2>&1 &
+  PIDS+=($!)
+  for _ in $(seq 50); do
+    [ -S "$WORKDIR/h$i.sock" ] && return 0
+    sleep 0.1
+  done
+  echo "FAIL: daemon $i never bound"; cat "$WORKDIR/h$i.log"; exit 1
+}
+
+boot 0
+boot 1
+boot 2
+
+stat_of() {  # stat_of <sock> <python-expr over stats dict d>
+  "$CLIENT_BIN" --stats --unix="$1" | python3 -c "
+import json, sys
+d = json.load(sys.stdin)
+print($2)"
+}
+
+echo "--- owner routing: tier-routed plan searches exactly once, on the owner"
+OUT=$("$CLIENT_BIN" GPT2 pp 64 --peers="$MEMBERS" --json)
+echo "$OUT"
+python3 - "$OUT" <<'EOF'
+import json, sys
+r = json.loads(sys.argv[1])
+assert r["ok"] == 1 and r["failed"] == 0, r
+assert r["filled_from"] == "", f"cold plan should be a real search: {r}"
+EOF
+SEARCHES=0
+OWNER=""
+for i in 0 1 2; do
+  S=$(stat_of "$WORKDIR/h$i.sock" "d['service']['searches']")
+  SEARCHES=$((SEARCHES + S))
+  [ "$S" = "1" ] && OWNER=$i
+done
+[ "$SEARCHES" = "1" ] || { echo "FAIL: tier ran $SEARCHES searches, wanted 1"; exit 1; }
+[ -n "$OWNER" ] || { echo "FAIL: no daemon reports the search"; exit 1; }
+echo "owner is daemon $OWNER"
+
+echo "--- peer-fill: a non-owner resolves the same request from the owner"
+NONOWNER=$(( (OWNER + 1) % 3 ))
+OUT=$("$CLIENT_BIN" GPT2 pp 64 --unix="$WORKDIR/h$NONOWNER.sock" --json)
+echo "$OUT"
+python3 - "$OUT" <<'EOF'
+import json, sys
+r = json.loads(sys.argv[1])
+assert r["ok"] == 1 and r["failed"] == 0, r
+assert r["filled_from"] == "peer", f"expected a peer fill: {r}"
+EOF
+FILLED=$(stat_of "$WORKDIR/h$NONOWNER.sock" "d['service']['filled']")
+NO_SEARCH=$(stat_of "$WORKDIR/h$NONOWNER.sock" "d['service']['searches']")
+PF_HITS=$(stat_of "$WORKDIR/h$NONOWNER.sock" "d['cluster']['peer_fill_hits']")
+SERVED=$(stat_of "$WORKDIR/h$OWNER.sock" "d['cluster']['cache_get_served_memory']")
+[ "$FILLED" = "1" ] || { echo "FAIL: non-owner filled=$FILLED"; exit 1; }
+[ "$NO_SEARCH" = "0" ] || { echo "FAIL: non-owner searched"; exit 1; }
+[ "$PF_HITS" = "1" ] || { echo "FAIL: peer_fill_hits=$PF_HITS"; exit 1; }
+[ "$SERVED" = "1" ] || { echo "FAIL: owner served $SERVED cache_gets"; exit 1; }
+CONFIG_BEFORE=$(python3 - "$OUT" <<'EOF'
+import json, sys
+print(json.dumps(json.loads(sys.argv[1])["config"], sort_keys=True))
+EOF
+)
+
+echo "--- warm restart: owner reboots on its cache-dir and serves from disk"
+OWNER_PID=${PIDS[$OWNER]}
+"$CLIENT_BIN" --shutdown --unix="$WORKDIR/h$OWNER.sock"
+wait "$OWNER_PID" || { echo "FAIL: owner exited dirty"; cat "$WORKDIR/h$OWNER.log"; exit 1; }
+boot "$OWNER"
+OUT=$("$CLIENT_BIN" GPT2 pp 64 --unix="$WORKDIR/h$OWNER.sock" --json)
+echo "$OUT"
+python3 - "$OUT" <<'EOF'
+import json, sys
+r = json.loads(sys.argv[1])
+assert r["ok"] == 1 and r["failed"] == 0, r
+assert r["filled_from"] == "disk", f"expected a disk revival: {r}"
+EOF
+RESTART_SEARCHES=$(stat_of "$WORKDIR/h$OWNER.sock" "d['service']['searches']")
+DISK_HITS=$(stat_of "$WORKDIR/h$OWNER.sock" "d['cluster']['disk_hits']")
+[ "$RESTART_SEARCHES" = "0" ] || { echo "FAIL: restarted owner searched"; exit 1; }
+[ "$DISK_HITS" = "1" ] || { echo "FAIL: disk_hits=$DISK_HITS"; exit 1; }
+CONFIG_AFTER=$(python3 - "$OUT" <<'EOF'
+import json, sys
+print(json.dumps(json.loads(sys.argv[1])["config"], sort_keys=True))
+EOF
+)
+[ "$CONFIG_BEFORE" = "$CONFIG_AFTER" ] || {
+  echo "FAIL: revived plan differs from the original";
+  echo "before: $CONFIG_BEFORE"; echo "after:  $CONFIG_AFTER"; exit 1; }
+
+echo "--- drain the tier"
+"$CLIENT_BIN" --shutdown --peers="$MEMBERS"
+for pid in "${PIDS[@]}"; do wait "$pid" 2>/dev/null || true; done
+
+echo "PASS: cluster smoke"

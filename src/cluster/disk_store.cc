@@ -1,0 +1,262 @@
+#include "cluster/disk_store.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/json.h"
+
+namespace harmony::cluster {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'P', 'L', 'N'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderBytes = 4 + 4 + 4 + 8;
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>(v & 0xFF));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+  PutU32(out, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+}
+
+uint32_t ReadU32(const char* p) {
+  return (static_cast<uint32_t>(static_cast<unsigned char>(p[0])) << 24) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 8) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3]));
+}
+
+uint64_t ReadU64(const char* p) {
+  return (static_cast<uint64_t>(ReadU32(p)) << 32) | ReadU32(p + 4);
+}
+
+/// Validates a whole entry file; returns the payload or a reason to drop.
+Result<std::string> DecodeEntry(const std::string& bytes) {
+  if (bytes.size() < kHeaderBytes) {
+    return Status::InvalidArgument("truncated header");
+  }
+  if (std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    return Status::InvalidArgument("bad magic");
+  }
+  if (ReadU32(bytes.data() + 4) != kVersion) {
+    return Status::InvalidArgument("unknown version");
+  }
+  const uint32_t crc = ReadU32(bytes.data() + 8);
+  const uint64_t len = ReadU64(bytes.data() + 12);
+  if (bytes.size() != kHeaderBytes + len) {
+    return Status::InvalidArgument("truncated payload");
+  }
+  std::string payload = bytes.substr(kHeaderBytes);
+  if (common::Crc32(payload) != crc) {
+    return Status::InvalidArgument("crc mismatch");
+  }
+  return payload;
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("open(" + path + "): " + std::strerror(errno));
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::Internal("read(" + path + ") failed");
+  return bytes;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DiskStore>> DiskStore::Open(DiskStoreOptions options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("disk store: dir must be non-empty");
+  }
+  std::error_code ec;
+  fs::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::Internal("disk store: mkdir " + options.dir + ": " +
+                            ec.message());
+  }
+  auto store = std::unique_ptr<DiskStore>(new DiskStore(std::move(options)));
+
+  // Index the directory: stray tmp files (a crash between temp-write and
+  // rename) are unlinked; entry files are ordered oldest-mtime-first so the
+  // rebuilt LRU approximates the pre-restart recency.
+  struct Found {
+    fs::file_time_type mtime;
+    uint64_t fingerprint;
+    uint64_t bytes;
+  };
+  std::vector<Found> found;
+  for (const auto& it : fs::directory_iterator(store->options_.dir, ec)) {
+    const std::string name = it.path().filename().string();
+    if (name.find(".tmp.") != std::string::npos) {
+      fs::remove(it.path(), ec);
+      continue;
+    }
+    if (name.size() != 16 + 5 || name.substr(16) != ".plan") continue;
+    uint64_t fp = 0;
+    bool hex = true;
+    for (int i = 0; i < 16; ++i) {
+      const char c = name[i];
+      if (c >= '0' && c <= '9') fp = (fp << 4) | static_cast<uint64_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') fp = (fp << 4) | static_cast<uint64_t>(c - 'a' + 10);
+      else { hex = false; break; }
+    }
+    if (!hex) continue;
+    const uint64_t size = static_cast<uint64_t>(fs::file_size(it.path(), ec));
+    const uint64_t payload =
+        size > kHeaderBytes ? size - kHeaderBytes : 0;  // header excluded
+    found.push_back({fs::last_write_time(it.path(), ec), fp, payload});
+  }
+  std::sort(found.begin(), found.end(),
+            [](const Found& a, const Found& b) { return a.mtime < b.mtime; });
+  for (const Found& f : found) {
+    store->lru_.push_front(f.fingerprint);  // newest ends up at the front
+    Entry entry;
+    entry.bytes = f.bytes;
+    entry.lru_pos = store->lru_.begin();
+    store->entries_.emplace(f.fingerprint, entry);
+    store->bytes_ += f.bytes;
+  }
+  {
+    std::lock_guard<std::mutex> lock(store->mu_);
+    store->EvictPastCapLocked();
+  }
+  return store;
+}
+
+std::string DiskStore::PathFor(uint64_t fingerprint) const {
+  return options_.dir + "/" + json::FingerprintHex(fingerprint) + ".plan";
+}
+
+void DiskStore::DropLocked(uint64_t fingerprint, uint64_t* counter) {
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) return;
+  bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+  ++*counter;
+  std::error_code ec;
+  fs::remove(PathFor(fingerprint), ec);
+}
+
+void DiskStore::EvictPastCapLocked() {
+  if (options_.byte_cap == 0) return;
+  while (bytes_ > options_.byte_cap && !lru_.empty()) {
+    DropLocked(lru_.back(), &evictions_);
+  }
+}
+
+Result<std::string> DiskStore::Get(uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) {
+    ++misses_;
+    return Status::NotFound("disk store: no entry for " +
+                            json::FingerprintHex(fingerprint));
+  }
+  auto bytes = ReadWholeFile(PathFor(fingerprint));
+  if (!bytes.ok()) {
+    // Indexed but unreadable (unlinked behind our back): degrade to a miss.
+    DropLocked(fingerprint, &corrupt_dropped_);
+    ++misses_;
+    return Status::NotFound("disk store: " + bytes.status().message());
+  }
+  auto payload = DecodeEntry(bytes.value());
+  if (!payload.ok()) {
+    // Torn or bit-rotted entry: unlink it so it can never be served, and
+    // report a miss — the caller falls back to peer-fill or a search.
+    DropLocked(fingerprint, &corrupt_dropped_);
+    ++misses_;
+    return Status::NotFound("disk store: corrupt entry for " +
+                            json::FingerprintHex(fingerprint) + " (" +
+                            payload.status().message() + ")");
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return std::move(payload).value();
+}
+
+Status DiskStore::Put(uint64_t fingerprint, const std::string& payload) {
+  std::string bytes;
+  bytes.reserve(kHeaderBytes + payload.size());
+  bytes.append(kMagic, 4);
+  PutU32(&bytes, kVersion);
+  PutU32(&bytes, common::Crc32(payload));
+  PutU64(&bytes, payload.size());
+  bytes += payload;
+
+  const std::string path = PathFor(fingerprint);
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("disk store: open(" + tmp + "): " +
+                            std::strerror(errno));
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+  std::fclose(f);
+  if (written != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::Internal("disk store: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("disk store: rename(" + tmp + " -> " + path +
+                            "): " + std::strerror(errno));
+  }
+
+  auto it = entries_.find(fingerprint);
+  if (it != entries_.end()) {
+    bytes_ -= it->second.bytes;
+    it->second.bytes = payload.size();
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  } else {
+    lru_.push_front(fingerprint);
+    Entry entry;
+    entry.bytes = payload.size();
+    entry.lru_pos = lru_.begin();
+    entries_.emplace(fingerprint, entry);
+  }
+  bytes_ += payload.size();
+  ++puts_;
+  EvictPastCapLocked();
+  return Status::Ok();
+}
+
+DiskStoreStats DiskStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DiskStoreStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.puts = puts_;
+  s.evictions = evictions_;
+  s.corrupt_dropped = corrupt_dropped_;
+  s.entries = entries_.size();
+  s.bytes = bytes_;
+  return s;
+}
+
+}  // namespace harmony::cluster

@@ -1,0 +1,93 @@
+#ifndef HARMONY_CLUSTER_DISK_STORE_H_
+#define HARMONY_CLUSTER_DISK_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace harmony::cluster {
+
+struct DiskStoreOptions {
+  /// Cache directory (created if absent). One file per fingerprint:
+  /// `<16-hex>.plan`, containing a CRC-validated canonical plan envelope.
+  std::string dir;
+  /// Byte cap over stored payloads; past it, least-recently-used entries
+  /// are unlinked. 0 means unbounded.
+  uint64_t byte_cap = 256ull << 20;
+};
+
+struct DiskStoreStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t puts = 0;
+  uint64_t evictions = 0;        // LRU files unlinked by the byte cap
+  uint64_t corrupt_dropped = 0;  // CRC/header mismatches unlinked on read
+  uint64_t entries = 0;          // currently stored plans
+  uint64_t bytes = 0;            // summed payload bytes
+};
+
+/// Disk-backed content-addressed plan store: the warm half of the cluster
+/// tier. A restarted daemon reopens its directory and serves its first
+/// repeat hit without a search, bit-identical to the original cold plan.
+///
+/// File format (all integers big-endian, like the frame transport):
+///   "HPLN" | u32 version | u32 crc32(payload) | u64 payload_len | payload
+/// The payload is the canonical CachedPlanToJson envelope. Writes go to
+/// `<name>.tmp.<pid>` then rename(2) into place, so a crash at any byte
+/// leaves either the old entry or a stray tmp file — never a torn entry.
+/// Open() unlinks stray tmp files; Get() unlinks anything whose header or
+/// CRC doesn't verify and degrades to a miss.
+///
+/// Recency is tracked in memory (LRU refreshed by Get); a reopened store
+/// approximates it from file mtimes. Thread-safe via one mutex — disk I/O
+/// is the cost here, not lock contention.
+class DiskStore {
+ public:
+  /// Creates the directory if needed, removes stray tmp files, indexes the
+  /// existing entries (oldest-mtime = least recent) and enforces the cap.
+  static Result<std::unique_ptr<DiskStore>> Open(DiskStoreOptions options);
+
+  /// The stored payload for `fingerprint`, or NotFound. A corrupt entry is
+  /// unlinked, counted in corrupt_dropped, and reported as NotFound.
+  Result<std::string> Get(uint64_t fingerprint);
+
+  /// Atomically persists `payload` under `fingerprint`, then evicts LRU
+  /// entries past the cap. Overwrites an existing entry (searches are
+  /// deterministic, so the bytes are identical anyway).
+  Status Put(uint64_t fingerprint, const std::string& payload);
+
+  DiskStoreStats stats() const;
+  const std::string& dir() const { return options_.dir; }
+
+ private:
+  explicit DiskStore(DiskStoreOptions options)
+      : options_(std::move(options)) {}
+
+  struct Entry {
+    uint64_t bytes = 0;
+    std::list<uint64_t>::iterator lru_pos;  // into lru_
+  };
+
+  std::string PathFor(uint64_t fingerprint) const;
+  /// Drops `fingerprint` from the index and unlinks its file. Caller holds
+  /// mu_; `counter` is the stat bucket (evictions or corrupt_dropped).
+  void DropLocked(uint64_t fingerprint, uint64_t* counter);
+  void EvictPastCapLocked();
+
+  DiskStoreOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Entry> entries_;
+  std::list<uint64_t> lru_;  // front = most recent
+  uint64_t bytes_ = 0;
+  uint64_t hits_ = 0, misses_ = 0, puts_ = 0;
+  uint64_t evictions_ = 0, corrupt_dropped_ = 0;
+};
+
+}  // namespace harmony::cluster
+
+#endif  // HARMONY_CLUSTER_DISK_STORE_H_

@@ -1,0 +1,35 @@
+#ifndef HARMONY_COMMON_CRC32_H_
+#define HARMONY_COMMON_CRC32_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace harmony::common {
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over a byte string.
+/// Used by cluster::DiskStore to validate persisted plan envelopes: a torn
+/// or bit-rotted cache file must degrade to a miss, never to a wrong plan.
+/// Header-only; the table is built once at static-init time.
+inline uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    crc = kTable[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace harmony::common
+
+#endif  // HARMONY_COMMON_CRC32_H_

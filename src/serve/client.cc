@@ -9,23 +9,41 @@ namespace harmony::serve {
 
 Status ServeClient::ConnectUnix(const std::string& path) {
   Close();
-  auto fd = net::ConnectUnix(path);
-  HARMONY_RETURN_IF_ERROR(fd.status());
-  fd_ = fd.value();
   endpoint_ = Endpoint::kUnix;
   unix_path_ = path;
+  auto fd = net::ConnectUnix(path);
+  HARMONY_RETURN_IF_ERROR(AnnotateTransport(fd.status()));
+  fd_ = fd.value();
   return Status::Ok();
 }
 
 Status ServeClient::ConnectTcp(const std::string& host, int port) {
   Close();
-  auto fd = net::ConnectTcp(host, port);
-  HARMONY_RETURN_IF_ERROR(fd.status());
-  fd_ = fd.value();
   endpoint_ = Endpoint::kTcp;
   tcp_host_ = host;
   tcp_port_ = port;
+  auto fd = net::ConnectTcp(host, port);
+  HARMONY_RETURN_IF_ERROR(AnnotateTransport(fd.status()));
+  fd_ = fd.value();
   return Status::Ok();
+}
+
+std::string ServeClient::endpoint_description() const {
+  switch (endpoint_) {
+    case Endpoint::kUnix:
+      return "unix:" + unix_path_;
+    case Endpoint::kTcp:
+      return "tcp:" + tcp_host_ + ":" + std::to_string(tcp_port_);
+    case Endpoint::kNone:
+      break;
+  }
+  return "(not connected)";
+}
+
+Status ServeClient::AnnotateTransport(Status s) const {
+  if (s.ok()) return s;
+  return Status(s.code(),
+                s.message() + " [endpoint " + endpoint_description() + "]");
 }
 
 Status ServeClient::Reconnect() {
@@ -50,15 +68,20 @@ void ServeClient::Close() {
 
 Result<json::Value> ServeClient::RoundTrip(const json::Value& envelope,
                                            const std::string& expect_type) {
+  return RoundTripEncoded(envelope.Dump(), expect_type);
+}
+
+Result<json::Value> ServeClient::RoundTripEncoded(
+    const std::string& envelope_bytes, const std::string& expect_type) {
   if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
   if (in_flight_ > 0) {
     // A blocking round trip would swallow the oldest pipelined response.
     return Status::FailedPrecondition(
         "Collect() in-flight responses before a blocking round trip");
   }
-  HARMONY_RETURN_IF_ERROR(net::SendFrame(fd_, envelope.Dump()));
+  HARMONY_RETURN_IF_ERROR(AnnotateTransport(net::SendFrame(fd_, envelope_bytes)));
   auto frame = net::RecvFrame(fd_);
-  HARMONY_RETURN_IF_ERROR(frame.status());
+  HARMONY_RETURN_IF_ERROR(AnnotateTransport(frame.status()));
   auto reply = json::Parse(frame.value());
   HARMONY_RETURN_IF_ERROR(reply.status());
   std::string type;
@@ -151,7 +174,7 @@ Status ServeClient::SendNowait(const PlanRequest& request) {
 
 Status ServeClient::SendEncodedNowait(const std::string& envelope_bytes) {
   if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
-  HARMONY_RETURN_IF_ERROR(net::SendFrame(fd_, envelope_bytes));
+  HARMONY_RETURN_IF_ERROR(AnnotateTransport(net::SendFrame(fd_, envelope_bytes)));
   ++in_flight_;
   return Status::Ok();
 }
@@ -162,7 +185,7 @@ Result<std::string> ServeClient::CollectRaw() {
     return Status::FailedPrecondition("no requests in flight to collect");
   }
   auto frame = net::RecvFrame(fd_);
-  HARMONY_RETURN_IF_ERROR(frame.status());
+  HARMONY_RETURN_IF_ERROR(AnnotateTransport(frame.status()));
   --in_flight_;
   return std::move(frame).value();
 }

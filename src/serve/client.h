@@ -94,13 +94,31 @@ class ServeClient {
   /// members).
   Result<json::Value> Stats();
 
+  /// Generic blocking exchange of a pre-encoded envelope whose reply is
+  /// expected to carry `expect_type` (the cluster tier's cache_get path
+  /// uses this; extension envelope types don't need client methods each).
+  /// "error" replies surface as Internal, like every other round trip.
+  Result<json::Value> RoundTripEncoded(const std::string& envelope_bytes,
+                                       const std::string& expect_type);
+
   /// {"type":"ping"} — liveness check.
   Status Ping();
 
   /// Asks the daemon to stop (it drains in-flight requests first).
   Status Shutdown();
 
+  /// Human-readable target address ("unix:/run/h.sock", "tcp:host:port").
+  /// Every connect/transport failure this client returns names it, so a
+  /// multi-daemon deployment's errors are never ambiguous about which
+  /// daemon misbehaved.
+  std::string endpoint_description() const;
+
  private:
+  /// Appends the endpoint description to a failed Status's message while
+  /// preserving its code — PlanWithRetry and callers branch on codes
+  /// (kNotFound = peer closed, kResourceExhausted = shed), so annotation
+  /// must never rewrite them.
+  Status AnnotateTransport(Status s) const;
   /// One request/response round trip; checks the reply's envelope type.
   Result<json::Value> RoundTrip(const json::Value& envelope,
                                 const std::string& expect_type);

@@ -21,6 +21,49 @@ size_t CachedPlan::ApproxBytes() const {
   return bytes;
 }
 
+json::Value CachedPlanToJson(const CachedPlan& plan) {
+  json::Value v = json::Value::Object();
+  v.Set("canonical_request", plan.canonical_request);
+  v.Set("config", ConfigurationToJson(plan.config));
+  v.Set("estimate", EstimateToJson(plan.estimate));
+  v.Set("configs_explored", plan.configs_explored);
+  v.Set("configs_feasible", plan.configs_feasible);
+  v.Set("search_seconds", plan.search_seconds);
+  if (plan.has_metrics) v.Set("metrics", RunMetricsToJson(plan.metrics));
+  return v;
+}
+
+Result<CachedPlan> CachedPlanFromJson(const json::Value& v) {
+  if (!v.is_object()) return Status::InvalidArgument("plan: not an object");
+  CachedPlan p;
+  HARMONY_RETURN_IF_ERROR(
+      json::ReadString(v, "canonical_request", &p.canonical_request));
+  const json::Value* config = v.Find("config");
+  if (config == nullptr) return Status::InvalidArgument("plan: missing 'config'");
+  auto c = ConfigurationFromJson(*config);
+  HARMONY_RETURN_IF_ERROR(c.status());
+  p.config = std::move(c).value();
+  const json::Value* estimate = v.Find("estimate");
+  if (estimate == nullptr) {
+    return Status::InvalidArgument("plan: missing 'estimate'");
+  }
+  auto e = EstimateFromJson(*estimate);
+  HARMONY_RETURN_IF_ERROR(e.status());
+  p.estimate = e.value();
+  HARMONY_RETURN_IF_ERROR(
+      json::ReadInt(v, "configs_explored", &p.configs_explored));
+  HARMONY_RETURN_IF_ERROR(
+      json::ReadInt(v, "configs_feasible", &p.configs_feasible));
+  HARMONY_RETURN_IF_ERROR(json::ReadDouble(v, "search_seconds", &p.search_seconds));
+  if (const json::Value* metrics = v.Find("metrics"); metrics != nullptr) {
+    auto m = RunMetricsFromJson(*metrics);
+    HARMONY_RETURN_IF_ERROR(m.status());
+    p.metrics = std::move(m).value();
+    p.has_metrics = true;
+  }
+  return p;
+}
+
 PlanCache::PlanCache(size_t byte_budget, int num_shards)
     : shards_(static_cast<size_t>(num_shards)) {
   HARMONY_CHECK_GT(num_shards, 0);
@@ -47,6 +90,16 @@ std::shared_ptr<const CachedPlan> PlanCache::Lookup(
   }
   ++shard.hits;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+  return it->second.plan;
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::Peek(
+    uint64_t fingerprint, std::string_view canonical_request) const {
+  const Shard& shard = ShardOf(fingerprint);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(fingerprint);
+  if (it == shard.map.end()) return nullptr;
+  if (it->second.plan->canonical_request != canonical_request) return nullptr;
   return it->second.plan;
 }
 

@@ -35,6 +35,13 @@ struct CachedPlan {
   size_t ApproxBytes() const;
 };
 
+/// Canonical JSON envelope of a cached plan — the payload the cluster tier
+/// moves between daemons (peer-fill replies) and persists in the disk store.
+/// Fixed member order, so serialize -> parse -> serialize is byte-identical
+/// and a revived plan is bit-identical to the original search's output.
+json::Value CachedPlanToJson(const CachedPlan& plan);
+Result<CachedPlan> CachedPlanFromJson(const json::Value& v);
+
 struct CacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -80,6 +87,13 @@ class PlanCache {
   /// from; Lookup verifies against it.
   void Insert(uint64_t fingerprint, std::shared_ptr<const CachedPlan> plan);
 
+  /// Side-effect-free Lookup for the cluster tier's peer cache_get path:
+  /// byte-verifies like Lookup but never counts a hit/miss and never
+  /// refreshes LRU recency — a peer probing this daemon must not perturb its
+  /// local eviction order or hit-rate accounting.
+  std::shared_ptr<const CachedPlan> Peek(
+      uint64_t fingerprint, std::string_view canonical_request) const;
+
   /// Drops every entry (stats counters survive).
   void Clear();
 
@@ -103,6 +117,9 @@ class PlanCache {
 
   Shard& ShardOf(uint64_t fingerprint) {
     // High bits: FNV-1a mixes the low bits last, the high bits spread well.
+    return shards_[(fingerprint >> 48) & (shards_.size() - 1)];
+  }
+  const Shard& ShardOf(uint64_t fingerprint) const {
     return shards_[(fingerprint >> 48) & (shards_.size() - 1)];
   }
 

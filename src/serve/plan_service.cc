@@ -269,6 +269,7 @@ void PlanService::RunRequest(PlanRequest request, uint64_t fingerprint,
   }
 
   PlanResponse response;
+  bool searched = false;
   if (cancel->Cancelled()) {
     // Sat in the queue past its deadline (or the service is aborting):
     // don't start a search that would be thrown away.
@@ -278,12 +279,37 @@ void PlanService::RunRequest(PlanRequest request, uint64_t fingerprint,
                                 "request expired before the search started")
                           : Status::Cancelled("request cancelled");
   } else {
-    EmitEvent(trace::EventKind::kServeSearchBegin, request_id, 0);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.searches;
+    // Tier fill: a local miss asks the disk store / owner peer for the plan
+    // before burning a search. Runs here (on a worker, after single-flight
+    // admission) so a stampede of identical requests performs one fill, and
+    // the potentially blocking disk/peer I/O never runs on a caller thread.
+    std::shared_ptr<const CachedPlan> filled;
+    std::string fill_source;
+    if (options_.fill != nullptr && !request.bypass_cache) {
+      filled = options_.fill->TryFill(fingerprint, inflight->canonical,
+                                      request, &fill_source);
     }
-    response = ComputePlan(request, fingerprint, cancel.get());
+    if (filled != nullptr) {
+      response.fingerprint = fingerprint;
+      response.filled_from = fill_source;
+      response.config = filled->config;
+      response.estimate = filled->estimate;
+      response.configs_explored = filled->configs_explored;
+      response.configs_feasible = filled->configs_feasible;
+      response.search_seconds = filled->search_seconds;
+      response.has_metrics = filled->has_metrics;
+      if (filled->has_metrics) response.metrics = filled->metrics;
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.filled;
+    } else {
+      EmitEvent(trace::EventKind::kServeSearchBegin, request_id, 0);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.searches;
+      }
+      searched = true;
+      response = ComputePlan(request, fingerprint, cancel.get());
+    }
   }
   response.latency_seconds = Seconds(Clock::now() - admit_time);
 
@@ -297,6 +323,12 @@ void PlanService::RunRequest(PlanRequest request, uint64_t fingerprint,
     plan->search_seconds = response.search_seconds;
     plan->has_metrics = response.has_metrics;
     if (response.has_metrics) plan->metrics = response.metrics;
+    // Fresh local searches are offered to the warm store; tier fills are
+    // not — TryFill already persisted what it fetched (and a disk revival
+    // must not rewrite its own file).
+    if (searched && options_.fill != nullptr) {
+      options_.fill->StoreCompleted(fingerprint, plan);
+    }
     cache_.Insert(fingerprint, std::move(plan));
   }
 

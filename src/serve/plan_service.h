@@ -21,6 +21,33 @@
 
 namespace harmony::serve {
 
+/// The cluster tier's hook into the request pipeline, implemented by
+/// cluster::ClusterNode (serve stays a leaf: it defines the interface, the
+/// cluster library implements it and links against serve). A worker that
+/// misses the local PlanCache calls TryFill before burning a search — the
+/// implementation consults its disk store and the fingerprint's owner peer.
+/// After a *local* search completes, StoreCompleted offers the fresh plan
+/// for persistence (fills handle their own persistence inside TryFill, so
+/// the service never re-writes a plan that just came *from* the store).
+///
+/// Both calls run on PlanService worker threads and must be thread-safe;
+/// TryFill may block (disk read, peer round trip with retries).
+class PlanFillSource {
+ public:
+  virtual ~PlanFillSource() = default;
+
+  /// Returns a plan whose canonical_request equals `canonical`, or nullptr.
+  /// On success `*source` names where it came from ("disk" or "peer") — it
+  /// travels to the client as PlanResponse::filled_from.
+  virtual std::shared_ptr<const CachedPlan> TryFill(
+      uint64_t fingerprint, const std::string& canonical,
+      const PlanRequest& request, std::string* source) = 0;
+
+  /// A local search for `fingerprint` just completed with `plan`.
+  virtual void StoreCompleted(
+      uint64_t fingerprint, const std::shared_ptr<const CachedPlan>& plan) = 0;
+};
+
 struct ServeOptions {
   /// Worker threads running searches. Each search itself honours its
   /// request's SearchOptions::num_threads; for a serving workload the useful
@@ -44,12 +71,16 @@ struct ServeOptions {
   /// letting tests fill the admission queue / observe in-flight state
   /// deterministically. Zero in production.
   TimeSec stall_for_test = 0;
+  /// Optional cluster fill source (borrowed; must outlive the service).
+  /// Consulted on a cache miss before a search starts; see PlanFillSource.
+  PlanFillSource* fill = nullptr;
 };
 
 struct ServiceStats {
   uint64_t admitted = 0;        // entered the search pipeline
   uint64_t coalesced = 0;       // single-flight: attached to a running search
   uint64_t cache_hits = 0;      // served straight from the plan cache
+  uint64_t filled = 0;          // resolved by the cluster tier (disk or peer)
   uint64_t searches = 0;        // searches actually started
   uint64_t completed = 0;       // responses delivered (any status)
   uint64_t rejected = 0;        // load-shed or refused while draining
@@ -106,6 +137,15 @@ class PlanService {
 
   CacheStats cache_stats() const { return cache_.stats(); }
   ServiceStats stats() const;
+
+  /// Side-effect-free cache probe for the cluster tier's owner-side
+  /// cache_get handler: answers a peer's lookup without perturbing local
+  /// hit/miss counters or LRU order. Returns nullptr when caching is off.
+  std::shared_ptr<const CachedPlan> PeekCache(
+      uint64_t fingerprint, std::string_view canonical_request) const {
+    if (!options_.enable_cache) return nullptr;
+    return cache_.Peek(fingerprint, canonical_request);
+  }
 
   /// Seconds since service construction (the timebase of emitted events).
   TimeSec Now() const;

@@ -24,6 +24,7 @@ json::Value ServiceStatsToJson(const ServiceStats& s) {
   v.Set("admitted", static_cast<int64_t>(s.admitted));
   v.Set("coalesced", static_cast<int64_t>(s.coalesced));
   v.Set("cache_hits", static_cast<int64_t>(s.cache_hits));
+  v.Set("filled", static_cast<int64_t>(s.filled));
   v.Set("searches", static_cast<int64_t>(s.searches));
   v.Set("completed", static_cast<int64_t>(s.completed));
   v.Set("rejected", static_cast<int64_t>(s.rejected));
@@ -400,6 +401,17 @@ void PlanServer::DispatchFrame(Loop* loop, Conn* conn, std::string payload) {
     return;
   }
 
+  // Extension envelopes (the cluster tier's "cache_get"): lookup-only
+  // handlers answer inline on the loop thread; an empty reply means the
+  // type is unknown to the extension too.
+  if (options_.extension) {
+    std::string reply = options_.extension(type, envelope);
+    if (!reply.empty()) {
+      DeliverResponse(loop, conn, seq, std::move(reply));
+      return;
+    }
+  }
+
   DeliverError(loop, conn, seq, "unknown envelope type \"" + type + "\"");
 }
 
@@ -586,6 +598,7 @@ std::string PlanServer::BuildStatsPayload() {
   reply.Set("service", ServiceStatsToJson(service_->stats()));
   reply.Set("cache", CacheStatsToJson(service_->cache_stats()));
   reply.Set("frontend", FrontendStatsToJson(frontend_stats()));
+  if (options_.stats_extension) reply.Set("cluster", options_.stats_extension());
   return reply.Dump();
 }
 

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -54,6 +55,17 @@ struct ServerOptions {
   /// (kServeConnOpen/kServeConnClose/kServeFastPath). Emissions are
   /// serialized; event times are wall-clock seconds since server start.
   trace::TraceBus* bus = nullptr;
+  /// Envelope extension hook (the cluster tier's "cache_get" handler plugs
+  /// in here). Consulted for envelope types the reactor itself doesn't
+  /// know; returns the serialized reply payload, or "" to fall through to
+  /// the unknown-type error. Called on loop threads — must be thread-safe
+  /// and must not block (extension handlers are lookup-only by contract).
+  std::function<std::string(const std::string& type,
+                            const json::Value& envelope)>
+      extension;
+  /// Extra member for the {"type":"stats"} reply: when set, its result is
+  /// attached as the "cluster" block next to service/cache/frontend.
+  std::function<json::Value()> stats_extension;
 };
 
 /// Frontend (reactor) counters, surfaced in the {"type":"stats"} envelope

@@ -511,6 +511,7 @@ json::Value PlanResponseToJson(const PlanResponse& response) {
   v.Set("message", response.status.message());
   v.Set("fingerprint", json::FingerprintHex(response.fingerprint));
   v.Set("cache_hit", response.cache_hit);
+  v.Set("filled_from", response.filled_from);
   v.Set("retry_after_ms", response.retry_after_ms);
   v.Set("latency_seconds", response.latency_seconds);
   if (response.status.ok()) {
@@ -538,6 +539,8 @@ Result<PlanResponse> PlanResponseFromJson(const json::Value& v) {
   HARMONY_RETURN_IF_ERROR(json::ReadString(v, "fingerprint", &fp_hex));
   r.fingerprint = std::strtoull(fp_hex.c_str(), nullptr, 16);
   HARMONY_RETURN_IF_ERROR(json::ReadBool(v, "cache_hit", &r.cache_hit));
+  // Tier provenance: absent from pre-cluster peers, so default to "".
+  (void)json::ReadString(v, "filled_from", &r.filled_from);
   HARMONY_RETURN_IF_ERROR(json::ReadInt(v, "retry_after_ms", &r.retry_after_ms));
   HARMONY_RETURN_IF_ERROR(json::ReadDouble(v, "latency_seconds", &r.latency_seconds));
   if (!r.status.ok()) return r;
@@ -560,6 +563,30 @@ Result<PlanResponse> PlanResponseFromJson(const json::Value& v) {
     r.metrics = std::move(m).value();
     r.has_metrics = true;
   }
+  return r;
+}
+
+json::Value CacheGetRequestToJson(const CacheGetRequest& request) {
+  json::Value v = json::Value::Object();
+  v.Set("type", "cache_get");
+  v.Set("fingerprint", json::FingerprintHex(request.fingerprint));
+  v.Set("canonical", request.canonical_request);
+  return v;
+}
+
+Result<CacheGetRequest> CacheGetRequestFromJson(const json::Value& v) {
+  if (!v.is_object()) return Status::InvalidArgument("cache_get: not an object");
+  std::string type;
+  HARMONY_RETURN_IF_ERROR(json::ReadString(v, "type", &type));
+  if (type != "cache_get") {
+    return Status::InvalidArgument("cache_get: envelope type is '" + type + "'");
+  }
+  CacheGetRequest r;
+  std::string fp_hex;
+  HARMONY_RETURN_IF_ERROR(json::ReadString(v, "fingerprint", &fp_hex));
+  r.fingerprint = std::strtoull(fp_hex.c_str(), nullptr, 16);
+  HARMONY_RETURN_IF_ERROR(
+      json::ReadString(v, "canonical", &r.canonical_request));
   return r;
 }
 

@@ -79,6 +79,10 @@ struct PlanResponse {
   Status status = Status::Ok();
   uint64_t fingerprint = 0;
   bool cache_hit = false;
+  /// How the cluster tier resolved a local miss without a search: "" (a
+  /// normal hit or a locally searched plan), "peer" (fetched from the
+  /// fingerprint's owner daemon), or "disk" (revived from the warm store).
+  std::string filled_from;
   int retry_after_ms = 0;        // set when status is ResourceExhausted
   double latency_seconds = 0;    // service-side end-to-end latency
 
@@ -119,6 +123,23 @@ Result<PlanRequest> PlanRequestFromJson(const json::Value& v);
 
 json::Value PlanResponseToJson(const PlanResponse& response);
 Result<PlanResponse> PlanResponseFromJson(const json::Value& v);
+
+/// The cluster tier's peer-fill probe (DESIGN.md §13): a daemon that missed
+/// its PlanCache asks the fingerprint's owner whether *it* holds the plan.
+/// Lookup-only on the owner side — a cache_get never starts a search and
+/// never forwards, so a tier-wide stampede can't recurse. The canonical
+/// request bytes ride along so the owner verifies them exactly like a local
+/// Lookup does: a fingerprint collision degrades to a miss across the wire
+/// too.
+struct CacheGetRequest {
+  uint64_t fingerprint = 0;
+  std::string canonical_request;
+};
+
+/// Full {"type":"cache_get",...} envelope (fixed member order; the frame
+/// bytes are part of the wire contract and pinned in wire_test).
+json::Value CacheGetRequestToJson(const CacheGetRequest& request);
+Result<CacheGetRequest> CacheGetRequestFromJson(const json::Value& v);
 
 /// Canonical byte string the fingerprint hashes: the request's semantic
 /// fields only (model, machine, mode, minibatch, flags, the four semantic

@@ -27,6 +27,8 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kServeConnOpen: return "serve-conn-open";
     case EventKind::kServeConnClose: return "serve-conn-close";
     case EventKind::kServeFastPath: return "serve-fastpath";
+    case EventKind::kClusterPeerFill: return "cluster-peer-fill";
+    case EventKind::kClusterDiskHit: return "cluster-disk-hit";
   }
   return "?";
 }

@@ -69,6 +69,14 @@ enum class EventKind : uint8_t {
   kServeConnOpen,
   kServeConnClose,
   kServeFastPath,
+
+  // Cluster cache-tier instants (src/cluster). `task` carries the low 32
+  // bits of the request fingerprint; kClusterPeerFill marks a plan fetched
+  // from the fingerprint's owner peer instead of searched locally,
+  // kClusterDiskHit a plan revived from the disk-backed warm store. `bytes`
+  // carries the plan envelope size in both cases.
+  kClusterPeerFill,
+  kClusterDiskHit,
 };
 
 const char* EventKindName(EventKind kind);

@@ -174,6 +174,45 @@ TEST(Wire, PlanResponseRoundTrips) {
   rejected.retry_after_ms = 50;
   ExpectRoundTrip(rejected, serve::PlanResponseToJson,
                   serve::PlanResponseFromJson);
+
+  // The cluster tier's fill provenance travels in-band; a pre-cluster peer
+  // omitting it must still parse (filled_from stays "").
+  PlanResponse filled = ok;
+  filled.cache_hit = false;
+  filled.filled_from = "disk";
+  ExpectRoundTrip(filled, serve::PlanResponseToJson,
+                  serve::PlanResponseFromJson);
+}
+
+TEST(Wire, CacheGetRequestRoundTrips) {
+  serve::CacheGetRequest get;
+  get.fingerprint = 0x5161815ad1542bc2ull;
+  get.canonical_request = "{\"model\":\"GPT2\"}";
+  auto parsed = serve::CacheGetRequestFromJson(serve::CacheGetRequestToJson(get));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().fingerprint, get.fingerprint);
+  EXPECT_EQ(parsed.value().canonical_request, get.canonical_request);
+  // Wrong envelope type must be rejected, not silently accepted.
+  json::Value wrong = json::Value::Object();
+  wrong.Set("type", "plan");
+  wrong.Set("fingerprint", "5161815ad1542bc2");
+  wrong.Set("canonical", "x");
+  EXPECT_FALSE(serve::CacheGetRequestFromJson(wrong).ok());
+}
+
+// The peer-fill frame is part of the deployed wire surface the moment two
+// daemon versions coexist in one tier: pin its canonical bytes the same way
+// request fingerprints are pinned. If a deliberate protocol change lands,
+// re-pin here and call out the mixed-tier implications in DESIGN.md §13.
+TEST(Wire, CacheGetEnvelopeIsPinned) {
+  serve::CacheGetRequest get;
+  get.fingerprint = 0x5161815ad1542bc2ull;
+  get.canonical_request = "canonical-bytes";
+  const std::string envelope = serve::CacheGetRequestToJson(get).Dump();
+  EXPECT_EQ(envelope,
+            "{\"type\":\"cache_get\",\"fingerprint\":\"5161815ad1542bc2\","
+            "\"canonical\":\"canonical-bytes\"}");
+  EXPECT_EQ(json::FingerprintHex(json::Fnv1a(envelope)), "051f268a748bef0b");
 }
 
 // ---------------------------------------------------------------------------
