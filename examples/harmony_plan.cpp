@@ -7,13 +7,16 @@
 //   ./build/examples/harmony_plan ResNet1K dp 32 --gpus=8 --run
 //   ./build/examples/harmony_plan GPT2-20B pp 32 --gpus=8 --run
 //   ./build/examples/harmony_plan BERT96 pp 8 --trace-out trace.json
+//   ./build/examples/harmony_plan BERT96 pp 8 --replan --link-fail=0@0.05/0.25
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "adapt/runner.h"
 #include "bench/bench_common.h"
 #include "common/cancel.h"
 #include "common/table.h"
@@ -28,6 +31,10 @@ int Usage() {
       << "usage: harmony_plan <model> <dp|pp> <minibatch> [--gpus=N] [--run]\n"
          "                    [--trace-out <file>] [--deadline-ms=N]\n"
          "                    [--policy=<mode>] [--dump-policy]\n"
+         "                    [--replan] [--iterations=N] [--replan-margin=F]\n"
+         "                    [--health-window-ms=N]\n"
+         "                    [--link-fail=LINK@SEC/FACTOR]\n"
+         "                    [--mem-shrink=DEV@SEC/FRACTION]\n"
          "  model: BERT-Large | BERT96 | GPT2 | GPT2-Medium | VGG416 |\n"
          "         ResNet1K | GPT2-<n>B\n"
          "  --policy selects the residency-policy search axis: legacy |\n"
@@ -38,8 +45,31 @@ int Usage() {
          "  trace JSON (load in chrome://tracing or Perfetto); implies --run.\n"
          "  --deadline-ms bounds the whole invocation (search + execution)\n"
          "  with a cooperative cancel token; exceeding it exits with\n"
-         "  DeadlineExceeded instead of running open-ended.\n";
+         "  DeadlineExceeded instead of running open-ended.\n"
+         "  --replan drives N training iterations (--iterations, default 4)\n"
+         "  through the degradation-aware loop: a health monitor watches the\n"
+         "  trace bus and, on sustained degradation, re-plans on the damaged\n"
+         "  machine and switches plans at the next iteration boundary when\n"
+         "  the candidate beats the old plan by --replan-margin (default\n"
+         "  0.03). --health-window-ms sets how long (in simulated time) a\n"
+         "  degradation must persist before a re-plan fires.\n"
+         "  --link-fail / --mem-shrink arm a persistent degradation, e.g.\n"
+         "  --link-fail=0@0.05/0.25 drops link 0 to 25% capacity at t=50ms;\n"
+         "  --mem-shrink=1@0.05/0.3 permanently steals 30% of GPU 1.\n";
   return 2;
+}
+
+/// Parses the "<id>@<seconds>/<value>" grammar of --link-fail/--mem-shrink.
+bool ParseTargetedFault(const char* s, int* id, double* at, double* value) {
+  char* end = nullptr;
+  *id = static_cast<int>(std::strtol(s, &end, 10));
+  if (end == s || *end != '@') return false;
+  const char* p = end + 1;
+  *at = std::strtod(p, &end);
+  if (end == p || *end != '/') return false;
+  p = end + 1;
+  *value = std::strtod(p, &end);
+  return end != p && *end == '\0';
 }
 
 }  // namespace
@@ -54,6 +84,11 @@ int main(int argc, char** argv) {
   bool run = false;
   bool dump_policy = false;
   int deadline_ms = 0;
+  bool replan = false;
+  int iterations = 4;
+  double replan_margin = 0.03;
+  int health_window_ms = 0;
+  fault::FaultPlan fault_plan;
   std::string trace_out;
   core::PolicyMode policy_mode = core::PolicyMode::kLegacy;
   for (int i = 4; i < argc; ++i) {
@@ -61,6 +96,34 @@ int main(int argc, char** argv) {
       gpus = std::atoi(argv[i] + 7);
     } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
       deadline_ms = std::atoi(argv[i] + 14);
+    } else if (std::strcmp(argv[i], "--replan") == 0) {
+      replan = true;
+    } else if (std::strncmp(argv[i], "--iterations=", 13) == 0) {
+      iterations = std::atoi(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--replan-margin=", 16) == 0) {
+      replan_margin = std::atof(argv[i] + 16);
+    } else if (std::strncmp(argv[i], "--health-window-ms=", 19) == 0) {
+      health_window_ms = std::atoi(argv[i] + 19);
+    } else if (std::strncmp(argv[i], "--link-fail=", 12) == 0) {
+      int link;
+      double at, factor;
+      if (!ParseTargetedFault(argv[i] + 12, &link, &at, &factor)) {
+        return Usage();
+      }
+      fault_plan.enabled = true;
+      fault_plan.link_fail_link = link;
+      fault_plan.link_fail_at = at;
+      fault_plan.link_fail_factor = factor;
+    } else if (std::strncmp(argv[i], "--mem-shrink=", 13) == 0) {
+      int dev;
+      double at, frac;
+      if (!ParseTargetedFault(argv[i] + 13, &dev, &at, &frac)) {
+        return Usage();
+      }
+      fault_plan.enabled = true;
+      fault_plan.mem_shrink_device = dev;
+      fault_plan.mem_shrink_at = at;
+      fault_plan.mem_shrink_fraction = frac;
     } else if (std::strncmp(argv[i], "--policy=", 9) == 0) {
       const auto pm = core::PolicyModeFromName(argv[i] + 9);
       if (!pm.ok()) {
@@ -93,6 +156,77 @@ int main(int argc, char** argv) {
       (gpus > 4 ? hw::MachineSpec::Commodity8Gpu()
                 : hw::MachineSpec::Commodity4Gpu())
           .WithNumGpus(gpus);
+
+  if (replan) {
+    const auto spec = serve::ModelSpec::FromName(model_name);
+    if (!spec.ok()) {
+      std::cerr << spec.status() << "\n";
+      return Usage();
+    }
+    adapt::AdaptOptions ao;
+    ao.iterations = std::max(1, iterations);
+    ao.replan_margin = replan_margin;
+    ao.health_window_seconds = health_window_ms / 1000.0;
+    ao.fault_plan = fault_plan;
+    trace::ChromeTraceSink chrome;
+    if (!trace_out.empty()) ao.trace_sinks.push_back(&chrome);
+    core::SearchOptions so;
+    so.policy_mode = policy_mode;
+    adapt::AdaptiveRunner runner(machine, spec.value(), mode, minibatch, {},
+                                 so, ao);
+    std::cout << "Adaptive loop: " << ao.iterations << " iterations, margin "
+              << replan_margin << ", " << (fault_plan.Any()
+                                               ? fault_plan.Describe()
+                                               : std::string("no faults"))
+              << "\n";
+    const auto result = runner.Run();
+    if (!result.ok()) {
+      std::cerr << "adaptive run failed: " << result.status() << "\n";
+      return 1;
+    }
+    const auto& ar = result.value();
+    for (size_t i = 0; i < ar.iterations.size(); ++i) {
+      std::cout << "  iteration " << i << ": "
+                << FormatTime(ar.iterations[i].iteration_time) << ", swap "
+                << FormatBytes(ar.iterations[i].total_swap())
+                << (ar.switched && static_cast<int>(i) >= ar.switch_iteration
+                        ? "  [new plan]"
+                        : "")
+                << "\n";
+    }
+    for (const auto& d : ar.decisions) {
+      std::cout << "  replan @ iteration " << d.iteration << ": "
+                << (d.applied ? "applied" : "rejected") << " (" << d.reason
+                << ")";
+      if (d.old_estimate_seconds > 0) {
+        std::cout << ", old est " << FormatTime(d.old_estimate_seconds)
+                  << " -> new est " << FormatTime(d.new_estimate_seconds)
+                  << " via " << d.planner;
+      }
+      if (d.applied) {
+        std::cout << ", switchover evict "
+                  << FormatBytes(d.orphan_evict_bytes) << " + prefetch "
+                  << FormatBytes(d.prefetch_bytes) << " ("
+                  << FormatTime(d.switchover_seconds) << ")";
+      }
+      std::cout << "\n";
+    }
+    if (ar.decisions.empty()) {
+      std::cout << "  no re-plan triggered\n";
+    }
+    std::cout << "  final configuration " << ar.config.ToString() << " on "
+              << ar.machine.gpu.name << " x" << ar.machine.num_gpus << "\n";
+    if (!trace_out.empty()) {
+      const Status st = chrome.WriteFile(trace_out);
+      if (!st.ok()) {
+        std::cerr << "trace write failed: " << st << "\n";
+        return 1;
+      }
+      std::cout << "  wrote " << chrome.num_events() << " trace events to "
+                << trace_out << "\n";
+    }
+    return 0;
+  }
 
   const bench::PreparedModel pm = bench::Prepare(model_name, machine);
   std::cout << "Model " << pm.name << ": " << pm.model.num_layers()

@@ -31,6 +31,17 @@ echo "=== fixed-seed chaos matrix (ctest -L chaos, $THREADS workers) ==="
 ctest --test-dir "$BUILD_DIR" -L chaos --output-on-failure
 
 echo
+echo "=== replan matrix (ctest -L replan) ==="
+# The degradation-aware loop: {BERT96, GPT2} x {persistent link failure,
+# permanent memory shrink} plus the health monitor's hysteresis/synthesis
+# units and the bit-identity invariants (plan == Algorithm 1 on the degraded
+# descriptor; post-switchover accounting == a fresh run on it; replan off ==
+# the plain loop). Fully deterministic — persistent faults draw no RNG — so
+# no randomized rounds are needed here. ASan/TSan trees register
+# adapt_test_{asan,tsan} under the same label.
+ctest --test-dir "$BUILD_DIR" -L replan --output-on-failure
+
+echo
 echo "=== randomized seeds ($ROUNDS rounds) ==="
 FAILED=0
 for round in $(seq "$ROUNDS"); do

@@ -1,0 +1,98 @@
+#include "adapt/health.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "fault/fault.h"
+
+namespace harmony::adapt {
+
+HealthMonitor::HealthMonitor(const hw::MachineSpec& nominal,
+                             HealthOptions options)
+    : nominal_(nominal),
+      options_(options),
+      link_factor_(static_cast<size_t>(nominal.NumLinks()), 1.0),
+      pressure_bytes_(static_cast<size_t>(nominal.num_gpus), 0),
+      ewma_link_(static_cast<size_t>(nominal.NumLinks()), 1.0),
+      ewma_mem_fraction_(static_cast<size_t>(nominal.num_gpus), 0.0) {}
+
+void HealthMonitor::OnEvent(const trace::Event& e) {
+  const bool injected = e.kind == trace::EventKind::kFaultInjected;
+  const bool recovered = e.kind == trace::EventKind::kFaultRecovered;
+  if (!injected && !recovered) return;
+  ++faults_seen_;
+  if (std::strcmp(e.detail,
+                  fault::FaultKindName(fault::FaultKind::kLinkDegrade)) == 0) {
+    // Older emitters published flaps without a link identity; those events
+    // still count as faults but cannot update the per-link model.
+    if (e.task < 0 || e.task >= static_cast<int>(link_factor_.size())) return;
+    link_factor_[e.task] = injected ? fault::DecodeFactorPpt(e.bytes) : 1.0;
+  } else if (std::strcmp(e.detail, fault::FaultKindName(
+                                       fault::FaultKind::kMemPressure)) == 0) {
+    if (e.device < 0 || e.device >= static_cast<int>(pressure_bytes_.size())) {
+      return;
+    }
+    // One pressure slice per device at a time (Residency's contract), so the
+    // injected bytes are the absolute stolen amount, not a delta.
+    pressure_bytes_[e.device] = injected ? e.bytes : 0;
+  }
+}
+
+HealthAssessment HealthMonitor::EndIteration() {
+  const double a = options_.ewma_alpha;
+  bool link_degraded = false;
+  bool mem_degraded = false;
+  for (size_t l = 0; l < link_factor_.size(); ++l) {
+    ewma_link_[l] = a * link_factor_[l] + (1.0 - a) * ewma_link_[l];
+    if (ewma_link_[l] < 1.0 - options_.deviation_threshold) {
+      link_degraded = true;
+    }
+  }
+  for (size_t d = 0; d < pressure_bytes_.size(); ++d) {
+    const double usable =
+        static_cast<double>(nominal_.GpuAt(static_cast<int>(d)).usable_memory());
+    const double frac =
+        usable > 0 ? static_cast<double>(pressure_bytes_[d]) / usable : 0.0;
+    ewma_mem_fraction_[d] = a * frac + (1.0 - a) * ewma_mem_fraction_[d];
+    if (ewma_mem_fraction_[d] > options_.deviation_threshold) {
+      mem_degraded = true;
+    }
+  }
+
+  HealthAssessment out;
+  out.degraded = link_degraded || mem_degraded;
+  // Link loss dominates the label when both are present: it is the one that
+  // changes the plan shape (swap bandwidth) rather than just the budget.
+  out.reason = link_degraded ? "link-degrade" : mem_degraded ? "mem-shrink" : "";
+  consecutive_degraded_ = out.degraded ? consecutive_degraded_ + 1 : 0;
+  out.consecutive_degraded = consecutive_degraded_;
+  out.replan = consecutive_degraded_ >= options_.hysteresis_iterations;
+  return out;
+}
+
+hw::MachineSpec HealthMonitor::SynthesizeSpec() const {
+  hw::MachineSpec spec = nominal_;
+  for (size_t l = 0; l < link_factor_.size(); ++l) {
+    if (link_factor_[l] != 1.0) {
+      spec = spec.WithLinkScale(static_cast<int>(l), link_factor_[l]);
+    }
+  }
+  for (size_t d = 0; d < pressure_bytes_.size(); ++d) {
+    if (pressure_bytes_[d] <= 0) continue;
+    const int g = static_cast<int>(d);
+    hw::GpuSpec shrunk = nominal_.GpuAt(g);
+    // Express the loss so usable_memory() drops by exactly the stolen bytes:
+    // capacity' = usable - stolen at fraction 1.0 keeps the arithmetic in
+    // integers, so a fresh run on this descriptor sees bit-identical budgets
+    // to the degraded run it replaces.
+    const Bytes usable = shrunk.usable_memory();
+    HARMONY_CHECK_GT(usable, pressure_bytes_[d]);
+    shrunk.name += "-shrunk";
+    shrunk.memory_capacity = usable - pressure_bytes_[d];
+    shrunk.usable_fraction = 1.0;
+    spec = spec.WithGpuOverride(g, shrunk);
+  }
+  return spec;
+}
+
+}  // namespace harmony::adapt

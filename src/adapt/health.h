@@ -1,0 +1,93 @@
+#ifndef HARMONY_ADAPT_HEALTH_H_
+#define HARMONY_ADAPT_HEALTH_H_
+
+#include <vector>
+
+#include "hw/machine.h"
+#include "trace/trace.h"
+
+namespace harmony::adapt {
+
+/// Knobs for the degradation detector. The EWMA and hysteresis decide *when*
+/// to re-plan; they never shape *what* the degraded machine looks like — the
+/// synthesized spec snaps to the exact last-observed fault parameters, so the
+/// descriptor handed to Algorithm 1 is bit-reproducible from the chaos seed
+/// regardless of how these knobs are tuned.
+struct HealthOptions {
+  /// Weight of the newest end-of-iteration sample in the EWMA.
+  double ewma_alpha = 0.5;
+  /// Fractional deviation from nominal that counts as degraded: a link EWMA
+  /// below (1 - threshold), or a memory EWMA above threshold of usable.
+  double deviation_threshold = 0.05;
+  /// Consecutive degraded iteration ends required before recommending a
+  /// re-plan (rides out flaps that straddle one iteration boundary).
+  int hysteresis_iterations = 2;
+};
+
+/// What the monitor concluded at an iteration boundary.
+struct HealthAssessment {
+  /// Sustained degradation crossed the hysteresis bar: request a re-plan.
+  bool replan = false;
+  /// Any residual deviation right now (pre-hysteresis).
+  bool degraded = false;
+  /// Dominant cause when degraded ("link-degrade" or "mem-shrink").
+  const char* reason = "";
+  int consecutive_degraded = 0;
+};
+
+/// Subscribes to the runtime's typed trace bus and folds fault events into
+/// per-link bandwidth factors and per-GPU stolen-memory estimates. Each
+/// Runtime::Execute is one fresh simulated iteration; the monitor persists
+/// across them (the adaptive runner attaches it to every execution), so a
+/// *persistent* degradation shows up as a fault that is injected but never
+/// recovered by the end of an iteration — exactly the residual this class
+/// keys on. Self-healing flaps and pressure spikes inject and recover within
+/// the iteration and leave no residual.
+///
+/// Wire encoding it consumes (see fault/fault.h): a kLinkDegrade injection
+/// carries the link id in Event::task and the capacity factor ppt-encoded in
+/// Event::bytes; a kMemPressure injection carries the victim device and the
+/// stolen bytes. Recoveries restore nominal.
+class HealthMonitor : public trace::TraceSink {
+ public:
+  explicit HealthMonitor(const hw::MachineSpec& nominal,
+                         HealthOptions options = {});
+
+  // --- trace::TraceSink ----------------------------------------------------
+  void OnEvent(const trace::Event& event) override;
+
+  /// Folds the iteration's end state into the EWMAs, advances the hysteresis
+  /// counter, and returns the verdict. Call exactly once per completed
+  /// Runtime::Execute.
+  HealthAssessment EndIteration();
+
+  /// The degraded machine descriptor implied by the last observed samples:
+  /// the nominal spec with per-link bandwidth scale factors for every link
+  /// still below nominal, and per-GPU memory overrides shrunk by the stolen
+  /// bytes (expressed so GpuSpec::usable_memory() drops by exactly the
+  /// stolen amount). Exact — no EWMA smoothing leaks into the descriptor.
+  hw::MachineSpec SynthesizeSpec() const;
+
+  /// Current residual state (diagnostics / tests).
+  double link_factor(int link) const { return link_factor_[link]; }
+  Bytes device_pressure(int d) const { return pressure_bytes_[d]; }
+  int64_t faults_seen() const { return faults_seen_; }
+
+ private:
+  hw::MachineSpec nominal_;
+  HealthOptions options_;
+
+  // Residual state, updated event by event.
+  std::vector<double> link_factor_;   // current capacity multiplier per link
+  std::vector<Bytes> pressure_bytes_; // current stolen bytes per device
+  int64_t faults_seen_ = 0;
+
+  // Boundary state, updated by EndIteration().
+  std::vector<double> ewma_link_;
+  std::vector<double> ewma_mem_fraction_;
+  int consecutive_degraded_ = 0;
+};
+
+}  // namespace harmony::adapt
+
+#endif  // HARMONY_ADAPT_HEALTH_H_

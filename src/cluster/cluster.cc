@@ -366,7 +366,11 @@ json::Value ClusterNode::StatsJson() const {
 // ---------------------------------------------------------------------------
 
 TierClient::TierClient(std::vector<std::string> members, int vnodes_per_node)
-    : members_(std::move(members)), ring_(vnodes_per_node) {
+    : TierClient(std::move(members), vnodes_per_node, RetryOptions()) {}
+
+TierClient::TierClient(std::vector<std::string> members, int vnodes_per_node,
+                       RetryOptions retry)
+    : members_(std::move(members)), ring_(vnodes_per_node), retry_(retry) {
   for (const std::string& member : members_) ring_.AddNode(member);
 }
 
@@ -397,18 +401,42 @@ Result<serve::PlanResponse> TierClient::Plan(
   if (candidates.empty()) {
     return Status::FailedPrecondition("tier has no members");
   }
+  // Dead-member errors name which endpoint failed (the ServeClient layer
+  // already appends errno detail), mirroring PlanWithRetry's annotations.
+  auto annotate = [](const std::string& member, const Status& s) {
+    return Status(s.code(), "member " + member + ": " + s.message());
+  };
   Status last = Status::Ok();
+  Rng rng(retry_.seed);
+  int shed_retries = 0;
   for (const std::string& member : candidates) {
-    auto client = ClientFor(member);
-    if (!client.ok()) {
-      last = client.status();
-      continue;
+    for (;;) {
+      auto client = ClientFor(member);
+      if (!client.ok()) {
+        last = annotate(member, client.status());
+        break;  // next candidate
+      }
+      auto response = client.value()->Plan(request);
+      if (!response.ok()) {
+        // Transport failure: drop the connection and try the next candidate.
+        client.value()->Close();
+        last = annotate(member, response.status());
+        break;
+      }
+      if (response.value().status.code() == StatusCode::kResourceExhausted &&
+          shed_retries < retry_.max_shed_retries) {
+        // Load-shed by this member's admission control: shedding is
+        // transient and the owner is still the right home for the plan, so
+        // retry the same member after max(backoff, the server's hint) —
+        // failing over would just stampede the next member.
+        double delay = retry_.backoff.DelayFor(shed_retries, &rng);
+        delay = std::max(delay, response.value().retry_after_ms / 1000.0);
+        ++shed_retries;
+        std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+        continue;
+      }
+      return response;
     }
-    auto response = client.value()->Plan(request);
-    if (response.ok()) return response;
-    // Transport failure: drop the connection and try the next candidate.
-    client.value()->Close();
-    last = response.status();
   }
   return Status(last.code(),
                 "no tier member answered (last: " + last.message() + ")");

@@ -53,8 +53,7 @@ struct ClusterOptions {
   DiskStore* disk = nullptr;
   /// Peer-fetch retry budget and backoff curve (common/backoff.h).
   int peer_retries = 2;
-  common::BackoffPolicy backoff{/*initial=*/0.02, /*max_delay=*/0.5,
-                                /*multiplier=*/2.0, /*jitter=*/0.5};
+  common::BackoffPolicy backoff = common::kPeerFetchBackoff;
   uint64_t backoff_seed = 0;
   /// Optional observer (borrowed) for kClusterPeerFill / kClusterDiskHit.
   trace::TraceBus* bus = nullptr;
@@ -181,12 +180,28 @@ class ClusterNode : public serve::PlanFillSource {
 /// like ServeClient).
 class TierClient {
  public:
+  /// Shed-retry policy: how many load-shed (in-band ResourceExhausted)
+  /// responses Plan() absorbs before surfacing one, and the backoff curve
+  /// under the server's retry-after floor — the same shape
+  /// ServeClient::PlanWithRetry uses, shared via common/backoff.h.
+  struct RetryOptions {
+    int max_shed_retries = 3;
+    common::BackoffPolicy backoff = common::kPlanRetryBackoff;
+    uint64_t seed = 0;  // jitter seed (fix it for deterministic tests)
+  };
+
   TierClient(std::vector<std::string> members, int vnodes_per_node = 64);
+  TierClient(std::vector<std::string> members, int vnodes_per_node,
+             RetryOptions retry);
 
   /// Owner-routed plan: sends to the fingerprint's owner, failing over down
   /// the rendezvous ranking on transport errors (each candidate dialed at
-  /// most once per call). In-band planning failures are returned as-is —
-  /// only a dead daemon triggers failover.
+  /// most once per call). A load-shed response is retried against the same
+  /// member after max(backoff, the server's retry-after hint) until the shed
+  /// budget runs out; other in-band planning failures are returned as-is —
+  /// only a dead daemon triggers failover. Dead-member errors are annotated
+  /// with the member endpoint, so a multi-daemon deployment's failures name
+  /// which daemon was unreachable.
   Result<serve::PlanResponse> Plan(const serve::PlanRequest& request);
 
   /// The member Plan() would try first for this request.
@@ -203,6 +218,7 @@ class TierClient {
 
   std::vector<std::string> members_;
   HashRing ring_;
+  RetryOptions retry_;
   std::unordered_map<std::string, std::unique_ptr<serve::ServeClient>> clients_;
 };
 

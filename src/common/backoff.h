@@ -33,6 +33,26 @@ struct BackoffPolicy {
   }
 };
 
+/// Shared retry policies. Retry sites across layers used to duplicate these
+/// constants inline; naming them here keeps the serve client, the cluster
+/// tier, and any future retrier honest about using the same shape.
+///
+/// Wall-clock plan retries (serve client, tier client): start at 50ms — a
+/// shed server's retry-after hints are in this range — and cap at 2s so a
+/// bounded retry budget stays interactive.
+inline constexpr BackoffPolicy kPlanRetryBackoff{/*initial=*/0.05,
+                                                 /*max_delay=*/2.0,
+                                                 /*multiplier=*/2.0,
+                                                 /*jitter=*/0.5};
+
+/// Peer-fetch retries inside the cluster tier: tighter (20ms..500ms) because
+/// a peer fill is an optimization — if the peer dawdles, searching locally is
+/// the better spend.
+inline constexpr BackoffPolicy kPeerFetchBackoff{/*initial=*/0.02,
+                                                 /*max_delay=*/0.5,
+                                                 /*multiplier=*/2.0,
+                                                 /*jitter=*/0.5};
+
 }  // namespace harmony::common
 
 #endif  // HARMONY_COMMON_BACKOFF_H_

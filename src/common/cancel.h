@@ -30,7 +30,11 @@ class CancelToken {
     SetDeadline(Clock::now() + delay);
   }
 
-  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  /// Trips the token. Returns true iff this call was the first to trip it —
+  /// the "first tripper" contract lets an escalating watchdog distinguish "I
+  /// am cancelling a wedged run" (report the wedge) from "someone already
+  /// cancelled gracefully" (report plain cancellation, no wedge diagnostics).
+  bool Cancel() { return !cancelled_.exchange(true, std::memory_order_relaxed); }
 
   bool Cancelled() const {
     if (cancelled_.load(std::memory_order_relaxed)) return true;

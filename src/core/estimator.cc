@@ -82,9 +82,8 @@ Estimate RuntimeEstimator::EstimateIteration(const TaskGraph& graph,
   const int N = graph.num_devices;
   // Effective per-GPU swap bandwidth: the host link is shared by all GPUs
   // (the estimator's static approximation of contention).
-  const double swap_bw =
-      std::min(machine_.pcie_bw, machine_.host_mem_bw / std::max(1, N));
-  const double p2p_bw = machine_.pcie_bw;
+  const double swap_bw = machine_.EffectiveSwapBw(N);
+  const double p2p_bw = machine_.EffectiveP2pBw();
 
   Bytes swap_bytes = 0, p2p_bytes = 0;
 

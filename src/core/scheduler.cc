@@ -8,7 +8,8 @@ Result<ScheduleOutcome> Scheduler::Schedule(const model::SequentialModel& model,
                                             HarmonyMode mode, int minibatch,
                                             const OptimizationFlags& flags,
                                             const SearchOptions& search) const {
-  const profile::Profiler profiler(machine_.gpu, profile::ProfilerOptions{});
+  const profile::Profiler profiler(machine_.PlanningGpu(),
+                                   profile::ProfilerOptions{});
   profile::ProfileDb profiles = profiler.Profile(model);
   Result<SearchResult> found =
       SearchConfiguration(profiles, machine_, mode, minibatch, flags, search);

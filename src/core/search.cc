@@ -140,8 +140,10 @@ Result<SearchResult> SearchConfiguration(const profile::ProfileDb& profiles,
   const int u_bwd_max = std::min(options.u_bwd_max, d);
 
   PackingOptions packing;
+  // Heterogeneous fleets pack for the smallest device (every GPU runs the
+  // same schedule); identical to machine.gpu on homogeneous machines.
   packing.capacity = static_cast<Bytes>(
-      static_cast<double>(machine.gpu.usable_memory()) * options.capacity_fraction);
+      static_cast<double>(machine.MinUsableMemory()) * options.capacity_fraction);
 
   const RuntimeEstimator estimator(profiles, machine);
   const int n = machine.num_gpus;
@@ -151,8 +153,7 @@ Result<SearchResult> SearchConfiguration(const profile::ProfileDb& profiles,
   // U_B (the greedy dominance rule compares re-forward time against the
   // swap stall at backward-microbatch granularity, under the same effective
   // per-GPU swap bandwidth the estimator charges).
-  const double swap_bw =
-      std::min(machine.pcie_bw, machine.host_mem_bw / std::max(1, n));
+  const double swap_bw = machine.EffectiveSwapBw(n);
   auto greedy_table = [&](int u_bwd) {
     PolicyTable t = PolicyTable::Uniform(R, StashPolicy::kKeep);
     for (int l = 0; l < R; ++l) {

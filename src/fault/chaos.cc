@@ -13,7 +13,7 @@ ChaosDriver::ChaosDriver(sim::Engine* engine, trace::TraceBus* bus,
     : engine_(engine), bus_(bus), injector_(injector) {}
 
 void ChaosDriver::Emit(trace::EventKind kind, FaultKind fault, int device,
-                       Bytes bytes) {
+                       Bytes bytes, int task) {
   if (bus_ == nullptr || !bus_->active()) return;
   trace::Event e;
   e.kind = kind;
@@ -23,6 +23,7 @@ void ChaosDriver::Emit(trace::EventKind kind, FaultKind fault, int device,
   e.device = device;
   e.time = engine_->now();
   e.bytes = bytes;
+  e.task = task;
   e.detail = FaultKindName(fault);
   bus_->Emit(e);
 }
@@ -65,7 +66,8 @@ void ChaosDriver::ScheduleFlap(sim::FlowNetwork* flows, int num_links) {
     injector_->RecordFlap();
     flows->SetLinkCapacityFactor(link, injector_->plan().link_degrade_factor);
     degraded_links_.push_back(link);
-    Emit(trace::EventKind::kFaultInjected, FaultKind::kLinkDegrade, -1, 0);
+    Emit(trace::EventKind::kFaultInjected, FaultKind::kLinkDegrade, -1,
+         EncodeFactorPpt(injector_->plan().link_degrade_factor), link);
     engine_->After(injector_->plan().link_flap_duration, [this, flows,
                                                           link]() {
       // Restore even after the run is over: a no-op for the drained engine,
@@ -78,9 +80,40 @@ void ChaosDriver::ScheduleFlap(sim::FlowNetwork* flows, int num_links) {
           degraded_links_.end()) {
         flows->SetLinkCapacityFactor(link, 1.0);
       }
-      Emit(trace::EventKind::kFaultRecovered, FaultKind::kLinkDegrade, -1, 0);
+      Emit(trace::EventKind::kFaultRecovered, FaultKind::kLinkDegrade, -1, 0,
+           link);
     });
     ScheduleFlap(flows, num_links);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Persistent targeted degradations
+// ---------------------------------------------------------------------------
+
+void ChaosDriver::ArmPersistentLinkFault(sim::FlowNetwork* flows, int link,
+                                         double factor, TimeSec at) {
+  HARMONY_CHECK_GE(link, 0);
+  HARMONY_CHECK_GT(factor, 0.0);
+  engine_->After(at, [this, flows, link, factor]() {
+    if (Stopped()) return;
+    flows->SetLinkCapacityFactor(link, factor);
+    failed_links_.push_back(link);
+    Emit(trace::EventKind::kFaultInjected, FaultKind::kLinkDegrade, -1,
+         EncodeFactorPpt(factor), link);
+    // No recovery is ever scheduled: the degradation outlives the run.
+  });
+}
+
+void ChaosDriver::ArmPersistentMemShrink(int device, TimeSec at,
+                                         std::function<Bytes(int)> apply) {
+  HARMONY_CHECK_GE(device, 0);
+  engine_->After(at, [this, device, apply = std::move(apply)]() {
+    if (Stopped()) return;
+    const Bytes stolen = apply(device);
+    shrunk_devices_.push_back(device);
+    Emit(trace::EventKind::kFaultInjected, FaultKind::kMemPressure, device,
+         stolen);
   });
 }
 
@@ -205,6 +238,16 @@ std::string ChaosDriver::DescribeActive() const {
   for (const int d : pressured_devices_) {
     sep();
     out += "device " + std::to_string(d) + " under injected memory pressure";
+  }
+  for (const int link : failed_links_) {
+    sep();
+    out += "link " +
+           (link_name_ ? link_name_(link) : std::to_string(link)) +
+           " persistently degraded";
+  }
+  for (const int d : shrunk_devices_) {
+    sep();
+    out += "device " + std::to_string(d) + " permanently shrunk";
   }
   if (transfers_in_retry_ > 0) {
     sep();

@@ -50,6 +50,18 @@ class ChaosDriver {
   void ArmLinkFlaps(sim::FlowNetwork* flows, int num_links,
                     std::function<std::string(int)> link_name);
 
+  /// Arms a persistent targeted link failure: at `at`, `link` permanently
+  /// degrades to `factor` x its capacity — no recovery event ever follows,
+  /// which is exactly the signature the health monitor keys on. The injected
+  /// event carries the link id (task) and factor (bytes, ppt-encoded).
+  void ArmPersistentLinkFault(sim::FlowNetwork* flows, int link, double factor,
+                              TimeSec at);
+
+  /// Arms a persistent memory shrink: at `at`, `apply(device)` permanently
+  /// reserves the plan's shrink slice on the victim device (never released).
+  void ArmPersistentMemShrink(int device, TimeSec at,
+                              std::function<Bytes(int)> apply);
+
   /// Arms the recurring memory-pressure schedule. `apply` reserves the
   /// pressure slice on a device and returns the bytes stolen; `release`
   /// undoes it and returns the bytes given back. Both are runtime callbacks
@@ -74,7 +86,8 @@ class ChaosDriver {
 
  private:
   struct FlowAttempt;
-  void Emit(trace::EventKind kind, FaultKind fault, int device, Bytes bytes);
+  void Emit(trace::EventKind kind, FaultKind fault, int device, Bytes bytes,
+            int task = -1);
   void ScheduleFlap(sim::FlowNetwork* flows, int num_links);
   void SchedulePressure(int num_devices);
   void RunFlowAttempt(std::shared_ptr<FlowAttempt> a);
@@ -91,6 +104,8 @@ class ChaosDriver {
   // Active-fault bookkeeping for DescribeActive().
   std::vector<int> degraded_links_;
   std::vector<int> pressured_devices_;
+  std::vector<int> failed_links_;      // persistent (never restored)
+  std::vector<int> shrunk_devices_;    // persistent (never released)
   int transfers_in_retry_ = 0;
   int64_t transfers_recovered_ = 0;
 };

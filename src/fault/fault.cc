@@ -37,7 +37,24 @@ bool FaultPlan::Any() const {
   return enabled &&
          (transfer_failure_rate > 0.0 || link_flap_interval > 0.0 ||
           mem_pressure_interval > 0.0 || alloc_failure_rate > 0.0 ||
-          stream_stall_rate > 0.0);
+          stream_stall_rate > 0.0 || HasPersistent());
+}
+
+bool FaultPlan::HasPersistent() const {
+  return enabled &&
+         ((link_fail_at > 0.0 && link_fail_link >= 0) ||
+          (mem_shrink_at > 0.0 && mem_shrink_device >= 0 &&
+           mem_shrink_fraction > 0.0));
+}
+
+FaultPlan FaultPlan::WithoutPersistent() const {
+  FaultPlan p = *this;
+  p.link_fail_at = 0.0;
+  p.link_fail_link = -1;
+  p.mem_shrink_at = 0.0;
+  p.mem_shrink_device = -1;
+  p.mem_shrink_fraction = 0.0;
+  return p;
 }
 
 std::string FaultPlan::Describe() const {
@@ -60,6 +77,15 @@ std::string FaultPlan::Describe() const {
   if (stream_stall_rate > 0.0) {
     s += " stream-stall=" + Trimmed(stream_stall_rate) + "/" +
          Trimmed(stream_stall_duration) + "s";
+  }
+  if (link_fail_at > 0.0 && link_fail_link >= 0) {
+    s += " link-fail=link" + std::to_string(link_fail_link) + "@" +
+         Trimmed(link_fail_at) + "s/x" + Trimmed(link_fail_factor);
+  }
+  if (mem_shrink_at > 0.0 && mem_shrink_device >= 0 &&
+      mem_shrink_fraction > 0.0) {
+    s += " mem-shrink=gpu" + std::to_string(mem_shrink_device) + "@" +
+         Trimmed(mem_shrink_at) + "s/" + Trimmed(mem_shrink_fraction);
   }
   return s;
 }

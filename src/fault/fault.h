@@ -24,6 +24,21 @@ enum class FaultKind : uint8_t {
 
 const char* FaultKindName(FaultKind kind);
 
+/// Link-degrade trace encoding: a kFaultInjected event for kLinkDegrade
+/// carries the link id in Event::task and the capacity factor in
+/// Event::bytes as integer parts-per-trillion. Doubles with <= 12
+/// significant digits (every factor a plan can carry) round-trip exactly,
+/// so a health monitor can reconstruct the precise degraded capacity from
+/// the trace alone. The matching kFaultRecovered keeps bytes = 0 —
+/// MetricsSink folds recovered bytes into recovery_bytes, which must stay
+/// untouched by link events.
+inline int64_t EncodeFactorPpt(double factor) {
+  return static_cast<int64_t>(factor * 1e12 + (factor >= 0 ? 0.5 : -0.5));
+}
+inline double DecodeFactorPpt(int64_t ppt) {
+  return static_cast<double>(ppt) / 1e12;
+}
+
 /// Everything a chaos run injects, replayable from `seed` alone. All decision
 /// draws (which transfer fails, which link flaps, backoff jitter) come from
 /// independent child streams of one seeded Rng, and all fault timing lives in
@@ -59,13 +74,35 @@ struct FaultPlan {
   double stream_stall_rate = 0.0;     // P(an op start is delayed)
   TimeSec stream_stall_duration = 0.0;
 
+  // --- persistent, targeted degradations (NOT self-healing) ----------------
+  // The machine changes and stays changed: a link drops to a fraction of its
+  // bandwidth, a co-tenant permanently claims a slice of a GPU. These are the
+  // faults the adapt layer's health monitor is built to catch — a flap heals
+  // itself, a persistent degradation needs a re-plan. Timing is simulated and
+  // explicit (no RNG draws), so the injection replays bit-for-bit and the
+  // synthesized degraded MachineSpec is an exact function of the plan.
+  TimeSec link_fail_at = 0.0;        // inject time; 0 = off
+  int link_fail_link = -1;           // Interconnect link id (machine layout)
+  double link_fail_factor = 0.25;    // permanent capacity multiplier
+  TimeSec mem_shrink_at = 0.0;       // inject time; 0 = off
+  int mem_shrink_device = -1;        // victim GPU
+  double mem_shrink_fraction = 0.0;  // fraction of capacity permanently lost
+
   // Shared retry policy for transfer and allocation recovery, in simulated
   // seconds. Jitter draws come from the plan's seed.
   common::BackoffPolicy backoff;
 
   /// True when any fault kind is armed (enabled and at least one rate or
-  /// interval is positive).
+  /// interval is positive, or a persistent degradation is scheduled).
   bool Any() const;
+
+  /// True when a persistent targeted degradation is scheduled.
+  bool HasPersistent() const;
+
+  /// A copy with the persistent degradations cleared. The adapt layer strips
+  /// a fault from the plan once its effect is baked into the degraded
+  /// MachineSpec — injecting it again would double-count the damage.
+  FaultPlan WithoutPersistent() const;
 
   /// One-line human description, e.g. for the chaos harness banner and for
   /// Status messages naming the injected fault ("seed=42 transfer=0.05 ...").

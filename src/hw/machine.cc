@@ -1,5 +1,7 @@
 #include "hw/machine.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace harmony::hw {
@@ -36,6 +38,13 @@ MachineSpec MachineSpec::WithNumGpus(int n) const {
   int max_switch = 0;
   for (int s : m.gpu_to_switch) max_switch = std::max(max_switch, s);
   m.num_switches = max_switch + 1;
+  // Restriction changes the link-id layout: keep the surviving GPUs'
+  // overrides, but any per-link scales are re-derived by the caller (the
+  // old indices do not translate).
+  if (!per_gpu.empty()) {
+    m.per_gpu.assign(per_gpu.begin(), per_gpu.begin() + n);
+  }
+  m.link_bw_scale.clear();
   return m;
 }
 
@@ -44,6 +53,150 @@ MachineSpec MachineSpec::WithNvlink(BytesPerSec bandwidth) const {
   MachineSpec m = *this;
   m.nvlink_bw = bandwidth;
   return m;
+}
+
+// ---------------------------------------------------------------------------
+// Heterogeneous fleets
+// ---------------------------------------------------------------------------
+
+Bytes MachineSpec::MinUsableMemory() const {
+  if (per_gpu.empty()) return gpu.usable_memory();
+  Bytes m = per_gpu[0].usable_memory();
+  for (const GpuSpec& g : per_gpu) m = std::min(m, g.usable_memory());
+  return m;
+}
+
+const GpuSpec& MachineSpec::PlanningGpu() const {
+  if (per_gpu.empty()) return gpu;
+  const GpuSpec* slowest = &per_gpu[0];
+  for (const GpuSpec& g : per_gpu) {
+    if (g.peak_flops < slowest->peak_flops) slowest = &g;
+  }
+  return *slowest;
+}
+
+double MachineSpec::MinGpuLinkScale() const {
+  if (link_bw_scale.empty()) return 1.0;
+  double m = 1.0;
+  for (int g = 0; g < num_gpus; ++g) {
+    m = std::min({m, LinkScaleAt(LinkGpuUp(g)), LinkScaleAt(LinkGpuDown(g))});
+  }
+  return m;
+}
+
+double MachineSpec::MinSwitchLinkScale() const {
+  if (link_bw_scale.empty()) return 1.0;
+  double m = 1.0;
+  for (int s = 0; s < num_switches; ++s) {
+    m = std::min(
+        {m, LinkScaleAt(LinkSwitchUp(s)), LinkScaleAt(LinkSwitchDown(s))});
+  }
+  return m;
+}
+
+double MachineSpec::MinHostMemScale() const {
+  if (link_bw_scale.empty()) return 1.0;
+  return std::min(LinkScaleAt(LinkHostWrite()), LinkScaleAt(LinkHostRead()));
+}
+
+BytesPerSec MachineSpec::EffectiveSwapBw(int active_gpus) const {
+  BytesPerSec bw =
+      std::min(pcie_bw * MinGpuLinkScale(),
+               host_mem_bw * MinHostMemScale() / std::max(1, active_gpus));
+  // A degraded switch uplink sits on every swap path; fold it in only when
+  // degraded so the nominal value stays bit-identical to the historical
+  // two-term min regardless of the uplink_bw calibration.
+  const double s = MinSwitchLinkScale();
+  if (s < 1.0) bw = std::min(bw, uplink_bw * s);
+  return bw;
+}
+
+BytesPerSec MachineSpec::EffectiveP2pBw() const {
+  BytesPerSec bw = pcie_bw * MinGpuLinkScale();
+  const double s = MinSwitchLinkScale();
+  if (s < 1.0) bw = std::min(bw, uplink_bw * s);
+  return bw;
+}
+
+MachineSpec MachineSpec::WithGpuOverride(int g, const GpuSpec& spec) const {
+  HARMONY_CHECK_GE(g, 0);
+  HARMONY_CHECK_LT(g, num_gpus);
+  MachineSpec m = *this;
+  if (m.per_gpu.empty()) m.per_gpu.assign(num_gpus, gpu);
+  m.per_gpu[g] = spec;
+  return m;
+}
+
+MachineSpec MachineSpec::WithLinkScale(int link, double factor) const {
+  HARMONY_CHECK_GE(link, 0);
+  HARMONY_CHECK_LT(link, NumLinks());
+  HARMONY_CHECK_GT(factor, 0.0);
+  MachineSpec m = *this;
+  if (m.link_bw_scale.empty()) m.link_bw_scale.assign(NumLinks(), 1.0);
+  m.link_bw_scale[link] *= factor;
+  return m;
+}
+
+Status MachineSpec::Validate() const {
+  if (num_gpus < 1) return Status::InvalidArgument("machine: num_gpus < 1");
+  if (num_switches < 1) {
+    return Status::InvalidArgument("machine: num_switches < 1");
+  }
+  if (static_cast<int>(gpu_to_switch.size()) != num_gpus) {
+    return Status::InvalidArgument("machine: gpu_to_switch size != num_gpus");
+  }
+  for (int s : gpu_to_switch) {
+    if (s < 0 || s >= num_switches) {
+      return Status::InvalidArgument(
+          "machine: gpu_to_switch entry " + std::to_string(s) +
+          " outside [0, " + std::to_string(num_switches) + ")");
+    }
+  }
+  if (pcie_bw <= 0 || uplink_bw <= 0 || host_mem_bw <= 0 ||
+      cpu_update_bw <= 0 || nvlink_bw < 0) {
+    return Status::InvalidArgument("machine: non-positive bandwidth");
+  }
+  if (host_memory <= 0) {
+    return Status::InvalidArgument("machine: non-positive host memory");
+  }
+  auto check_gpu = [](const GpuSpec& g, const std::string& which) -> Status {
+    if (g.memory_capacity <= 0) {
+      return Status::InvalidArgument("machine: " + which +
+                                     " has non-positive memory capacity");
+    }
+    if (g.peak_flops <= 0) {
+      return Status::InvalidArgument("machine: " + which +
+                                     " has non-positive peak flops");
+    }
+    if (g.usable_fraction <= 0.0 || g.usable_fraction > 1.0) {
+      return Status::InvalidArgument("machine: " + which +
+                                     " usable_fraction outside (0, 1]");
+    }
+    return Status::Ok();
+  };
+  HARMONY_RETURN_IF_ERROR(check_gpu(gpu, "gpu"));
+  if (!per_gpu.empty() && static_cast<int>(per_gpu.size()) != num_gpus) {
+    return Status::InvalidArgument("machine: per_gpu size != num_gpus");
+  }
+  for (size_t g = 0; g < per_gpu.size(); ++g) {
+    HARMONY_RETURN_IF_ERROR(
+        check_gpu(per_gpu[g], "per_gpu[" + std::to_string(g) + "]"));
+  }
+  if (!link_bw_scale.empty() &&
+      static_cast<int>(link_bw_scale.size()) != NumLinks()) {
+    return Status::InvalidArgument("machine: link_bw_scale size " +
+                                   std::to_string(link_bw_scale.size()) +
+                                   " != NumLinks() " +
+                                   std::to_string(NumLinks()));
+  }
+  for (size_t l = 0; l < link_bw_scale.size(); ++l) {
+    const double f = link_bw_scale[l];
+    if (!(f > 0.0) || f > 1e3) {
+      return Status::InvalidArgument("machine: link_bw_scale[" +
+                                     std::to_string(l) + "] outside (0, 1e3]");
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace harmony::hw

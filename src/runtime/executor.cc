@@ -70,8 +70,16 @@ void Executor::WatchdogTick() {
   if (progress == watchdog_progress_) {
     // No step, CPU update, or transfer completed for a whole interval:
     // escalate. Cancelling the token unwinds any cooperating layers
-    // (search, serve) sharing it; the Status names the wedge.
-    if (options_.cancel != nullptr) options_.cancel->Cancel();
+    // (search, serve) sharing it; the Status names the wedge. The
+    // first-tripper check closes a race with graceful shutdown: if another
+    // party cancelled the shared token between the PollCancel above and this
+    // escalation, the run must surface kCancelled — not an Internal
+    // "watchdog: no progress" dressed with DescribeStuck noise. Only the
+    // actual tripper pays for (and reports) the wedge diagnostics.
+    if (options_.cancel != nullptr && !options_.cancel->Cancel()) {
+      PollCancel();
+      return;
+    }
     Fail(Status::Internal("watchdog: no progress for " +
                           std::to_string(watchdog_interval_) + "s" +
                           DescribeStuck()));
@@ -307,7 +315,7 @@ Result<RunMetrics> Executor::Run() {
     Bytes reserved = d < static_cast<int>(graph_.device_reserved_bytes.size())
                          ? graph_.device_reserved_bytes[d]
                          : 0;
-    const Bytes capacity = machine_.gpu.usable_memory() - reserved;
+    const Bytes capacity = machine_.GpuAt(d).usable_memory() - reserved;
     if (capacity <= 0) {
       return Status::OutOfMemory("device reservation exceeds GPU capacity");
     }
@@ -402,6 +410,36 @@ Result<RunMetrics> Executor::Run() {
                 d, options_.fault_plan.mem_pressure_fraction);
           },
           [this](int d) { return residency_->ReleaseFaultPressure(d); });
+    }
+    // Persistent targeted degradations: the machine changes and stays
+    // changed. Pressure is applied once and never released — the health
+    // monitor upstairs is what turns these into a re-plan.
+    if (plan.link_fail_at > 0 && plan.link_fail_link >= 0) {
+      if (plan.link_fail_link >= net_.num_links() ||
+          plan.link_fail_factor <= 0) {
+        return Status::InvalidArgument(
+            "fault plan: link-fail link " +
+            std::to_string(plan.link_fail_link) + " / factor " +
+            std::to_string(plan.link_fail_factor) + " invalid (machine has " +
+            std::to_string(net_.num_links()) + " links)");
+      }
+      chaos_->ArmPersistentLinkFault(&flows_, plan.link_fail_link,
+                                     plan.link_fail_factor, plan.link_fail_at);
+    }
+    if (plan.mem_shrink_at > 0 && plan.mem_shrink_device >= 0 &&
+        plan.mem_shrink_fraction > 0) {
+      if (plan.mem_shrink_device >= N || plan.mem_shrink_fraction >= 1.0) {
+        return Status::InvalidArgument(
+            "fault plan: mem-shrink device " +
+            std::to_string(plan.mem_shrink_device) + " / fraction " +
+            std::to_string(plan.mem_shrink_fraction) + " invalid (" +
+            std::to_string(N) + " active devices)");
+      }
+      chaos_->ArmPersistentMemShrink(
+          plan.mem_shrink_device, plan.mem_shrink_at, [this](int d) {
+            return residency_->ApplyFaultPressure(
+                d, options_.fault_plan.mem_shrink_fraction);
+          });
     }
   }
   // Watchdog: explicit interval, or a 60s default whenever chaos or a cancel

@@ -16,7 +16,7 @@ StepCompiler::StepCompiler(const hw::MachineSpec& machine,
                            const model::SequentialModel& model,
                            const core::TaskGraph& graph,
                            model::Optimizer optimizer)
-    : machine_(machine), model_(model), graph_(graph), cost_(machine.gpu) {
+    : machine_(machine), model_(model), graph_(graph), cost_(machine.PlanningGpu()) {
   opt_mult_ = model::OptimizerStateBytesPerParamByte(optimizer);
 }
 

@@ -49,8 +49,7 @@ class ServeClient {
   /// deadline_ms or the retry budget — the last failure surfaces then.
   struct RetryOptions {
     int max_retries = 5;
-    common::BackoffPolicy backoff{/*initial=*/0.05, /*max_delay=*/2.0,
-                                  /*multiplier=*/2.0, /*jitter=*/0.5};
+    common::BackoffPolicy backoff = common::kPlanRetryBackoff;
     uint64_t seed = 0;  // jitter seed (fix it for deterministic tests)
   };
   Result<PlanResponse> PlanWithRetry(const PlanRequest& request,

@@ -217,7 +217,7 @@ PlanResponse PlanService::ComputePlan(const PlanRequest& request,
   PlanResponse response;
   response.fingerprint = fingerprint;
 
-  auto resolved = ResolveModel(request.model, request.machine.gpu);
+  auto resolved = ResolveModel(request.model, request.machine.PlanningGpu());
   if (!resolved.ok()) {
     response.status = resolved.status();
     return response;

@@ -233,6 +233,25 @@ json::Value MachineSpecToJson(const hw::MachineSpec& machine) {
   v.Set("nvlink_bw", machine.nvlink_bw);
   v.Set("host_memory", machine.host_memory);
   v.Set("cpu_update_bw", machine.cpu_update_bw);
+  // Heterogeneous-fleet fields: emitted only when present, so homogeneous
+  // machines keep their historical canonical bytes (and cache fingerprints).
+  if (!machine.per_gpu.empty()) {
+    json::Value per = json::Value::Array();
+    for (const hw::GpuSpec& g : machine.per_gpu) {
+      json::Value pg = json::Value::Object();
+      pg.Set("name", g.name);
+      pg.Set("memory_capacity", g.memory_capacity);
+      pg.Set("peak_flops", g.peak_flops);
+      pg.Set("usable_fraction", g.usable_fraction);
+      per.Append(std::move(pg));
+    }
+    v.Set("per_gpu", std::move(per));
+  }
+  if (!machine.link_bw_scale.empty()) {
+    json::Value scales = json::Value::Array();
+    for (double s : machine.link_bw_scale) scales.Append(json::Value::Number(s));
+    v.Set("link_bw_scale", std::move(scales));
+  }
   return v;
 }
 
@@ -263,6 +282,31 @@ Result<hw::MachineSpec> MachineSpecFromJson(const json::Value& v) {
   HARMONY_RETURN_IF_ERROR(json::ReadInt64(v, "host_memory", &m.host_memory));
   HARMONY_RETURN_IF_ERROR(json::ReadDouble(v, "cpu_update_bw", &m.cpu_update_bw));
   if (m.num_gpus < 1) return Status::InvalidArgument("machine: num_gpus < 1");
+  // Optional heterogeneous-fleet fields (absent from homogeneous peers).
+  if (const json::Value* per = v.Find("per_gpu"); per != nullptr) {
+    if (!per->is_array()) {
+      return Status::InvalidArgument("machine: per_gpu is not an array");
+    }
+    for (size_t i = 0; i < per->size(); ++i) {
+      const json::Value& pg = per->at(i);
+      if (!pg.is_object()) {
+        return Status::InvalidArgument("machine: per_gpu entry not an object");
+      }
+      hw::GpuSpec g;
+      HARMONY_RETURN_IF_ERROR(json::ReadString(pg, "name", &g.name));
+      HARMONY_RETURN_IF_ERROR(
+          json::ReadInt64(pg, "memory_capacity", &g.memory_capacity));
+      HARMONY_RETURN_IF_ERROR(json::ReadDouble(pg, "peak_flops", &g.peak_flops));
+      HARMONY_RETURN_IF_ERROR(
+          json::ReadDouble(pg, "usable_fraction", &g.usable_fraction));
+      m.per_gpu.push_back(std::move(g));
+    }
+  }
+  if (v.Find("link_bw_scale") != nullptr) {
+    HARMONY_RETURN_IF_ERROR(
+        NumberArrayFromJson(v, "link_bw_scale", &m.link_bw_scale));
+  }
+  HARMONY_RETURN_IF_ERROR(m.Validate());
   return m;
 }
 

@@ -233,10 +233,15 @@ void FlowNetwork::RemoveFromLinks(int slot) {
 // ---------------------------------------------------------------------------
 
 Interconnect::Interconnect(const hw::MachineSpec& machine) : machine_(machine) {
+  // Link ids are assigned in exactly the order hw::MachineSpec's Link*
+  // helpers document (NumLinks() mirrors this layout), so a heterogeneous
+  // machine's per-link scale applies by construction index. The scale is an
+  // exact 1.0 multiply on homogeneous machines.
   auto add_link = [&](BytesPerSec cap, std::string name) {
-    capacities_.push_back(cap);
+    const int id = static_cast<int>(capacities_.size());
+    capacities_.push_back(cap * machine.LinkScaleAt(id));
     names_.push_back(std::move(name));
-    return static_cast<int>(capacities_.size()) - 1;
+    return id;
   };
   for (int g = 0; g < machine.num_gpus; ++g) {
     gpu_up_.push_back(add_link(machine.pcie_bw, "gpu" + std::to_string(g) + ".up"));
@@ -257,6 +262,7 @@ Interconnect::Interconnect(const hw::MachineSpec& machine) : machine_(machine) {
           add_link(machine.nvlink_bw, "gpu" + std::to_string(g) + ".nvl.in"));
     }
   }
+  HARMONY_CHECK_EQ(num_links(), machine.NumLinks());
 }
 
 std::vector<int> Interconnect::SwapInPath(int gpu) const {

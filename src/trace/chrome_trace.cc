@@ -94,6 +94,9 @@ void ChromeTraceSink::WriteJson(std::ostream& os) const {
       case EventKind::kAllocStall:
       case EventKind::kFaultInjected:
       case EventKind::kFaultRecovered:
+      case EventKind::kReplanTriggered:
+      case EventKind::kReplanApplied:
+      case EventKind::kReplanRejected:
       case EventKind::kFlowBegin:
       case EventKind::kFlowEnd: {
         rows.insert({pid, tid});
@@ -122,7 +125,12 @@ void ChromeTraceSink::WriteJson(std::ostream& os) const {
       case EventKind::kServeCacheHit:
       case EventKind::kServeSearchBegin:
       case EventKind::kServeComplete:
-      case EventKind::kServeReject: {
+      case EventKind::kServeReject:
+      case EventKind::kServeConnOpen:
+      case EventKind::kServeConnClose:
+      case EventKind::kServeFastPath:
+      case EventKind::kClusterPeerFill:
+      case EventKind::kClusterDiskHit: {
         // Instants keyed by request id: the per-request latency breakdown is
         // the gap between a request's admit / search-begin / complete marks.
         rows.insert({pid, tid});

@@ -79,6 +79,11 @@ void MetricsSink::OnEvent(const Event& e) {
     case EventKind::kServeConnOpen:
     case EventKind::kServeConnClose:
     case EventKind::kServeFastPath:
+    case EventKind::kClusterPeerFill:
+    case EventKind::kClusterDiskHit:
+    case EventKind::kReplanTriggered:
+    case EventKind::kReplanApplied:
+    case EventKind::kReplanRejected:
       break;  // not part of the metrics fold
   }
 }

@@ -29,6 +29,9 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kServeFastPath: return "serve-fastpath";
     case EventKind::kClusterPeerFill: return "cluster-peer-fill";
     case EventKind::kClusterDiskHit: return "cluster-disk-hit";
+    case EventKind::kReplanTriggered: return "replan-triggered";
+    case EventKind::kReplanApplied: return "replan-applied";
+    case EventKind::kReplanRejected: return "replan-rejected";
   }
   return "?";
 }

@@ -77,6 +77,16 @@ enum class EventKind : uint8_t {
   // carries the plan envelope size in both cases.
   kClusterPeerFill,
   kClusterDiskHit,
+
+  // Adaptive re-planning instants (src/adapt), emitted between iterations on
+  // the global kNet row. `task` carries the iteration index the decision was
+  // made at; `bytes` carries the estimated iteration time in nanoseconds
+  // (old plan for kReplanTriggered, new plan for kReplanApplied/kRejected).
+  // `detail` names the trigger or rejection reason ("link-degrade",
+  // "mem-shrink", "below-margin", ...).
+  kReplanTriggered,  // health monitor crossed hysteresis; re-plan requested
+  kReplanApplied,    // switchover committed at an iteration boundary
+  kReplanRejected,   // candidate plan did not clear the gain margin
 };
 
 const char* EventKindName(EventKind kind);

@@ -24,6 +24,7 @@
 #include <cstring>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/cancel.h"
@@ -478,6 +479,68 @@ TEST(ChaosWatchdog, CancelledTokenUnwindsTheRun) {
   EXPECT_EQ(r.status.code(), StatusCode::kCancelled) << r.status;
   EXPECT_NE(r.status.message().find("run cancelled"), std::string::npos)
       << r.status;
+}
+
+// Regression: graceful shutdown racing watchdog escalation. A token already
+// cancelled by another party must surface kCancelled — never an Internal
+// "watchdog: no progress" dressed with DescribeStuck noise. The watchdog's
+// escalation goes through CancelToken::Cancel()'s first-tripper contract, so
+// only the party that actually tripped the token reports the wedge.
+TEST(ChaosWatchdog, GracefulCancelDuringEscalationStaysCancelled) {
+  fault::FaultPlan p;
+  p.enabled = true;
+  p.seed = 5;
+  p.stream_stall_rate = 1.0;
+  p.stream_stall_duration = 1e6;  // wedged against the watchdog
+
+  common::CancelToken cancel;
+  cancel.Cancel();  // graceful shutdown arrived first
+  RuntimeOptions opts;
+  opts.fault_plan = p;
+  opts.cancel = &cancel;
+  opts.watchdog_interval = 5.0;
+  const RunOutcome r = RunWorkload(Bert96(), opts);
+
+  ASSERT_FALSE(r.status.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kCancelled) << r.status;
+  EXPECT_EQ(r.status.message().find("watchdog"), std::string::npos)
+      << r.status;
+  EXPECT_EQ(r.status.message().find("stuck at step"), std::string::npos)
+      << r.status;
+}
+
+// The same race from a real second thread: a shutdown thread trips the token
+// while the wedged run's watchdog escalates. Whatever the interleaving, the
+// run must end either kCancelled (shutdown won) or kInternal naming the
+// wedge (the watchdog tripped the token first) — and in both orders the
+// token ends cancelled. TSan runs this variant under chaos_test_tsan.
+TEST(ChaosWatchdog, ConcurrentShutdownAndWatchdogAgreeOnOneOwner) {
+  fault::FaultPlan p;
+  p.enabled = true;
+  p.seed = 5;
+  p.stream_stall_rate = 1.0;
+  p.stream_stall_duration = 1e6;
+
+  common::CancelToken cancel;
+  RuntimeOptions opts;
+  opts.fault_plan = p;
+  opts.cancel = &cancel;
+  opts.watchdog_interval = 5.0;
+  std::thread shutdown([&cancel]() { cancel.Cancel(); });
+  const RunOutcome r = RunWorkload(Bert96(), opts);
+  shutdown.join();
+
+  ASSERT_FALSE(r.status.ok());
+  EXPECT_TRUE(cancel.Cancelled());
+  if (r.status.code() == StatusCode::kInternal) {
+    EXPECT_NE(r.status.message().find("watchdog: no progress"),
+              std::string::npos)
+        << r.status;
+  } else {
+    EXPECT_EQ(r.status.code(), StatusCode::kCancelled) << r.status;
+    EXPECT_EQ(r.status.message().find("watchdog"), std::string::npos)
+        << r.status;
+  }
 }
 
 TEST(ChaosWatchdog, PassedDeadlineSurfacesAsDeadlineExceeded) {

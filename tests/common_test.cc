@@ -201,6 +201,29 @@ TEST(ThreadPool, ConcurrentShutdownCallersAllBlockUntilDrained) {
   for (std::thread& t : callers) t.join();
 }
 
+TEST(CancelToken, CancelReportsFirstTripperExactlyOnce) {
+  // The first-tripper contract: exactly one caller — across any number of
+  // threads — learns it tripped the token. The executor's watchdog leans on
+  // this to tell "I am cancelling a wedged run" from "someone already
+  // cancelled gracefully" and to report kInternal vs kCancelled accordingly.
+  common::CancelToken token;
+  EXPECT_TRUE(token.Cancel());
+  EXPECT_FALSE(token.Cancel());
+  EXPECT_FALSE(token.Cancel());
+  EXPECT_TRUE(token.Cancelled());
+
+  common::CancelToken contended;
+  std::atomic<int> trippers{0};
+  std::vector<std::thread> callers;
+  for (int i = 0; i < 8; ++i) {
+    callers.emplace_back([&]() {
+      if (contended.Cancel()) ++trippers;
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(trippers.load(), 1);
+}
+
 TEST(CancelToken, ExplicitCancelAndDeadline) {
   common::CancelToken token;
   EXPECT_FALSE(token.Cancelled());

@@ -105,6 +105,54 @@ TEST(Wire, MachineSpecRoundTrips) {
                   serve::MachineSpecToJson, serve::MachineSpecFromJson);
 }
 
+TEST(Wire, HeterogeneousMachineSpecRoundTrips) {
+  hw::MachineSpec m = hw::MachineSpec::Commodity4Gpu();
+  hw::GpuSpec shrunk = m.gpu;
+  shrunk.name += "-shrunk";
+  shrunk.memory_capacity = shrunk.usable_memory() - GiB(2.0);
+  shrunk.usable_fraction = 1.0;
+  m = m.WithGpuOverride(1, shrunk).WithLinkScale(m.LinkSwitchUp(0), 0.25);
+  ExpectRoundTrip(m, serve::MachineSpecToJson, serve::MachineSpecFromJson);
+  // A degraded daemon-side ingest sees exactly the synthesized fleet.
+  const auto parsed = serve::MachineSpecFromJson(serve::MachineSpecToJson(m));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().GpuAt(1).usable_memory(), shrunk.usable_memory());
+  EXPECT_EQ(parsed.value().LinkScaleAt(m.LinkSwitchUp(0)), 0.25);
+}
+
+// The heterogeneous fields are emitted only when set: a homogeneous machine
+// keeps its historical canonical bytes, so every fingerprint pinned before
+// the fleet extension — and every deployed cache keyed by one — survives.
+TEST(Wire, HomogeneousMachineCanonicalBytesOmitFleetFields) {
+  const std::string dump =
+      serve::MachineSpecToJson(hw::MachineSpec::Commodity4Gpu()).Dump();
+  EXPECT_EQ(dump.find("per_gpu"), std::string::npos) << dump;
+  EXPECT_EQ(dump.find("link_bw_scale"), std::string::npos) << dump;
+}
+
+TEST(Wire, MachineSpecIngestValidatesFleetFields) {
+  // Corrupt the scale vector: wrong length must be rejected at ingest, not
+  // discovered as an out-of-bounds read inside the planner. The writer
+  // serializes the struct verbatim, so a malformed struct yields exactly the
+  // malformed document a broken or hostile peer would send.
+  hw::MachineSpec short_vec = hw::MachineSpec::Commodity4Gpu();
+  short_vec.link_bw_scale.assign(1, 0.5);
+  EXPECT_FALSE(
+      serve::MachineSpecFromJson(serve::MachineSpecToJson(short_vec)).ok());
+
+  hw::MachineSpec negative = hw::MachineSpec::Commodity4Gpu();
+  negative.link_bw_scale.assign(static_cast<size_t>(negative.NumLinks()), 1.0);
+  negative.link_bw_scale[0] = -0.5;
+  EXPECT_FALSE(
+      serve::MachineSpecFromJson(serve::MachineSpecToJson(negative)).ok());
+
+  hw::MachineSpec bad_gpu = hw::MachineSpec::Commodity4Gpu();
+  bad_gpu.per_gpu.assign(static_cast<size_t>(bad_gpu.num_gpus), bad_gpu.gpu);
+  bad_gpu.per_gpu[2].memory_capacity = 0;
+  EXPECT_FALSE(
+      serve::MachineSpecFromJson(serve::MachineSpecToJson(bad_gpu)).ok());
+}
+
 TEST(Wire, SearchOptionsAndFlagsRoundTrip) {
   core::SearchOptions options;
   options.u_fwd_max = 16;
@@ -250,6 +298,29 @@ TEST(Fingerprint, PinnedGoldens) {
             "44e5f25ec89cd9e1");
   EXPECT_EQ(json::FingerprintHex(serve::RequestFingerprint(Gpt2Request())),
             "5161815ad1542bc2");
+}
+
+// A degraded (heterogeneous) machine must fingerprint distinctly from the
+// nominal one — a re-plan served from the nominal cache entry would be the
+// plan that is already failing. The degraded request's fingerprint is pinned
+// alongside the nominal goldens: re-plans are cacheable tier-wide too.
+TEST(Fingerprint, DegradedMachineSplitsTheCache) {
+  const uint64_t base = serve::RequestFingerprint(Bert96Request());
+  PlanRequest r = Bert96Request();
+  r.machine = r.machine.WithLinkScale(r.machine.LinkSwitchUp(0), 0.25);
+  EXPECT_NE(serve::RequestFingerprint(r), base);
+  EXPECT_EQ(json::FingerprintHex(serve::RequestFingerprint(r)),
+            "ab196806acb2b17e");
+
+  PlanRequest s = Bert96Request();
+  hw::GpuSpec shrunk = s.machine.gpu;
+  shrunk.name += "-shrunk";
+  shrunk.memory_capacity = shrunk.usable_memory() - GiB(2.0);
+  shrunk.usable_fraction = 1.0;
+  s.machine = s.machine.WithGpuOverride(1, shrunk);
+  EXPECT_NE(serve::RequestFingerprint(s), base);
+  EXPECT_EQ(json::FingerprintHex(serve::RequestFingerprint(s)),
+            "e4cdf99f26c1ff79");
 }
 
 TEST(Fingerprint, ExecutionHintsDoNotChangeIt) {
